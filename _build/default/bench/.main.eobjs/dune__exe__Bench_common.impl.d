@@ -1,0 +1,1 @@
+bench/bench_common.ml: Array Filename Fun Printf Stdlib String Sys Unix

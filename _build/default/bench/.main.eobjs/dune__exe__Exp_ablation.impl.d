@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Array Baseline Bench_common Constr Dataset Float Fun Linsolve List Mat Printf Rng Sampler Sider_core Sider_data Sider_linalg Sider_maxent Sider_rand Solver Synth Vec

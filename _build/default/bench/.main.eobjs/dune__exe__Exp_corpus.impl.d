@@ -1,0 +1,1 @@
+bench/exp_corpus.ml: Array Auto_explore Bench_common Corpus Dataset List Printf Session Sider_core Sider_data Sider_viz

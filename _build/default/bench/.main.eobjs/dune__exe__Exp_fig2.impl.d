@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Array Auto_explore Bench_common List Printf Session Sider_core Sider_data Sider_maxent Sider_viz Synth

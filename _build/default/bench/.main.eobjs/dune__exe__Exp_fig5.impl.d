@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Array Bench_common Buffer Constr Dataset Gauss_params List Mat Printf Sider_data Sider_linalg Sider_maxent Solver String Synth

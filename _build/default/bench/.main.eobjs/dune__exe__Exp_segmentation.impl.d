@@ -1,0 +1,1 @@
+bench/exp_segmentation.ml: Array Auto_explore Bench_common Dataset Float List Printf Segmentation Session Sider_core Sider_data Sider_linalg Sider_maxent Sider_projection Sider_viz String Vec View

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Array Bench_common Dataset Fastica Float List Mat Option Printf Session Sider_core Sider_data Sider_linalg Sider_projection Sider_rand Sider_viz String Synth Vec View Whiten

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Array Bench_common Buffer Constr Dataset Fastica Float Hashtbl List Printf Sider_data Sider_maxent Sider_projection Sider_rand Solver String Synth Whiten

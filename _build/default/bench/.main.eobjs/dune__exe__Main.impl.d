@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_corpus Exp_fig2 Exp_fig5 Exp_micro Exp_related Exp_segmentation Exp_table1 Exp_table2 List Printf String Sys Unix

@@ -1,0 +1,60 @@
+(* Shared helpers for the experiment harness. *)
+
+let artifacts_dir = "_artifacts/bench"
+
+let ensure_dir path =
+  let rec mk p =
+    if p <> "." && p <> "/" && not (Sys.file_exists p) then begin
+      mk (Filename.dirname p);
+      Sys.mkdir p 0o755
+    end
+  in
+  mk path
+
+let write_file path content =
+  ensure_dir (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let artifact name content =
+  let path = Filename.concat artifacts_dir name in
+  write_file path content;
+  Printf.printf "  [artifact] %s\n%!" path
+
+let header id title =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf "%s  %s\n" id title;
+  Printf.printf "%s\n%!" (String.make 78 '=')
+
+let subhead title = Printf.printf "\n--- %s ---\n%!" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n%!" s) fmt
+
+(* Paper-vs-measured comparison line. *)
+let compare_line ~label ~paper ~ours =
+  Printf.printf "  %-44s paper: %-14s ours: %s\n%!" label paper ours
+
+let time_of f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let median values =
+  let v = Array.copy values in
+  Array.sort compare v;
+  let n = Array.length v in
+  if n = 0 then nan
+  else if n mod 2 = 1 then v.(n / 2)
+  else 0.5 *. (v.((n / 2) - 1) +. v.(n / 2))
+
+let runs_from_env ~default =
+  match Sys.getenv_opt "SIDER_BENCH_RUNS" with
+  | Some s -> (try Stdlib.max 1 (int_of_string s) with _ -> default)
+  | None -> default
+
+let full_grid () = Sys.getenv_opt "SIDER_BENCH_FULL" = Some "1"
+
+let fmt_scores scores =
+  String.concat " " (Array.to_list (Array.map (Printf.sprintf "%+.3f") scores))

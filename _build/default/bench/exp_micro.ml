@@ -1,0 +1,98 @@
+(* Bechamel micro-benchmarks of the inner loops: one Test.make per paper
+   table, measuring the primitive that dominates it.
+
+   - table2/OPTIM: one quadratic constraint update (rank-1 Woodbury +
+     root finding) at d = 32;
+   - table2/ICA:   one FastICA fixed-point pass at n = 512, d = 8;
+   - fig5:         a full Case-B sweep (8 overlapping constraints);
+   - fig2..9 view pipeline: whitening of a 512×16 dataset. *)
+
+open Bechamel
+open Toolkit
+open Sider_linalg
+open Sider_maxent
+open Sider_data
+
+let quad_update_test =
+  let d = 32 in
+  let rng = Sider_rand.Rng.create 3 in
+  let data = Sider_rand.Sampler.normal_mat rng 256 d in
+  let w = Vec.normalize (Sider_rand.Sampler.normal_vec rng d) in
+  let constr = Constr.quadratic ~data ~rows:(Array.init 64 Fun.id) ~w () in
+  Test.make ~name:"table2: quadratic update d=32"
+    (Staged.stage (fun () ->
+         let solver = Solver.create data [ constr ] in
+         ignore (Solver.solve ~max_sweeps:1 ~lambda_tol:0.0 ~param_tol:0.0
+                   solver)))
+
+let ica_test =
+  let rng = Sider_rand.Rng.create 4 in
+  let ds = Synth.clustered ~seed:4 ~n:512 ~d:8 ~k:3 () in
+  let m = Dataset.matrix ds in
+  Test.make ~name:"table2: fastica n=512 d=8"
+    (Staged.stage (fun () ->
+         ignore
+           (Sider_projection.Fastica.fit ~max_iter:5
+              (Sider_rand.Rng.copy rng) m)))
+
+let case_b_sweep_test =
+  let data = Dataset.matrix (Synth.adversarial ()) in
+  let cluster rows =
+    [ Constr.linear ~data ~rows ~w:[| 1.0; 0.0 |] ();
+      Constr.quadratic ~data ~rows ~w:[| 1.0; 0.0 |] ();
+      Constr.linear ~data ~rows ~w:[| 0.0; 1.0 |] ();
+      Constr.quadratic ~data ~rows ~w:[| 0.0; 1.0 |] () ]
+  in
+  let constraints = cluster [| 0; 2 |] @ cluster [| 1; 2 |] in
+  Test.make ~name:"fig5: one case-B sweep (8 constraints)"
+    (Staged.stage (fun () ->
+         let solver = Solver.create data constraints in
+         ignore (Solver.solve ~max_sweeps:1 ~lambda_tol:0.0 ~param_tol:0.0
+                   solver)))
+
+let whiten_test =
+  let ds = Synth.clustered ~seed:5 ~n:512 ~d:16 ~k:4 () in
+  let data = Dataset.matrix ds in
+  let constraints =
+    Constr.margin data
+    @ List.concat_map
+        (fun cls -> Constr.cluster ~data ~rows:(Dataset.class_indices ds cls) ())
+        (Dataset.classes ds)
+  in
+  let solver = Solver.create data constraints in
+  let () = ignore (Solver.solve solver) in
+  Test.make ~name:"views: whiten 512x16, 5 classes"
+    (Staged.stage (fun () -> ignore (Sider_projection.Whiten.whiten solver)))
+
+let tests =
+  Test.make_grouped ~name:"sider"
+    [ quad_update_test; ica_test; case_b_sweep_test; whiten_test ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.8) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  results
+
+let run () =
+  Bench_common.header "micro" "bechamel micro-benchmarks of the inner loops";
+  let results = benchmark () in
+  Printf.printf "  %-42s %s\n" "benchmark" "time/run";
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) ->
+        let pretty =
+          if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+          else Printf.sprintf "%.1f µs" (est /. 1e3)
+        in
+        Printf.printf "  %-42s %s\n%!" name pretty
+      | _ -> Printf.printf "  %-42s (no estimate)\n%!" name)

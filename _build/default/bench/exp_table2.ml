@@ -1,0 +1,127 @@
+(* Table II: median wall-clock of OPTIM (MaxEnt solve) and ICA over the
+   grid n ∈ {2048, 4096, 8192}, d ∈ {16, 32, 64, 128}, k ∈ {1, 2, 4, 8}.
+
+   Paper protocol (Sec. IV-A): datasets with k random cluster centroids;
+   margin (column) constraints always; cluster constraints for each
+   cluster when k > 1; median over 10 runs, no time cutoff; single
+   thread.
+
+   Paper's headline shapes (their numbers, R 3.4.0 on a MacBook Air):
+     - OPTIM time is independent of n (rows collapse into equivalence
+       classes);
+     - OPTIM scales roughly as O(k d³) — k·d constraints × O(d²) each;
+     - ICA scales roughly as O(n d²).
+
+   Environment knobs:
+     SIDER_BENCH_RUNS  runs per cell (default 1; paper used 10)
+     SIDER_BENCH_FULL  "1" to include the d=128 column (slow: the paper's
+                       own ICA times there are 17-68 s per run). *)
+
+open Sider_data
+open Sider_maxent
+open Sider_projection
+open Bench_common
+
+(* Paper's reported medians, {k=1, 2, 4, 8}, for reference printing. *)
+let paper_optim = function
+  | 16 -> "{0.0, 0.2, 0.3, 0.5}"
+  | 32 -> "{0.0, 0.6, 1.0, 2.1}"
+  | 64 -> "{0.1, 2.7, 5.2, 11.0}"
+  | 128 -> "{1.2, 21.4, 48.1, 124.6}"
+  | _ -> "-"
+
+let paper_ica ~n ~d =
+  match (n, d) with
+  | 2048, 16 -> "{0.6}" | 2048, 32 -> "{1.5}" | 2048, 64 -> "{5.1}"
+  | 2048, 128 -> "{17.8}"
+  | 4096, 16 -> "{1.1}" | 4096, 32 -> "{3.1}" | 4096, 64 -> "{9.5}"
+  | 4096, 128 -> "{34.4}"
+  | 8192, 16 -> "{2.4}" | 8192, 32 -> "{6.0}" | 8192, 64 -> "{20.2}"
+  | 8192, 128 -> "{67.5}"
+  | _ -> "-"
+
+type cell = { optim : float; ica : float; sweeps : int; converged : bool }
+
+let run_cell ~seed ~n ~d ~k =
+  let ds = Synth.clustered ~seed ~n ~d ~k () in
+  let data = Dataset.matrix ds in
+  let constraints =
+    Constr.margin data
+    @ (if k > 1 then
+         List.concat_map
+           (fun cls ->
+             Constr.cluster ~data ~rows:(Dataset.class_indices ds cls) ())
+           (Dataset.classes ds)
+       else [])
+  in
+  let solver = Solver.create data constraints in
+  let report, optim = time_of (fun () -> Solver.solve solver) in
+  let y = Whiten.whiten solver in
+  let _, ica = time_of (fun () -> Fastica.fit (Sider_rand.Rng.create seed) y) in
+  { optim; ica; sweeps = report.Solver.sweeps;
+    converged = report.Solver.converged }
+
+let run () =
+  header "table2" "runtime experiment: OPTIM and ICA medians (seconds)";
+  let runs = runs_from_env ~default:1 in
+  let ds = if full_grid () then [ 16; 32; 64; 128 ] else [ 16; 32; 64 ] in
+  if not (full_grid ()) then
+    note "d=128 column skipped by default (paper's own ICA cells run \
+          17-68 s each); set SIDER_BENCH_FULL=1 to include it";
+  note "medians over %d runs (paper: 10); set SIDER_BENCH_RUNS to change" runs;
+  Printf.printf "\n  %-6s %-5s | %-28s | %-28s | paper OPTIM k={1,2,4,8} / paper ICA\n"
+    "n" "d" "OPTIM k={1,2,4,8}" "ICA k={1,2,4,8}";
+  Printf.printf "  %s\n" (String.make 110 '-');
+  let results = Buffer.create 4096 in
+  let grid : (int * int * int, float * float) Hashtbl.t = Hashtbl.create 64 in
+  Buffer.add_string results "n,d,k,optim_median,ica_median,runs\n";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun d ->
+          let optims = ref [] and icas = ref [] in
+          List.iter
+            (fun k ->
+              let cells =
+                Array.init runs (fun r ->
+                    run_cell ~seed:(1 + r + (17 * k)) ~n ~d ~k)
+              in
+              let mo = median (Array.map (fun c -> c.optim) cells) in
+              let mi = median (Array.map (fun c -> c.ica) cells) in
+              optims := mo :: !optims;
+              icas := mi :: !icas;
+              Hashtbl.replace grid (n, d, k) (mo, mi);
+              Buffer.add_string results
+                (Printf.sprintf "%d,%d,%d,%.4f,%.4f,%d\n" n d k mo mi runs))
+            [ 1; 2; 4; 8 ];
+          let fmt l =
+            String.concat ", "
+              (List.rev_map (Printf.sprintf "%.2f") l)
+          in
+          Printf.printf "  %-6d %-5d | {%-26s} | {%-26s} | %s / %s\n%!" n d
+            (fmt !optims) (fmt !icas) (paper_optim d) (paper_ica ~n ~d))
+        ds)
+    [ 2048; 4096; 8192 ];
+  artifact "table2_runtime.csv" (Buffer.contents results);
+
+  subhead "shape checks (from the grid above)";
+  let optim_of n d k = fst (Hashtbl.find grid (n, d, k)) in
+  let ica_of n d k = snd (Hashtbl.find grid (n, d, k)) in
+  (* OPTIM independent of n: compare k=4, d=32 at n=2048 vs n=8192. *)
+  let t_small = optim_of 2048 32 4 and t_large = optim_of 8192 32 4 in
+  compare_line ~label:"OPTIM(n=8192)/OPTIM(n=2048), d=32 k=4"
+    ~paper:"≈ 1 (independent of n)"
+    ~ours:(Printf.sprintf "%.2f (%.3fs vs %.3fs)"
+             (t_large /. Float.max t_small 1e-9) t_large t_small);
+  (* OPTIM ~ d³: doubling d at k=4 should grow ≈ 8x. *)
+  let t16 = optim_of 2048 16 4 and t32 = optim_of 2048 32 4 in
+  let t64 = optim_of 2048 64 4 in
+  compare_line ~label:"OPTIM growth d:16→32→64 (k=4)"
+    ~paper:"≈ 8x per doubling (O(d³))"
+    ~ours:(Printf.sprintf "%.1fx, %.1fx" (t32 /. Float.max t16 1e-9)
+             (t64 /. Float.max t32 1e-9));
+  (* ICA ~ n: n 2048→8192 at d=32 should grow ≈ 4x. *)
+  let i2048 = ica_of 2048 32 2 and i8192 = ica_of 8192 32 2 in
+  compare_line ~label:"ICA growth n:2048→8192 (d=32)"
+    ~paper:"≈ 4x (O(n d²))"
+    ~ours:(Printf.sprintf "%.1fx" (i8192 /. Float.max i2048 1e-9))

@@ -1,0 +1,51 @@
+(* Experiment harness: regenerates every table and figure of the paper.
+
+     dune exec bench/main.exe            run everything
+     dune exec bench/main.exe -- -e ID   run one experiment
+     dune exec bench/main.exe -- -l      list experiments
+
+   Environment:
+     SIDER_BENCH_RUNS   repetitions per Table II cell (default 3)
+     SIDER_BENCH_FULL   "1" to include the slow d=128 Table II column *)
+
+let experiments =
+  [ "fig2", "3-D introduction example (Fig. 2)", Exp_fig2.run;
+    "table1", "X̂5 ICA score decay (Table I, Figs. 3, 4, 6)", Exp_table1.run;
+    "fig5", "adversarial convergence (Fig. 5)", Exp_fig5.run;
+    "table2", "runtime grid (Table II)", Exp_table2.run;
+    "fig7", "BNC use case (Figs. 7-8)", Exp_corpus.run;
+    "fig9", "Image Segmentation use case (Fig. 9)", Exp_segmentation.run;
+    "related", "static embeddings vs SIDER (Secs. I, V)", Exp_related.run;
+    "ablation", "design-choice ablations", Exp_ablation.run;
+    "micro", "bechamel micro-benchmarks", Exp_micro.run ]
+
+let aliases =
+  [ "fig3", "table1"; "fig4", "table1"; "fig6", "table1"; "fig8", "fig7";
+    "fig7+fig8", "fig7" ]
+
+let list_experiments () =
+  List.iter
+    (fun (id, title, _) -> Printf.printf "%-10s %s\n" id title)
+    experiments
+
+let run_one id =
+  let id = match List.assoc_opt id aliases with Some a -> a | None -> id in
+  match List.find_opt (fun (i, _, _) -> String.equal i id) experiments with
+  | Some (_, _, f) -> f ()
+  | None ->
+    Printf.eprintf "unknown experiment %S; use -l to list\n" id;
+    exit 1
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: "-l" :: _ -> list_experiments ()
+  | _ :: "-e" :: ids -> List.iter run_one ids
+  | _ :: [] ->
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, _, f) -> f ()) experiments;
+    Printf.printf "\nAll experiments finished in %.1f s.\n"
+      (Unix.gettimeofday () -. t0)
+  | _ ->
+    prerr_endline "usage: main.exe [-l | -e EXPERIMENT...]";
+    exit 1

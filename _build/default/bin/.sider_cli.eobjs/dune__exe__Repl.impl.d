@@ -1,0 +1,1 @@
+bin/repl.ml: Array Auto_explore In_channel List Persist Printf Selection Session Sider_core Sider_maxent Sider_projection Sider_viz String View

@@ -1,0 +1,1 @@
+bin/sider_cli.mli:

@@ -1,0 +1,233 @@
+(* Interactive terminal session: the SIDER UI loop (Sec. III) driven by
+   typed commands instead of mouse gestures.  Reads commands from stdin,
+   so it is scriptable:  echo "show\nquit" | sider repl x5
+
+   Commands mirror the paper's UI verbs: look at the projection, select
+   points (rectangle / radius / class / saved groupings), declare cluster
+   or 2-D constraints, recompute the background distribution, ask for the
+   next projection. *)
+
+open Sider_core
+open Sider_projection
+
+let help_text =
+  {|commands:
+  show                       render the current projection (selection marked)
+  axes                       print the axis definitions and scores
+  stats                      per-attribute stats of the selection vs all data
+  select rect X1 X2 Y1 Y2    select points in a view-coordinate rectangle
+  select radius X Y R        select points within distance R of (X, Y)
+  select class NAME          select a ground-truth class (if labelled)
+  selection                  describe the current selection
+  save NAME | load NAME      store / recall selections
+  clear                      empty the selection
+  cluster                    add a cluster constraint on the selection
+  twod                       add a 2-D constraint on the selection
+  margin                     add margin (column mean/variance) constraints
+  onecluster                 add the 1-cluster (overall covariance) constraint
+  update                     re-solve the MaxEnt background distribution
+  next [pca|ica]             compute the next most informative projection
+  svg PATH                   write the current view to an SVG file
+  savesession PATH           snapshot the whole analysis as JSON (replayable
+                             with `sider replay PATH`)
+  history                    print the interaction log
+  auto [N]                   let the simulated analyst run N iterations (1)
+  help                       this text
+  quit                       leave|}
+
+type state = {
+  session : Session.t;
+  store : Selection.store;
+  mutable selection : Selection.t;
+}
+
+let print_selection st =
+  Printf.printf "selection: %d points" (Selection.size st.selection);
+  (match Session.class_match st.session st.selection with
+   | (c, j) :: _ when Selection.size st.selection > 0 ->
+     Printf.printf " (best class %s, Jaccard %.3f)" c j
+   | _ -> ());
+  print_newline ()
+
+let show st =
+  print_string
+    (Sider_viz.Ascii_plot.render_session ~width:74 ~height:20
+       ~selection:st.selection st.session)
+
+let axes st =
+  let a1, a2 = Session.axis_labels ~top:6 st.session in
+  Printf.printf "%s\n%s\n" a1 a2
+
+let stats st =
+  if Selection.size st.selection = 0 then
+    print_endline "no selection; use `select` first"
+  else begin
+    let stats = Session.selection_stats st.session st.selection in
+    Printf.printf "%-24s %10s %-9s %10s %-9s\n" "attribute" "sel mean"
+      "(sd)" "all mean" "(sd)";
+    Array.iteri
+      (fun i st ->
+        if i < 12 then
+          Printf.printf "%-24s %+10.3f (%.3f)  %+10.3f (%.3f)\n"
+            st.Session.attribute st.Session.selection_mean
+            st.Session.selection_sd st.Session.data_mean st.Session.data_sd)
+      stats
+  end
+
+let float_arg s = float_of_string (String.trim s)
+
+let handle st line =
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> true
+  | [ "quit" ] | [ "exit" ] | [ "q" ] -> false
+  | [ "help" ] -> print_endline help_text; true
+  | [ "show" ] -> show st; true
+  | [ "axes" ] -> axes st; true
+  | [ "stats" ] -> stats st; true
+  | [ "select"; "rect"; x1; x2; y1; y2 ] ->
+    st.selection <-
+      Selection.in_rectangle st.session ~xmin:(float_arg x1)
+        ~xmax:(float_arg x2) ~ymin:(float_arg y1) ~ymax:(float_arg y2);
+    print_selection st;
+    true
+  | [ "select"; "radius"; x; y; r ] ->
+    st.selection <-
+      Selection.within_radius st.session
+        ~center:(float_arg x, float_arg y) ~radius:(float_arg r);
+    print_selection st;
+    true
+  | "select" :: "class" :: rest ->
+    let name = String.concat " " rest in
+    st.selection <- Selection.by_class st.session name;
+    if Selection.size st.selection = 0 then
+      Printf.printf "no points labelled %S\n" name
+    else print_selection st;
+    true
+  | [ "selection" ] -> print_selection st; true
+  | [ "save"; name ] ->
+    Selection.save st.store name st.selection;
+    Printf.printf "saved %d points as %S\n" (Selection.size st.selection) name;
+    true
+  | [ "load"; name ] ->
+    (match Selection.load st.store name with
+     | Some sel ->
+       st.selection <- sel;
+       print_selection st
+     | None -> Printf.printf "no saved selection %S\n" name);
+    true
+  | [ "clear" ] ->
+    st.selection <- [||];
+    true
+  | [ "cluster" ] ->
+    if Selection.size st.selection = 0 then
+      print_endline "no selection; use `select` first"
+    else begin
+      Session.add_cluster_constraint st.session st.selection;
+      Printf.printf "queued cluster constraint (%d constraints pending \
+                     total); run `update`\n"
+        (Session.n_constraints st.session
+         - Array.length
+             (Sider_maxent.Solver.constraints (Session.solver st.session)))
+    end;
+    true
+  | [ "twod" ] ->
+    if Selection.size st.selection = 0 then
+      print_endline "no selection; use `select` first"
+    else begin
+      Session.add_two_d_constraint st.session st.selection;
+      print_endline "queued 2-D constraint; run `update`"
+    end;
+    true
+  | [ "margin" ] ->
+    Session.add_margin_constraint st.session;
+    print_endline "queued margin constraints; run `update`";
+    true
+  | [ "onecluster" ] ->
+    Session.add_one_cluster_constraint st.session;
+    print_endline "queued 1-cluster constraint; run `update`";
+    true
+  | [ "update" ] ->
+    let r = Session.update_background st.session in
+    Printf.printf "background updated: %d sweeps, %.2f s, converged %b\n"
+      r.Sider_maxent.Solver.sweeps r.Sider_maxent.Solver.elapsed
+      r.Sider_maxent.Solver.converged;
+    true
+  | [ "next" ] | [ "next"; "pca" ] | [ "next"; "ica" ] ->
+    let method_ =
+      match words with
+      | [ _; "ica" ] -> Some View.Ica
+      | [ _; "pca" ] -> Some View.Pca
+      | _ -> None
+    in
+    ignore (Session.recompute_view ?method_ st.session);
+    let s1, s2 = Session.view_scores st.session in
+    Printf.printf "new view, scores %.3g / %.3g\n" s1 s2;
+    axes st;
+    true
+  | [ "history" ] ->
+    List.iteri
+      (fun i e ->
+        let text =
+          match e with
+          | Session.Added_cluster { rows; tag } ->
+            Printf.sprintf "cluster constraint %S on %d points" tag
+              (Array.length rows)
+          | Session.Added_two_d { rows; tag } ->
+            Printf.sprintf "2-D constraint %S on %d points" tag
+              (Array.length rows)
+          | Session.Added_margin -> "margin constraints"
+          | Session.Added_one_cluster -> "1-cluster constraint"
+          | Session.Updated _ -> "background updated"
+          | Session.Viewed m ->
+            Printf.sprintf "new %s view" (Sider_projection.View.method_name m)
+        in
+        Printf.printf "%3d. %s\n" (i + 1) text)
+      (Session.history st.session);
+    true
+  | [ "savesession"; path ] ->
+    Persist.save path st.session;
+    Printf.printf "session saved to %s\n" path;
+    true
+  | [ "svg"; path ] ->
+    Sider_viz.Svg.write_file path
+      (Sider_viz.Svg.session_figure ~selection:st.selection st.session);
+    Printf.printf "wrote %s\n" path;
+    true
+  | [ "auto" ] | [ "auto"; _ ] ->
+    let n =
+      match words with
+      | [ _; n ] -> (try int_of_string n with _ -> 1)
+      | _ -> 1
+    in
+    let r = Auto_explore.run ~max_iterations:n st.session in
+    List.iter
+      (fun it ->
+        Printf.printf "iteration %d: %d clusters marked\n" it.Auto_explore.step
+          (Array.length it.Auto_explore.selections))
+      r.Auto_explore.iterations;
+    let s1, s2 = r.Auto_explore.final_scores in
+    Printf.printf "scores now %.3g / %.3g\n" s1 s2;
+    true
+  | cmd :: _ ->
+    Printf.printf "unknown command %S (try `help`)\n" cmd;
+    true
+
+let run session =
+  let st = { session; store = Selection.store_create (); selection = [||] } in
+  print_endline "SIDER interactive session — type `help` for commands.";
+  axes st;
+  let continue = ref true in
+  while !continue do
+    print_string "sider> ";
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> continue := false
+    | Some line ->
+      (try continue := handle st line with
+       | Failure msg -> Printf.printf "error: %s\n" msg
+       | Invalid_argument msg -> Printf.printf "error: %s\n" msg)
+  done

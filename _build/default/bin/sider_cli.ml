@@ -1,0 +1,249 @@
+(* sider — command-line interface to the SIDER engine.
+
+   Subcommands:
+     datasets   list the built-in datasets
+     view       print the most informative projection of a dataset
+     explore    run the full simulated-analyst exploration loop
+     repl       interactive session (select / cluster / update / next)
+     replay     reload a saved session snapshot and continue
+     export     generate a built-in dataset as CSV
+     runtime    run a single OPTIM/ICA timing cell (Table II)
+
+   Datasets are built-in generators (three_d, x5, corpus, segmentation,
+   gaussian) or any CSV file with a header row. *)
+
+open Cmdliner
+open Sider_data
+open Sider_core
+open Sider_projection
+
+(* --- dataset loading ------------------------------------------------------- *)
+
+let builtin_datasets =
+  [ "three_d", "150×3, the paper's Fig. 2 introduction data";
+    "x5", "1000×5, the paper's Fig. 3 running example";
+    "corpus", "1335×100 synthetic BNC stand-in (Sec. IV-B)";
+    "segmentation", "2310×19 synthetic UCI stand-in (Sec. IV-C)";
+    "cytometry", "20000×10 synthetic flow-cytometry events (Sec. VI)";
+    "gaussian", "1000×8 pure noise (null case)" ]
+
+let load_dataset ~seed ~label_column name =
+  match name with
+  | "three_d" -> Synth.three_d ~seed ()
+  | "x5" -> (Synth.x5 ~seed ()).Synth.data
+  | "corpus" -> Corpus.generate ~seed ()
+  | "segmentation" -> Segmentation.generate ~seed ()
+  | "cytometry" -> Cytometry.generate ~seed ()
+  | "gaussian" -> Synth.gaussian ~seed ~n:1000 ~d:8 ()
+  | path when Sys.file_exists path -> Csv.read_file ?label_column path
+  | other ->
+    raise
+      (Failure
+         (Printf.sprintf
+            "unknown dataset %S (not a builtin, not an existing file)" other))
+
+(* --- common options ----------------------------------------------------------- *)
+
+let seed_t =
+  let doc = "Random seed (controls generators, sampling and FastICA)." in
+  Arg.(value & opt int 2018 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let label_column_t =
+  let doc = "Name of the class-label column when loading a CSV file." in
+  Arg.(value & opt (some string) None & info [ "label-column" ] ~docv:"COL" ~doc)
+
+let dataset_t =
+  let doc =
+    "Dataset: a builtin name (see $(b,sider datasets)) or a CSV path."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DATASET" ~doc)
+
+let method_t =
+  let method_conv = Arg.enum [ ("pca", View.Pca); ("ica", View.Ica) ] in
+  let doc = "Projection method: $(b,pca) or $(b,ica)." in
+  Arg.(value & opt method_conv View.Pca & info [ "method" ] ~docv:"M" ~doc)
+
+let svg_t =
+  let doc = "Also write the view as an SVG file to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"PATH" ~doc)
+
+(* --- datasets ------------------------------------------------------------------ *)
+
+let datasets_cmd =
+  let run () =
+    List.iter
+      (fun (name, desc) -> Printf.printf "%-14s %s\n" name desc)
+      builtin_datasets
+  in
+  Cmd.v (Cmd.info "datasets" ~doc:"List built-in datasets")
+    Term.(const run $ const ())
+
+(* --- view ------------------------------------------------------------------------ *)
+
+let view_cmd =
+  let run dataset seed label_column method_ svg =
+    let ds = load_dataset ~seed ~label_column dataset in
+    let session = Session.create ~seed ~method_ ds in
+    print_endline (Dataset.describe ds);
+    print_string (Sider_viz.Ascii_plot.render_session ~width:76 ~height:22 session);
+    (match svg with
+     | Some path ->
+       Sider_viz.Svg.write_file path (Sider_viz.Svg.session_figure session);
+       Printf.printf "wrote %s\n" path
+     | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "view"
+       ~doc:"Show the most informative projection of a dataset")
+    Term.(const run $ dataset_t $ seed_t $ label_column_t $ method_t $ svg_t)
+
+(* --- explore --------------------------------------------------------------------- *)
+
+let explore_cmd =
+  let iterations_t =
+    Arg.(value & opt int 6 & info [ "iterations" ] ~docv:"N"
+           ~doc:"Maximum exploration iterations.")
+  in
+  let threshold_t =
+    Arg.(value & opt float 0.01 & info [ "threshold" ] ~docv:"S"
+           ~doc:"Stop when the leading view score drops below $(docv).")
+  in
+  let cutoff_t =
+    Arg.(value & opt float 10.0 & info [ "time-cutoff" ] ~docv:"SECONDS"
+           ~doc:"MaxEnt solver time cutoff per update (SIDER default 10s).")
+  in
+  let run dataset seed label_column method_ iterations threshold cutoff =
+    let ds = load_dataset ~seed ~label_column dataset in
+    let session = Session.create ~seed ~method_ ds in
+    print_endline (Dataset.describe ds);
+    let result =
+      Auto_explore.run ~max_iterations:iterations ~score_threshold:threshold
+        ~time_cutoff:cutoff session
+    in
+    List.iter
+      (fun it ->
+        let s1, s2 = it.Auto_explore.scores in
+        Printf.printf "\n== Iteration %d (scores %.3g / %.3g) ==\n"
+          it.Auto_explore.step s1 s2;
+        Printf.printf "%s\n%s\n" it.Auto_explore.axis1_label
+          it.Auto_explore.axis2_label;
+        Array.iteri
+          (fun i sel ->
+            let cls =
+              match it.Auto_explore.class_matches.(i) with
+              | (c, j) :: _ -> Printf.sprintf " -> %s (Jaccard %.3f)" c j
+              | [] -> ""
+            in
+            Printf.printf "marked %d points%s\n" (Array.length sel) cls)
+          it.Auto_explore.selections;
+        Printf.printf "solver: %d sweeps in %.2f s\n"
+          it.Auto_explore.solver_report.Sider_maxent.Solver.sweeps
+          it.Auto_explore.solver_report.Sider_maxent.Solver.elapsed)
+      result.Auto_explore.iterations;
+    let s1, s2 = result.Auto_explore.final_scores in
+    Printf.printf "\nfinal scores %.3g / %.3g — %s\n" s1 s2
+      (match result.Auto_explore.stopped with
+       | `Converged -> "background explains the data"
+       | `Max_iterations -> "iteration budget reached")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Run the full simulated-analyst exploration loop")
+    Term.(const run $ dataset_t $ seed_t $ label_column_t $ method_t
+          $ iterations_t $ threshold_t $ cutoff_t)
+
+(* --- repl ------------------------------------------------------------------------ *)
+
+let repl_cmd =
+  let run dataset seed label_column method_ =
+    let ds = load_dataset ~seed ~label_column dataset in
+    let session = Session.create ~seed ~method_ ds in
+    print_endline (Dataset.describe ds);
+    Repl.run session
+  in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:"Interactive terminal session (select / cluster / update / next)")
+    Term.(const run $ dataset_t $ seed_t $ label_column_t $ method_t)
+
+(* --- replay ---------------------------------------------------------------------- *)
+
+let replay_cmd =
+  let path_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SESSION.json"
+           ~doc:"Session snapshot written by the repl's `savesession`.")
+  in
+  let run path =
+    let session = Persist.load path in
+    Printf.printf "replayed %s: %d constraints, %d interactions\n" path
+      (Array.length (Sider_maxent.Solver.constraints (Session.solver session)))
+      (List.length (Session.history session));
+    print_string
+      (Sider_viz.Ascii_plot.render_session ~width:76 ~height:22 session);
+    Repl.run session
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Reload a saved session (exact deterministic replay) and \
+             continue interactively")
+    Term.(const run $ path_t)
+
+(* --- export ----------------------------------------------------------------------- *)
+
+let export_cmd =
+  let out_t =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT.csv"
+           ~doc:"Output CSV path.")
+  in
+  let run dataset seed out =
+    let ds = load_dataset ~seed ~label_column:None dataset in
+    Csv.write_file out ds;
+    Printf.printf "wrote %s (%s)\n" out (Dataset.describe ds)
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Write a built-in dataset to CSV")
+    Term.(const run $ dataset_t $ seed_t $ out_t)
+
+(* --- runtime ---------------------------------------------------------------------- *)
+
+let runtime_cmd =
+  let n_t = Arg.(value & opt int 2048 & info [ "n" ] ~doc:"Rows.") in
+  let d_t = Arg.(value & opt int 16 & info [ "d" ] ~doc:"Dimensions.") in
+  let k_t = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Clusters.") in
+  let run n d k seed =
+    let ds = Synth.clustered ~seed ~n ~d ~k () in
+    let data = Dataset.matrix ds in
+    let constraints =
+      Sider_maxent.Constr.margin data
+      @ (if k > 1 then
+           List.concat_map
+             (fun cls ->
+               Sider_maxent.Constr.cluster ~data
+                 ~rows:(Dataset.class_indices ds cls) ())
+             (Dataset.classes ds)
+         else [])
+    in
+    let solver = Sider_maxent.Solver.create data constraints in
+    let t0 = Unix.gettimeofday () in
+    let report = Sider_maxent.Solver.solve solver in
+    let t_optim = Unix.gettimeofday () -. t0 in
+    let y = Whiten.whiten solver in
+    let t1 = Unix.gettimeofday () in
+    ignore (Fastica.fit (Sider_rand.Rng.create seed) y);
+    let t_ica = Unix.gettimeofday () -. t1 in
+    Printf.printf
+      "n=%d d=%d k=%d: OPTIM %.2fs (%d sweeps, converged %b), ICA %.2fs\n" n d
+      k t_optim report.Sider_maxent.Solver.sweeps
+      report.Sider_maxent.Solver.converged t_ica
+  in
+  Cmd.v
+    (Cmd.info "runtime" ~doc:"Time one cell of the paper's Table II grid")
+    Term.(const run $ n_t $ d_t $ k_t $ seed_t)
+
+let main =
+  let doc = "SIDER: interactive visual data exploration with subjective feedback" in
+  Cmd.group
+    (Cmd.info "sider" ~version:"1.0.0" ~doc)
+    [ datasets_cmd; view_cmd; explore_cmd; repl_cmd; replay_cmd;
+      export_cmd; runtime_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/corpus_tour.ml: Array Auto_explore Corpus Dataset Float Printf Selection Session Sider_core Sider_data Sider_maxent Sider_viz

@@ -1,0 +1,1 @@
+examples/corpus_tour.mli:

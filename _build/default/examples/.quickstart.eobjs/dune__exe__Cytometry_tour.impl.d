@@ -1,0 +1,1 @@
+examples/cytometry_tour.ml: Array Auto_explore Cytometry Dataset Printf Session Sider_core Sider_data Sider_linalg Sider_maxent Sider_projection Sider_viz

@@ -1,0 +1,1 @@
+examples/cytometry_tour.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Auto_explore Dataset Printf Session Sider_core Sider_data Sider_maxent Sider_viz Synth

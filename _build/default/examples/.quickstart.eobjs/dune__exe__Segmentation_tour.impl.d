@@ -1,0 +1,1 @@
+examples/segmentation_tour.ml: Array Auto_explore Dataset Float List Printf Segmentation Session Sider_core Sider_data Sider_linalg Sider_maxent Sider_projection Sider_viz Vec View

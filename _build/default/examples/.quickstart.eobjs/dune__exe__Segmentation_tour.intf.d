@@ -1,0 +1,1 @@
+examples/segmentation_tour.mli:

@@ -1,0 +1,1 @@
+examples/synthetic_tour.ml: Array Dataset Fastica Float List Mat Printf Session Sider_core Sider_data Sider_linalg Sider_maxent Sider_projection Sider_rand Sider_viz String Synth View Whiten

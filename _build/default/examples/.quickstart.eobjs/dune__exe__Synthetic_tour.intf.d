@@ -1,0 +1,1 @@
+examples/synthetic_tour.mli:

@@ -1,0 +1,68 @@
+(* Flow cytometry at scale — the application the paper's conclusion
+   singles out: "Initial experiments with samples up to tens of thousands
+   [of] rows from flow-cytometry data has shown the computations in SIDER
+   to scale up well and the projections to reveal structure in the data
+   potentially interesting to the application specialist."
+
+   Run with:  dune exec examples/cytometry_tour.exe
+
+   20,000 synthetic events over 10 channels, six cell populations with
+   very unequal abundances.  Demonstrates (i) that the MaxEnt update cost
+   does not grow with n (equivalence classes), and (ii) the exploration
+   loop peeling off populations one view at a time — including rare ones
+   that static views would drown. *)
+
+open Sider_data
+open Sider_core
+
+let () =
+  print_endline "Flow cytometry (paper Sec. VI) — 20k events, 10 channels";
+  let ds = Cytometry.generate ~seed:17 ~n:20_000 () in
+  print_endline (Dataset.describe ds);
+
+  (* Cytometry practice works on log-transformed intensities. *)
+  let logged =
+    Dataset.with_matrix ds
+      (Sider_linalg.Mat.map (fun x -> log (1.0 +. x)) (Dataset.matrix ds))
+  in
+  let session = Session.create ~seed:2018 ~method_:Sider_projection.View.Ica
+      logged in
+
+  let d0, _ = Session.residual_gaussianity session in
+  Printf.printf "initial residual KS distance to 'explained': %.3f\n" d0;
+
+  let total_solver_time = ref 0.0 in
+  for iteration = 1 to 3 do
+    let s1, s2 = Session.view_scores session in
+    Printf.printf "\n-- Iteration %d: ICA view, scores %.3g / %.3g --\n"
+      iteration s1 s2;
+    let a1, _ = Session.axis_labels ~top:4 session in
+    Printf.printf "%s\n" a1;
+    let sels = Auto_explore.mark_clusters ~sample_cap:600 session in
+    Array.iter
+      (fun sel ->
+        (match Session.class_match session sel with
+         | (c, j) :: _ ->
+           Printf.printf "gated %5d events: %s (Jaccard %.3f)\n"
+             (Array.length sel) c j
+         | [] -> ());
+        Session.add_cluster_constraint session sel)
+      sels;
+    let r = Session.update_background session in
+    total_solver_time := !total_solver_time +. r.Sider_maxent.Solver.elapsed;
+    Printf.printf "MaxEnt update: %d sweeps, %.2f s (n = 20,000!)\n"
+      r.Sider_maxent.Solver.sweeps r.Sider_maxent.Solver.elapsed;
+    ignore (Session.recompute_view session)
+  done;
+
+  let d1, _ = Session.residual_gaussianity session in
+  Printf.printf
+    "\nresidual KS distance: %.3f -> %.3f; total MaxEnt solve time %.2f s\n"
+    d0 d1 !total_solver_time;
+  Printf.printf
+    "the conclusion's scaling claim: solver cost is driven by the number \
+     of marked populations, not by the 20k events.\n";
+
+  let out = "_artifacts/cytometry_final_view.svg" in
+  Sider_viz.Svg.write_file out (Sider_viz.Svg.session_figure session);
+  Printf.printf "wrote %s\n" out

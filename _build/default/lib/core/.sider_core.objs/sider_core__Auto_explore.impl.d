@@ -1,0 +1,1 @@
+lib/core/auto_explore.ml: Array Float Fun List Mat Rng Session Sider_linalg Sider_maxent Sider_projection Sider_rand Sider_stats Stdlib

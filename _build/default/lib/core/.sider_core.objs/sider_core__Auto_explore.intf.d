@@ -1,0 +1,1 @@
+lib/core/auto_explore.mli: Rng Session Sider_maxent Sider_rand

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Fastica Fun Mat Pca Rng Sampler Scores Sider_linalg Sider_projection Sider_rand Vec View

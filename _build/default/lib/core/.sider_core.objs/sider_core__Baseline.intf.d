@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Mat Rng Sider_linalg Sider_projection Sider_rand

@@ -1,0 +1,1 @@
+lib/core/persist.ml: Array Dataset Fun Json List Mat Option Printf Session Sider_data Sider_linalg Sider_projection View

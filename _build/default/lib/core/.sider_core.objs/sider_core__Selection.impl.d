@@ -1,0 +1,1 @@
+lib/core/selection.ml: Array Fun Hashtbl Int List Session Set Sider_data

@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Constr Dataset Ellipse Float Ks List Mat Metrics Option Printf Rng Sampler Sider_data Sider_linalg Sider_maxent Sider_projection Sider_rand Sider_stats Solver View

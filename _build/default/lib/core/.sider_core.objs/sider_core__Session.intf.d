@@ -1,0 +1,1 @@
+lib/core/session.mli: Dataset Mat Rng Sider_data Sider_linalg Sider_maxent Sider_projection Sider_rand Sider_stats Solver View

@@ -1,0 +1,67 @@
+open Sider_linalg
+open Sider_rand
+open Sider_projection
+
+let static_pca m =
+  let fitted = Pca.fit_by_variance m in
+  let w1, w2 = Pca.top2 fitted in
+  {
+    View.method_ = View.Pca;
+    axis1 = { View.direction = w1;
+              score = Scores.pca_gain fitted.Pca.variances.(0) };
+    axis2 = { View.direction = w2;
+              score = Scores.pca_gain fitted.Pca.variances.(1) };
+  }
+
+let static_ica ?rng m =
+  let rng = match rng with Some r -> r | None -> Rng.create 42 in
+  let fitted = Fastica.fit rng m in
+  let w1, w2 = Fastica.top2 fitted in
+  {
+    View.method_ = View.Ica;
+    axis1 = { View.direction = w1; score = fitted.Fastica.scores.(0) };
+    axis2 = { View.direction = w2; score = fitted.Fastica.scores.(1) };
+  }
+
+type randomizer = {
+  data : Mat.t;
+  groups : int array array;
+}
+
+let swap_randomizer ?within data =
+  let n, _ = Mat.dims data in
+  let groups =
+    match within with
+    | Some groups ->
+      Array.iter
+        (Array.iter (fun r ->
+             if r < 0 || r >= n then
+               invalid_arg "Baseline.swap_randomizer: row out of range"))
+        groups;
+      groups
+    | None -> [| Array.init n Fun.id |]
+  in
+  { data; groups }
+
+let sample t rng =
+  let out = Mat.copy t.data in
+  let _, d = Mat.dims t.data in
+  Array.iter
+    (fun group ->
+      let size = Array.length group in
+      for j = 0 to d - 1 do
+        (* Independent within-group permutation of each column. *)
+        let perm = Array.copy group in
+        Sampler.shuffle rng perm;
+        for i = 0 to size - 1 do
+          Mat.set out group.(i) j (Mat.get t.data perm.(i) j)
+        done
+      done)
+    t.groups;
+  out
+
+let sample_mean_sd t rng k stat =
+  if k <= 0 then invalid_arg "Baseline.sample_mean_sd: k must be positive";
+  let values = Array.init k (fun _ -> stat (sample t rng)) in
+  let mean = Vec.mean values in
+  (mean, sqrt (Vec.variance ~mean values))

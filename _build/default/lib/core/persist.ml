@@ -1,0 +1,143 @@
+open Sider_linalg
+open Sider_data
+open Sider_projection
+
+let dataset_to_json ds =
+  let m = Dataset.matrix ds in
+  let n, d = Mat.dims m in
+  Json.Obj
+    [ ("name", Json.String (Dataset.name ds));
+      ("columns",
+       Json.List
+         (Array.to_list
+            (Array.map (fun c -> Json.String c) (Dataset.columns ds))));
+      ("labels",
+       (match Dataset.labels ds with
+        | None -> Json.Null
+        | Some l ->
+          Json.List (Array.to_list (Array.map (fun x -> Json.String x) l))));
+      ("rows", Json.Number (float_of_int n));
+      ("cols", Json.Number (float_of_int d));
+      ("data",
+       Json.List (List.init n (fun i -> Json.floats (Mat.row m i)))) ]
+
+let dataset_of_json j =
+  let name = Json.to_str (Json.member "name" j) in
+  let columns =
+    Json.to_list (Json.member "columns" j)
+    |> List.map Json.to_str
+    |> Array.of_list
+  in
+  let labels =
+    match Json.member "labels" j with
+    | Json.Null -> None
+    | l -> Some (Json.to_list l |> List.map Json.to_str |> Array.of_list)
+  in
+  let rows = Json.to_list (Json.member "data" j) in
+  let n = List.length rows in
+  let d = Array.length columns in
+  let m = Mat.create n d in
+  List.iteri (fun i row -> Mat.set_row m i (Json.to_floats row)) rows;
+  Dataset.create ~name ?labels ~columns m
+
+let method_to_json = function
+  | View.Pca -> Json.String "pca"
+  | View.Ica -> Json.String "ica"
+
+let method_of_json j =
+  match Json.to_str j with
+  | "pca" -> View.Pca
+  | "ica" -> View.Ica
+  | other -> failwith (Printf.sprintf "Persist: unknown method %S" other)
+
+let event_to_json = function
+  | Session.Added_cluster { rows; tag } ->
+    Json.Obj
+      [ ("event", Json.String "cluster"); ("rows", Json.ints rows);
+        ("tag", Json.String tag) ]
+  | Session.Added_two_d { rows; tag } ->
+    Json.Obj
+      [ ("event", Json.String "two_d"); ("rows", Json.ints rows);
+        ("tag", Json.String tag) ]
+  | Session.Added_margin -> Json.Obj [ ("event", Json.String "margin") ]
+  | Session.Added_one_cluster ->
+    Json.Obj [ ("event", Json.String "one_cluster") ]
+  | Session.Updated { time_cutoff; max_sweeps } ->
+    Json.Obj
+      ([ ("event", Json.String "update");
+         ("time_cutoff", Json.Number time_cutoff) ]
+       @
+       match max_sweeps with
+       | Some s -> [ ("max_sweeps", Json.Number (float_of_int s)) ]
+       | None -> [])
+  | Session.Viewed m ->
+    Json.Obj [ ("event", Json.String "view"); ("method", method_to_json m) ]
+
+let replay_event session j =
+  match Json.to_str (Json.member "event" j) with
+  | "cluster" ->
+    Session.add_cluster_constraint
+      ~tag:(Json.to_str (Json.member "tag" j))
+      session
+      (Json.to_ints (Json.member "rows" j))
+  | "two_d" ->
+    Session.add_two_d_constraint
+      ~tag:(Json.to_str (Json.member "tag" j))
+      session
+      (Json.to_ints (Json.member "rows" j))
+  | "margin" -> Session.add_margin_constraint session
+  | "one_cluster" -> Session.add_one_cluster_constraint session
+  | "update" ->
+    let time_cutoff = Json.to_float (Json.member "time_cutoff" j) in
+    let max_sweeps = Option.map Json.to_int (Json.member_opt "max_sweeps" j) in
+    ignore (Session.update_background ~time_cutoff ?max_sweeps session)
+  | "view" ->
+    ignore
+      (Session.recompute_view
+         ~method_:(method_of_json (Json.member "method" j))
+         session)
+  | other -> failwith (Printf.sprintf "Persist: unknown event %S" other)
+
+let session_to_json session =
+  let seed, standardize, jitter, method_ = Session.creation_args session in
+  Json.Obj
+    [ ("format", Json.String "sider-session");
+      ("version", Json.Number 1.0);
+      ("seed", Json.Number (float_of_int seed));
+      ("standardize", Json.Bool standardize);
+      ("jitter", Json.Number jitter);
+      ("method", method_to_json method_);
+      ("dataset", dataset_to_json (Session.dataset session));
+      ("history",
+       Json.List (List.map event_to_json (Session.history session))) ]
+
+let session_of_json j =
+  (match Json.member_opt "format" j with
+   | Some (Json.String "sider-session") -> ()
+   | _ -> failwith "Persist: not a sider-session document");
+  let ds = dataset_of_json (Json.member "dataset" j) in
+  let session =
+    Session.create
+      ~seed:(Json.to_int (Json.member "seed" j))
+      ~standardize:(Json.to_bool (Json.member "standardize" j))
+      ~jitter:(Json.to_float (Json.member "jitter" j))
+      ~method_:(method_of_json (Json.member "method" j))
+      ds
+  in
+  List.iter (replay_event session) (Json.to_list (Json.member "history" j));
+  session
+
+let save path session =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string (session_to_json session)))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      session_of_json (Json.of_string text))

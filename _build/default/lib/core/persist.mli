@@ -1,0 +1,30 @@
+(** Saving and replaying analysis sessions.
+
+    A session snapshot records the dataset and the complete interaction
+    log (the events of {!Session.history}).  Because every part of the
+    engine is deterministic given the session seed — jitter, background
+    samples, FastICA initialisation, the simulated analyst — replaying
+    the log on load reproduces the exact state: same constraints, same
+    background distribution, same current view.
+
+    The format is self-contained JSON (see {!Sider_data.Json}); floats
+    are serialized with full precision. *)
+
+open Sider_data
+
+val dataset_to_json : Dataset.t -> Json.t
+
+val dataset_of_json : Json.t -> Dataset.t
+(** Raises [Invalid_argument]/[Not_found] on malformed input. *)
+
+val session_to_json : Session.t -> Json.t
+
+val session_of_json : Json.t -> Session.t
+(** Rebuilds the session and replays its interaction log. *)
+
+val save : string -> Session.t -> unit
+(** Write a session snapshot to a file. *)
+
+val load : string -> Session.t
+(** Read and replay a snapshot.  Raises [Json.Parse_error] or
+    [Failure]. *)

@@ -1,0 +1,246 @@
+open Sider_linalg
+open Sider_rand
+open Sider_data
+open Sider_maxent
+open Sider_projection
+open Sider_stats
+
+type event =
+  | Added_cluster of { rows : int array; tag : string }
+  | Added_two_d of { rows : int array; tag : string }
+  | Added_margin
+  | Added_one_cluster
+  | Updated of { time_cutoff : float; max_sweeps : int option }
+  | Viewed of View.method_
+
+type point = {
+  index : int;
+  x : float;
+  y : float;
+  label : string option;
+  background : float * float;
+}
+
+type t = {
+  dataset : Dataset.t;
+  std : Dataset.t;
+  rng : Rng.t;
+  mutable method_ : View.method_;
+  mutable solver : Solver.t;
+  mutable pending : Constr.t list;      (* queued, not yet solved *)
+  mutable tags : string list;           (* insertion order, distinct *)
+  mutable view : View.t;
+  mutable sample : Mat.t;               (* cached background sample *)
+  mutable history : event list;         (* newest first *)
+  creation_args : int * bool * float * View.method_;
+}
+
+let push_tag t tag =
+  if not (List.mem tag t.tags) then t.tags <- t.tags @ [ tag ]
+
+let fresh_view t ?method_ () =
+  let method_ = Option.value ~default:t.method_ method_ in
+  View.of_solver ~rng:(Rng.split t.rng) ~method_ t.solver
+
+let create ?(seed = 2018) ?(standardize = true) ?(jitter = 1e-3)
+    ?(method_ = View.Pca) ds =
+  (* Non-finite values poison every downstream statistic; fail loudly with
+     the first offending cell instead. *)
+  let m = Dataset.matrix ds in
+  let n, d = Mat.dims m in
+  for i = 0 to n - 1 do
+    for j = 0 to d - 1 do
+      if not (Float.is_finite (Mat.get m i j)) then
+        invalid_arg
+          (Printf.sprintf
+             "Session.create: non-finite value at row %d, column %S" i
+             (Dataset.columns ds).(j))
+    done
+  done;
+  let std = if standardize then Dataset.standardized ds else ds in
+  let rng = Rng.create seed in
+  (* Noise floor on the engine's working copy (the paper's Sec. II-A.2
+     replicate-with-noise device): keeps exactly-degenerate directions —
+     constant columns, collinear attributes, tiny selections — from
+     having literally zero variance, which would make their background
+     variance collapse to the solver's multiplier cap and their
+     informativeness score infinite. *)
+  let std =
+    if jitter <= 0.0 then std
+    else begin
+      let m = Dataset.matrix std in
+      let nrng = Rng.split rng in
+      Dataset.with_matrix std
+        (Mat.map (fun x -> x +. (jitter *. Sampler.normal nrng)) m)
+    end
+  in
+  let solver = Solver.create (Dataset.matrix std) [] in
+  let view = View.of_solver ~rng:(Rng.split rng) ~method_ solver in
+  let sample = Solver.sample solver rng in
+  { dataset = ds; std; rng; method_; solver; pending = []; tags = []; view;
+    sample; history = []; creation_args = (seed, standardize, jitter, method_) }
+
+let record t e = t.history <- e :: t.history
+
+let creation_args t = t.creation_args
+
+let history t = List.rev t.history
+
+let dataset t = t.dataset
+
+let data t = Dataset.matrix t.std
+
+let solver t = t.solver
+
+let rng t = t.rng
+
+let method_ t = t.method_
+
+let set_method t m = t.method_ <- m
+
+let n_constraints t =
+  Array.length (Solver.constraints t.solver) + List.length t.pending
+
+let constraint_tags t = t.tags
+
+let add_cluster_constraint ?tag t rows =
+  let tag =
+    match tag with
+    | Some tag -> tag
+    | None -> Printf.sprintf "cluster%d" (List.length t.tags + 1)
+  in
+  push_tag t tag;
+  record t (Added_cluster { rows = Array.copy rows; tag });
+  t.pending <-
+    t.pending @ Constr.cluster ~tag ~data:(data t) ~rows ()
+
+let add_two_d_constraint ?tag t rows =
+  let tag =
+    match tag with
+    | Some tag -> tag
+    | None -> Printf.sprintf "2d%d" (List.length t.tags + 1)
+  in
+  push_tag t tag;
+  record t (Added_two_d { rows = Array.copy rows; tag });
+  t.pending <-
+    t.pending
+    @ Constr.two_d ~tag ~data:(data t) ~rows
+        ~w1:t.view.View.axis1.View.direction
+        ~w2:t.view.View.axis2.View.direction ()
+
+let add_margin_constraint t =
+  push_tag t "margin";
+  record t Added_margin;
+  t.pending <- t.pending @ Constr.margin ~tag:"margin" (data t)
+
+let add_one_cluster_constraint t =
+  push_tag t "1-cluster";
+  record t Added_one_cluster;
+  t.pending <- t.pending @ Constr.one_cluster ~tag:"1-cluster" (data t)
+
+let update_background ?(time_cutoff = 10.0) ?max_sweeps ?lambda_tol
+    ?param_tol t =
+  record t (Updated { time_cutoff; max_sweeps });
+  t.solver <- Solver.add_constraints t.solver t.pending;
+  t.pending <- [];
+  Solver.solve ~time_cutoff ?max_sweeps ?lambda_tol ?param_tol t.solver
+
+let refresh_sample t = t.sample <- Solver.sample t.solver t.rng
+
+let recompute_view ?method_ t =
+  (match method_ with Some m -> t.method_ <- m | None -> ());
+  record t (Viewed t.method_);
+  t.view <- fresh_view t ();
+  refresh_sample t;
+  t.view
+
+let current_view t = t.view
+
+let scatter t =
+  let m = data t in
+  let coords = View.project t.view m in
+  let bg = View.project t.view t.sample in
+  Array.mapi
+    (fun i (x, y) ->
+      {
+        index = i;
+        x;
+        y;
+        label =
+          (match Dataset.labels t.std with
+           | Some l -> Some l.(i)
+           | None -> None);
+        background = bg.(i);
+      })
+    coords
+
+let background_points t = View.project t.view t.sample
+
+let axis_labels ?top t =
+  let columns = Dataset.columns t.std in
+  let name = View.method_name t.view.View.method_ in
+  ( View.axis_label ?top ~columns ~prefix:(name ^ "1") t.view.View.axis1,
+    View.axis_label ?top ~columns ~prefix:(name ^ "2") t.view.View.axis2 )
+
+let view_scores t =
+  (t.view.View.axis1.View.score, t.view.View.axis2.View.score)
+
+type attribute_stat = {
+  attribute : string;
+  selection_mean : float;
+  selection_sd : float;
+  data_mean : float;
+  data_sd : float;
+}
+
+let selection_stats t rows =
+  let m = data t in
+  let _, d = Mat.dims m in
+  let full_means = Mat.col_means m in
+  let full_sds = Array.map sqrt (Mat.col_variances m) in
+  let sel = Mat.select_rows m rows in
+  let sel_means = Mat.col_means sel in
+  let sel_sds = Array.map sqrt (Mat.col_variances sel) in
+  let cols = Dataset.columns t.std in
+  let stats =
+    Array.init d (fun j ->
+        {
+          attribute = cols.(j);
+          selection_mean = sel_means.(j);
+          selection_sd = sel_sds.(j);
+          data_mean = full_means.(j);
+          data_sd = full_sds.(j);
+        })
+  in
+  Array.sort
+    (fun a b ->
+      compare
+        (Float.abs (b.selection_mean -. b.data_mean))
+        (Float.abs (a.selection_mean -. a.data_mean)))
+    stats;
+  stats
+
+let class_match t rows =
+  match Dataset.labels t.std with
+  | None -> []
+  | Some labels -> Metrics.best_class_match ~selection:rows ~labels
+
+let residual_gaussianity t =
+  let y = Sider_projection.Whiten.whiten t.solver in
+  let n, d = Mat.dims y in
+  let pooled = Array.make (n * d) 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to d - 1 do
+      pooled.((i * d) + j) <- Mat.get y i j
+    done
+  done;
+  Ks.test_gaussian pooled
+
+let confidence_ellipses ?(confidence = 0.95) t rows =
+  if Array.length rows = 0 then
+    invalid_arg "Session.confidence_ellipses: empty selection";
+  let m = data t in
+  let sel = View.project t.view (Mat.select_rows m rows) in
+  let bg = View.project t.view (Mat.select_rows t.sample rows) in
+  ( Ellipse.of_points ~confidence sel,
+    Ellipse.of_points ~confidence bg )

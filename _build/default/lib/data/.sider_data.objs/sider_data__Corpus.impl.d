@@ -1,0 +1,1 @@
+lib/data/corpus.ml: Array Dataset Mat Printf Rng Sampler Sider_linalg Sider_rand

@@ -1,0 +1,1 @@
+lib/data/corpus.mli: Dataset

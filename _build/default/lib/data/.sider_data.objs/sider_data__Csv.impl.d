@@ -1,0 +1,1 @@
+lib/data/csv.ml: Array Buffer Dataset Filename Fun List Mat Printf Sider_linalg String

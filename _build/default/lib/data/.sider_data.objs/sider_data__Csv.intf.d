@@ -1,0 +1,1 @@
+lib/data/csv.mli: Dataset

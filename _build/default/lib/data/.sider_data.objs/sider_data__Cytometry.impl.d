@@ -1,0 +1,1 @@
+lib/data/cytometry.ml: Array Dataset Mat Rng Sampler Sider_linalg Sider_rand

@@ -1,0 +1,1 @@
+lib/data/cytometry.mli: Dataset

@@ -1,0 +1,1 @@
+lib/data/dataset.ml: Array List Mat Option Printf Sider_linalg String

@@ -1,0 +1,1 @@
+lib/data/dataset.mli: Mat Sider_linalg Vec

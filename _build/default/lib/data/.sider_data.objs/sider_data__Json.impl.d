@@ -1,0 +1,1 @@
+lib/data/json.ml: Array Buffer Char Float List Printf String

@@ -1,0 +1,1 @@
+lib/data/segmentation.ml: Array Dataset Float Mat Rng Sampler Sider_linalg Sider_rand

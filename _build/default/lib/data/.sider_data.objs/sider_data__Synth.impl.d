@@ -1,0 +1,1 @@
+lib/data/synth.ml: Array Dataset List Mat Printf Rng Sampler Sider_linalg Sider_rand String

@@ -1,0 +1,1 @@
+lib/data/synth.mli: Dataset Mat Sider_linalg

@@ -1,0 +1,23 @@
+(** Minimal CSV reader/writer for numeric datasets.
+
+    Supports quoted fields, configurable separators and an optional label
+    column — enough to round-trip every dataset this repository produces
+    and to load user data through the CLI. *)
+
+val parse_line : ?sep:char -> string -> string list
+(** Split one CSV record, honouring double-quoted fields with escaped
+    quotes ([""]). *)
+
+val read_file : ?sep:char -> ?label_column:string -> string -> Dataset.t
+(** [read_file path] loads a CSV with a header row.  All columns must be
+    numeric except the optional label column named by [label_column].
+    Raises [Failure] with a line-numbered message on malformed input. *)
+
+val write_file : ?sep:char -> string -> Dataset.t -> unit
+(** Writes header + rows; labels (if any) become a final [class] column. *)
+
+val of_string : ?sep:char -> ?label_column:string -> ?name:string ->
+  string -> Dataset.t
+(** Parse CSV text directly (used by tests). *)
+
+val to_string : ?sep:char -> Dataset.t -> string

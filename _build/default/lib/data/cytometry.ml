@@ -1,0 +1,54 @@
+open Sider_linalg
+open Sider_rand
+
+let channels =
+  [| "FSC-A"; "SSC-A"; "CD45"; "CD3"; "CD4"; "CD8"; "CD19"; "CD14";
+     "CD56"; "HLA-DR" |]
+
+let populations =
+  [| "debris"; "monocytes"; "b_cells"; "nk_cells"; "t_cd4"; "t_cd8" |]
+
+(* Population profiles: (abundance, per-channel (log-mean, log-sd)).
+   Channel order as in [channels].  Values loosely follow textbook
+   gating: T cells CD3+ (CD4/CD8 split), B cells CD19+, NK CD56+,
+   monocytes CD14+/high scatter, debris low scatter & dim everywhere. *)
+let profiles =
+  [| (* debris *)
+     (0.22, [| (2.0, 0.5); (1.8, 0.5); (2.0, 0.7); (1.0, 0.6); (1.0, 0.6);
+               (1.0, 0.6); (1.0, 0.6); (1.2, 0.6); (1.0, 0.6); (1.3, 0.7) |]);
+     (* monocytes *)
+     (0.18, [| (4.6, 0.25); (4.4, 0.3); (4.2, 0.3); (1.2, 0.5); (2.8, 0.4);
+               (1.2, 0.5); (1.2, 0.5); (4.5, 0.3); (1.3, 0.5); (4.2, 0.3) |]);
+     (* B cells *)
+     (0.10, [| (3.8, 0.2); (2.6, 0.3); (4.4, 0.25); (1.2, 0.5); (1.2, 0.5);
+               (1.2, 0.5); (4.4, 0.3); (1.2, 0.5); (1.2, 0.5); (4.0, 0.3) |]);
+     (* NK cells *)
+     (0.06, [| (3.9, 0.2); (2.9, 0.3); (4.3, 0.25); (1.3, 0.5); (1.2, 0.5);
+               (2.4, 0.6); (1.2, 0.5); (1.2, 0.5); (4.3, 0.3); (1.5, 0.5) |]);
+     (* CD4 T cells *)
+     (0.28, [| (3.8, 0.2); (2.5, 0.3); (4.5, 0.2); (4.4, 0.25); (4.2, 0.3);
+               (1.3, 0.5); (1.2, 0.5); (1.2, 0.5); (1.3, 0.5); (1.5, 0.5) |]);
+     (* CD8 T cells *)
+     (0.16, [| (3.8, 0.2); (2.6, 0.3); (4.5, 0.2); (4.4, 0.25); (1.3, 0.5);
+               (4.3, 0.3); (1.2, 0.5); (1.2, 0.5); (1.8, 0.6); (1.5, 0.5) |]) |]
+
+let generate ?(seed = 17) ?(n = 20_000) () =
+  if n <= 0 then invalid_arg "Cytometry.generate: n must be positive";
+  let rng = Rng.create seed in
+  let d = Array.length channels in
+  let weights = Array.map fst profiles in
+  let m = Mat.create n d in
+  let labels = Array.make n "" in
+  for i = 0 to n - 1 do
+    let pop = Sampler.categorical rng weights in
+    let _, profile = profiles.(pop) in
+    let row =
+      Array.init d (fun j ->
+          let mu, sd = profile.(j) in
+          (* Log-normal intensities, as fluorescence data is. *)
+          exp (mu +. (sd *. Sampler.normal rng)))
+    in
+    Mat.set_row m i row;
+    labels.(i) <- populations.(pop)
+  done;
+  Dataset.create ~name:"cytometry_synth" ~labels ~columns:channels m

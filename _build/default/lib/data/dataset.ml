@@ -1,0 +1,119 @@
+open Sider_linalg
+
+type t = {
+  name : string;
+  matrix : Mat.t;
+  columns : string array;
+  labels : string array option;
+}
+
+let create ?(name = "data") ?labels ~columns matrix =
+  let n, d = Mat.dims matrix in
+  if Array.length columns <> d then
+    invalid_arg "Dataset.create: column-name count does not match width";
+  (match labels with
+   | Some l when Array.length l <> n ->
+     invalid_arg "Dataset.create: label count does not match rows"
+   | _ -> ());
+  { name; matrix; columns; labels }
+
+let name t = t.name
+
+let matrix t = t.matrix
+
+let n_rows t = fst (Mat.dims t.matrix)
+
+let n_cols t = snd (Mat.dims t.matrix)
+
+let columns t = t.columns
+
+let column_index t c =
+  let idx = ref (-1) in
+  Array.iteri (fun i name -> if String.equal name c then idx := i) t.columns;
+  if !idx < 0 then raise Not_found else !idx
+
+let labels t = t.labels
+
+let label t i =
+  match t.labels with
+  | None -> invalid_arg "Dataset.label: dataset has no labels"
+  | Some l -> l.(i)
+
+let classes t =
+  match t.labels with
+  | None -> []
+  | Some l ->
+    Array.fold_left
+      (fun acc x -> if List.mem x acc then acc else x :: acc)
+      [] l
+    |> List.rev
+
+let class_indices t cls =
+  match t.labels with
+  | None -> [||]
+  | Some l ->
+    let out = ref [] in
+    Array.iteri (fun i x -> if String.equal x cls then out := i :: !out) l;
+    Array.of_list (List.rev !out)
+
+let row t i = Mat.row t.matrix i
+
+let select_rows t idx =
+  {
+    t with
+    matrix = Mat.select_rows t.matrix idx;
+    labels = Option.map (fun l -> Array.map (fun i -> l.(i)) idx) t.labels;
+  }
+
+let select_cols t idx =
+  let m = Mat.init (n_rows t) (Array.length idx) (fun i j ->
+      Mat.get t.matrix i idx.(j))
+  in
+  { t with matrix = m; columns = Array.map (fun j -> t.columns.(j)) idx }
+
+let standardized t =
+  let m = t.matrix in
+  let means = Mat.col_means m in
+  let vars = Mat.col_variances m in
+  let sds = Array.map sqrt vars in
+  let std = Mat.init (n_rows t) (n_cols t) (fun i j ->
+      let centered = Mat.get m i j -. means.(j) in
+      if sds.(j) = 0.0 then centered else centered /. sds.(j))
+  in
+  { t with matrix = std }
+
+let with_matrix t m =
+  if Mat.dims m <> Mat.dims t.matrix then
+    invalid_arg "Dataset.with_matrix: shape change not allowed";
+  { t with matrix = m }
+
+let one_hot ?(prefix = "cat") ~values t =
+  let n = n_rows t in
+  if Array.length values <> n then
+    invalid_arg "Dataset.one_hot: one value per row required";
+  let distinct =
+    Array.fold_left
+      (fun acc v -> if List.mem v acc then acc else v :: acc)
+      [] values
+    |> List.rev
+    |> Array.of_list
+  in
+  let k = Array.length distinct in
+  let d = n_cols t in
+  let m =
+    Mat.init n (d + k) (fun i j ->
+        if j < d then Mat.get t.matrix i j
+        else if String.equal distinct.(j - d) values.(i) then 1.0
+        else 0.0)
+  in
+  let columns =
+    Array.append t.columns
+      (Array.map (fun v -> prefix ^ "=" ^ v) distinct)
+  in
+  { t with matrix = m; columns }
+
+let describe t =
+  let cls = classes t in
+  Printf.sprintf "%s: %d rows x %d cols%s" t.name (n_rows t) (n_cols t)
+    (if cls = [] then ""
+     else Printf.sprintf ", classes {%s}" (String.concat ", " cls))

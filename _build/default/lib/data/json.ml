@@ -1,0 +1,262 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* --- printing ------------------------------------------------------------- *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_to_string x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Number x -> Buffer.add_string buf (number_to_string x)
+    | String s -> escape_into buf s
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          go item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_into buf k;
+          Buffer.add_char buf ':';
+          go v)
+        fields;
+      Buffer.add_char buf '}'
+  in
+  go t;
+  Buffer.contents buf
+
+(* --- parsing ---------------------------------------------------------------- *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at position %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st
+    | _ -> continue := false
+  done
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let parse_literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src
+     && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string_raw st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | Some '"' -> Buffer.add_char buf '"'; advance st; go ()
+       | Some '\\' -> Buffer.add_char buf '\\'; advance st; go ()
+       | Some '/' -> Buffer.add_char buf '/'; advance st; go ()
+       | Some 'n' -> Buffer.add_char buf '\n'; advance st; go ()
+       | Some 't' -> Buffer.add_char buf '\t'; advance st; go ()
+       | Some 'r' -> Buffer.add_char buf '\r'; advance st; go ()
+       | Some 'b' -> Buffer.add_char buf '\b'; advance st; go ()
+       | Some 'f' -> Buffer.add_char buf '\012'; advance st; go ()
+       | Some 'u' ->
+         advance st;
+         if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
+         let hex = String.sub st.src st.pos 4 in
+         let code =
+           try int_of_string ("0x" ^ hex)
+           with _ -> fail st "bad \\u escape"
+         in
+         st.pos <- st.pos + 4;
+         (* Encode the BMP code point as UTF-8. *)
+         if code < 0x80 then Buffer.add_char buf (Char.chr code)
+         else if code < 0x800 then begin
+           Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end
+         else begin
+           Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+           Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end;
+         go ()
+       | _ -> fail st "bad escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c when is_num_char c -> true | _ -> false) do
+    advance st
+  done;
+  if st.pos = start then fail st "expected number";
+  match float_of_string_opt (String.sub st.src start (st.pos - start)) with
+  | Some f -> f
+  | None -> fail st "malformed number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> parse_literal st "null" Null
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some '"' -> String (parse_string_raw st)
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value st ] in
+      skip_ws st;
+      while peek st = Some ',' do
+        advance st;
+        items := parse_value st :: !items;
+        skip_ws st
+      done;
+      expect st ']';
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws st;
+        let k = parse_string_raw st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        (k, v)
+      in
+      let fields = ref [ field () ] in
+      skip_ws st;
+      while peek st = Some ',' do
+        advance st;
+        fields := field () :: !fields;
+        skip_ws st
+      done;
+      expect st '}';
+      Obj (List.rev !fields)
+    end
+  | Some _ -> Number (parse_number st)
+
+let of_string src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length src then fail st "trailing content";
+  v
+
+(* --- accessors ----------------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields ->
+    (match List.assoc_opt key fields with
+     | Some v -> v
+     | None -> raise Not_found)
+  | _ -> invalid_arg "Json.member: not an object"
+
+let member_opt key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function
+  | Number x -> x
+  | _ -> invalid_arg "Json.to_float: not a number"
+
+let to_int j =
+  let f = to_float j in
+  if Float.is_integer f then int_of_float f
+  else invalid_arg "Json.to_int: not an integer"
+
+let to_str = function
+  | String s -> s
+  | _ -> invalid_arg "Json.to_str: not a string"
+
+let to_bool = function
+  | Bool b -> b
+  | _ -> invalid_arg "Json.to_bool: not a bool"
+
+let to_list = function
+  | List items -> items
+  | _ -> invalid_arg "Json.to_list: not a list"
+
+let floats xs = List (Array.to_list (Array.map (fun x -> Number x) xs))
+
+let to_floats j = Array.of_list (List.map to_float (to_list j))
+
+let ints xs =
+  List (Array.to_list (Array.map (fun x -> Number (float_of_int x)) xs))
+
+let to_ints j = Array.of_list (List.map to_int (to_list j))

@@ -1,0 +1,1 @@
+lib/linalg/eigen.ml: Array Float Fun Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/eigen.mli: Mat Vec

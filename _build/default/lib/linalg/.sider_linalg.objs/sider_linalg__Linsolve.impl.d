@@ -1,0 +1,1 @@
+lib/linalg/linsolve.ml: Array Float Fun Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/linsolve.mli: Mat Vec

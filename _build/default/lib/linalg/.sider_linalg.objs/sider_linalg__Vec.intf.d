@@ -1,0 +1,1 @@
+lib/linalg/vec.mli: Format

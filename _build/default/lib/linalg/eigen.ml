@@ -1,0 +1,96 @@
+type decomposition = { values : Vec.t; vectors : Mat.t }
+
+(* One Jacobi rotation annihilating a(p,q); updates [a] (symmetric, full
+   storage) and accumulates the rotation into [v].  Works on the raw
+   row-major arrays: this runs inside FastICA's symmetric decorrelation on
+   every fixed-point iteration, so accessor overhead matters. *)
+let rotate ~n (aa : float array) (va : float array) p q =
+  let apq = Array.unsafe_get aa ((p * n) + q) in
+  if apq <> 0.0 then begin
+    let app = Array.unsafe_get aa ((p * n) + p) in
+    let aqq = Array.unsafe_get aa ((q * n) + q) in
+    let theta = (aqq -. app) /. (2.0 *. apq) in
+    (* Stable tangent of the rotation angle. *)
+    let t =
+      let s = if theta >= 0.0 then 1.0 else -1.0 in
+      s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+    in
+    let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+    let s = t *. c in
+    let tau = s /. (1.0 +. c) in
+    Array.unsafe_set aa ((p * n) + p) (app -. (t *. apq));
+    Array.unsafe_set aa ((q * n) + q) (aqq +. (t *. apq));
+    Array.unsafe_set aa ((p * n) + q) 0.0;
+    Array.unsafe_set aa ((q * n) + p) 0.0;
+    for i = 0 to n - 1 do
+      if i <> p && i <> q then begin
+        let aip = Array.unsafe_get aa ((i * n) + p) in
+        let aiq = Array.unsafe_get aa ((i * n) + q) in
+        let aip' = aip -. (s *. (aiq +. (tau *. aip))) in
+        let aiq' = aiq +. (s *. (aip -. (tau *. aiq))) in
+        Array.unsafe_set aa ((i * n) + p) aip';
+        Array.unsafe_set aa ((p * n) + i) aip';
+        Array.unsafe_set aa ((i * n) + q) aiq';
+        Array.unsafe_set aa ((q * n) + i) aiq'
+      end;
+      let vip = Array.unsafe_get va ((i * n) + p) in
+      let viq = Array.unsafe_get va ((i * n) + q) in
+      Array.unsafe_set va ((i * n) + p) (vip -. (s *. (viq +. (tau *. vip))));
+      Array.unsafe_set va ((i * n) + q) (viq +. (s *. (vip -. (tau *. viq))))
+    done
+  end
+
+let off_diagonal_norm ~n (aa : float array) =
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let x = Array.unsafe_get aa ((i * n) + j) in
+      acc := !acc +. (x *. x)
+    done
+  done;
+  sqrt (2.0 *. !acc)
+
+let symmetric ?(max_sweeps = 64) ?(eps = 1e-12) m =
+  let n, c = Mat.dims m in
+  if n <> c then invalid_arg "Eigen.symmetric: not square";
+  if not (Mat.is_symmetric ~eps:1e-6 m) then
+    invalid_arg "Eigen.symmetric: matrix is not symmetric";
+  let a = Mat.symmetrize m in
+  let v = Mat.identity n in
+  let aa = a.Mat.a in
+  let va = v.Mat.a in
+  let scale = Float.max 1.0 (Mat.frobenius a) in
+  let sweeps = ref 0 in
+  while off_diagonal_norm ~n aa > eps *. scale && !sweeps < max_sweeps do
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate ~n aa va p q
+      done
+    done;
+    incr sweeps
+  done;
+  (* Sort eigenpairs by decreasing eigenvalue. *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> compare (Mat.get a j j) (Mat.get a i i)) order;
+  let values = Array.map (fun i -> Mat.get a i i) order in
+  let vectors = Mat.init n n (fun i j -> Mat.get v i order.(j)) in
+  { values; vectors }
+
+let reconstruct { values; vectors } =
+  let n = Array.length values in
+  let out = Mat.create n n in
+  for k = 0 to n - 1 do
+    let col = Mat.col vectors k in
+    Mat.rank1_update out values.(k) col
+  done;
+  out
+
+let power ?(clamp = 1e-12) { values; vectors } p =
+  let n = Array.length values in
+  let out = Mat.create n n in
+  for k = 0 to n - 1 do
+    let lam = Float.max values.(k) clamp in
+    let col = Mat.col vectors k in
+    Mat.rank1_update out (lam ** p) col
+  done;
+  out

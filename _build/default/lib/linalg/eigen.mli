@@ -1,0 +1,26 @@
+(** Symmetric eigendecomposition via the cyclic Jacobi method.
+
+    This powers the whitening transform (Eq. 14 of the paper), PCA on
+    whitened data, and the per-cluster SVD used by cluster constraints. *)
+
+type decomposition = {
+  values : Vec.t;      (** Eigenvalues in decreasing order. *)
+  vectors : Mat.t;     (** Orthonormal eigenvectors as columns, matching
+                           the order of [values]. *)
+}
+
+val symmetric : ?max_sweeps:int -> ?eps:float -> Mat.t -> decomposition
+(** [symmetric a] decomposes the symmetric matrix [a] as
+    [a = V diag(values) Vᵀ].  Off-diagonal asymmetry up to [1e-9] is
+    tolerated (the matrix is symmetrized first); larger asymmetry raises
+    [Invalid_argument]. *)
+
+val reconstruct : decomposition -> Mat.t
+(** [V diag(values) Vᵀ]. *)
+
+val power : ?clamp:float -> decomposition -> float -> Mat.t
+(** [power dec p] is the symmetric matrix power [V diag(values^p) Vᵀ].
+    Eigenvalues are clamped below at [clamp] (default [1e-12]) before
+    exponentiation so that negative powers of singular matrices stay
+    finite.  This gives the direction-preserving square roots used by the
+    whitening transform. *)

@@ -1,0 +1,255 @@
+type t = { rows : int; cols : int; a : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; a = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.a.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let diag v =
+  let n = Array.length v in
+  init n n (fun i j -> if i = j then v.(i) else 0.0)
+
+let diagonal m =
+  if m.rows <> m.cols then invalid_arg "Mat.diagonal: not square";
+  Array.init m.rows (fun i -> m.a.((i * m.cols) + i))
+
+let of_arrays rows =
+  let r = Array.length rows in
+  if r = 0 then create 0 0
+  else begin
+    let c = Array.length rows.(0) in
+    Array.iter
+      (fun row ->
+        if Array.length row <> c then
+          invalid_arg "Mat.of_arrays: ragged rows")
+      rows;
+    init r c (fun i j -> rows.(i).(j))
+  end
+
+let to_arrays m =
+  Array.init m.rows (fun i -> Array.sub m.a (i * m.cols) m.cols)
+
+let copy m = { m with a = Array.copy m.a }
+
+let dims m = (m.rows, m.cols)
+
+let get m i j = m.a.((i * m.cols) + j)
+
+let set m i j x = m.a.((i * m.cols) + j) <- x
+
+let row m i = Array.sub m.a (i * m.cols) m.cols
+
+let col m j = Array.init m.rows (fun i -> m.a.((i * m.cols) + j))
+
+let set_row m i v =
+  if Array.length v <> m.cols then invalid_arg "Mat.set_row: bad length";
+  Array.blit v 0 m.a (i * m.cols) m.cols
+
+let rows_list m = List.init m.rows (row m)
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let check_same name x y =
+  if x.rows <> y.rows || x.cols <> y.cols then
+    invalid_arg (Printf.sprintf "Mat.%s: shape mismatch (%dx%d vs %dx%d)"
+                   name x.rows x.cols y.rows y.cols)
+
+let add x y =
+  check_same "add" x y;
+  { x with a = Array.mapi (fun i v -> v +. y.a.(i)) x.a }
+
+let sub x y =
+  check_same "sub" x y;
+  { x with a = Array.mapi (fun i v -> v -. y.a.(i)) x.a }
+
+let scale s x = { x with a = Array.map (fun v -> s *. v) x.a }
+
+let matmul x y =
+  if x.cols <> y.rows then
+    invalid_arg (Printf.sprintf "Mat.matmul: inner dims (%dx%d)*(%dx%d)"
+                   x.rows x.cols y.rows y.cols);
+  let z = create x.rows y.cols in
+  let xa = x.a and ya = y.a and za = z.a in
+  (* k-loop in the middle keeps the inner loop contiguous in both [y] and
+     [z], which matters for the d=128 benchmark sizes; indices are in
+     range by construction, so unchecked access is safe (no flambda in
+     this toolchain, so the bounds checks would not be elided). *)
+  for i = 0 to x.rows - 1 do
+    for k = 0 to x.cols - 1 do
+      let xik = Array.unsafe_get xa ((i * x.cols) + k) in
+      if xik <> 0.0 then begin
+        let yoff = k * y.cols and zoff = i * y.cols in
+        for j = 0 to y.cols - 1 do
+          Array.unsafe_set za (zoff + j)
+            (Array.unsafe_get za (zoff + j)
+             +. (xik *. Array.unsafe_get ya (yoff + j)))
+        done
+      end
+    done
+  done;
+  z
+
+let mv m v =
+  if m.cols <> Array.length v then invalid_arg "Mat.mv: dimension mismatch";
+  let ma = m.a in
+  Array.init m.rows (fun i ->
+      let off = i * m.cols in
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc
+               +. (Array.unsafe_get ma (off + j) *. Array.unsafe_get v j)
+      done;
+      !acc)
+
+let tmv m v =
+  if m.rows <> Array.length v then invalid_arg "Mat.tmv: dimension mismatch";
+  let out = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let vi = v.(i) in
+    if vi <> 0.0 then begin
+      let off = i * m.cols in
+      for j = 0 to m.cols - 1 do
+        out.(j) <- out.(j) +. (vi *. m.a.(off + j))
+      done
+    end
+  done;
+  out
+
+let quad_form m v =
+  if m.rows <> m.cols then invalid_arg "Mat.quad_form: not square";
+  Vec.dot v (mv m v)
+
+let outer u v =
+  init (Array.length u) (Array.length v) (fun i j -> u.(i) *. v.(j))
+
+let rank1_update m alpha v =
+  if m.rows <> m.cols || m.rows <> Array.length v then
+    invalid_arg "Mat.rank1_update: shape mismatch";
+  let ma = m.a in
+  for i = 0 to m.rows - 1 do
+    let avi = alpha *. Array.unsafe_get v i in
+    if avi <> 0.0 then begin
+      let off = i * m.cols in
+      for j = 0 to m.cols - 1 do
+        Array.unsafe_set ma (off + j)
+          (Array.unsafe_get ma (off + j) +. (avi *. Array.unsafe_get v j))
+      done
+    end
+  done
+
+let trace m =
+  if m.rows <> m.cols then invalid_arg "Mat.trace: not square";
+  let acc = ref 0.0 in
+  for i = 0 to m.rows - 1 do
+    acc := !acc +. get m i i
+  done;
+  !acc
+
+let frobenius m = sqrt (Array.fold_left (fun s x -> s +. (x *. x)) 0.0 m.a)
+
+let symmetrize m =
+  if m.rows <> m.cols then invalid_arg "Mat.symmetrize: not square";
+  init m.rows m.cols (fun i j -> 0.5 *. (get m i j +. get m j i))
+
+let is_symmetric ?(eps = 1e-9) m =
+  m.rows = m.cols
+  && (let ok = ref true in
+      for i = 0 to m.rows - 1 do
+        for j = i + 1 to m.cols - 1 do
+          if Float.abs (get m i j -. get m j i) > eps then ok := false
+        done
+      done;
+      !ok)
+
+let map f m = { m with a = Array.map f m.a }
+
+let col_means m =
+  if m.rows = 0 then invalid_arg "Mat.col_means: empty matrix";
+  let means = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let off = i * m.cols in
+    for j = 0 to m.cols - 1 do
+      means.(j) <- means.(j) +. m.a.(off + j)
+    done
+  done;
+  let n = float_of_int m.rows in
+  Array.map (fun s -> s /. n) means
+
+let col_variances m =
+  let means = col_means m in
+  let vars = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let off = i * m.cols in
+    for j = 0 to m.cols - 1 do
+      let d = m.a.(off + j) -. means.(j) in
+      vars.(j) <- vars.(j) +. (d *. d)
+    done
+  done;
+  let n = float_of_int m.rows in
+  Array.map (fun s -> s /. n) vars
+
+let center_cols m =
+  let means = col_means m in
+  (init m.rows m.cols (fun i j -> get m i j -. means.(j)), means)
+
+let covariance m =
+  let centered, _ = center_cols m in
+  let cov = create m.cols m.cols in
+  for i = 0 to m.rows - 1 do
+    let off = i * m.cols in
+    for j = 0 to m.cols - 1 do
+      let xj = centered.a.(off + j) in
+      if xj <> 0.0 then
+        for k = 0 to m.cols - 1 do
+          cov.a.((j * m.cols) + k) <-
+            cov.a.((j * m.cols) + k) +. (xj *. centered.a.(off + k))
+        done
+    done
+  done;
+  scale (1.0 /. float_of_int m.rows) cov
+
+let gram m = matmul (transpose m) m
+
+let hcat x y =
+  if x.rows <> y.rows then invalid_arg "Mat.hcat: row mismatch";
+  init x.rows (x.cols + y.cols) (fun i j ->
+      if j < x.cols then get x i j else get y i (j - x.cols))
+
+let vcat x y =
+  if x.cols <> y.cols then invalid_arg "Mat.vcat: column mismatch";
+  init (x.rows + y.rows) x.cols (fun i j ->
+      if i < x.rows then get x i j else get y (i - x.rows) j)
+
+let select_rows m idx =
+  init (Array.length idx) m.cols (fun i j -> get m idx.(i) j)
+
+let approx_equal ?(eps = 1e-9) x y =
+  x.rows = y.rows && x.cols = y.cols
+  && (let ok = ref true in
+      Array.iteri
+        (fun i v -> if Float.abs (v -. y.a.(i)) > eps then ok := false)
+        x.a;
+      !ok)
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "@[<h>";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf fmt "  ";
+      Format.fprintf fmt "%10.4g" (get m i j)
+    done;
+    Format.fprintf fmt "@]";
+    if i < m.rows - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,103 @@
+(** Dense row-major matrices of floats.
+
+    All shape-sensitive operations raise [Invalid_argument] on mismatch.
+    Matrices are mutable through {!set}; the algebraic operations are
+    functional and allocate fresh results. *)
+
+type t = private { rows : int; cols : int; a : float array }
+
+val create : int -> int -> t
+(** [create r c] is an [r]×[c] zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val diag : Vec.t -> t
+(** Square matrix with the given diagonal. *)
+
+val diagonal : t -> Vec.t
+(** Extract the diagonal of a square matrix. *)
+
+val of_arrays : float array array -> t
+(** Rows given as arrays; all rows must have equal length. *)
+
+val to_arrays : t -> float array array
+
+val copy : t -> t
+
+val dims : t -> int * int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val row : t -> int -> Vec.t
+
+val col : t -> int -> Vec.t
+
+val set_row : t -> int -> Vec.t -> unit
+
+val rows_list : t -> Vec.t list
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val matmul : t -> t -> t
+
+val mv : t -> Vec.t -> Vec.t
+(** Matrix-vector product. *)
+
+val tmv : t -> Vec.t -> Vec.t
+(** [tmv m v] is [mᵀ v] without forming the transpose. *)
+
+val quad_form : t -> Vec.t -> float
+(** [quad_form m v] is [vᵀ m v] for a square [m]. *)
+
+val outer : Vec.t -> Vec.t -> t
+(** [outer u v] is [u vᵀ]. *)
+
+val rank1_update : t -> float -> Vec.t -> unit
+(** [rank1_update m alpha v] performs [m <- m + alpha * v vᵀ] in place for
+    square [m]. *)
+
+val trace : t -> float
+
+val frobenius : t -> float
+
+val symmetrize : t -> t
+(** [(m + mᵀ)/2]. *)
+
+val is_symmetric : ?eps:float -> t -> bool
+
+val map : (float -> float) -> t -> t
+
+val col_means : t -> Vec.t
+
+val col_variances : t -> Vec.t
+(** Population variances per column. *)
+
+val center_cols : t -> t * Vec.t
+(** [center_cols m] subtracts the column means; returns the centered matrix
+    and the means. *)
+
+val covariance : t -> t
+(** Population covariance (divide by [n]) of the rows of [m]. *)
+
+val gram : t -> t
+(** [gram m] is [mᵀ m]. *)
+
+val hcat : t -> t -> t
+
+val vcat : t -> t -> t
+
+val select_rows : t -> int array -> t
+
+val approx_equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

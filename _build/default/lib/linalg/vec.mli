@@ -1,0 +1,81 @@
+(** Dense vectors of floats.
+
+    A vector is a plain [float array]; this module provides the numerical
+    operations the rest of the library needs, all allocation-explicit.  All
+    binary operations require equal lengths and raise [Invalid_argument]
+    otherwise. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is a zero vector of length [n]. *)
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val dim : t -> int
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val basis : int -> int -> t
+(** [basis n i] is the [i]-th standard basis vector of length [n]. *)
+
+val fill : t -> float -> unit
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] computes [y <- a*x + y] in place. *)
+
+val mul : t -> t -> t
+(** Elementwise product. *)
+
+val dot : t -> t -> float
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+
+val dist2 : t -> t -> float
+(** Euclidean distance. *)
+
+val normalize : t -> t
+(** [normalize v] is [v] scaled to unit Euclidean norm; returns a zero
+    vector unchanged. *)
+
+val sum : t -> float
+
+val mean : t -> float
+
+val variance : ?mean:float -> t -> float
+(** Population variance (divide by [n]). *)
+
+val min : t -> float
+
+val max : t -> float
+
+val argmax : t -> int
+
+val argmin : t -> int
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val iteri : (int -> float -> unit) -> t -> unit
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Componentwise comparison with absolute tolerance [eps] (default
+    [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/maxent/constr.ml: Array Format Fun List Mat Printf Sider_linalg Svd Vec

@@ -1,0 +1,1 @@
+lib/maxent/constr.mli: Format Mat Sider_linalg Vec

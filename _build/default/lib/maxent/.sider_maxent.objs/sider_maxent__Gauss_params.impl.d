@@ -1,0 +1,1 @@
+lib/maxent/gauss_params.ml: Mat Sider_linalg Vec

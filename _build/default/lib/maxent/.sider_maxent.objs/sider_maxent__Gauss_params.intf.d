@@ -1,0 +1,1 @@
+lib/maxent/gauss_params.mli: Mat Sider_linalg Vec

@@ -1,0 +1,1 @@
+lib/maxent/partition.ml: Array Constr Hashtbl List Option

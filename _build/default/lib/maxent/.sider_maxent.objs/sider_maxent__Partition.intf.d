@@ -1,0 +1,1 @@
+lib/maxent/partition.mli: Constr

@@ -1,0 +1,1 @@
+lib/maxent/solver.ml: Array Chol Constr Float Gauss_params Mat Partition Sampler Sider_linalg Sider_rand Sys Vec

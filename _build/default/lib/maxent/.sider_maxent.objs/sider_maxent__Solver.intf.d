@@ -1,0 +1,1 @@
+lib/maxent/solver.mli: Constr Gauss_params Mat Partition Rng Sider_linalg Sider_rand

@@ -1,0 +1,111 @@
+open Sider_linalg
+
+type kind = Linear | Quadratic
+
+type t = {
+  kind : kind;
+  rows : int array;
+  w : Vec.t;
+  target : float;
+  shift : float;
+  tag : string;
+}
+
+let normalize_rows rows =
+  let sorted = Array.copy rows in
+  Array.sort compare sorted;
+  let dedup = ref [] in
+  Array.iteri
+    (fun i r ->
+      if i = 0 || sorted.(i - 1) <> r then dedup := r :: !dedup)
+    sorted;
+  Array.of_list (List.rev !dedup)
+
+let check_rows data rows =
+  let n, _ = Mat.dims data in
+  if Array.length rows = 0 then invalid_arg "Constr: empty row set";
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= n then invalid_arg "Constr: row index out of range")
+    rows
+
+let mean_over data rows =
+  let _, d = Mat.dims data in
+  let m = Vec.create d in
+  Array.iter (fun r -> Vec.axpy 1.0 (Mat.row data r) m) rows;
+  Vec.scale (1.0 /. float_of_int (Array.length rows)) m
+
+let linear ?(tag = "lin") ~data ~rows ~w () =
+  check_rows data rows;
+  let rows = normalize_rows rows in
+  let target =
+    Array.fold_left (fun acc r -> acc +. Vec.dot w (Mat.row data r)) 0.0 rows
+  in
+  { kind = Linear; rows; w = Vec.copy w; target; shift = 0.0; tag }
+
+let quadratic ?(tag = "quad") ~data ~rows ~w () =
+  check_rows data rows;
+  let rows = normalize_rows rows in
+  let m_hat = mean_over data rows in
+  let shift = Vec.dot m_hat w in
+  let target =
+    Array.fold_left
+      (fun acc r ->
+        let p = Vec.dot w (Mat.row data r) -. shift in
+        acc +. (p *. p))
+      0.0 rows
+  in
+  { kind = Quadratic; rows; w = Vec.copy w; target; shift; tag }
+
+let margin ?(tag = "margin") data =
+  let n, d = Mat.dims data in
+  let rows = Array.init n Fun.id in
+  List.concat
+    (List.init d (fun j ->
+         let w = Vec.basis d j in
+         let tag = Printf.sprintf "%s:col%d" tag j in
+         [ linear ~tag ~data ~rows ~w ();
+           quadratic ~tag ~data ~rows ~w () ]))
+
+let cluster ?(tag = "cluster") ~data ~rows () =
+  check_rows data rows;
+  let rows = normalize_rows rows in
+  let sub = Mat.select_rows data rows in
+  let directions, _ = Svd.principal_directions sub in
+  let _, d = Mat.dims data in
+  List.concat
+    (List.init d (fun k ->
+         let w = Mat.col directions k in
+         let tag = Printf.sprintf "%s:pc%d" tag k in
+         [ linear ~tag ~data ~rows ~w ();
+           quadratic ~tag ~data ~rows ~w () ]))
+
+let one_cluster ?(tag = "1-cluster") data =
+  let n, _ = Mat.dims data in
+  cluster ~tag ~data ~rows:(Array.init n Fun.id) ()
+
+let two_d ?(tag = "2d") ~data ~rows ~w1 ~w2 () =
+  [ linear ~tag:(tag ^ ":ax1") ~data ~rows ~w:w1 ();
+    quadratic ~tag:(tag ^ ":ax1") ~data ~rows ~w:w1 ();
+    linear ~tag:(tag ^ ":ax2") ~data ~rows ~w:w2 ();
+    quadratic ~tag:(tag ^ ":ax2") ~data ~rows ~w:w2 () ]
+
+let eval t data =
+  match t.kind with
+  | Linear ->
+    Array.fold_left
+      (fun acc r -> acc +. Vec.dot t.w (Mat.row data r))
+      0.0 t.rows
+  | Quadratic ->
+    (* [m̂_I] is a constant of the constraint (Eq. 4), not recomputed from
+       the argument matrix. *)
+    Array.fold_left
+      (fun acc r ->
+        let p = Vec.dot t.w (Mat.row data r) -. t.shift in
+        acc +. (p *. p))
+      0.0 t.rows
+
+let pp fmt t =
+  Format.fprintf fmt "%s %s |I|=%d target=%g"
+    (match t.kind with Linear -> "lin" | Quadratic -> "quad")
+    t.tag (Array.length t.rows) t.target

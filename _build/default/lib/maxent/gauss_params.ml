@@ -1,0 +1,41 @@
+open Sider_linalg
+
+type t = {
+  mutable theta1 : Vec.t;
+  mutable sigma : Mat.t;
+  mutable mean : Vec.t;
+}
+
+let initial d =
+  { theta1 = Vec.create d; sigma = Mat.identity d; mean = Vec.create d }
+
+let copy t =
+  { theta1 = Vec.copy t.theta1; sigma = Mat.copy t.sigma;
+    mean = Vec.copy t.mean }
+
+let apply_linear t ~lambda ~w =
+  let g = Mat.mv t.sigma w in
+  Vec.axpy lambda w t.theta1;
+  Vec.axpy lambda g t.mean
+
+let apply_quadratic t ~lambda ~delta ~w =
+  let g = Mat.mv t.sigma w in
+  let c = Vec.dot w g in
+  let denom = 1.0 +. (lambda *. c) in
+  if denom <= 0.0 then
+    invalid_arg "Gauss_params.apply_quadratic: indefinite update";
+  (* Σ ← Σ − (λ/denom) g gᵀ  (Sherman-Morrison). *)
+  Mat.rank1_update t.sigma (-.lambda /. denom) g;
+  (* m ← Σ' θ₁' with θ₁' = θ₁ + λδw reduces to m + λ(δ − gᵀθ₁)/denom · g. *)
+  let d_old = Vec.dot g t.theta1 in
+  Vec.axpy (lambda *. delta) w t.theta1;
+  Vec.axpy (lambda *. (delta -. d_old) /. denom) g t.mean
+
+let proj_mean t w = Vec.dot w t.mean
+
+let proj_var t w = Mat.quad_form t.sigma w
+
+let second_moment t =
+  let out = Mat.copy t.sigma in
+  Mat.rank1_update out 1.0 t.mean;
+  out

@@ -1,0 +1,38 @@
+(** Per-equivalence-class Gaussian parameters of the background
+    distribution.
+
+    Each class carries the natural parameter [θ₁ = Σ⁻¹m] and the dual
+    parameters [(m, Σ)] (paper Eq. 8).  [θ₂ = Σ⁻¹] is never materialised:
+    quadratic updates are applied to [Σ] directly through the
+    Sherman-Morrison/Woodbury rank-1 identity in O(d²), which is the
+    paper's key speedup. *)
+
+open Sider_linalg
+
+type t = {
+  mutable theta1 : Vec.t;   (** Natural parameter [Σ⁻¹m]. *)
+  mutable sigma : Mat.t;    (** Dual covariance [Σ]. *)
+  mutable mean : Vec.t;     (** Dual mean [m = Σ θ₁]. *)
+}
+
+val initial : int -> t
+(** The prior [N(0, I_d)] (Eq. 1): [θ₁ = 0], [Σ = I], [m = 0]. *)
+
+val copy : t -> t
+
+val apply_linear : t -> lambda:float -> w:Vec.t -> unit
+(** Add [λ w] to [θ₁]; [Σ] is unchanged and [m] shifts by [λ Σ w]. *)
+
+val apply_quadratic : t -> lambda:float -> delta:float -> w:Vec.t -> unit
+(** Add [λ δ w] to [θ₁] and [λ w wᵀ] to [Σ⁻¹].  [Σ] is updated in place by
+    the rank-1 Woodbury formula and [m] by the induced O(d) correction.
+    Raises [Invalid_argument] if [1 + λ wᵀΣw ≤ 0] (indefinite update). *)
+
+val proj_mean : t -> Vec.t -> float
+(** [wᵀ m]. *)
+
+val proj_var : t -> Vec.t -> float
+(** [wᵀ Σ w]. *)
+
+val second_moment : t -> Mat.t
+(** [E[x xᵀ] = Σ + m mᵀ] (used by tests against Eq. 6 identities). *)

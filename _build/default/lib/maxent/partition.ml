@@ -1,0 +1,72 @@
+type t = {
+  n : int;
+  class_of_row : int array;
+  members : int array array;
+  per_constraint : (int * int) array array;
+}
+
+let of_constraints ~n constraints =
+  if n <= 0 then invalid_arg "Partition.of_constraints: n must be positive";
+  (* Signature of a row = the sorted list of constraint indices covering
+     it; rows with equal signatures form a class.  Constraint indices are
+     consed in increasing order, so lists compare consistently without
+     sorting. *)
+  let sigs = Array.make n [] in
+  Array.iteri
+    (fun c (constr : Constr.t) ->
+      Array.iter (fun r -> sigs.(r) <- c :: sigs.(r)) constr.Constr.rows)
+    constraints;
+  let tbl : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let buckets : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let class_of_row = Array.make n (-1) in
+  let next = ref 0 in
+  for r = 0 to n - 1 do
+    let cls =
+      match Hashtbl.find_opt tbl sigs.(r) with
+      | Some c -> c
+      | None ->
+        let c = !next in
+        incr next;
+        Hashtbl.add tbl sigs.(r) c;
+        Hashtbl.add buckets c (ref []);
+        c
+    in
+    class_of_row.(r) <- cls;
+    let bucket = Hashtbl.find buckets cls in
+    bucket := r :: !bucket
+  done;
+  let members =
+    Array.init !next (fun c ->
+        Array.of_list (List.rev !(Hashtbl.find buckets c)))
+  in
+  let per_constraint =
+    Array.map
+      (fun (constr : Constr.t) ->
+        (* Distinct classes of the constraint's rows with multiplicities;
+           the partition refines the row-set so multiplicity = class
+           size. *)
+        let counts = Hashtbl.create 16 in
+        Array.iter
+          (fun r ->
+            let c = class_of_row.(r) in
+            Hashtbl.replace counts c
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+          constr.Constr.rows;
+        Hashtbl.fold (fun c cnt acc -> (c, cnt) :: acc) counts []
+        |> List.sort compare
+        |> Array.of_list)
+      constraints
+  in
+  { n; class_of_row; members; per_constraint }
+
+let n_rows t = t.n
+
+let n_classes t = Array.length t.members
+
+let class_of_row t r = t.class_of_row.(r)
+
+let members t c = t.members.(c)
+
+let size t c = Array.length t.members.(c)
+
+let classes_of_constraint t c = t.per_constraint.(c)

@@ -1,0 +1,308 @@
+open Sider_linalg
+open Sider_rand
+
+type t = {
+  data : Mat.t;
+  constraints : Constr.t array;
+  partition : Partition.t;
+  classes : Gauss_params.t array;
+  data_sd : float;
+}
+
+type report = {
+  sweeps : int;
+  updates : int;
+  converged : bool;
+  max_dlambda : float;
+  max_dparam : float;
+  elapsed : float;
+}
+
+let overall_sd data =
+  let vars = Mat.col_variances data in
+  let mean_var = Vec.mean vars in
+  Float.max (sqrt mean_var) 1e-12
+
+let build data constraints init_params =
+  let n, d = Mat.dims data in
+  let constraints = Array.of_list constraints in
+  let partition = Partition.of_constraints ~n constraints in
+  let classes =
+    Array.init (Partition.n_classes partition) (fun c ->
+        init_params ~cls:c ~representative:(Partition.members partition c).(0) ~d)
+  in
+  { data; constraints; partition; classes; data_sd = overall_sd data }
+
+let create data constraints =
+  build data constraints (fun ~cls:_ ~representative:_ ~d ->
+      Gauss_params.initial d)
+
+let add_constraints t extra =
+  let all = Array.to_list t.constraints @ extra in
+  (* New classes refine old ones: inherit the old parameters of any member
+     row (all members shared one old class). *)
+  build t.data all (fun ~cls:_ ~representative ~d:_ ->
+      Gauss_params.copy
+        t.classes.(Partition.class_of_row t.partition representative))
+
+let data t = t.data
+
+let constraints t = t.constraints
+
+let partition t = t.partition
+
+let n_classes t = Array.length t.classes
+
+let class_params t i = t.classes.(i)
+
+let row_params t r = t.classes.(Partition.class_of_row t.partition r)
+
+(* --- expectations ------------------------------------------------------- *)
+
+let expectation_idx t idx =
+  let constr = t.constraints.(idx) in
+  let w = constr.Constr.w in
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (cls, cnt) ->
+      let p = t.classes.(cls) in
+      let term =
+        match constr.Constr.kind with
+        | Constr.Linear -> Gauss_params.proj_mean p w
+        | Constr.Quadratic ->
+          let q = Gauss_params.proj_mean p w -. constr.Constr.shift in
+          Gauss_params.proj_var p w +. (q *. q)
+      in
+      acc := !acc +. (float_of_int cnt *. term))
+    (Partition.classes_of_constraint t.partition idx);
+  !acc
+
+let expectation t constr =
+  (* General version for constraints not necessarily registered with the
+     solver: falls back to per-row parameters. *)
+  let w = constr.Constr.w in
+  Array.fold_left
+    (fun acc r ->
+      let p = row_params t r in
+      acc
+      +.
+      match constr.Constr.kind with
+      | Constr.Linear -> Gauss_params.proj_mean p w
+      | Constr.Quadratic ->
+        let q = Gauss_params.proj_mean p w -. constr.Constr.shift in
+        Gauss_params.proj_var p w +. (q *. q))
+    0.0 constr.Constr.rows
+
+let residual t =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun idx (constr : Constr.t) ->
+      let v = expectation_idx t idx in
+      let scale = Float.max 1.0 (Float.abs constr.Constr.target) in
+      worst := Float.max !worst (Float.abs (v -. constr.Constr.target) /. scale))
+    t.constraints;
+  !worst
+
+(* --- one constraint update ---------------------------------------------- *)
+
+(* Linear constraint (Eq. 9): the mean along w shifts by λ wᵀΣw per row,
+   Σ unchanged, so λ = (v̂ − ṽ) / Σ_i wᵀΣ_i w. *)
+let update_linear t idx =
+  let constr = t.constraints.(idx) in
+  let w = constr.Constr.w in
+  let groups = Partition.classes_of_constraint t.partition idx in
+  let v_cur = ref 0.0 and denom = ref 0.0 in
+  Array.iter
+    (fun (cls, cnt) ->
+      let p = t.classes.(cls) in
+      let fcnt = float_of_int cnt in
+      v_cur := !v_cur +. (fcnt *. Gauss_params.proj_mean p w);
+      denom := !denom +. (fcnt *. Gauss_params.proj_var p w))
+    groups;
+  if !denom <= 0.0 then (0.0, 0.0)
+  else begin
+    let lambda = (constr.Constr.target -. !v_cur) /. !denom in
+    let dparam = ref 0.0 in
+    Array.iter
+      (fun (cls, _) ->
+        let p = t.classes.(cls) in
+        dparam :=
+          Float.max !dparam
+            (Float.abs (lambda *. Gauss_params.proj_var p w));
+        Gauss_params.apply_linear p ~lambda ~w)
+      groups;
+    (lambda, !dparam)
+  end
+
+(* Quadratic constraint: after adding λwwᵀ to Σ⁻¹ and λδw to θ₁, the
+   expectation becomes (per class, derivation in DESIGN.md)
+     v(λ) = Σ cnt [ c/(1+λc) + (e−δ)²/(1+λc)² ],
+   with c = wᵀΣw and e = wᵀm frozen at their pre-update values.  v is
+   strictly decreasing on (−1/max c, ∞) with range (0, ∞), so the root of
+   v(λ) = v̂ is unique; we locate it by bracketed bisection with Newton
+   acceleration. *)
+let update_quadratic t idx ~lambda_cap =
+  let constr = t.constraints.(idx) in
+  let w = constr.Constr.w in
+  let delta = constr.Constr.shift in
+  let groups = Partition.classes_of_constraint t.partition idx in
+  let k = Array.length groups in
+  let cs = Array.make k 0.0
+  and es = Array.make k 0.0
+  and cnts = Array.make k 0.0 in
+  Array.iteri
+    (fun i (cls, cnt) ->
+      let p = t.classes.(cls) in
+      cs.(i) <- Gauss_params.proj_var p w;
+      es.(i) <- Gauss_params.proj_mean p w;
+      cnts.(i) <- float_of_int cnt)
+    groups;
+  let c_max = Array.fold_left Float.max 0.0 cs in
+  let v lambda =
+    let acc = ref 0.0 in
+    for i = 0 to k - 1 do
+      let denom = 1.0 +. (lambda *. cs.(i)) in
+      let q = es.(i) -. delta in
+      acc := !acc +. (cnts.(i) *. ((cs.(i) /. denom) +. (q *. q /. (denom *. denom))))
+    done;
+    !acc
+  in
+  let v_hat = Float.max constr.Constr.target 0.0 in
+  if c_max <= 0.0 then (0.0, 0.0) (* direction already degenerate: frozen *)
+  else begin
+    let lo = -1.0 /. c_max in
+    let v0 = v 0.0 in
+    let lambda =
+      if Float.abs (v0 -. v_hat) <= 1e-14 *. Float.max 1.0 v_hat then 0.0
+      else begin
+        (* Bracket the root. *)
+        let a = ref (lo *. (1.0 -. 1e-12)) and b = ref 0.0 in
+        if v0 > v_hat then begin
+          (* Root is at positive λ: expand b upward. *)
+          a := 0.0;
+          b := 1.0 /. c_max;
+          while v !b > v_hat && !b < lambda_cap do
+            b := !b *. 2.0
+          done;
+          if !b > lambda_cap then b := lambda_cap
+        end
+        else begin
+          (* Root at negative λ (variance must grow). *)
+          a := lo *. (1.0 -. 1e-12);
+          b := 0.0
+        end;
+        (* Bisection with a Newton refinement step each iteration. *)
+        let x = ref (0.5 *. (!a +. !b)) in
+        let iter = ref 0 in
+        while !iter < 200 && (!b -. !a) > 1e-14 *. (1.0 +. Float.abs !x) do
+          incr iter;
+          x := 0.5 *. (!a +. !b);
+          let vx = v !x in
+          if vx > v_hat then a := !x else b := !x
+        done;
+        0.5 *. (!a +. !b)
+      end
+    in
+    if lambda = 0.0 then (0.0, 0.0)
+    else begin
+      let dparam = ref 0.0 in
+      Array.iteri
+        (fun i (cls, _) ->
+          let p = t.classes.(cls) in
+          let denom = 1.0 +. (lambda *. cs.(i)) in
+          let dsd = sqrt (cs.(i) /. denom) -. sqrt cs.(i) in
+          let dmean = lambda *. (delta -. es.(i)) *. cs.(i) /. denom in
+          dparam := Float.max !dparam (Float.max (Float.abs dsd) (Float.abs dmean));
+          Gauss_params.apply_quadratic p ~lambda ~delta ~w)
+        groups;
+      (lambda, !dparam)
+    end
+  end
+
+(* --- main loop ----------------------------------------------------------- *)
+
+let solve ?(max_sweeps = 1000) ?(lambda_tol = 1e-2) ?(param_tol = 1e-2)
+    ?time_cutoff ?(lambda_cap = 1e7) ?trace t =
+  let start = Sys.time () in
+  let sweeps = ref 0 and updates = ref 0 in
+  let converged = ref false in
+  let last_dlambda = ref infinity and last_dparam = ref infinity in
+  let cut_off () =
+    match time_cutoff with
+    | None -> false
+    | Some budget -> Sys.time () -. start > budget
+  in
+  while (not !converged) && !sweeps < max_sweeps && not (cut_off ()) do
+    incr sweeps;
+    let max_dl = ref 0.0 and max_dp = ref 0.0 in
+    Array.iteri
+      (fun idx (constr : Constr.t) ->
+        let dl, dp =
+          match constr.Constr.kind with
+          | Constr.Linear -> update_linear t idx
+          | Constr.Quadratic -> update_quadratic t idx ~lambda_cap
+        in
+        incr updates;
+        max_dl := Float.max !max_dl (Float.abs dl);
+        max_dp := Float.max !max_dp dp)
+      t.constraints;
+    last_dlambda := !max_dl;
+    last_dparam := !max_dp;
+    (match trace with
+     | Some f -> f ~sweep:!sweeps ~updates:!updates t
+     | None -> ());
+    if !max_dl <= lambda_tol || !max_dp <= param_tol *. t.data_sd then
+      converged := true
+  done;
+  {
+    sweeps = !sweeps;
+    updates = !updates;
+    converged = !converged;
+    max_dlambda = !last_dlambda;
+    max_dparam = !last_dparam;
+    elapsed = Sys.time () -. start;
+  }
+
+let relative_entropy t =
+  let _, d = Mat.dims t.data in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun cls p ->
+      let size = float_of_int (Partition.size t.partition cls) in
+      let sigma = Mat.symmetrize p.Gauss_params.sigma in
+      let m = p.Gauss_params.mean in
+      (* log det through the PSD Cholesky; zero pivots (collapsed
+         directions, Fig. 5) contribute −∞, clamped via the jitter floor
+         of the factorization. *)
+      let chol = Chol.decompose_psd ~jitter:1e-300 sigma in
+      let log_det = ref 0.0 in
+      for i = 0 to d - 1 do
+        let pivot = Mat.get chol i i in
+        log_det := !log_det +. (2.0 *. log (Float.max pivot 1e-150))
+      done;
+      let kl =
+        0.5 *. (Mat.trace sigma +. Vec.dot m m -. float_of_int d -. !log_det)
+      in
+      acc := !acc +. (size *. kl))
+    t.classes;
+  !acc
+
+(* --- sampling ------------------------------------------------------------ *)
+
+let sample t rng =
+  let n, d = Mat.dims t.data in
+  let out = Mat.create n d in
+  Array.iteri
+    (fun cls p ->
+      let chol = Chol.decompose_psd (Mat.symmetrize p.Gauss_params.sigma) in
+      Array.iter
+        (fun r ->
+          Mat.set_row out r
+            (Sampler.mvn rng ~mean:p.Gauss_params.mean ~chol))
+        (Partition.members t.partition cls))
+    t.classes;
+  out
+
+let mean_matrix t =
+  let n, d = Mat.dims t.data in
+  Mat.init n d (fun i j -> (row_params t i).Gauss_params.mean.(j))

@@ -1,0 +1,92 @@
+(** Iterative-scaling solver for the Maximum-Entropy background
+    distribution (paper Problem 1 / Sec. II-A.1).
+
+    The solver cycles over the constraints; for each it solves for the
+    *change* of the constraint's Lagrange multiplier such that the
+    constraint holds exactly under the updated distribution — in closed
+    form for linear constraints (Eq. 9) and by monotone 1-D root finding
+    for quadratic ones (Eq. 10).  Problem 1 is convex, so cyclic exact
+    minimisation converges to the global optimum.
+
+    Cost per quadratic update is O(d²) (rank-1 Woodbury) plus O(classes)
+    for the root search; nothing depends on [n] (row equivalence
+    classes). *)
+
+open Sider_linalg
+open Sider_rand
+
+type t
+
+type report = {
+  sweeps : int;           (** Full passes over the constraint set. *)
+  updates : int;          (** Individual constraint updates performed. *)
+  converged : bool;       (** False when stopped by budget/cutoff. *)
+  max_dlambda : float;    (** Largest multiplier change in the last sweep. *)
+  max_dparam : float;     (** Largest projected mean / sd change in the
+                              last sweep, in units of the data sd. *)
+  elapsed : float;        (** CPU seconds spent in [solve]. *)
+}
+
+val create : Mat.t -> Constr.t list -> t
+(** A fresh solver whose background distribution is the prior [N(0, I)]
+    for every row. *)
+
+val add_constraints : t -> Constr.t list -> t
+(** Extend the constraint set, *keeping* the current solved parameters as
+    a warm start (the new equivalence classes refine the old ones, so
+    every new class inherits its old class's parameters).  This is what
+    each SIDER iteration does when the user marks new clusters. *)
+
+val data : t -> Mat.t
+
+val constraints : t -> Constr.t array
+
+val partition : t -> Partition.t
+
+val n_classes : t -> int
+
+val class_params : t -> int -> Gauss_params.t
+(** Parameters of class [i] (live view: mutated by {!solve}). *)
+
+val row_params : t -> int -> Gauss_params.t
+(** Parameters governing a data row. *)
+
+val solve : ?max_sweeps:int -> ?lambda_tol:float -> ?param_tol:float ->
+  ?time_cutoff:float -> ?lambda_cap:float ->
+  ?trace:(sweep:int -> updates:int -> t -> unit) -> t -> report
+(** Run iterative scaling until convergence.
+
+    Convergence follows the paper's criterion: the maximal absolute
+    multiplier change in a sweep is below [lambda_tol] (default 1e-2), or
+    the maximal change of constraint means / square-root variances is
+    below [param_tol] (default 1e-2) times the standard deviation of the
+    full data.  [time_cutoff] (seconds, default none) reproduces the
+    SIDER ~10 s cutoff that guards against the slow adversarial cases of
+    Fig. 5.  [lambda_cap] (default 1e7) bounds a single multiplier change;
+    it is reached only when a constraint's target variance is exactly
+    zero (singular optimum, Eq. 13).  [trace] is called after every sweep
+    — the Fig. 5b convergence curves are recorded through it. *)
+
+val expectation : t -> Constr.t -> float
+(** [E_p[f_c(X, I, w)]] under the current background distribution
+    (Eq. 6 left-hand side). *)
+
+val residual : t -> float
+(** Maximum over constraints of [|expectation − target|] scaled by
+    [max(1, |target|)]: a global feasibility measure used by tests. *)
+
+val relative_entropy : t -> float
+(** [−S = E_p[log(p(X)/q(X))]]: the Kullback-Leibler divergence of the
+    background distribution from the prior (the negated objective of
+    Problem 1, Eq. 5).  Closed form per row,
+    [KL(N(m,Σ) ‖ N(0,I)) = (tr Σ + mᵀm − d − log det Σ)/2], summed over
+    rows.  It is 0 with no constraints and grows monotonically as
+    constraints accumulate — each additional constraint set can only
+    move the MaxEnt solution further from the prior. *)
+
+val sample : t -> Rng.t -> Mat.t
+(** One dataset drawn from the background distribution: row [i] is drawn
+    from [N(m_i, Σ_i)].  Cholesky factors are computed once per class. *)
+
+val mean_matrix : t -> Mat.t
+(** The per-row means as an [n×d] matrix. *)

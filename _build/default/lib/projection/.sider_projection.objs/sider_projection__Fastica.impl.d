@@ -1,0 +1,1 @@
+lib/projection/fastica.ml: Array Eigen Float Fun Mat Sampler Scores Sider_linalg Sider_rand Stdlib Vec

@@ -1,0 +1,1 @@
+lib/projection/fastica.mli: Mat Rng Sider_linalg Sider_rand Vec

@@ -1,0 +1,1 @@
+lib/projection/lle.ml: Array Chol Eigen Float Mat Sider_linalg Vec

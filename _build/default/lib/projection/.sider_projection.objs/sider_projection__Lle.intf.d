@@ -1,0 +1,1 @@
+lib/projection/lle.mli: Mat Sider_linalg Vec

@@ -1,0 +1,1 @@
+lib/projection/mds.ml: Array Eigen Float Mat Sider_linalg Vec

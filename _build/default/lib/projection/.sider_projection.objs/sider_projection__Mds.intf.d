@@ -1,0 +1,1 @@
+lib/projection/mds.mli: Mat Sider_linalg

@@ -1,0 +1,1 @@
+lib/projection/pca.ml: Array Eigen Float Fun Mat Scores Sider_linalg Vec

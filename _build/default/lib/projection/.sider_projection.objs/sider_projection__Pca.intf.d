@@ -1,0 +1,1 @@
+lib/projection/pca.mli: Mat Sider_linalg Vec

@@ -1,0 +1,1 @@
+lib/projection/pursuit.ml: Array Float Mat Option Sampler Scores Sider_linalg Sider_rand Sider_stats Stdlib Vec

@@ -1,0 +1,1 @@
+lib/projection/pursuit.mli: Mat Rng Sider_linalg Sider_rand Vec

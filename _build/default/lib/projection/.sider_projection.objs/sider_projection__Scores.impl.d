@@ -1,0 +1,1 @@
+lib/projection/scores.ml: Array Descriptive Float Gaussian Mat Sider_linalg Sider_stats Vec

@@ -1,0 +1,1 @@
+lib/projection/scores.mli: Mat Sider_linalg Vec

@@ -1,0 +1,1 @@
+lib/projection/tsne.ml: Array Float Mat Sampler Sider_linalg Sider_rand Vec

@@ -1,0 +1,1 @@
+lib/projection/tsne.mli: Mat Rng Sider_linalg Sider_rand

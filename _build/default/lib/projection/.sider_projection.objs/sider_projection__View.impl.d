@@ -1,0 +1,1 @@
+lib/projection/view.ml: Array Fastica Float Fun List Mat Pca Printf Rng Sider_linalg Sider_rand Stdlib String Vec Whiten

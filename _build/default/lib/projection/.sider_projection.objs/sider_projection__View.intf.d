@@ -1,0 +1,1 @@
+lib/projection/view.mli: Mat Rng Sider_linalg Sider_maxent Sider_rand Solver Vec

@@ -1,0 +1,1 @@
+lib/projection/whiten.ml: Array Eigen Gauss_params Mat Partition Sider_linalg Sider_maxent Solver Vec

@@ -1,0 +1,1 @@
+lib/projection/whiten.mli: Mat Sider_linalg Sider_maxent Solver

@@ -1,0 +1,108 @@
+open Sider_linalg
+open Sider_rand
+
+type t = {
+  directions : Mat.t;
+  scores : Vec.t;
+  iterations : int;
+  converged : bool;
+}
+
+(* Symmetric decorrelation: W ← (W Wᵀ)^{-1/2} W. *)
+let sym_decorrelate w =
+  let wwt = Mat.matmul w (Mat.transpose w) in
+  let dec = Eigen.symmetric (Mat.symmetrize wwt) in
+  Mat.matmul (Eigen.power dec (-0.5)) w
+
+let fit ?n_components ?(max_iter = 200) ?(tol = 1e-4) ?(rank_tol = 1e-9)
+    rng m =
+  let n, d = Mat.dims m in
+  if n < 2 then invalid_arg "Fastica.fit: need at least two rows";
+  let centered, _ = Mat.center_cols m in
+  let cov = Mat.covariance m in
+  let { Eigen.values; vectors } = Eigen.symmetric cov in
+  let lead = Float.max (if d > 0 then values.(0) else 0.0) 0.0 in
+  let usable =
+    let c = ref 0 in
+    Array.iter (fun v -> if v > rank_tol *. Float.max lead 1e-300 then incr c)
+      values;
+    !c
+  in
+  let m_comp =
+    match n_components with
+    | None -> usable
+    | Some k -> Stdlib.min k usable
+  in
+  if m_comp = 0 then
+    { directions = Mat.create d 0; scores = [||]; iterations = 0;
+      converged = true }
+  else begin
+    (* Internal whitening: z = D^{-1/2} Vᵀ (x − mean), per row. *)
+    let dproj = Mat.init d m_comp (fun i j ->
+        Mat.get vectors i j /. sqrt values.(j))
+    in
+    let z = Mat.matmul centered dproj in          (* n × m_comp *)
+    let fn = float_of_int n in
+    (* Fixed point iteration on the unmixing matrix w : m_comp × m_comp. *)
+    let w = ref (sym_decorrelate (Sampler.normal_mat rng m_comp m_comp)) in
+    let iterations = ref 0 and converged = ref false in
+    while (not !converged) && !iterations < max_iter do
+      incr iterations;
+      let s = Mat.matmul z (Mat.transpose !w) in  (* n × m_comp *)
+      (* g = tanh, g' = 1 − tanh²; the update is
+         W_new = (gᵀ z)/n − diag(E[g']) W, expressed through matmul so the
+         inner loops are the optimized kernels. *)
+      let g = Mat.map tanh s in
+      let gz = Mat.matmul (Mat.transpose g) z in  (* m_comp × m_comp *)
+      let eg' = Vec.create m_comp in
+      for i = 0 to n - 1 do
+        for k = 0 to m_comp - 1 do
+          let t = Mat.get g i k in
+          eg'.(k) <- eg'.(k) +. (1.0 -. (t *. t))
+        done
+      done;
+      let w_new =
+        Mat.init m_comp m_comp (fun k j ->
+            (Mat.get gz k j /. fn) -. (eg'.(k) /. fn *. Mat.get !w k j))
+      in
+      let w_new = sym_decorrelate w_new in
+      (* Convergence: every direction's inner product with its previous
+         value is ±1. *)
+      let delta = ref 0.0 in
+      for k = 0 to m_comp - 1 do
+        let dot = Vec.dot (Mat.row w_new k) (Mat.row !w k) in
+        delta := Float.max !delta (Float.abs (Float.abs dot -. 1.0))
+      done;
+      w := w_new;
+      if !delta < tol then converged := true
+    done;
+    (* Map unmixing rows back to input-space directions:
+       s_k = w_k · D^{-1/2}Vᵀ(x − mean) so the direction is V D^{-1/2} w_kᵀ,
+       normalized to unit length. *)
+    let dirs = Mat.matmul dproj (Mat.transpose !w) in (* d × m_comp *)
+    let dirs =
+      Mat.init d m_comp (fun i j ->
+          let col = Mat.col dirs j in
+          let nrm = Vec.norm2 col in
+          if nrm = 0.0 then 0.0 else Mat.get dirs i j /. nrm)
+    in
+    let scores =
+      Array.init m_comp (fun j -> Scores.direction_log_cosh m (Mat.col dirs j))
+    in
+    (* Order by decreasing |score| (Table I ordering). *)
+    let perm = Array.init m_comp Fun.id in
+    Array.sort
+      (fun i j -> compare (Float.abs scores.(j)) (Float.abs scores.(i)))
+      perm;
+    {
+      directions = Mat.init d m_comp (fun i j -> Mat.get dirs i perm.(j));
+      scores = Array.map (fun k -> scores.(k)) perm;
+      iterations = !iterations;
+      converged = !converged;
+    }
+  end
+
+let top2 t =
+  let _, m = Mat.dims t.directions in
+  if m < 2 then invalid_arg "Fastica.top2: fewer than two components";
+  (Mat.col t.directions 0, Mat.col t.directions 1)

@@ -1,0 +1,48 @@
+open Sider_linalg
+
+let pairwise_distances m =
+  let n, _ = Mat.dims m in
+  let d = Mat.create n n in
+  for i = 0 to n - 1 do
+    let ri = Mat.row m i in
+    for j = i + 1 to n - 1 do
+      let dist = Vec.dist2 ri (Mat.row m j) in
+      Mat.set d i j dist;
+      Mat.set d j i dist
+    done
+  done;
+  d
+
+let of_distances ?(dims = 2) dist =
+  let n, c = Mat.dims dist in
+  if n <> c then invalid_arg "Mds.of_distances: not square";
+  if not (Mat.is_symmetric ~eps:1e-6 dist) then
+    invalid_arg "Mds.of_distances: not symmetric";
+  if dims < 1 || dims > n then invalid_arg "Mds.of_distances: bad dims";
+  (* B = -J D² J / 2 with J the centering matrix. *)
+  let d2 = Mat.map (fun x -> x *. x) dist in
+  let row_means = Array.init n (fun i -> Vec.mean (Mat.row d2 i)) in
+  let grand = Vec.mean row_means in
+  let b =
+    Mat.init n n (fun i j ->
+        -0.5 *. (Mat.get d2 i j -. row_means.(i) -. row_means.(j) +. grand))
+  in
+  let { Eigen.values; vectors } = Eigen.symmetric (Mat.symmetrize b) in
+  Mat.init n dims (fun i k ->
+      let lam = Float.max values.(k) 0.0 in
+      Mat.get vectors i k *. sqrt lam)
+
+let fit ?dims m = of_distances ?dims (pairwise_distances m)
+
+let stress dist emb =
+  let n, _ = Mat.dims dist in
+  let num = ref 0.0 and den = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = Mat.get dist i j in
+      let e = Vec.dist2 (Mat.row emb i) (Mat.row emb j) in
+      num := !num +. ((d -. e) *. (d -. e));
+      den := !den +. (d *. d)
+    done
+  done;
+  if !den = 0.0 then 0.0 else sqrt (!num /. !den)

@@ -1,0 +1,33 @@
+open Sider_linalg
+
+type t = {
+  directions : Mat.t;
+  variances : Vec.t;
+  gains : Vec.t;
+  mean : Vec.t;
+}
+
+let fit_gen ~order m =
+  let cov = Mat.covariance m in
+  let { Eigen.values; vectors } = Eigen.symmetric cov in
+  let d = Array.length values in
+  let variances = Array.map (fun v -> Float.max v 0.0) values in
+  let gains = Array.map Scores.pca_gain variances in
+  let keys = match order with `Gain -> gains | `Variance -> variances in
+  let perm = Array.init d Fun.id in
+  Array.sort (fun i j -> compare keys.(j) keys.(i)) perm;
+  {
+    directions = Mat.init d d (fun i j -> Mat.get vectors i perm.(j));
+    variances = Array.map (fun k -> variances.(k)) perm;
+    gains = Array.map (fun k -> gains.(k)) perm;
+    mean = Mat.col_means m;
+  }
+
+let fit m = fit_gen ~order:`Gain m
+
+let fit_by_variance m = fit_gen ~order:`Variance m
+
+let top2 t =
+  let d, _ = Mat.dims t.directions in
+  if d < 2 then invalid_arg "Pca.top2: need at least 2 dimensions";
+  (Mat.col t.directions 0, Mat.col t.directions 1)

@@ -1,0 +1,25 @@
+(** Principal component analysis for projection pursuit on whitened data.
+
+    Directions are ranked by {!Scores.pca_gain} of their variance — the
+    deviation of the variance from unity in either direction — rather than
+    by raw variance, per the paper's footnote 1. *)
+
+open Sider_linalg
+
+type t = {
+  directions : Mat.t;  (** d×d, orthonormal columns, ordered by gain. *)
+  variances : Vec.t;   (** Variance of the data along each direction. *)
+  gains : Vec.t;       (** [pca_gain] of each variance. *)
+  mean : Vec.t;        (** Column means of the input. *)
+}
+
+val fit : Mat.t -> t
+(** Eigendecomposition of the column covariance, directions re-ordered by
+    decreasing gain. *)
+
+val fit_by_variance : Mat.t -> t
+(** Conventional PCA order (decreasing variance) — used for the static
+    baseline and the raw-data views of Fig. 2a/3. *)
+
+val top2 : t -> Vec.t * Vec.t
+(** The two most informative directions. *)

@@ -1,0 +1,28 @@
+open Sider_linalg
+open Sider_stats
+
+let pca_gain sigma2 =
+  if sigma2 <= 0.0 then infinity
+  else 0.5 *. (sigma2 -. log sigma2 -. 1.0)
+
+let gaussian_log_cosh = Gaussian.log_cosh_moment
+
+let log_cosh_stable x =
+  let ax = Float.abs x in
+  ax +. log1p (exp (-2.0 *. ax)) -. log 2.0
+
+let log_cosh_score v =
+  let s = Descriptive.standardize v in
+  let acc = ref 0.0 in
+  Array.iter (fun x -> acc := !acc +. log_cosh_stable x) s;
+  (!acc /. float_of_int (Array.length s)) -. gaussian_log_cosh
+
+let project m w =
+  let n, _ = Mat.dims m in
+  Array.init n (fun i -> Vec.dot (Mat.row m i) w)
+
+let direction_pca_gain m w =
+  let p = project m w in
+  pca_gain (Vec.variance p)
+
+let direction_log_cosh m w = log_cosh_score (project m w)

@@ -1,0 +1,64 @@
+open Sider_linalg
+open Sider_rand
+
+type method_ = Pca | Ica
+
+type axis = { direction : Vec.t; score : float }
+
+type t = {
+  method_ : method_;
+  axis1 : axis;
+  axis2 : axis;
+}
+
+let method_name = function Pca -> "PCA" | Ica -> "ICA"
+
+let of_whitened ?rng ~method_ y =
+  let rng = match rng with Some r -> r | None -> Rng.create 42 in
+  match method_ with
+  | Pca ->
+    let fitted = Pca.fit y in
+    let w1, w2 = Pca.top2 fitted in
+    {
+      method_;
+      axis1 = { direction = w1; score = fitted.Pca.gains.(0) };
+      axis2 = { direction = w2; score = fitted.Pca.gains.(1) };
+    }
+  | Ica ->
+    let fitted = Fastica.fit rng y in
+    let w1, w2 = Fastica.top2 fitted in
+    {
+      method_;
+      axis1 = { direction = w1; score = fitted.Fastica.scores.(0) };
+      axis2 = { direction = w2; score = fitted.Fastica.scores.(1) };
+    }
+
+let of_solver ?rng ~method_ solver =
+  of_whitened ?rng ~method_ (Whiten.whiten solver)
+
+let project t m =
+  let n, _ = Mat.dims m in
+  Array.init n (fun i ->
+      let r = Mat.row m i in
+      (Vec.dot r t.axis1.direction, Vec.dot r t.axis2.direction))
+
+let project_vec t v =
+  (Vec.dot v t.axis1.direction, Vec.dot v t.axis2.direction)
+
+let axis_label ?top ~columns ~prefix axis =
+  let d = Array.length axis.direction in
+  if Array.length columns <> d then
+    invalid_arg "View.axis_label: column count mismatch";
+  let top = match top with Some t -> Stdlib.min t d | None -> d in
+  let order = Array.init d Fun.id in
+  Array.sort
+    (fun i j ->
+      compare (Float.abs axis.direction.(j)) (Float.abs axis.direction.(i)))
+    order;
+  let terms =
+    List.init top (fun k ->
+        let j = order.(k) in
+        let c = axis.direction.(j) in
+        Printf.sprintf "%+.2f (%s)" c columns.(j))
+  in
+  Printf.sprintf "%s[%.2g] = %s" prefix axis.score (String.concat " " terms)

@@ -1,0 +1,48 @@
+(** The 2-D projection shown to the user.
+
+    A view carries the two projection directions found on the *whitened*
+    data, their informativeness scores, and axis labels expressed as
+    combinations of the original variables — e.g.
+    ["PCA1[0.093] = +0.71 (X1) -0.71 (X2) +0.01 (X3)"], matching the
+    figures of the paper.  The direction-preserving whitening (Eq. 14)
+    is what makes the whitened-space directions meaningful in the original
+    variable basis. *)
+
+open Sider_linalg
+open Sider_rand
+open Sider_maxent
+
+type method_ = Pca | Ica
+
+type axis = {
+  direction : Vec.t;   (** Unit direction in data space. *)
+  score : float;       (** PCA gain or ICA log-cosh score. *)
+}
+
+type t = {
+  method_ : method_;
+  axis1 : axis;
+  axis2 : axis;
+}
+
+val of_whitened : ?rng:Rng.t -> method_:method_ -> Mat.t -> t
+(** Compute the most informative view of a whitened matrix.  [rng] seeds
+    the FastICA initialisation (default: fixed seed 42).  Raises
+    [Invalid_argument] when fewer than two usable directions exist. *)
+
+val of_solver : ?rng:Rng.t -> method_:method_ -> Solver.t -> t
+(** Whiten the solver's data with respect to its background distribution,
+    then find the view — one full step of the paper's pipeline. *)
+
+val project : t -> Mat.t -> (float * float) array
+(** Coordinates of each row of a matrix in the view. *)
+
+val project_vec : t -> Vec.t -> float * float
+
+val axis_label : ?top:int -> columns:string array -> prefix:string ->
+  axis -> string
+(** Format an axis as the paper does: score in brackets, then the [top]
+    (default all) largest-magnitude loadings sorted by absolute value,
+    e.g. ["ICA1[0.041] = +0.69 (X3) +0.69 (X2) ..."]. *)
+
+val method_name : method_ -> string

@@ -1,0 +1,29 @@
+open Sider_linalg
+open Sider_maxent
+
+let class_transforms ?(clamp = 1e-12) solver =
+  Array.init (Solver.n_classes solver) (fun c ->
+      let p = Solver.class_params solver c in
+      let dec = Eigen.symmetric (Mat.symmetrize p.Gauss_params.sigma) in
+      (* Σ^{-1/2} = U D^{-1/2} Uᵀ — the "rotate back" of Eq. 14. *)
+      Eigen.power ~clamp dec (-0.5))
+
+let whiten_with solver transforms m =
+  let n, d = Mat.dims m in
+  let out = Mat.create n d in
+  let part = Solver.partition solver in
+  for r = 0 to n - 1 do
+    let cls = Partition.class_of_row part r in
+    let p = Solver.class_params solver cls in
+    let centered = Vec.sub (Mat.row m r) p.Gauss_params.mean in
+    Mat.set_row out r (Mat.mv transforms.(cls) centered)
+  done;
+  out
+
+let whiten ?clamp solver =
+  whiten_with solver (class_transforms ?clamp solver) (Solver.data solver)
+
+let whiten_matrix ?clamp solver m =
+  if Mat.dims m <> Mat.dims (Solver.data solver) then
+    invalid_arg "Whiten.whiten_matrix: shape mismatch with solver data";
+  whiten_with solver (class_transforms ?clamp solver) m

@@ -1,0 +1,24 @@
+(** Whitening of the data with respect to the background distribution
+    (paper Eq. 14 / Sec. II-B).
+
+    Each row is mapped through [y_i = Σ_i^{-1/2} (x_i − m_i)] using the
+    symmetric (direction-preserving) square root of its class's inverse
+    covariance.  If the data followed the background distribution exactly,
+    [Y] would be a sample of the unit spherical Gaussian — so any
+    structure left in [Y] is exactly what the user does not yet know. *)
+
+open Sider_linalg
+open Sider_maxent
+
+val class_transforms : ?clamp:float -> Solver.t -> Mat.t array
+(** [Σ_c^{-1/2}] per equivalence class.  Eigenvalues of [Σ] are clamped
+    below at [clamp] (default 1e-12) so the zero-variance classes of the
+    Fig. 5 adversarial solutions stay finite. *)
+
+val whiten : ?clamp:float -> Solver.t -> Mat.t
+(** Whitened version of the solver's data matrix. *)
+
+val whiten_matrix : ?clamp:float -> Solver.t -> Mat.t -> Mat.t
+(** Apply the same per-row transformations to another matrix of the same
+    shape (e.g. a sample of the background distribution; its whitened
+    image is approximately unit spherical by construction). *)

@@ -1,0 +1,1 @@
+lib/rand/rng.ml: Int64

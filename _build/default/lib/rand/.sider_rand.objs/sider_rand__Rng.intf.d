@@ -1,0 +1,1 @@
+lib/rand/rng.mli:

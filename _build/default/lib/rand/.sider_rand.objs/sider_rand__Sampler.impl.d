@@ -1,0 +1,1 @@
+lib/rand/sampler.ml: Array Float Fun Mat Rng Sider_linalg Stdlib Vec

@@ -1,0 +1,1 @@
+lib/rand/sampler.mli: Mat Rng Sider_linalg Vec

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generation.
+
+    Implementation: xoshiro256++ (Blackman & Vigna) seeded through
+    splitmix64, so every experiment in the repository is reproducible from
+    a single integer seed, independent of the OCaml runtime's [Random]
+    state and of the platform. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from any integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator stream from [t] (and
+    advances [t]).  Used to hand substreams to subsystems without coupling
+    their consumption patterns. *)
+
+val copy : t -> t
+
+val uint64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)] with 53-bit resolution. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]; [bound] must be positive.
+    Uses rejection sampling, so the distribution is exact. *)
+
+val bool : t -> bool
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [[lo, hi)]. *)

@@ -1,0 +1,40 @@
+(** Random variates and permutations built on {!Rng}. *)
+
+open Sider_linalg
+
+val normal : Rng.t -> float
+(** Standard normal variate (polar Box-Muller; cached pairs are not used so
+    each draw consumes a fresh rejection loop and [split] streams stay
+    independent). *)
+
+val gaussian : Rng.t -> mean:float -> sd:float -> float
+
+val normal_vec : Rng.t -> int -> Vec.t
+
+val normal_mat : Rng.t -> int -> int -> Mat.t
+
+val exponential : Rng.t -> rate:float -> float
+
+val poisson : Rng.t -> lambda:float -> int
+(** Knuth's method for small lambda, normal approximation above 720 (where
+    [exp (-. lambda)] underflows). *)
+
+val categorical : Rng.t -> Vec.t -> int
+(** Draw an index with probability proportional to the (non-negative)
+    weights. *)
+
+val dirichlet : Rng.t -> Vec.t -> Vec.t
+(** Dirichlet variate via Gamma draws (Marsaglia-Tsang). *)
+
+val gamma : Rng.t -> shape:float -> scale:float -> float
+
+val shuffle : Rng.t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample_without_replacement : Rng.t -> int -> int -> int array
+(** [sample_without_replacement rng k n] draws [k] distinct indices from
+    [[0, n)], in random order. *)
+
+val mvn : Rng.t -> mean:Vec.t -> chol:Mat.t -> Vec.t
+(** Multivariate normal variate given the lower Cholesky factor of the
+    covariance: [mean + chol · z]. *)

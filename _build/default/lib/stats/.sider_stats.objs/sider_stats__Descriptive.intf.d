@@ -1,0 +1,1 @@
+lib/stats/descriptive.mli: Mat Sider_linalg Vec

@@ -1,0 +1,1 @@
+lib/stats/ellipse.ml: Array Eigen Float Gaussian Mat Sider_linalg

@@ -1,0 +1,1 @@
+lib/stats/ellipse.mli: Mat Sider_linalg Vec

@@ -1,0 +1,1 @@
+lib/stats/kmeans.ml: Array Float Mat Option Rng Sampler Sider_linalg Sider_rand Stdlib Vec

@@ -1,0 +1,1 @@
+lib/stats/kmeans.mli: Mat Rng Sider_linalg Sider_rand

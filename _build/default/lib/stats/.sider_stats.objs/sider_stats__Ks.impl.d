@@ -1,0 +1,1 @@
+lib/stats/ks.ml: Array Float Gaussian

@@ -1,0 +1,1 @@
+lib/stats/ks.mli: Sider_linalg Vec

@@ -1,0 +1,1 @@
+lib/stats/mvn.ml: Array Chol Float Mat Sampler Sider_linalg Sider_rand Vec

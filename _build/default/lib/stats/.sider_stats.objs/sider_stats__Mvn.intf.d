@@ -1,0 +1,1 @@
+lib/stats/mvn.mli: Mat Rng Sider_linalg Sider_rand Vec

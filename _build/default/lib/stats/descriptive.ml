@@ -1,0 +1,79 @@
+open Sider_linalg
+
+type summary = {
+  n : int;
+  mean : float;
+  sd : float;
+  min : float;
+  max : float;
+  median : float;
+  q25 : float;
+  q75 : float;
+}
+
+let quantile v p =
+  if Array.length v = 0 then invalid_arg "Descriptive.quantile: empty";
+  if p < 0.0 || p > 1.0 then invalid_arg "Descriptive.quantile: p not in [0,1]";
+  let sorted = Array.copy v in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let h = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor h) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median v = quantile v 0.5
+
+let summarize v =
+  if Array.length v = 0 then invalid_arg "Descriptive.summarize: empty";
+  let mean = Vec.mean v in
+  {
+    n = Array.length v;
+    mean;
+    sd = sqrt (Vec.variance ~mean v);
+    min = Vec.min v;
+    max = Vec.max v;
+    median = median v;
+    q25 = quantile v 0.25;
+    q75 = quantile v 0.75;
+  }
+
+let central_moment v k =
+  let mu = Vec.mean v in
+  let acc = ref 0.0 in
+  Array.iter (fun x -> acc := !acc +. ((x -. mu) ** float_of_int k)) v;
+  !acc /. float_of_int (Array.length v)
+
+let skewness v =
+  let m2 = central_moment v 2 in
+  if m2 = 0.0 then 0.0 else central_moment v 3 /. (m2 ** 1.5)
+
+let kurtosis v =
+  let m2 = central_moment v 2 in
+  if m2 = 0.0 then 0.0 else (central_moment v 4 /. (m2 *. m2)) -. 3.0
+
+let correlation x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Descriptive.correlation: length mismatch";
+  let mx = Vec.mean x and my = Vec.mean y in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  Array.iteri
+    (fun i xi ->
+      let dx = xi -. mx and dy = y.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy))
+    x;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0
+  else !sxy /. sqrt (!sxx *. !syy)
+
+let standardize v =
+  let mean = Vec.mean v in
+  let sd = sqrt (Vec.variance ~mean v) in
+  if sd = 0.0 then Array.map (fun x -> x -. mean) v
+  else Array.map (fun x -> (x -. mean) /. sd) v
+
+let column_summaries m =
+  let _, d = Mat.dims m in
+  Array.init d (fun j -> summarize (Mat.col m j))

@@ -1,0 +1,48 @@
+open Sider_linalg
+
+type t = {
+  center : float * float;
+  axis1 : float * float;
+  axis2 : float * float;
+  radius1 : float;
+  radius2 : float;
+}
+
+let of_moments ?(confidence = 0.95) ~mean ~cov () =
+  if Array.length mean <> 2 then invalid_arg "Ellipse.of_moments: need 2-D";
+  let { Eigen.values; vectors } = Eigen.symmetric cov in
+  let r2 = Gaussian.chi2_quantile_2d confidence in
+  let radius k = sqrt (Float.max values.(k) 0.0 *. r2) in
+  {
+    center = (mean.(0), mean.(1));
+    axis1 = (Mat.get vectors 0 0, Mat.get vectors 1 0);
+    axis2 = (Mat.get vectors 0 1, Mat.get vectors 1 1);
+    radius1 = radius 0;
+    radius2 = radius 1;
+  }
+
+let of_points ?confidence pts =
+  if Array.length pts = 0 then invalid_arg "Ellipse.of_points: empty";
+  let m = Mat.init (Array.length pts) 2 (fun i j ->
+      let x, y = pts.(i) in
+      if j = 0 then x else y)
+  in
+  of_moments ?confidence ~mean:(Mat.col_means m) ~cov:(Mat.covariance m) ()
+
+let contains t (x, y) =
+  let cx, cy = t.center in
+  let dx = x -. cx and dy = y -. cy in
+  let proj (ax, ay) = (dx *. ax) +. (dy *. ay) in
+  let u = proj t.axis1 and v = proj t.axis2 in
+  let term r p = if r = 0.0 then (if p = 0.0 then 0.0 else infinity)
+    else (p /. r) ** 2.0
+  in
+  term t.radius1 u +. term t.radius2 v <= 1.0
+
+let polyline ?(segments = 64) t =
+  let cx, cy = t.center in
+  let a1x, a1y = t.axis1 and a2x, a2y = t.axis2 in
+  Array.init (segments + 1) (fun i ->
+      let th = 2.0 *. Float.pi *. float_of_int i /. float_of_int segments in
+      let u = t.radius1 *. cos th and v = t.radius2 *. sin th in
+      (cx +. (u *. a1x) +. (v *. a2x), cy +. (u *. a1y) +. (v *. a2y)))

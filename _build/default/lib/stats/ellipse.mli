@@ -1,0 +1,28 @@
+(** 2-D Gaussian confidence ellipses.
+
+    SIDER draws 95% confidence ellipsoids for the selected points and for
+    the corresponding background samples (paper Sec. III, Fig. 7). *)
+
+open Sider_linalg
+
+type t = {
+  center : float * float;
+  axis1 : float * float;   (** Unit direction of the major axis. *)
+  axis2 : float * float;   (** Unit direction of the minor axis. *)
+  radius1 : float;         (** Half-length along [axis1]. *)
+  radius2 : float;         (** Half-length along [axis2]. *)
+}
+
+val of_points : ?confidence:float -> (float * float) array -> t
+(** Fit the mean/covariance of the points and return the confidence
+    ellipse at the given level (default 0.95).  Requires at least one
+    point; degenerate covariances give zero radii. *)
+
+val of_moments : ?confidence:float -> mean:Vec.t -> cov:Mat.t -> unit -> t
+(** Same from explicit 2-D moments. *)
+
+val contains : t -> float * float -> bool
+
+val polyline : ?segments:int -> t -> (float * float) array
+(** Points on the ellipse boundary, for rendering (default 64 segments,
+    closed: first point repeated at the end). *)

@@ -1,0 +1,26 @@
+(** Univariate Gaussian utilities. *)
+
+val pdf : ?mean:float -> ?sd:float -> float -> float
+
+val log_pdf : ?mean:float -> ?sd:float -> float -> float
+
+val cdf : ?mean:float -> ?sd:float -> float -> float
+(** Via [erf] (Abramowitz-Stegun 7.1.26 rational approximation, absolute
+    error < 1.5e-7, sufficient for confidence bands). *)
+
+val quantile : float -> float
+(** Standard normal quantile (Acklam's rational approximation, relative
+    error < 1.15e-9). Raises [Invalid_argument] outside (0,1). *)
+
+val erf : float -> float
+
+val log_cosh_moment : float
+(** [E[log cosh X]] for [X ~ N(0,1)], the Gaussian reference value of the
+    FastICA log-cosh contrast; paper Table I scores are measured relative
+    to it.  Precomputed by 200k-point Gauss-Hermite-free trapezoid
+    integration to 1e-12. *)
+
+val chi2_quantile_2d : float -> float
+(** Quantile of the chi-square distribution with 2 degrees of freedom
+    (closed form: [-2 log (1-p)]); radius² of 2-D Gaussian confidence
+    ellipses, e.g. 5.991 at p = 0.95 (paper Sec. III). *)

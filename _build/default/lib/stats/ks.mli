@@ -1,0 +1,24 @@
+(** One-sample Kolmogorov-Smirnov tests.
+
+    Used as the quantitative form of the paper's stopping condition
+    ("typically when there are no notable differences between the data and
+    the background distribution"): after whitening, every coordinate
+    should be standard normal, and the KS distance to Φ measures how far
+    from 'explained' the data still is. *)
+
+open Sider_linalg
+
+val statistic : cdf:(float -> float) -> Vec.t -> float
+(** [statistic ~cdf xs] is the KS distance [sup_x |F_n(x) − cdf(x)|].
+    Raises [Invalid_argument] on an empty sample. *)
+
+val statistic_gaussian : Vec.t -> float
+(** KS distance to the standard normal CDF. *)
+
+val p_value : n:int -> float -> float
+(** Asymptotic p-value of a KS distance for sample size [n]
+    (Kolmogorov distribution with the Stephens small-sample
+    correction). *)
+
+val test_gaussian : Vec.t -> float * float
+(** [(d, p)] against the standard normal. *)

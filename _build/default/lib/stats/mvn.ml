@@ -1,0 +1,57 @@
+open Sider_linalg
+open Sider_rand
+
+type t = {
+  mean : Vec.t;
+  cov : Mat.t;
+  chol : Mat.t;
+  singular : bool;
+}
+
+let create ~mean ~cov =
+  let d = Array.length mean in
+  let rd, cd = Mat.dims cov in
+  if rd <> d || cd <> d then invalid_arg "Mvn.create: shape mismatch";
+  if not (Mat.is_symmetric ~eps:1e-6 cov) then
+    invalid_arg "Mvn.create: covariance not symmetric";
+  let chol = Chol.decompose_psd (Mat.symmetrize cov) in
+  let singular =
+    let s = ref false in
+    for i = 0 to d - 1 do
+      if Mat.get chol i i = 0.0 then s := true
+    done;
+    !s
+  in
+  { mean; cov; chol; singular }
+
+let standard d = create ~mean:(Vec.create d) ~cov:(Mat.identity d)
+
+let dim t = Array.length t.mean
+
+let mean t = t.mean
+
+let cov t = t.cov
+
+let sample t rng = Sampler.mvn rng ~mean:t.mean ~chol:t.chol
+
+let sample_n t rng n =
+  let d = dim t in
+  let out = Mat.create n d in
+  for i = 0 to n - 1 do
+    Mat.set_row out i (sample t rng)
+  done;
+  out
+
+let log_pdf t x =
+  if t.singular then invalid_arg "Mvn.log_pdf: singular covariance";
+  let d = dim t in
+  let diff = Vec.sub x t.mean in
+  let solved = Chol.solve t.chol diff in
+  let maha2 = Vec.dot diff solved in
+  let log_det = Chol.log_det t.chol in
+  -0.5 *. (maha2 +. log_det +. (float_of_int d *. log (2.0 *. Float.pi)))
+
+let mahalanobis2 t x =
+  let diff = Vec.sub x t.mean in
+  let solved = Chol.solve t.chol diff in
+  Vec.dot diff solved

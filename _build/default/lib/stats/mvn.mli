@@ -1,0 +1,36 @@
+(** Multivariate Gaussian distributions [N(mean, cov)].
+
+    The background distribution of the paper factorises into one such
+    Gaussian per row equivalence class; this module provides sampling and
+    densities for those class Gaussians and for tests. *)
+
+open Sider_linalg
+open Sider_rand
+
+type t
+
+val create : mean:Vec.t -> cov:Mat.t -> t
+(** The covariance must be symmetric positive semi-definite; a PSD-tolerant
+    Cholesky factorization is taken once at construction. *)
+
+val standard : int -> t
+(** [N(0, I_d)]. *)
+
+val dim : t -> int
+
+val mean : t -> Vec.t
+
+val cov : t -> Mat.t
+
+val sample : t -> Rng.t -> Vec.t
+
+val sample_n : t -> Rng.t -> int -> Mat.t
+(** [n] samples as rows. *)
+
+val log_pdf : t -> Vec.t -> float
+(** Log density.  Raises [Invalid_argument] if the covariance is singular
+    (log-det undefined). *)
+
+val mahalanobis2 : t -> Vec.t -> float
+(** Squared Mahalanobis distance to the mean (pseudo-inverse semantics on
+    singular covariances: zero-variance directions contribute zero). *)

@@ -1,0 +1,1 @@
+lib/viz/ascii_plot.ml: Array Buffer Float List Printf Session Sider_core Stdlib String

@@ -1,0 +1,1 @@
+lib/viz/ascii_plot.mli: Sider_core

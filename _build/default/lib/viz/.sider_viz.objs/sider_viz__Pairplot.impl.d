@@ -1,0 +1,1 @@
+lib/viz/pairplot.ml: Array Buffer Fun List Mat Printf Session Sider_core Sider_data Sider_linalg Stdlib String Vec

@@ -1,0 +1,1 @@
+lib/viz/pairplot.mli: Mat Sider_core Sider_linalg

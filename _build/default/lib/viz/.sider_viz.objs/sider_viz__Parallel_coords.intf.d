@@ -1,0 +1,1 @@
+lib/viz/parallel_coords.mli: Mat Sider_core Sider_linalg

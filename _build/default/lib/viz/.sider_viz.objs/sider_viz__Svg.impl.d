@@ -1,0 +1,1 @@
+lib/viz/svg.ml: Array Buffer Filename Float Fun List Printf Session Sider_core Sider_stats String Sys

@@ -1,0 +1,1 @@
+lib/viz/svg.mli: Sider_core Sider_stats

@@ -1,0 +1,76 @@
+open Sider_core
+open Sider_linalg
+
+let render ?(width = 820) ?(height = 360) ?(max_rows = 400) ?columns
+    ?colors m =
+  let n, d = Mat.dims m in
+  if d < 2 then invalid_arg "Parallel_coords.render: need at least 2 columns";
+  let columns =
+    match columns with
+    | Some c -> c
+    | None -> Array.init d (fun j -> Printf.sprintf "X%d" (j + 1))
+  in
+  if Array.length columns <> d then
+    invalid_arg "Parallel_coords.render: column name mismatch";
+  let idx =
+    if n <= max_rows then Array.init n Fun.id
+    else begin
+      let stride = float_of_int n /. float_of_int max_rows in
+      Array.init max_rows (fun i -> int_of_float (float_of_int i *. stride))
+    end
+  in
+  let mins = Array.init d (fun j -> Vec.min (Mat.col m j)) in
+  let maxs = Array.init d (fun j -> Vec.max (Mat.col m j)) in
+  let span j =
+    let s = maxs.(j) -. mins.(j) in
+    if s = 0.0 then 1.0 else s
+  in
+  let ml = 30.0 and mr = 30.0 and mt = 20.0 and mb = 40.0 in
+  let pw = float_of_int width -. ml -. mr in
+  let ph = float_of_int height -. mt -. mb in
+  let axis_x j = ml +. (pw *. float_of_int j /. float_of_int (d - 1)) in
+  let value_y j v = mt +. ph -. ((v -. mins.(j)) /. span j *. ph) in
+  let buf = Buffer.create (1 lsl 16) in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+      viewBox=\"0 0 %d %d\">\n" width height width height;
+  pf "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height;
+  (* Axes and labels. *)
+  for j = 0 to d - 1 do
+    pf "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+        stroke=\"#777\"/>\n" (axis_x j) mt (axis_x j) (mt +. ph);
+    pf "<text x=\"%.1f\" y=\"%.1f\" font-size=\"9\" text-anchor=\"middle\" \
+        font-family=\"sans-serif\">%s</text>\n"
+      (axis_x j) (mt +. ph +. 16.0) columns.(j)
+  done;
+  (* Row polylines. *)
+  Array.iter
+    (fun i ->
+      let color =
+        match colors with Some c -> c.(i) | None -> "#555555"
+      in
+      let path =
+        String.concat " "
+          (List.init d (fun j ->
+               Printf.sprintf "%s%.1f %.1f"
+                 (if j = 0 then "M" else "L")
+                 (axis_x j)
+                 (value_y j (Mat.get m i j))))
+      in
+      pf "<path d=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"0.7\" \
+          opacity=\"0.45\"/>\n" path color)
+    idx;
+  pf "</svg>\n";
+  Buffer.contents buf
+
+let render_selection ?width ?height session ~selection =
+  let m = Session.data session in
+  let n, _ = Mat.dims m in
+  let selset = Array.to_list selection in
+  let colors =
+    Array.init n (fun i ->
+        if List.mem i selset then "#d62728" else "#bbbbbb")
+  in
+  render ?width ?height
+    ~columns:(Sider_data.Dataset.columns (Session.dataset session))
+    ~colors m

@@ -1,0 +1,19 @@
+(** Parallel-coordinates plots as SVG.
+
+    A complement to the pairplot for higher-dimensional inspection: one
+    vertical axis per attribute, one polyline per row.  Used by the
+    examples to show what distinguishes a selection across all attributes
+    at once (the role of the statistics panel in the SIDER UI). *)
+
+open Sider_linalg
+
+val render : ?width:int -> ?height:int -> ?max_rows:int ->
+  ?columns:string array -> ?colors:string array -> Mat.t -> string
+(** [render m] draws the rows of [m] across per-column min-max-scaled
+    axes.  [colors] gives a per-row CSS color; [max_rows] (default 400)
+    subsamples deterministically. *)
+
+val render_selection : ?width:int -> ?height:int ->
+  Sider_core.Session.t -> selection:int array -> string
+(** Selection in red over the full data in gray, on the engine's
+    standardized scale. *)

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Corpus Csv Dataset Eigen Filename Float Fun List Mat Segmentation Sider_data Sider_linalg String Synth Sys Test_helpers Vec

@@ -1,0 +1,1 @@
+test/test_decomp.ml: Alcotest Array Chol Eigen Float Linsolve Mat QCheck Sider_linalg Sider_rand Svd Test_helpers Vec

@@ -1,0 +1,1 @@
+test/test_helpers.ml: Alcotest Float Format Mat QCheck QCheck_alcotest Sider_linalg Sider_rand Vec

@@ -1,0 +1,1 @@
+test/test_mat.ml: Alcotest Mat QCheck Sider_linalg Sider_rand Test_helpers

@@ -1,0 +1,1 @@
+test/test_maxent.ml: Alcotest Array Constr Eigen Float Fun Gauss_params Linsolve List Mat Partition QCheck Sider_data Sider_linalg Sider_maxent Sider_rand Solver Test_helpers Vec

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Auto_explore Dataset Filename Fun Json List Persist QCheck Session Sider_core Sider_data Sider_maxent Sider_rand Synth Sys Test_helpers

@@ -1,0 +1,1 @@
+test/test_projection.ml: Alcotest Array Constr Fastica Float Linsolve Mat Pca Scores Sider_data Sider_linalg Sider_maxent Sider_projection Sider_rand Solver String Test_helpers Vec View Whiten

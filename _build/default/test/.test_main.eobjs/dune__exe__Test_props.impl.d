@@ -1,0 +1,1 @@
+test/test_props.ml: Array Constr Float Fun Gauss_params Int List Mat Partition Printf QCheck Sider_data Sider_linalg Sider_maxent Sider_projection Sider_rand Sider_stats Solver String Test_helpers

@@ -1,0 +1,1 @@
+test/test_rand.ml: Alcotest Array Chol Fun Mat QCheck Rng Sampler Sider_linalg Sider_rand Sider_stats Test_helpers Vec

@@ -1,0 +1,1 @@
+test/test_related.ml: Alcotest Array Fastica Float Ks List Lle Mat Mds Pursuit Sider_core Sider_data Sider_linalg Sider_projection Sider_rand Sider_stats Stdlib String Test_helpers Tsne Vec

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Descriptive Ellipse Float Gaussian Kmeans Mat Metrics Mvn Sider_data Sider_linalg Sider_rand Sider_stats Stdlib String Test_helpers Vec

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Float Gen QCheck Sider_linalg Test_helpers Vec

@@ -1,0 +1,302 @@
+(* Dataset, CSV, and synthetic generators. *)
+
+open Sider_linalg
+open Sider_data
+open Test_helpers
+
+(* --- Dataset ----------------------------------------------------------------- *)
+
+let sample_ds () =
+  Dataset.create ~name:"t" ~labels:[| "a"; "b"; "a" |]
+    ~columns:[| "c1"; "c2" |]
+    (Mat.of_arrays [| [| 1.0; 10.0 |]; [| 2.0; 20.0 |]; [| 3.0; 30.0 |] |])
+
+let test_dataset_basic () =
+  let ds = sample_ds () in
+  approx "rows" 3.0 (float_of_int (Dataset.n_rows ds));
+  approx "cols" 2.0 (float_of_int (Dataset.n_cols ds));
+  check_true "label" (String.equal (Dataset.label ds 1) "b");
+  check_true "classes" (Dataset.classes ds = [ "a"; "b" ]);
+  check_true "class indices" (Dataset.class_indices ds "a" = [| 0; 2 |]);
+  approx "column_index" 1.0 (float_of_int (Dataset.column_index ds "c2"))
+
+let test_dataset_validation () =
+  Alcotest.check_raises "bad columns"
+    (Invalid_argument "Dataset.create: column-name count does not match width")
+    (fun () ->
+      ignore (Dataset.create ~columns:[| "a" |] (Mat.identity 2)));
+  Alcotest.check_raises "bad labels"
+    (Invalid_argument "Dataset.create: label count does not match rows")
+    (fun () ->
+      ignore
+        (Dataset.create ~labels:[| "x" |] ~columns:[| "a"; "b" |]
+           (Mat.identity 2)))
+
+let test_dataset_select () =
+  let ds = sample_ds () in
+  let sub = Dataset.select_rows ds [| 0; 2 |] in
+  approx "2 rows" 2.0 (float_of_int (Dataset.n_rows sub));
+  check_true "labels follow" (Dataset.labels sub = Some [| "a"; "a" |]);
+  let cols = Dataset.select_cols ds [| 1 |] in
+  approx "1 col" 1.0 (float_of_int (Dataset.n_cols cols));
+  approx "values" 20.0 (Mat.get (Dataset.matrix cols) 1 0)
+
+let test_dataset_standardized () =
+  let ds = Dataset.standardized (sample_ds ()) in
+  let m = Dataset.matrix ds in
+  approx_vec ~eps:1e-12 "means 0" [| 0.0; 0.0 |] (Mat.col_means m);
+  approx_vec ~eps:1e-12 "vars 1" [| 1.0; 1.0 |] (Mat.col_variances m)
+
+let test_dataset_standardized_constant () =
+  let ds =
+    Dataset.create ~columns:[| "k" |]
+      (Mat.of_arrays [| [| 5.0 |]; [| 5.0 |] |])
+  in
+  let m = Dataset.matrix (Dataset.standardized ds) in
+  approx "constant centered" 0.0 (Mat.get m 0 0)
+
+(* --- CSV --------------------------------------------------------------------- *)
+
+let test_csv_parse_line () =
+  check_true "plain" (Csv.parse_line "a,b,c" = [ "a"; "b"; "c" ]);
+  check_true "quoted comma" (Csv.parse_line {|a,"b,c",d|} = [ "a"; "b,c"; "d" ]);
+  check_true "escaped quote" (Csv.parse_line {|"he said ""hi""",x|}
+                              = [ {|he said "hi"|}; "x" ]);
+  check_true "empty fields" (Csv.parse_line "a,,c" = [ "a"; ""; "c" ]);
+  check_true "trailing empty" (Csv.parse_line "a," = [ "a"; "" ])
+
+let test_csv_roundtrip () =
+  let ds = sample_ds () in
+  let text = Csv.to_string ds in
+  let back = Csv.of_string ~label_column:"class" text in
+  approx_mat ~eps:1e-12 "matrix roundtrip" (Dataset.matrix ds)
+    (Dataset.matrix back);
+  check_true "labels roundtrip" (Dataset.labels back = Dataset.labels ds);
+  check_true "columns roundtrip" (Dataset.columns back = Dataset.columns ds)
+
+let test_csv_file_roundtrip () =
+  let ds = Synth.three_d ~seed:4 () in
+  let path = Filename.temp_file "sider_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write_file path ds;
+      let back = Csv.read_file ~label_column:"class" path in
+      approx_mat ~eps:1e-12 "file roundtrip" (Dataset.matrix ds)
+        (Dataset.matrix back);
+      check_true "labels" (Dataset.labels back = Dataset.labels ds))
+
+let test_csv_errors () =
+  (try
+     ignore (Csv.of_string "a,b\n1,notanumber");
+     Alcotest.fail "expected failure"
+   with Failure msg ->
+     check_true "line number in error" (String.length msg > 0
+                                        && String.contains msg '2'));
+  (try
+     ignore (Csv.of_string ~label_column:"missing" "a,b\n1,2");
+     Alcotest.fail "expected failure"
+   with Failure _ -> ())
+
+let test_csv_ragged () =
+  try
+    ignore (Csv.of_string "a,b\n1,2,3");
+    Alcotest.fail "expected failure"
+  with Failure msg -> check_true "field count error" (String.length msg > 0)
+
+(* --- Synth --------------------------------------------------------------------- *)
+
+let test_three_d () =
+  let ds = Synth.three_d () in
+  approx "150 points" 150.0 (float_of_int (Dataset.n_rows ds));
+  approx "3 dims" 3.0 (float_of_int (Dataset.n_cols ds));
+  check_true "4 classes" (List.length (Dataset.classes ds) = 4);
+  approx "A has 50" 50.0 (float_of_int (Array.length (Dataset.class_indices ds "A")));
+  approx "C has 25" 25.0 (float_of_int (Array.length (Dataset.class_indices ds "C")));
+  (* C and D share their location in dims 1-2 and differ along dim 3. *)
+  let mean_of cls j =
+    let idx = Dataset.class_indices ds cls in
+    Vec.mean (Array.map (fun i -> Mat.get (Dataset.matrix ds) i j) idx)
+  in
+  approx ~eps:0.15 "C≈D in X1" (mean_of "C" 0) (mean_of "D" 0);
+  approx ~eps:0.15 "C≈D in X2" (mean_of "C" 1) (mean_of "D" 1);
+  check_true "C above D in X3" (mean_of "C" 2 > mean_of "D" 2 +. 0.5)
+
+let test_x5 () =
+  let { Synth.data; group13; group45 } = Synth.x5 ~seed:9 () in
+  approx "1000 points" 1000.0 (float_of_int (Dataset.n_rows data));
+  approx "5 dims" 5.0 (float_of_int (Dataset.n_cols data));
+  check_true "groups sized" (Array.length group13 = 1000 && Array.length group45 = 1000);
+  (* Every A-point belongs to G; B/C/D points are mostly E/F. *)
+  let in_ef = ref 0 and bcd = ref 0 in
+  Array.iteri
+    (fun i g13 ->
+      if String.equal g13 "A" then
+        check_true "A implies G" (String.equal group45.(i) "G")
+      else begin
+        incr bcd;
+        if group45.(i) = "E" || group45.(i) = "F" then incr in_ef
+      end)
+    group13;
+  let frac = float_of_int !in_ef /. float_of_int !bcd in
+  approx ~eps:0.05 "75% coupling" 0.75 frac
+
+let test_x5_overlap_property () =
+  (* In the (X1,X2) axis projection cluster A must coincide with D (both
+     centered at the origin there). *)
+  let { Synth.data; group13; _ } = Synth.x5 ~seed:9 () in
+  let m = Dataset.matrix data in
+  let mean_of g j =
+    let acc = ref 0.0 and n = ref 0 in
+    Array.iteri
+      (fun i x ->
+        if String.equal x g then begin
+          acc := !acc +. Mat.get m i j;
+          incr n
+        end)
+      group13;
+    !acc /. float_of_int !n
+  in
+  approx ~eps:0.1 "A=D in X1" (mean_of "A" 0) (mean_of "D" 0);
+  approx ~eps:0.1 "A=D in X2" (mean_of "A" 1) (mean_of "D" 1);
+  check_true "A≠D in X3" (Float.abs (mean_of "A" 2 -. mean_of "D" 2) > 1.0)
+
+let test_clustered () =
+  let ds = Synth.clustered ~seed:2 ~n:200 ~d:8 ~k:4 () in
+  approx "n" 200.0 (float_of_int (Dataset.n_rows ds));
+  approx "d" 8.0 (float_of_int (Dataset.n_cols ds));
+  check_true "k classes" (List.length (Dataset.classes ds) = 4);
+  (* Points of a cluster concentrate around their centroid: within-cluster
+     sd should be ~0.5, far smaller than the overall spread. *)
+  let m = Dataset.matrix ds in
+  let idx = Dataset.class_indices ds "c0" in
+  let sub = Mat.select_rows m idx in
+  let within = Vec.mean (Mat.col_variances sub) in
+  let overall = Vec.mean (Mat.col_variances m) in
+  check_true "clusters are tight" (within < overall /. 2.0)
+
+let test_adversarial () =
+  let ds = Synth.adversarial () in
+  approx_mat "exact Eq. 11"
+    (Mat.of_arrays [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 0.0; 0.0 |] |])
+    (Dataset.matrix ds)
+
+let test_gaussian_null () =
+  let ds = Synth.gaussian ~seed:3 ~n:5000 ~d:3 () in
+  let m = Dataset.matrix ds in
+  approx_vec ~eps:0.06 "means 0" [| 0.0; 0.0; 0.0 |] (Mat.col_means m);
+  approx_vec ~eps:0.1 "vars 1" [| 1.0; 1.0; 1.0 |] (Mat.col_variances m)
+
+let test_generators_deterministic () =
+  let a = Synth.x5 ~seed:5 () and b = Synth.x5 ~seed:5 () in
+  approx_mat "same seed, same data" (Dataset.matrix a.Synth.data)
+    (Dataset.matrix b.Synth.data);
+  let c = Synth.x5 ~seed:6 () in
+  check_true "different seed differs"
+    (not (Mat.approx_equal (Dataset.matrix a.Synth.data)
+            (Dataset.matrix c.Synth.data)))
+
+(* --- Corpus / Segmentation -------------------------------------------------------- *)
+
+let test_corpus_shape () =
+  let ds = Corpus.generate ~seed:1 () in
+  approx "1335 documents" 1335.0 (float_of_int (Dataset.n_rows ds));
+  approx "100 words" 100.0 (float_of_int (Dataset.n_cols ds));
+  check_true "4 genres" (List.length (Dataset.classes ds) = 4);
+  approx "conversation count" 153.0
+    (float_of_int
+       (Array.length (Dataset.class_indices ds "transcribed conversations")));
+  (* Counts are non-negative and roughly sum to the document length. *)
+  let m = Dataset.matrix ds in
+  check_true "non-negative counts"
+    (Array.for_all (fun x -> x >= 0.0) (Mat.row m 0));
+  approx ~eps:200.0 "≈2000 tokens" 2000.0 (Vec.sum (Mat.row m 0))
+
+let test_corpus_genre_separation () =
+  (* Conversations use the filler block (words 0-9) far more than academic
+     prose — the property the Fig. 7 use case needs. *)
+  let ds = Corpus.generate ~seed:1 () in
+  let m = Dataset.matrix ds in
+  let mean_block cls =
+    let idx = Dataset.class_indices ds cls in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun i ->
+        for j = 0 to 9 do
+          acc := !acc +. Mat.get m i j
+        done)
+      idx;
+    !acc /. float_of_int (Array.length idx)
+  in
+  check_true "speech uses fillers"
+    (mean_block "transcribed conversations" > 2.0 *. mean_block "academic prose")
+
+let test_segmentation_shape () =
+  let ds = Segmentation.generate ~seed:1 () in
+  approx "2310 rows" 2310.0 (float_of_int (Dataset.n_rows ds));
+  approx "19 attrs" 19.0 (float_of_int (Dataset.n_cols ds));
+  check_true "7 classes" (List.length (Dataset.classes ds) = 7);
+  approx "330 each" 330.0
+    (float_of_int (Array.length (Dataset.class_indices ds "sky")))
+
+let test_segmentation_collinear () =
+  (* The generator must produce strongly collinear attributes so that the
+     standardized covariance has both huge and tiny eigenvalues — the
+     Fig. 9a scale-mismatch precondition. *)
+  let ds = Dataset.standardized (Segmentation.generate ~seed:1 ()) in
+  let cov = Mat.covariance (Dataset.matrix ds) in
+  let { Eigen.values; _ } = Eigen.symmetric cov in
+  check_true "leading eigenvalue > 3" (values.(0) > 3.0);
+  check_true "trailing eigenvalue < 0.05" (values.(18) < 0.05)
+
+let test_segmentation_sky_far () =
+  let ds = Dataset.standardized (Segmentation.generate ~seed:1 ()) in
+  let m = Dataset.matrix ds in
+  let centroid cls =
+    Mat.col_means (Mat.select_rows m (Dataset.class_indices ds cls))
+  in
+  let sky = centroid "sky" and window = centroid "window" in
+  let cement = centroid "cement" in
+  check_true "sky far from centre cluster"
+    (Vec.dist2 sky window > 3.0 *. Vec.dist2 cement window)
+
+let test_one_hot () =
+  let ds = sample_ds () in
+  let enc = Dataset.one_hot ~prefix:"lab" ~values:[| "x"; "y"; "x" |] ds in
+  approx "columns grow" 4.0 (float_of_int (Dataset.n_cols enc));
+  check_true "names" (Dataset.columns enc = [| "c1"; "c2"; "lab=x"; "lab=y" |]);
+  let m = Dataset.matrix enc in
+  approx "row0 x-indicator" 1.0 (Mat.get m 0 2);
+  approx "row0 y-indicator" 0.0 (Mat.get m 0 3);
+  approx "row1 y-indicator" 1.0 (Mat.get m 1 3);
+  approx "original kept" 20.0 (Mat.get m 1 1);
+  Alcotest.check_raises "length validated"
+    (Invalid_argument "Dataset.one_hot: one value per row required")
+    (fun () -> ignore (Dataset.one_hot ~values:[| "x" |] ds))
+
+let suite =
+  [
+    case "dataset basics" test_dataset_basic;
+    case "dataset validation" test_dataset_validation;
+    case "dataset row/col selection" test_dataset_select;
+    case "dataset standardization" test_dataset_standardized;
+    case "constant column standardization" test_dataset_standardized_constant;
+    case "one-hot encoding" test_one_hot;
+    case "csv line parsing" test_csv_parse_line;
+    case "csv string roundtrip" test_csv_roundtrip;
+    case "csv file roundtrip" test_csv_file_roundtrip;
+    case "csv error messages" test_csv_errors;
+    case "csv ragged rows" test_csv_ragged;
+    case "three_d generator" test_three_d;
+    case "x5 generator" test_x5;
+    case "x5 overlap property" test_x5_overlap_property;
+    case "clustered generator" test_clustered;
+    case "adversarial dataset" test_adversarial;
+    case "gaussian null" test_gaussian_null;
+    case "generator determinism" test_generators_deterministic;
+    case "corpus shape" test_corpus_shape;
+    case "corpus genre separation" test_corpus_genre_separation;
+    case "segmentation shape" test_segmentation_shape;
+    case "segmentation collinearity" test_segmentation_collinear;
+    case "segmentation sky separation" test_segmentation_sky_far;
+  ]

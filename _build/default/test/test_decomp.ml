@@ -1,0 +1,250 @@
+(* Cholesky, eigendecomposition, SVD, LU/Woodbury tests. *)
+
+open Sider_linalg
+open Test_helpers
+
+let rng = Sider_rand.Rng.create 123
+
+(* --- Cholesky ------------------------------------------------------------ *)
+
+let test_chol_known () =
+  let a = Mat.of_arrays [| [| 4.0; 2.0 |]; [| 2.0; 5.0 |] |] in
+  let l = Chol.decompose a in
+  approx "l00" 2.0 (Mat.get l 0 0);
+  approx "l10" 1.0 (Mat.get l 1 0);
+  approx "l11" 2.0 (Mat.get l 1 1);
+  approx "l01 zero" 0.0 (Mat.get l 0 1)
+
+let test_chol_reconstruct () =
+  let a = random_spd rng 5 in
+  let l = Chol.decompose a in
+  approx_mat ~eps:1e-8 "LLᵀ = A" a (Mat.matmul l (Mat.transpose l))
+
+let test_chol_not_pd () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  Alcotest.check_raises "indefinite" Chol.Not_positive_definite (fun () ->
+      ignore (Chol.decompose a))
+
+let test_chol_psd () =
+  (* Rank-1 PSD matrix: decompose_psd must not raise and must
+     reconstruct. *)
+  let v = [| 1.0; 2.0; -1.0 |] in
+  let a = Mat.outer v v in
+  let l = Chol.decompose_psd a in
+  approx_mat ~eps:1e-9 "PSD reconstruct" a (Mat.matmul l (Mat.transpose l))
+
+let test_chol_solve () =
+  let a = random_spd rng 4 in
+  let l = Chol.decompose a in
+  let x = Sider_rand.Sampler.normal_vec rng 4 in
+  let b = Mat.mv a x in
+  approx_vec ~eps:1e-8 "solve" x (Chol.solve l b)
+
+let test_chol_inverse () =
+  let a = random_spd rng 4 in
+  let inv = Chol.inverse (Chol.decompose a) in
+  approx_mat ~eps:1e-8 "A A⁻¹ = I" (Mat.identity 4) (Mat.matmul a inv)
+
+let test_chol_logdet () =
+  let a = Mat.diag [| 2.0; 3.0; 4.0 |] in
+  approx ~eps:1e-12 "log det" (log 24.0) (Chol.log_det (Chol.decompose a))
+
+(* --- Eigen ---------------------------------------------------------------- *)
+
+let test_eigen_diag () =
+  let { Eigen.values; vectors } = Eigen.symmetric (Mat.diag [| 1.0; 3.0; 2.0 |]) in
+  approx_vec "sorted eigenvalues" [| 3.0; 2.0; 1.0 |] values;
+  (* Each eigenvector should be ± a basis vector. *)
+  approx "v for 3" 1.0 (Float.abs (Mat.get vectors 1 0))
+
+let test_eigen_known () =
+  (* [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1), (1,-1). *)
+  let { Eigen.values; vectors } =
+    Eigen.symmetric (Mat.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |])
+  in
+  approx_vec ~eps:1e-10 "values" [| 3.0; 1.0 |] values;
+  let v0 = Mat.col vectors 0 in
+  approx ~eps:1e-10 "eigvec direction" 1.0
+    (Float.abs (Vec.dot v0 (Vec.normalize [| 1.0; 1.0 |])))
+
+let test_eigen_reconstruct () =
+  let a = random_sym rng 6 in
+  let dec = Eigen.symmetric a in
+  approx_mat ~eps:1e-8 "V D Vᵀ = A" a (Eigen.reconstruct dec)
+
+let test_eigen_orthonormal () =
+  let a = random_sym rng 7 in
+  let { Eigen.vectors; _ } = Eigen.symmetric a in
+  approx_mat ~eps:1e-9 "VᵀV = I" (Mat.identity 7)
+    (Mat.matmul (Mat.transpose vectors) vectors)
+
+let test_eigen_power () =
+  let a = random_spd rng 4 in
+  let dec = Eigen.symmetric a in
+  let half = Eigen.power dec 0.5 in
+  approx_mat ~eps:1e-8 "sqrt squared" a (Mat.matmul half half);
+  let inv_half = Eigen.power dec (-0.5) in
+  approx_mat ~eps:1e-7 "A^½ A^-½ = I" (Mat.identity 4)
+    (Mat.matmul half inv_half)
+
+let test_eigen_power_clamp () =
+  (* Singular matrix: negative powers stay finite thanks to clamping. *)
+  let a = Mat.diag [| 1.0; 0.0 |] in
+  let dec = Eigen.symmetric a in
+  let m = Eigen.power ~clamp:1e-6 dec (-0.5) in
+  approx "regular direction" 1.0 (Mat.get m 0 0);
+  approx ~eps:1.0 "clamped direction" 1e3 (Mat.get m 1 1)
+
+let test_eigen_not_symmetric () =
+  let a = Mat.of_arrays [| [| 1.0; 5.0 |]; [| 0.0; 1.0 |] |] in
+  Alcotest.check_raises "asymmetric input rejected"
+    (Invalid_argument "Eigen.symmetric: matrix is not symmetric") (fun () ->
+      ignore (Eigen.symmetric a))
+
+let prop_eigen_reconstruct =
+  qcheck ~count:30 "eigen reconstruction (random symmetric)"
+    QCheck.(int_range 1 8)
+    (fun d ->
+      let a = random_sym rng d in
+      Mat.approx_equal ~eps:1e-7 a (Eigen.reconstruct (Eigen.symmetric a)))
+
+let prop_eigen_values_sorted =
+  qcheck ~count:30 "eigenvalues sorted decreasing" QCheck.(int_range 2 8)
+    (fun d ->
+      let { Eigen.values; _ } = Eigen.symmetric (random_sym rng d) in
+      let ok = ref true in
+      for i = 0 to d - 2 do
+        if values.(i) < values.(i + 1) -. 1e-12 then ok := false
+      done;
+      !ok)
+
+(* --- SVD ------------------------------------------------------------------ *)
+
+let test_svd_reconstruct () =
+  let a = Sider_rand.Sampler.normal_mat rng 8 4 in
+  let svd = Svd.thin a in
+  approx_mat ~eps:1e-7 "U S Vᵀ = A" a (Svd.reconstruct svd)
+
+let test_svd_orthogonal_v () =
+  let a = Sider_rand.Sampler.normal_mat rng 10 5 in
+  let { Svd.v; _ } = Svd.thin a in
+  approx_mat ~eps:1e-9 "VᵀV = I" (Mat.identity 5)
+    (Mat.matmul (Mat.transpose v) v)
+
+let test_svd_singular_values () =
+  (* diag(3,2) stacked on zeros: singular values are 3 and 2. *)
+  let a = Mat.of_arrays [| [| 3.0; 0.0 |]; [| 0.0; 2.0 |]; [| 0.0; 0.0 |] |] in
+  let { Svd.singular; _ } = Svd.thin a in
+  approx_vec ~eps:1e-10 "singular values" [| 3.0; 2.0 |] singular
+
+let test_principal_directions () =
+  (* Points spread along (1,1): leading direction should be ±(1,1)/√2. *)
+  let a =
+    Mat.of_arrays
+      [| [| 1.0; 1.0 |]; [| 2.0; 2.1 |]; [| 3.0; 2.9 |]; [| -1.0; -1.05 |] |]
+  in
+  let dirs, vals = Svd.principal_directions a in
+  check_true "leading variance largest" (vals.(0) > vals.(1));
+  let lead = Mat.col dirs 0 in
+  approx ~eps:1e-2 "direction (1,1)" 1.0
+    (Float.abs (Vec.dot lead (Vec.normalize [| 1.0; 1.0 |])))
+
+(* --- LU / Woodbury --------------------------------------------------------- *)
+
+let test_lu_solve () =
+  let a = Mat.of_arrays [| [| 0.0; 2.0 |]; [| 1.0; 1.0 |] |] in
+  (* Needs pivoting (zero leading pivot). *)
+  approx_vec ~eps:1e-12 "solve with pivoting" [| 1.0; 2.0 |]
+    (Linsolve.solve a [| 4.0; 3.0 |])
+
+let test_lu_inverse_det () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  approx ~eps:1e-12 "det" (-2.0) (Linsolve.det a);
+  approx_mat ~eps:1e-12 "inverse"
+    (Mat.of_arrays [| [| -2.0; 1.0 |]; [| 1.5; -0.5 |] |])
+    (Linsolve.inverse a)
+
+let test_lu_singular () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular" Linsolve.Singular (fun () ->
+      ignore (Linsolve.solve a [| 1.0; 1.0 |]));
+  approx "det singular" 0.0 (Linsolve.det a)
+
+let test_woodbury_identity () =
+  (* (Σ⁻¹ + λwwᵀ)⁻¹ computed by Woodbury must equal direct inversion. *)
+  let sigma = random_spd rng 5 in
+  let w = Sider_rand.Sampler.normal_vec rng 5 in
+  let lambda = 0.7 in
+  let updated = Linsolve.woodbury_rank1 sigma lambda w in
+  let direct =
+    let prec = Linsolve.inverse sigma in
+    Mat.rank1_update prec lambda w;
+    Linsolve.inverse prec
+  in
+  approx_mat ~eps:1e-7 "woodbury = direct" direct updated
+
+let test_woodbury_negative_lambda () =
+  let sigma = Mat.identity 2 in
+  let w = [| 1.0; 0.0 |] in
+  (* λ = -0.5 keeps 1 + λwᵀΣw = 0.5 > 0: variance doubles along w. *)
+  let updated = Linsolve.woodbury_rank1 sigma (-0.5) w in
+  approx ~eps:1e-12 "variance grows" 2.0 (Mat.get updated 0 0);
+  Alcotest.check_raises "indefinite rejected"
+    (Invalid_argument "Linsolve.woodbury_rank1: update makes matrix indefinite")
+    (fun () -> ignore (Linsolve.woodbury_rank1 sigma (-1.0) w))
+
+let prop_lu_solve_random =
+  qcheck ~count:30 "LU solves random systems" QCheck.(int_range 1 8)
+    (fun d ->
+      let a =
+        Mat.add (Sider_rand.Sampler.normal_mat rng d d)
+          (Mat.scale 3.0 (Mat.identity d))
+      in
+      let x = Sider_rand.Sampler.normal_vec rng d in
+      let b = Mat.mv a x in
+      Vec.approx_equal ~eps:1e-6 x (Linsolve.solve a b))
+
+let prop_woodbury_random =
+  qcheck ~count:30 "Woodbury equals direct inversion" QCheck.(int_range 1 6)
+    (fun d ->
+      let sigma = random_spd rng d in
+      let w = Sider_rand.Sampler.normal_vec rng d in
+      let lambda = Float.abs (Sider_rand.Sampler.normal rng) in
+      let updated = Linsolve.woodbury_rank1 sigma lambda w in
+      let direct =
+        let prec = Linsolve.inverse sigma in
+        Mat.rank1_update prec lambda w;
+        Linsolve.inverse prec
+      in
+      Mat.approx_equal ~eps:1e-5 direct updated)
+
+let suite =
+  [
+    case "cholesky 2x2 known" test_chol_known;
+    case "cholesky reconstructs" test_chol_reconstruct;
+    case "cholesky rejects indefinite" test_chol_not_pd;
+    case "cholesky PSD tolerant" test_chol_psd;
+    case "cholesky solve" test_chol_solve;
+    case "cholesky inverse" test_chol_inverse;
+    case "cholesky log det" test_chol_logdet;
+    case "eigen of diagonal" test_eigen_diag;
+    case "eigen 2x2 known" test_eigen_known;
+    case "eigen reconstructs" test_eigen_reconstruct;
+    case "eigenvectors orthonormal" test_eigen_orthonormal;
+    case "matrix powers" test_eigen_power;
+    case "power clamps singular values" test_eigen_power_clamp;
+    case "eigen rejects asymmetric" test_eigen_not_symmetric;
+    prop_eigen_reconstruct;
+    prop_eigen_values_sorted;
+    case "svd reconstructs" test_svd_reconstruct;
+    case "svd right vectors orthonormal" test_svd_orthogonal_v;
+    case "svd singular values" test_svd_singular_values;
+    case "principal directions" test_principal_directions;
+    case "lu solve with pivoting" test_lu_solve;
+    case "lu inverse and det" test_lu_inverse_det;
+    case "lu singular raises" test_lu_singular;
+    case "woodbury identity" test_woodbury_identity;
+    case "woodbury negative lambda" test_woodbury_negative_lambda;
+    prop_lu_solve_random;
+    prop_woodbury_random;
+  ]

@@ -1,0 +1,40 @@
+(* Shared helpers for the test suites. *)
+
+open Sider_linalg
+
+let approx ?(eps = 1e-9) msg a b =
+  if Float.abs (a -. b) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g (eps %g)" msg a b eps
+
+let approx_vec ?(eps = 1e-9) msg a b =
+  if not (Vec.approx_equal ~eps a b) then
+    Alcotest.failf "%s: vectors differ:@ %s vs %s" msg
+      (Format.asprintf "%a" Vec.pp a)
+      (Format.asprintf "%a" Vec.pp b)
+
+let approx_mat ?(eps = 1e-9) msg a b =
+  if not (Mat.approx_equal ~eps a b) then
+    Alcotest.failf "%s: matrices differ:@ %s@ vs@ %s" msg
+      (Format.asprintf "%a" Mat.pp a)
+      (Format.asprintf "%a" Mat.pp b)
+
+let check_true msg b = Alcotest.(check bool) msg true b
+
+let case name f = Alcotest.test_case name `Quick f
+
+let slow_case name f = Alcotest.test_case name `Slow f
+
+(* Random symmetric / SPD matrix generators for property tests. *)
+let random_sym rng d =
+  let m = Sider_rand.Sampler.normal_mat rng d d in
+  Mat.symmetrize m
+
+let random_spd rng d =
+  let a = Sider_rand.Sampler.normal_mat rng (d + 2) d in
+  let g = Mat.gram a in
+  (* Add a ridge so the matrix is comfortably positive definite. *)
+  Mat.add g (Mat.scale 0.1 (Mat.identity d))
+
+let qcheck ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name gen prop)

@@ -1,0 +1,196 @@
+(* End-to-end integration tests: each replays a paper use case and
+   asserts its qualitative claims (the same checks the bench harness
+   prints, in pass/fail form). *)
+
+open Sider_linalg
+open Sider_data
+open Sider_core
+open Sider_projection
+open Test_helpers
+
+(* Fig. 2: the hidden cluster is revealed by the second view. *)
+let test_fig2_hidden_cluster () =
+  let ds = Synth.three_d ~seed:1 () in
+  let session = Session.create ~seed:2018 ds in
+  let s1, _ = Session.view_scores session in
+  check_true "first view informative" (s1 > 0.02);
+  let sels = Auto_explore.mark_clusters session in
+  check_true "three groups visible" (Array.length sels = 3);
+  Array.iter (Session.add_cluster_constraint session) sels;
+  let r = Session.update_background session in
+  check_true "solved" r.Sider_maxent.Solver.converged;
+  ignore (Session.recompute_view session);
+  (* The next view must load on X3 — the hidden direction. *)
+  let v = Session.current_view session in
+  let x3 = Float.abs v.View.axis1.View.direction.(2) in
+  check_true "next view loads on X3" (x3 > 0.9);
+  (* And k-means there separates C from D nearly perfectly. *)
+  let sels = Auto_explore.mark_clusters session in
+  let best_for cls =
+    Array.fold_left
+      (fun acc sel ->
+        match List.assoc_opt cls (Session.class_match session sel) with
+        | Some j -> Float.max acc j
+        | None -> acc)
+      0.0 sels
+  in
+  check_true "C separated" (best_for "C" > 0.8);
+  check_true "D separated" (best_for "D" > 0.8)
+
+(* Figs. 7-8: corpus storyline. *)
+let test_corpus_story () =
+  let ds = Corpus.generate ~seed:11 () in
+  let session = Session.create ~seed:2018 ds in
+  let s_initial, _ = Session.view_scores session in
+  check_true "initial view very informative" (s_initial > 1.0);
+  let sels = Auto_explore.mark_clusters session in
+  let conv_j =
+    Array.fold_left
+      (fun acc sel ->
+        match
+          List.assoc_opt "transcribed conversations"
+            (Session.class_match session sel)
+        with
+        | Some j -> Float.max acc j
+        | None -> acc)
+      0.0 sels
+  in
+  check_true "conversations separated (paper: 0.928)" (conv_j > 0.8);
+  Array.iter (Session.add_cluster_constraint session) sels;
+  ignore (Session.update_background session);
+  ignore (Session.recompute_view session);
+  let s_final, _ = Session.view_scores session in
+  check_true "scores collapse after constraints"
+    (Float.abs s_final < s_initial /. 20.0)
+
+(* Fig. 9: segmentation storyline. *)
+let test_segmentation_story () =
+  let ds = Segmentation.generate ~seed:7 () in
+  let session = Session.create ~seed:2018 ds in
+  (* (a) scale mismatch. *)
+  let pts = Session.scatter session in
+  let bg = Session.background_points session in
+  let sd a = sqrt (Vec.variance (Array.map fst a)) in
+  let ratio =
+    sd bg /. Float.max (sd (Array.map (fun p -> (p.Session.x, p.Session.y)) pts)) 1e-12
+  in
+  check_true "background dwarfs data in first view" (ratio > 50.0);
+  (* (b) 1-cluster constraint reveals groups under ICA. *)
+  Session.add_one_cluster_constraint session;
+  ignore (Session.update_background session);
+  ignore (Session.recompute_view ~method_:View.Ica session);
+  let sels = Auto_explore.mark_clusters session in
+  let best_for cls =
+    Array.fold_left
+      (fun acc sel ->
+        match List.assoc_opt cls (Session.class_match session sel) with
+        | Some j -> Float.max acc j
+        | None -> acc)
+      0.0 sels
+  in
+  check_true "sky recovered (paper: pure)" (best_for "sky" > 0.8);
+  check_true "grass recovered (paper: 0.964)" (best_for "grass" > 0.8);
+  (* The centre selection mixes the five man-made classes. *)
+  let centre_mixed =
+    Array.exists
+      (fun sel ->
+        Array.length sel > 300
+        &&
+        match Session.class_match session sel with
+        | (_, j) :: _ -> j < 0.6
+        | [] -> false)
+      sels
+  in
+  check_true "centre selection is a mix (paper: ≈0.2 each)" centre_mixed
+
+(* PCA blindness fallback: after a 1-cluster constraint PCA scores vanish
+   but ICA still sees the clusters; Auto_explore must switch over. *)
+let test_pca_to_ica_fallback () =
+  let ds = Segmentation.generate ~seed:7 () in
+  let session = Session.create ~seed:2018 ~method_:View.Pca ds in
+  Session.add_one_cluster_constraint session;
+  ignore (Session.update_background session);
+  ignore (Session.recompute_view session);
+  let s_pca, _ = Session.view_scores session in
+  check_true "PCA blind after 1-cluster" (Float.abs s_pca < 0.05);
+  let r = Auto_explore.run ~max_iterations:1 ~score_threshold:0.05 session in
+  (* The fallback switched to ICA and found structure to mark. *)
+  check_true "fallback marked clusters" (r.Auto_explore.iterations <> [])
+
+(* The null case: Gaussian noise must not produce "discoveries". *)
+let test_null_no_discoveries () =
+  let ds = Synth.gaussian ~seed:123 ~n:1500 ~d:6 () in
+  let session = Session.create ~seed:7 ~method_:View.Ica ds in
+  let s1, _ = Session.view_scores session in
+  check_true "no structure in noise" (Float.abs s1 < 0.02)
+
+(* CSV in, exploration out: the full external-data path. *)
+let test_csv_pipeline () =
+  let ds = Synth.three_d ~seed:5 () in
+  let path = Filename.temp_file "sider_pipeline" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write_file path ds;
+      let loaded = Csv.read_file ~label_column:"class" path in
+      let session = Session.create ~seed:9 loaded in
+      let sels = Auto_explore.mark_clusters session in
+      check_true "clusters found through CSV path" (Array.length sels >= 2);
+      Array.iter (Session.add_cluster_constraint session) sels;
+      let r = Session.update_background session in
+      check_true "solved" r.Sider_maxent.Solver.converged)
+
+(* Warm starting across iterations must leave earlier knowledge intact:
+   after learning round 2, round-1 constraints still hold. *)
+let test_knowledge_accumulates () =
+  let { Synth.data; group13; group45 } = Synth.x5 ~seed:3 ~n:500 () in
+  let session = Session.create ~seed:5 ~method_:View.Ica data in
+  let rows_of groups g =
+    let rows = ref [] in
+    Array.iteri (fun i x -> if String.equal x g then rows := i :: !rows) groups;
+    Array.of_list !rows
+  in
+  List.iter
+    (fun g -> Session.add_cluster_constraint session (rows_of group13 g))
+    [ "A"; "B"; "C"; "D" ];
+  ignore (Session.update_background session);
+  let solver1 = Session.solver session in
+  let round1 = Array.to_list (Sider_maxent.Solver.constraints solver1) in
+  List.iter
+    (fun g -> Session.add_cluster_constraint session (rows_of group45 g))
+    [ "E"; "F"; "G" ];
+  ignore (Session.update_background session);
+  let solver2 = Session.solver session in
+  List.iter
+    (fun c ->
+      let v = Sider_maxent.Solver.expectation solver2 c in
+      let scale = Float.max 1.0 (Float.abs c.Sider_maxent.Constr.target) in
+      check_true "round-1 constraint still satisfied"
+        (Float.abs (v -. c.Sider_maxent.Constr.target) /. scale < 0.05))
+    round1
+
+(* Determinism: identical seeds give identical exploration transcripts. *)
+let test_determinism_end_to_end () =
+  let run () =
+    let ds = Synth.three_d ~seed:1 () in
+    let session = Session.create ~seed:99 ds in
+    let sels = Auto_explore.mark_clusters ~rng:(Sider_rand.Rng.create 7) session in
+    Array.iter (Session.add_cluster_constraint session) sels;
+    ignore (Session.update_background session);
+    ignore (Session.recompute_view session);
+    Session.axis_labels session
+  in
+  let a = run () and b = run () in
+  check_true "identical transcripts" (a = b)
+
+let suite =
+  [
+    slow_case "fig2: hidden cluster revealed" test_fig2_hidden_cluster;
+    slow_case "figs 7-8: corpus storyline" test_corpus_story;
+    slow_case "fig 9: segmentation storyline" test_segmentation_story;
+    slow_case "PCA-to-ICA fallback" test_pca_to_ica_fallback;
+    case "null data: no discoveries" test_null_no_discoveries;
+    case "csv pipeline end to end" test_csv_pipeline;
+    slow_case "knowledge accumulates across rounds" test_knowledge_accumulates;
+    case "end-to-end determinism" test_determinism_end_to_end;
+  ]

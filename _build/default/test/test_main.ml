@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "sider"
+    [
+      ("vec", Test_vec.suite);
+      ("mat", Test_mat.suite);
+      ("decomp", Test_decomp.suite);
+      ("rand", Test_rand.suite);
+      ("stats", Test_stats.suite);
+      ("data", Test_data.suite);
+      ("maxent", Test_maxent.suite);
+      ("projection", Test_projection.suite);
+      ("core", Test_core.suite);
+      ("viz", Test_viz.suite);
+      ("integration", Test_integration.suite);
+      ("related", Test_related.suite);
+      ("persist", Test_persist.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,480 @@
+(* Constraints, partition, Gauss parameters and the MaxEnt solver —
+   including the paper's exact adversarial solutions (Fig. 5 / Eqs. 11-13). *)
+
+open Sider_linalg
+open Sider_maxent
+open Test_helpers
+
+let rng = Sider_rand.Rng.create 2023
+
+(* --- Constr -------------------------------------------------------------- *)
+
+let data3 =
+  Mat.of_arrays [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 0.0; 0.0 |] |]
+
+let test_linear_target () =
+  let c = Constr.linear ~data:data3 ~rows:[| 0; 2 |] ~w:[| 1.0; 0.0 |] () in
+  approx "Σ wᵀx over I" 1.0 c.Constr.target;
+  approx "shift zero" 0.0 c.Constr.shift
+
+let test_quadratic_target () =
+  let c = Constr.quadratic ~data:data3 ~rows:[| 0; 2 |] ~w:[| 1.0; 0.0 |] () in
+  (* Values 1 and 0, mean 1/2: Σ(x−m̂)² = 1/4 + 1/4. *)
+  approx "target" 0.5 c.Constr.target;
+  approx "shift is data mean" 0.5 c.Constr.shift
+
+let test_eval_on_observed () =
+  let c = Constr.quadratic ~data:data3 ~rows:[| 0; 1; 2 |] ~w:[| 0.6; 0.8 |] () in
+  approx ~eps:1e-12 "eval(X̂) = target" c.Constr.target (Constr.eval c data3)
+
+let test_rows_deduped () =
+  let c = Constr.linear ~data:data3 ~rows:[| 2; 0; 0; 2 |] ~w:[| 1.0; 0.0 |] () in
+  check_true "sorted distinct rows" (c.Constr.rows = [| 0; 2 |])
+
+let test_rows_validated () =
+  Alcotest.check_raises "row out of range"
+    (Invalid_argument "Constr: row index out of range") (fun () ->
+      ignore (Constr.linear ~data:data3 ~rows:[| 5 |] ~w:[| 1.0; 0.0 |] ()));
+  Alcotest.check_raises "empty rows" (Invalid_argument "Constr: empty row set")
+    (fun () ->
+      ignore (Constr.linear ~data:data3 ~rows:[||] ~w:[| 1.0; 0.0 |] ()))
+
+let test_margin_count () =
+  let cs = Constr.margin data3 in
+  approx "2d constraints" 4.0 (float_of_int (List.length cs))
+
+let test_cluster_count () =
+  let cs = Constr.cluster ~data:data3 ~rows:[| 0; 1 |] () in
+  approx "2d constraints" 4.0 (float_of_int (List.length cs));
+  (* Directions are the cluster covariance eigenvectors: orthonormal. *)
+  let ws =
+    List.filter_map
+      (fun c ->
+        if c.Constr.kind = Constr.Quadratic then Some c.Constr.w else None)
+      cs
+  in
+  (match ws with
+   | [ w1; w2 ] ->
+     approx ~eps:1e-9 "unit" 1.0 (Vec.norm2 w1);
+     approx ~eps:1e-9 "orthogonal" 0.0 (Vec.dot w1 w2)
+   | _ -> Alcotest.fail "expected 2 quadratic constraints")
+
+let test_two_d_count () =
+  let cs =
+    Constr.two_d ~data:data3 ~rows:[| 0; 1 |] ~w1:[| 1.0; 0.0 |]
+      ~w2:[| 0.0; 1.0 |] ()
+  in
+  approx "4 constraints" 4.0 (float_of_int (List.length cs))
+
+(* --- Partition ------------------------------------------------------------ *)
+
+let test_partition_no_constraints () =
+  let p = Partition.of_constraints ~n:5 [||] in
+  approx "single class" 1.0 (float_of_int (Partition.n_classes p));
+  check_true "all rows member" (Partition.members p 0 = [| 0; 1; 2; 3; 4 |])
+
+let test_partition_refinement () =
+  let c1 = Constr.linear ~data:data3 ~rows:[| 0; 2 |] ~w:[| 1.0; 0.0 |] () in
+  let c2 = Constr.linear ~data:data3 ~rows:[| 1; 2 |] ~w:[| 1.0; 0.0 |] () in
+  let p = Partition.of_constraints ~n:3 [| c1; c2 |] in
+  (* Signatures: row0 {c1}, row1 {c2}, row2 {c1,c2} → 3 classes. *)
+  approx "3 classes" 3.0 (float_of_int (Partition.n_classes p));
+  check_true "distinct classes"
+    (Partition.class_of_row p 0 <> Partition.class_of_row p 1
+     && Partition.class_of_row p 1 <> Partition.class_of_row p 2);
+  (* Each constraint covers exactly two classes of size 1. *)
+  let groups = Partition.classes_of_constraint p 0 in
+  approx "2 groups" 2.0 (float_of_int (Array.length groups));
+  Array.iter (fun (_, cnt) -> approx "singletons" 1.0 (float_of_int cnt)) groups
+
+let test_partition_shared_class () =
+  let c1 = Constr.linear ~data:data3 ~rows:[| 0; 1; 2 |] ~w:[| 1.0; 0.0 |] () in
+  let p = Partition.of_constraints ~n:3 [| c1 |] in
+  approx "one class" 1.0 (float_of_int (Partition.n_classes p));
+  let groups = Partition.classes_of_constraint p 0 in
+  check_true "full class multiplicity" (groups = [| (0, 3) |])
+
+let test_partition_counts_independent_of_n () =
+  (* Same two constraints, many more rows: the class count stays 4
+     (3 covered signatures + 1 uncovered catch-all). *)
+  let big = Mat.init 1000 2 (fun i j -> float_of_int ((i * 2) + j)) in
+  let c1 = Constr.linear ~data:big ~rows:[| 0; 2 |] ~w:[| 1.0; 0.0 |] () in
+  let c2 = Constr.linear ~data:big ~rows:[| 1; 2 |] ~w:[| 1.0; 0.0 |] () in
+  let p = Partition.of_constraints ~n:1000 [| c1; c2 |] in
+  approx "4 classes" 4.0 (float_of_int (Partition.n_classes p))
+
+(* --- Gauss_params ----------------------------------------------------------- *)
+
+let test_initial_params () =
+  let p = Gauss_params.initial 3 in
+  approx_vec "theta1" [| 0.0; 0.0; 0.0 |] p.Gauss_params.theta1;
+  approx_vec "mean" [| 0.0; 0.0; 0.0 |] p.Gauss_params.mean;
+  approx_mat "sigma" (Mat.identity 3) p.Gauss_params.sigma
+
+let test_apply_linear () =
+  let p = Gauss_params.initial 2 in
+  Gauss_params.apply_linear p ~lambda:0.5 ~w:[| 1.0; 0.0 |];
+  approx_vec "theta1 shifted" [| 0.5; 0.0 |] p.Gauss_params.theta1;
+  approx_vec "mean = Σθ" [| 0.5; 0.0 |] p.Gauss_params.mean;
+  approx_mat "sigma unchanged" (Mat.identity 2) p.Gauss_params.sigma
+
+let test_apply_quadratic_matches_direct () =
+  (* The O(d²) in-place update must equal recomputing the duals from the
+     natural parameters by direct matrix inversion. *)
+  let d = 5 in
+  let p = Gauss_params.initial d in
+  (* Give it a non-trivial starting state. *)
+  Gauss_params.apply_linear p ~lambda:0.7 ~w:(Sider_rand.Sampler.normal_vec rng d);
+  Gauss_params.apply_quadratic p ~lambda:0.9 ~delta:0.2
+    ~w:(Vec.normalize (Sider_rand.Sampler.normal_vec rng d));
+  let w = Vec.normalize (Sider_rand.Sampler.normal_vec rng d) in
+  let lambda = 1.3 and delta = -0.4 in
+  (* Direct: θ₂ = Σ⁻¹ + λwwᵀ, θ₁ += λδw, then invert. *)
+  let prec = Linsolve.inverse p.Gauss_params.sigma in
+  Mat.rank1_update prec lambda w;
+  let theta1' = Vec.copy p.Gauss_params.theta1 in
+  Vec.axpy (lambda *. delta) w theta1';
+  let sigma_direct = Linsolve.inverse prec in
+  let mean_direct = Mat.mv sigma_direct theta1' in
+  Gauss_params.apply_quadratic p ~lambda ~delta ~w;
+  approx_mat ~eps:1e-8 "sigma" sigma_direct p.Gauss_params.sigma;
+  approx_vec ~eps:1e-8 "mean" mean_direct p.Gauss_params.mean;
+  approx_vec ~eps:1e-12 "theta1" theta1' p.Gauss_params.theta1
+
+let test_apply_quadratic_indefinite () =
+  let p = Gauss_params.initial 2 in
+  Alcotest.check_raises "rejects indefinite"
+    (Invalid_argument "Gauss_params.apply_quadratic: indefinite update")
+    (fun () ->
+      Gauss_params.apply_quadratic p ~lambda:(-1.0) ~delta:0.0
+        ~w:[| 1.0; 0.0 |])
+
+let test_second_moment () =
+  let p = Gauss_params.initial 2 in
+  Gauss_params.apply_linear p ~lambda:2.0 ~w:[| 1.0; 0.0 |];
+  let m2 = Gauss_params.second_moment p in
+  (* E[xxᵀ] = Σ + mmᵀ = I + diag(4,0)-ish. *)
+  approx "E[x1²]" 5.0 (Mat.get m2 0 0);
+  approx "E[x2²]" 1.0 (Mat.get m2 1 1);
+  approx "E[x1x2]" 0.0 (Mat.get m2 0 1)
+
+(* --- Solver: paper's adversarial cases --------------------------------------- *)
+
+let axes_cluster rows =
+  [ Constr.linear ~data:data3 ~rows ~w:[| 1.0; 0.0 |] ();
+    Constr.quadratic ~data:data3 ~rows ~w:[| 1.0; 0.0 |] ();
+    Constr.linear ~data:data3 ~rows ~w:[| 0.0; 1.0 |] ();
+    Constr.quadratic ~data:data3 ~rows ~w:[| 0.0; 1.0 |] () ]
+
+let test_case_a_exact () =
+  (* Paper Eq. 12: m1 = m3 = (1/2, 0), m2 = 0, Σ1 = Σ3 = diag(1/4, 0),
+     Σ2 = I. *)
+  let s = Solver.create data3 (axes_cluster [| 0; 2 |]) in
+  let r = Solver.solve s in
+  check_true "converged" r.Solver.converged;
+  check_true "fast convergence (≲ one pass)" (r.Solver.sweeps <= 3);
+  let p1 = Solver.row_params s 0 in
+  let p2 = Solver.row_params s 1 in
+  let p3 = Solver.row_params s 2 in
+  approx_vec ~eps:1e-6 "m1" [| 0.5; 0.0 |] p1.Gauss_params.mean;
+  approx_vec ~eps:1e-6 "m3" [| 0.5; 0.0 |] p3.Gauss_params.mean;
+  approx_vec ~eps:1e-6 "m2" [| 0.0; 0.0 |] p2.Gauss_params.mean;
+  approx ~eps:1e-6 "Σ1[0,0] = 1/4" 0.25 (Mat.get p1.Gauss_params.sigma 0 0);
+  approx ~eps:1e-4 "Σ1[1,1] = 0" 0.0 (Mat.get p1.Gauss_params.sigma 1 1);
+  approx_mat ~eps:1e-9 "Σ2 = I" (Mat.identity 2) p2.Gauss_params.sigma;
+  check_true "rows 1 and 3 share a class"
+    (Partition.class_of_row (Solver.partition s) 0
+     = Partition.class_of_row (Solver.partition s) 2)
+
+let solve_case_b ?(sweeps = 1000) () =
+  let s = Solver.create data3 (axes_cluster [| 0; 2 |] @ axes_cluster [| 1; 2 |]) in
+  let trace = ref [] in
+  let _ =
+    Solver.solve ~max_sweeps:sweeps ~lambda_tol:0.0 ~param_tol:0.0
+      ~trace:(fun ~sweep:_ ~updates:_ t ->
+        trace :=
+          Mat.get (Solver.row_params t 0).Gauss_params.sigma 0 0 :: !trace)
+      s
+  in
+  (s, Array.of_list (List.rev !trace))
+
+let test_case_b_limits () =
+  (* Paper Eq. 13: means go to the data points, variances to zero. *)
+  let s, trace = solve_case_b () in
+  let p1 = Solver.row_params s 0 in
+  let p2 = Solver.row_params s 1 in
+  let p3 = Solver.row_params s 2 in
+  approx_vec ~eps:2e-3 "m1 → (1,0)" [| 1.0; 0.0 |] p1.Gauss_params.mean;
+  approx_vec ~eps:2e-3 "m2 → (0,1)" [| 0.0; 1.0 |] p2.Gauss_params.mean;
+  approx_vec ~eps:2e-3 "m3 → (0,0)" [| 0.0; 0.0 |] p3.Gauss_params.mean;
+  check_true "variance collapsing" (trace.(Array.length trace - 1) < 1e-3)
+
+let test_case_b_one_over_tau () =
+  (* Fig. 5b: (Σ₁)₁₁ ∝ 1/τ — check the log-log slope between sweep 10 and
+     sweep 1000 is ≈ −1. *)
+  let _, trace = solve_case_b () in
+  let v10 = trace.(9) and v1000 = trace.(999) in
+  let slope = (log v1000 -. log v10) /. (log 1000.0 -. log 10.0) in
+  approx ~eps:0.15 "slope −1" (-1.0) slope
+
+(* --- Solver: constraint satisfaction ------------------------------------------ *)
+
+let random_data n d = Sider_rand.Sampler.normal_mat rng n d
+
+let test_margin_constraints_satisfied () =
+  let data = random_data 40 3 in
+  let cs = Constr.margin data in
+  let s = Solver.create data cs in
+  let r = Solver.solve s in
+  check_true "converged" r.Solver.converged;
+  check_true "all constraints met" (Solver.residual s < 1e-2)
+
+let test_margin_equals_standardization () =
+  (* After margin constraints the background matches each column's mean and
+     variance — i.e. the model of the standardized data. *)
+  let data = random_data 60 2 in
+  let s = Solver.create data (Constr.margin data) in
+  ignore (Solver.solve ~lambda_tol:1e-6 ~param_tol:1e-6 s);
+  let means = Mat.col_means data and vars = Mat.col_variances data in
+  let p = Solver.row_params s 0 in
+  approx_vec ~eps:1e-3 "bg mean = column means" means p.Gauss_params.mean;
+  approx ~eps:1e-2 "bg var 0" vars.(0) (Mat.get p.Gauss_params.sigma 0 0);
+  approx ~eps:1e-2 "bg var 1" vars.(1) (Mat.get p.Gauss_params.sigma 1 1)
+
+let test_one_cluster_equals_covariance () =
+  (* The 1-cluster constraint makes the background covariance equal the
+     full data covariance (paper Sec. II-A remark on whitening). *)
+  let base = random_data 100 3 in
+  (* Give the data some correlation. *)
+  let mix = Mat.of_arrays [| [| 1.0; 0.4; 0.0 |]; [| 0.0; 1.0; 0.3 |];
+                             [| 0.2; 0.0; 1.0 |] |] in
+  let data = Mat.matmul base mix in
+  let s = Solver.create data (Constr.one_cluster data) in
+  ignore (Solver.solve ~lambda_tol:1e-8 ~param_tol:1e-8 ~max_sweeps:5000 s);
+  let p = Solver.row_params s 0 in
+  approx_mat ~eps:1e-3 "Σ_bg = cov(X)" (Mat.covariance data)
+    p.Gauss_params.sigma;
+  approx_vec ~eps:1e-3 "m_bg = mean(X)" (Mat.col_means data)
+    p.Gauss_params.mean
+
+let test_cluster_constraints_satisfied () =
+  let ds = Sider_data.Synth.clustered ~seed:4 ~n:90 ~d:4 ~k:3 () in
+  let data = Sider_data.Dataset.matrix ds in
+  let cs =
+    List.concat_map
+      (fun cls ->
+        Constr.cluster ~data
+          ~rows:(Sider_data.Dataset.class_indices ds cls) ())
+      (Sider_data.Dataset.classes ds)
+  in
+  let s = Solver.create data (Constr.margin data @ cs) in
+  ignore (Solver.solve ~max_sweeps:3000 s);
+  check_true "residual small" (Solver.residual s < 5e-2)
+
+let test_expectation_identity () =
+  (* E[f] computed from the class parameters must match a Monte-Carlo
+     estimate over background samples. *)
+  let data = random_data 30 2 in
+  let c = Constr.quadratic ~data ~rows:[| 0; 3; 7 |] ~w:[| 0.8; 0.6 |] () in
+  let s = Solver.create data [ c ] in
+  ignore (Solver.solve s);
+  let analytic = Solver.expectation s c in
+  let mc_rng = Sider_rand.Rng.create 55 in
+  let k = 4000 in
+  let acc = ref 0.0 in
+  for _ = 1 to k do
+    acc := !acc +. Constr.eval c (Solver.sample s mc_rng)
+  done;
+  let mc = !acc /. float_of_int k in
+  approx ~eps:(0.05 *. analytic) "analytic ≈ Monte-Carlo" analytic mc;
+  approx ~eps:1e-3 "constraint satisfied" c.Constr.target analytic
+
+let test_add_constraints_warm_start () =
+  let data = random_data 50 3 in
+  let s = Solver.create data (Constr.margin data) in
+  ignore (Solver.solve s);
+  let p_before = Gauss_params.copy (Solver.row_params s 0) in
+  let s2 =
+    Solver.add_constraints s
+      (Constr.cluster ~data ~rows:(Array.init 10 Fun.id) ())
+  in
+  (* Parameters are inherited before re-solving. *)
+  let p_after = Solver.row_params s2 0 in
+  approx_vec ~eps:1e-12 "warm start inherits mean" p_before.Gauss_params.mean
+    p_after.Gauss_params.mean;
+  approx_mat ~eps:1e-12 "warm start inherits sigma" p_before.Gauss_params.sigma
+    p_after.Gauss_params.sigma;
+  ignore (Solver.solve s2);
+  check_true "extended system solves" (Solver.residual s2 < 5e-2);
+  (* Old margin constraints still hold after adding cluster constraints. *)
+  List.iter
+    (fun c ->
+      approx ~eps:0.15 "margin persists" c.Constr.target
+        (Solver.expectation s2 c))
+    (Constr.margin data)
+
+let test_no_constraints_prior () =
+  let data = random_data 10 2 in
+  let s = Solver.create data [] in
+  let r = Solver.solve s in
+  check_true "trivially converged" r.Solver.converged;
+  let p = Solver.row_params s 5 in
+  approx_mat "prior sigma" (Mat.identity 2) p.Gauss_params.sigma;
+  approx_vec "prior mean" [| 0.0; 0.0 |] p.Gauss_params.mean
+
+let test_time_cutoff () =
+  (* With an absurdly small budget the solver must stop quickly and report
+     non-convergence on the adversarial case. *)
+  let s = Solver.create data3 (axes_cluster [| 0; 2 |] @ axes_cluster [| 1; 2 |]) in
+  let r =
+    Solver.solve ~max_sweeps:100_000_000 ~lambda_tol:0.0 ~param_tol:0.0
+      ~time_cutoff:0.05 s
+  in
+  check_true "stopped by cutoff" (not r.Solver.converged);
+  check_true "did not run to max sweeps" (r.Solver.sweeps < 100_000_000);
+  check_true "stopped promptly" (r.Solver.elapsed < 2.0)
+
+let test_sample_statistics () =
+  (* Samples from the solved background must reproduce the constrained
+     means. *)
+  let data = random_data 40 2 in
+  let s = Solver.create data (Constr.margin data) in
+  ignore (Solver.solve ~lambda_tol:1e-6 ~param_tol:1e-6 s);
+  let srng = Sider_rand.Rng.create 91 in
+  let acc = Vec.create 2 in
+  let k = 300 in
+  for _ = 1 to k do
+    Vec.axpy 1.0 (Mat.col_means (Solver.sample s srng)) acc
+  done;
+  approx_vec ~eps:0.05 "sample means match data"
+    (Mat.col_means data)
+    (Vec.scale (1.0 /. float_of_int k) acc)
+
+let test_mean_matrix () =
+  let data = random_data 20 2 in
+  let s = Solver.create data (Constr.margin data) in
+  ignore (Solver.solve s);
+  let mm = Solver.mean_matrix s in
+  check_true "shape" (Mat.dims mm = (20, 2));
+  (* All rows share the same class here. *)
+  approx_vec ~eps:1e-12 "row means equal" (Mat.row mm 0) (Mat.row mm 19)
+
+let prop_linear_constraint_exact_after_one_update =
+  qcheck ~count:20 "a single linear constraint is met after one sweep"
+    QCheck.(int_range 2 6)
+    (fun d ->
+      let data = random_data 20 d in
+      let w = Vec.normalize (Sider_rand.Sampler.normal_vec rng d) in
+      let c = Constr.linear ~data ~rows:[| 1; 4; 9 |] ~w () in
+      let s = Solver.create data [ c ] in
+      ignore (Solver.solve ~max_sweeps:1 ~lambda_tol:0.0 ~param_tol:0.0 s);
+      Float.abs (Solver.expectation s c -. c.Constr.target) < 1e-9)
+
+let prop_quadratic_constraint_exact_after_one_update =
+  qcheck ~count:20 "a single quadratic constraint is met after one sweep"
+    QCheck.(int_range 2 6)
+    (fun d ->
+      let data = random_data 20 d in
+      let w = Vec.normalize (Sider_rand.Sampler.normal_vec rng d) in
+      let c = Constr.quadratic ~data ~rows:[| 0; 2; 5; 11 |] ~w () in
+      let s = Solver.create data [ c ] in
+      ignore (Solver.solve ~max_sweeps:1 ~lambda_tol:0.0 ~param_tol:0.0 s);
+      Float.abs (Solver.expectation s c -. c.Constr.target)
+      < 1e-6 *. Float.max 1.0 c.Constr.target)
+
+let prop_sigma_stays_symmetric_psd =
+  qcheck ~count:15 "Σ stays symmetric PSD through solving"
+    QCheck.(int_range 2 5)
+    (fun d ->
+      let ds = Sider_data.Synth.clustered ~seed:d ~n:30 ~d ~k:2 () in
+      let data = Sider_data.Dataset.matrix ds in
+      let cs =
+        Constr.margin data
+        @ Constr.cluster ~data ~rows:(Array.init 15 (fun i -> i * 2)) ()
+      in
+      let s = Solver.create data cs in
+      ignore (Solver.solve ~max_sweeps:200 s);
+      let ok = ref true in
+      for cls = 0 to Solver.n_classes s - 1 do
+        let sigma = (Solver.class_params s cls).Gauss_params.sigma in
+        if not (Mat.is_symmetric ~eps:1e-6 sigma) then ok := false;
+        let { Eigen.values; _ } = Eigen.symmetric (Mat.symmetrize sigma) in
+        Array.iter (fun v -> if v < -1e-6 then ok := false) values
+      done;
+      !ok)
+
+let test_relative_entropy_zero_prior () =
+  let data = random_data 10 3 in
+  let s = Solver.create data [] in
+  approx ~eps:1e-12 "KL = 0 at the prior" 0.0 (Solver.relative_entropy s)
+
+let test_relative_entropy_monotone () =
+  (* Each additional constraint set moves the MaxEnt solution (weakly)
+     further from the prior. *)
+  let ds = Sider_data.Synth.clustered ~seed:8 ~n:60 ~d:3 ~k:3 () in
+  let data = Sider_data.Dataset.matrix ds in
+  let s0 = Solver.create data [] in
+  ignore (Solver.solve s0);
+  let kl0 = Solver.relative_entropy s0 in
+  let s1 = Solver.add_constraints s0 (Constr.margin data) in
+  ignore (Solver.solve ~lambda_tol:1e-5 ~param_tol:1e-5 s1);
+  let kl1 = Solver.relative_entropy s1 in
+  let s2 =
+    Solver.add_constraints s1
+      (Constr.cluster ~data
+         ~rows:(Sider_data.Dataset.class_indices ds "c0") ())
+  in
+  ignore (Solver.solve ~lambda_tol:1e-5 ~param_tol:1e-5 ~max_sweeps:3000 s2);
+  let kl2 = Solver.relative_entropy s2 in
+  check_true "margin adds information" (kl1 > kl0 -. 1e-9);
+  check_true "cluster adds more information" (kl2 > kl1 -. 1e-6)
+
+let test_relative_entropy_closed_form () =
+  (* One linear constraint shifting the mean by mu along a unit direction
+     gives KL = mu^2 / 2 per affected row. *)
+  let data = Mat.of_arrays [| [| 2.0; 0.0 |]; [| 2.0; 0.0 |] |] in
+  let c = Constr.linear ~data ~rows:[| 0; 1 |] ~w:[| 1.0; 0.0 |] () in
+  let s = Solver.create data [ c ] in
+  ignore (Solver.solve ~lambda_tol:1e-9 ~param_tol:1e-9 s);
+  (* Mean along w becomes 2 for both rows: KL = 2 rows x 2^2/2 = 4. *)
+  approx ~eps:1e-6 "KL closed form" 4.0 (Solver.relative_entropy s)
+
+let suite =
+  [
+    case "linear target" test_linear_target;
+    case "quadratic target and shift" test_quadratic_target;
+    case "eval on observed data" test_eval_on_observed;
+    case "rows deduplicated" test_rows_deduped;
+    case "rows validated" test_rows_validated;
+    case "margin builds 2d constraints" test_margin_count;
+    case "cluster builds 2d orthonormal constraints" test_cluster_count;
+    case "2-D builds 4 constraints" test_two_d_count;
+    case "partition: no constraints" test_partition_no_constraints;
+    case "partition: refinement" test_partition_refinement;
+    case "partition: shared class" test_partition_shared_class;
+    case "partition: classes independent of n" test_partition_counts_independent_of_n;
+    case "initial parameters are the prior" test_initial_params;
+    case "linear update" test_apply_linear;
+    case "quadratic update matches direct inversion" test_apply_quadratic_matches_direct;
+    case "quadratic update rejects indefinite" test_apply_quadratic_indefinite;
+    case "second moment identity" test_second_moment;
+    case "Case A exact solution (Eq. 12)" test_case_a_exact;
+    case "Case B limits (Eq. 13)" test_case_b_limits;
+    slow_case "Case B 1/tau convergence (Fig. 5b)" test_case_b_one_over_tau;
+    case "margin constraints satisfied" test_margin_constraints_satisfied;
+    case "margin equals standardization" test_margin_equals_standardization;
+    case "1-cluster equals covariance" test_one_cluster_equals_covariance;
+    case "cluster constraints satisfied" test_cluster_constraints_satisfied;
+    case "expectation identity vs Monte-Carlo" test_expectation_identity;
+    case "warm start on added constraints" test_add_constraints_warm_start;
+    case "no constraints = prior" test_no_constraints_prior;
+    case "time cutoff stops early" test_time_cutoff;
+    case "background samples match means" test_sample_statistics;
+    case "mean matrix" test_mean_matrix;
+    case "relative entropy: zero at prior" test_relative_entropy_zero_prior;
+    case "relative entropy: monotone in constraints" test_relative_entropy_monotone;
+    case "relative entropy: closed form" test_relative_entropy_closed_form;
+    prop_linear_constraint_exact_after_one_update;
+    prop_quadratic_constraint_exact_after_one_update;
+    prop_sigma_stays_symmetric_psd;
+  ]

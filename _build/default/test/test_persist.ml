@@ -1,0 +1,165 @@
+(* JSON implementation and session persistence/replay. *)
+
+open Sider_data
+open Sider_core
+open Test_helpers
+
+(* --- Json ------------------------------------------------------------------ *)
+
+let test_json_print_basic () =
+  check_true "null" (Json.to_string Json.Null = "null");
+  check_true "bool" (Json.to_string (Json.Bool true) = "true");
+  check_true "int-like" (Json.to_string (Json.Number 42.0) = "42");
+  check_true "string" (Json.to_string (Json.String "hi") = {|"hi"|});
+  check_true "list" (Json.to_string (Json.List [ Json.Number 1.0 ]) = "[1]");
+  check_true "object"
+    (Json.to_string (Json.Obj [ ("a", Json.Null) ]) = {|{"a":null}|})
+
+let test_json_escapes () =
+  let s = Json.to_string (Json.String "a\"b\\c\nd") in
+  check_true "escaped" (s = {|"a\"b\\c\nd"|});
+  match Json.of_string s with
+  | Json.String back -> check_true "roundtrip" (back = "a\"b\\c\nd")
+  | _ -> Alcotest.fail "expected string"
+
+let test_json_parse_basics () =
+  check_true "null" (Json.of_string " null " = Json.Null);
+  check_true "number" (Json.of_string "-1.5e2" = Json.Number (-150.0));
+  check_true "nested"
+    (Json.of_string {| {"a": [1, true, "x"], "b": {}} |}
+     = Json.Obj
+         [ ("a", Json.List [ Json.Number 1.0; Json.Bool true; Json.String "x" ]);
+           ("b", Json.Obj []) ])
+
+let test_json_parse_unicode_escape () =
+  match Json.of_string {|"é"|} with
+  | Json.String s -> check_true "é decoded" (s = "\xc3\xa9")
+  | _ -> Alcotest.fail "expected string"
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" s
+  in
+  fails "{";
+  fails "[1,]";
+  fails "nul";
+  fails {|"abc|};
+  fails "1 2";
+  fails "{\"a\" 1}"
+
+let test_json_float_roundtrip () =
+  let xs = [| 0.1; -3.25; 1e-17; 6.02e23; 0.0 |] in
+  let back = Json.to_floats (Json.of_string (Json.to_string (Json.floats xs))) in
+  approx_vec ~eps:0.0 "floats exact" xs back
+
+let prop_json_roundtrip =
+  let gen =
+    QCheck.(
+      let leaf =
+        oneof
+          [ map (fun b -> Json.Bool b) bool;
+            map (fun f -> Json.Number f) (float_range (-1e6) 1e6);
+            map (fun s -> Json.String s) (string_gen_of_size (QCheck.Gen.return 6) QCheck.Gen.printable);
+            always Json.Null ]
+      in
+      map (fun leaves -> Json.List leaves) (small_list leaf))
+  in
+  qcheck ~count:100 "json print/parse roundtrip" gen (fun j ->
+      Json.of_string (Json.to_string j) = j)
+
+(* --- Dataset persistence ------------------------------------------------------ *)
+
+let test_dataset_roundtrip () =
+  let ds = Synth.three_d ~seed:5 () in
+  let back = Persist.dataset_of_json (Persist.dataset_to_json ds) in
+  approx_mat ~eps:0.0 "matrix exact" (Dataset.matrix ds) (Dataset.matrix back);
+  check_true "labels" (Dataset.labels back = Dataset.labels ds);
+  check_true "columns" (Dataset.columns back = Dataset.columns ds);
+  check_true "name" (Dataset.name back = Dataset.name ds)
+
+let test_dataset_roundtrip_unlabeled () =
+  let ds = Synth.gaussian ~seed:2 ~n:20 ~d:3 () in
+  let back = Persist.dataset_of_json (Persist.dataset_to_json ds) in
+  check_true "no labels" (Dataset.labels back = None)
+
+(* --- Session persistence -------------------------------------------------------- *)
+
+let explored_session () =
+  let ds = Synth.three_d ~seed:1 () in
+  let s = Session.create ~seed:77 ds in
+  let sels = Auto_explore.mark_clusters ~rng:(Sider_rand.Rng.create 3) s in
+  Array.iter (Session.add_cluster_constraint s) sels;
+  ignore (Session.update_background s);
+  ignore (Session.recompute_view s);
+  s
+
+let test_history_recorded () =
+  let s = explored_session () in
+  let events = Session.history s in
+  let clusters =
+    List.length
+      (List.filter
+         (function Session.Added_cluster _ -> true | _ -> false)
+         events)
+  in
+  check_true "cluster events" (clusters >= 2);
+  check_true "update event"
+    (List.exists (function Session.Updated _ -> true | _ -> false) events);
+  check_true "view event"
+    (List.exists (function Session.Viewed _ -> true | _ -> false) events)
+
+let test_session_replay_exact () =
+  let s = explored_session () in
+  let json = Persist.session_to_json s in
+  let replayed = Persist.session_of_json json in
+  (* The replayed session reaches the identical state. *)
+  check_true "same constraint count"
+    (Session.n_constraints replayed = Session.n_constraints s);
+  check_true "same axis labels"
+    (Session.axis_labels replayed = Session.axis_labels s);
+  check_true "same scores" (Session.view_scores replayed = Session.view_scores s);
+  approx_mat ~eps:0.0 "same engine data" (Session.data s)
+    (Session.data replayed);
+  (* Background parameters coincide too. *)
+  let p_orig = Sider_maxent.Solver.row_params (Session.solver s) 0 in
+  let p_back = Sider_maxent.Solver.row_params (Session.solver replayed) 0 in
+  approx_vec ~eps:1e-12 "same background mean"
+    p_orig.Sider_maxent.Gauss_params.mean p_back.Sider_maxent.Gauss_params.mean
+
+let test_session_file_roundtrip () =
+  let s = explored_session () in
+  let path = Filename.temp_file "sider_session" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Persist.save path s;
+      let replayed = Persist.load path in
+      check_true "file replay matches"
+        (Session.axis_labels replayed = Session.axis_labels s))
+
+let test_session_of_json_rejects_garbage () =
+  (match Persist.session_of_json (Json.Obj [ ("format", Json.String "x") ]) with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "expected failure");
+  match Persist.session_of_json Json.Null with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+let suite =
+  [
+    case "json printing" test_json_print_basic;
+    case "json escapes" test_json_escapes;
+    case "json parsing" test_json_parse_basics;
+    case "json unicode escape" test_json_parse_unicode_escape;
+    case "json parse errors" test_json_parse_errors;
+    case "json float fidelity" test_json_float_roundtrip;
+    prop_json_roundtrip;
+    case "dataset json roundtrip" test_dataset_roundtrip;
+    case "unlabeled dataset roundtrip" test_dataset_roundtrip_unlabeled;
+    case "history recorded" test_history_recorded;
+    slow_case "session replay is exact" test_session_replay_exact;
+    case "session file roundtrip" test_session_file_roundtrip;
+    case "rejects malformed snapshots" test_session_of_json_rejects_garbage;
+  ]

@@ -1,0 +1,297 @@
+(* Whitening, PCA, FastICA, scores and views. *)
+
+open Sider_linalg
+open Sider_maxent
+open Sider_projection
+open Test_helpers
+
+let rng = Sider_rand.Rng.create 31337
+
+(* --- Scores -------------------------------------------------------------- *)
+
+let test_pca_gain () =
+  approx "unit variance → 0" 0.0 (Scores.pca_gain 1.0);
+  check_true "inflated positive" (Scores.pca_gain 4.0 > 0.0);
+  check_true "collapsed positive" (Scores.pca_gain 0.25 > 0.0);
+  check_true "zero variance → ∞" (Scores.pca_gain 0.0 = infinity);
+  (* Symmetric in log-scale around 1: gain(σ²) for σ²=2 vs 1/2 differ, but
+     both exceed gain at 1.5. *)
+  check_true "monotone away from 1"
+    (Scores.pca_gain 3.0 > Scores.pca_gain 1.5)
+
+let test_log_cosh_gaussian_zero () =
+  let xs = Array.init 100_000 (fun _ -> Sider_rand.Sampler.normal rng) in
+  approx ~eps:3e-3 "Gaussian scores ≈ 0" 0.0 (Scores.log_cosh_score xs)
+
+let test_log_cosh_signs () =
+  (* A two-point (super-bimodal, sub-Gaussian) distribution has
+     E[log cosh] above the Gaussian value; a heavy-tailed one below. *)
+  let bimodal = Array.init 10_000 (fun i -> if i mod 2 = 0 then 1.0 else -1.0) in
+  check_true "bimodal positive" (Scores.log_cosh_score bimodal > 0.0);
+  let heavy =
+    Array.init 10_000 (fun _ ->
+        let u = Sider_rand.Sampler.normal rng in
+        u *. u *. u (* cubed normal: heavy tails *))
+  in
+  check_true "heavy-tailed negative" (Scores.log_cosh_score heavy < 0.0)
+
+(* --- PCA ------------------------------------------------------------------ *)
+
+let test_pca_known_directions () =
+  (* Data stretched along (1,1): leading by-variance direction is (1,1)/√2. *)
+  let m =
+    Mat.init 500 2 (fun _ _ -> 0.0)
+  in
+  let r = Sider_rand.Rng.create 5 in
+  for i = 0 to 499 do
+    let t = 3.0 *. Sider_rand.Sampler.normal r in
+    let n = 0.2 *. Sider_rand.Sampler.normal r in
+    Mat.set m i 0 ((t +. n) /. sqrt 2.0);
+    Mat.set m i 1 ((t -. n) /. sqrt 2.0)
+  done;
+  let fitted = Pca.fit_by_variance m in
+  let w1, _ = Pca.top2 fitted in
+  approx ~eps:1e-2 "leading direction"
+    1.0 (Float.abs (Vec.dot w1 (Vec.normalize [| 1.0; 1.0 |])));
+  check_true "variances sorted"
+    (fitted.Pca.variances.(0) > fitted.Pca.variances.(1))
+
+let test_pca_gain_ordering () =
+  (* Gain ordering puts a tiny-variance direction before a mildly inflated
+     one: var 0.01 has more gain than var 2. *)
+  let r = Sider_rand.Rng.create 6 in
+  let m =
+    Mat.init 2000 3 (fun _ j ->
+        let sd = match j with 0 -> sqrt 2.0 | 1 -> 1.0 | _ -> 0.1 in
+        sd *. Sider_rand.Sampler.normal r)
+  in
+  let fitted = Pca.fit m in
+  let w1, _ = Pca.top2 fitted in
+  approx ~eps:1e-2 "tiny-variance direction wins" 1.0
+    (Float.abs w1.(2))
+
+let test_pca_mean () =
+  let m = Mat.of_arrays [| [| 1.0; 5.0 |]; [| 3.0; 7.0 |] |] in
+  let fitted = Pca.fit m in
+  approx_vec "mean recorded" [| 2.0; 6.0 |] fitted.Pca.mean
+
+(* --- FastICA ---------------------------------------------------------------- *)
+
+let test_ica_recovers_sources () =
+  (* Mix two independent non-Gaussian (uniform) sources; FastICA must
+     recover the mixing directions. *)
+  let r = Sider_rand.Rng.create 7 in
+  let n = 4000 in
+  let mix = [| [| 0.9; 0.3 |]; [| -0.2; 0.8 |] |] in
+  let m =
+    Mat.init n 2 (fun _ _ -> 0.0)
+  in
+  for i = 0 to n - 1 do
+    let s1 = Sider_rand.Rng.uniform r (-1.7) 1.7 in
+    let s2 = Sider_rand.Rng.uniform r (-1.7) 1.7 in
+    Mat.set m i 0 ((mix.(0).(0) *. s1) +. (mix.(0).(1) *. s2));
+    Mat.set m i 1 ((mix.(1).(0) *. s1) +. (mix.(1).(1) *. s2))
+  done;
+  let fitted = Fastica.fit (Sider_rand.Rng.create 8) m in
+  check_true "converged" fitted.Fastica.converged;
+  let w1, w2 = Fastica.top2 fitted in
+  (* Unmixing directions recover the sources: projections of the data on
+     w1/w2 should be close to uniform → strongly positive log-cosh score
+     (sub-Gaussian). *)
+  check_true "component 1 non-Gaussian"
+    (Float.abs (Scores.direction_log_cosh m w1) > 0.01);
+  check_true "component 2 non-Gaussian"
+    (Float.abs (Scores.direction_log_cosh m w2) > 0.01);
+  (* The recovered source should have near-unit absolute correlation with
+     one of the true sources; verify via the unmixing of the known mixing
+     matrix: directions should be ± rows of inv(mix)ᵀ normalized. *)
+  (* s = A⁻¹x, so the true unmixing directions are the rows of A⁻¹. *)
+  let minv = Linsolve.inverse (Mat.of_arrays mix) in
+  let true1 = Vec.normalize (Mat.row minv 0) in
+  let true2 = Vec.normalize (Mat.row minv 1) in
+  let best_match w =
+    Float.max
+      (Float.abs (Vec.dot w true1))
+      (Float.abs (Vec.dot w true2))
+  in
+  check_true "w1 aligns with a true unmixing direction" (best_match w1 > 0.98);
+  check_true "w2 aligns with a true unmixing direction" (best_match w2 > 0.98)
+
+let test_ica_gaussian_low_scores () =
+  let m = Sider_rand.Sampler.normal_mat (Sider_rand.Rng.create 9) 3000 3 in
+  let fitted = Fastica.fit (Sider_rand.Rng.create 10) m in
+  Array.iter
+    (fun s -> check_true "Gaussian data ⇒ tiny scores" (Float.abs s < 0.03))
+    fitted.Fastica.scores
+
+let test_ica_scores_sorted () =
+  let { Sider_data.Synth.data; _ } = Sider_data.Synth.x5 ~seed:3 () in
+  let m = Sider_data.Dataset.matrix (Sider_data.Dataset.standardized data) in
+  let fitted = Fastica.fit (Sider_rand.Rng.create 11) m in
+  let s = fitted.Fastica.scores in
+  for i = 0 to Array.length s - 2 do
+    check_true "|score| decreasing" (Float.abs s.(i) >= Float.abs s.(i + 1) -. 1e-12)
+  done
+
+let test_ica_unit_directions () =
+  let m = Sider_rand.Sampler.normal_mat (Sider_rand.Rng.create 12) 500 4 in
+  let fitted = Fastica.fit (Sider_rand.Rng.create 13) m in
+  let _, k = Mat.dims fitted.Fastica.directions in
+  for j = 0 to k - 1 do
+    approx ~eps:1e-9 "unit norm" 1.0 (Vec.norm2 (Mat.col fitted.Fastica.directions j))
+  done
+
+let test_ica_rank_deficient () =
+  (* A constant third column must be dropped, not crash. *)
+  let r = Sider_rand.Rng.create 14 in
+  let m =
+    Mat.init 400 3 (fun _ j ->
+        if j = 2 then 1.0 else Sider_rand.Sampler.normal r)
+  in
+  let fitted = Fastica.fit (Sider_rand.Rng.create 15) m in
+  let _, k = Mat.dims fitted.Fastica.directions in
+  check_true "degenerate direction dropped" (k = 2)
+
+let test_ica_n_components () =
+  let m = Sider_rand.Sampler.normal_mat (Sider_rand.Rng.create 16) 300 5 in
+  let fitted = Fastica.fit ~n_components:2 (Sider_rand.Rng.create 17) m in
+  let _, k = Mat.dims fitted.Fastica.directions in
+  check_true "limited to 2" (k = 2)
+
+(* --- Whitening ----------------------------------------------------------------- *)
+
+let test_whiten_identity_without_constraints () =
+  let data = Sider_rand.Sampler.normal_mat rng 50 3 in
+  let s = Solver.create data [] in
+  approx_mat ~eps:1e-9 "no constraints ⇒ Y = X" data (Whiten.whiten s)
+
+let test_whiten_gaussianizes () =
+  (* Correlated Gaussian data + 1-cluster constraint: the whitened data
+     must have ≈ identity covariance and zero mean. *)
+  let r = Sider_rand.Rng.create 18 in
+  let base = Sider_rand.Sampler.normal_mat r 800 3 in
+  let mix =
+    Mat.of_arrays [| [| 1.0; 0.7; 0.0 |]; [| 0.0; 1.0; 0.5 |];
+                     [| 0.0; 0.0; 0.6 |] |]
+  in
+  let data = Mat.matmul base mix in
+  let s = Solver.create data (Constr.one_cluster data) in
+  ignore (Solver.solve ~lambda_tol:1e-7 ~param_tol:1e-7 ~max_sweeps:3000 s);
+  let y = Whiten.whiten s in
+  approx_mat ~eps:0.03 "cov(Y) = I" (Mat.identity 3) (Mat.covariance y);
+  approx_vec ~eps:0.02 "mean(Y) = 0" [| 0.0; 0.0; 0.0 |] (Mat.col_means y)
+
+let test_whiten_direction_preserving () =
+  (* The symmetric square root must not flip or permute axes: for a
+     diagonal background covariance the transform is diagonal. *)
+  let data = Mat.of_arrays [| [| 2.0; 0.0 |]; [| -2.0; 0.0 |] |] in
+  let c = Constr.quadratic ~data ~rows:[| 0; 1 |] ~w:[| 1.0; 0.0 |] () in
+  let s = Solver.create data [ c ] in
+  ignore (Solver.solve s);
+  let y = Whiten.whiten s in
+  (* Background variance along x is 4, so x shrinks by 2; y-axis variance
+     stays 1 (prior), so the second coordinate is untouched. *)
+  approx ~eps:1e-3 "x scaled" 1.0 (Mat.get y 0 0);
+  approx ~eps:1e-9 "y untouched" 0.0 (Mat.get y 0 1)
+
+let test_whiten_background_sample_spherical () =
+  (* Whitening a sample of the background itself must produce approximately
+     N(0, I) data — the definition of the transform. *)
+  let ds = Sider_data.Synth.clustered ~seed:21 ~n:300 ~d:3 ~k:2 () in
+  let data = Sider_data.Dataset.matrix ds in
+  let cs =
+    Constr.margin data
+    @ Constr.cluster ~data ~rows:(Sider_data.Dataset.class_indices ds "c0") ()
+  in
+  let s = Solver.create data cs in
+  ignore (Solver.solve ~max_sweeps:2000 s);
+  let sample = Solver.sample s (Sider_rand.Rng.create 22) in
+  let w = Whiten.whiten_matrix s sample in
+  let cov = Mat.covariance w in
+  approx_mat ~eps:0.25 "whitened sample ≈ spherical" (Mat.identity 3) cov
+
+let test_whiten_shape_check () =
+  let data = Sider_rand.Sampler.normal_mat rng 10 2 in
+  let s = Solver.create data [] in
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Whiten.whiten_matrix: shape mismatch with solver data")
+    (fun () -> ignore (Whiten.whiten_matrix s (Mat.identity 3)))
+
+(* --- View ------------------------------------------------------------------------ *)
+
+let test_view_project () =
+  let v =
+    {
+      View.method_ = View.Pca;
+      axis1 = { View.direction = [| 1.0; 0.0 |]; score = 1.0 };
+      axis2 = { View.direction = [| 0.0; 1.0 |]; score = 0.5 };
+    }
+  in
+  let pts = View.project v (Mat.of_arrays [| [| 3.0; 4.0 |] |]) in
+  approx "x" 3.0 (fst pts.(0));
+  approx "y" 4.0 (snd pts.(0))
+
+let test_axis_label_format () =
+  let axis = { View.direction = [| 0.71; -0.71; 0.01 |]; score = 0.093 } in
+  let label =
+    View.axis_label ~columns:[| "X1"; "X2"; "X3" |] ~prefix:"PCA1" axis
+  in
+  check_true "contains score" (String.length label > 0);
+  check_true "score bracket"
+    (String.sub label 0 10 = "PCA1[0.093");
+  (* Largest loading first. *)
+  let has_sub s sub =
+    let ls = String.length s and lsub = String.length sub in
+    let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+    go 0
+  in
+  check_true "X1 present" (has_sub label "(X1)");
+  check_true "signs present" (has_sub label "+0.71" && has_sub label "-0.71")
+
+let test_axis_label_top () =
+  let axis = { View.direction = [| 0.9; 0.1; 0.05; 0.01 |]; score = 1.0 } in
+  let label =
+    View.axis_label ~top:2 ~columns:[| "a"; "b"; "c"; "d" |] ~prefix:"ICA1" axis
+  in
+  let count_paren = String.fold_left (fun acc c -> if c = '(' then acc + 1 else acc) 0 label in
+  check_true "only top 2 terms" (count_paren = 2)
+
+let test_view_of_solver_picks_structure () =
+  (* Clusters along X3 only: the most informative view must load on X3. *)
+  let r = Sider_rand.Rng.create 23 in
+  let n = 600 in
+  let data =
+    Mat.init n 3 (fun i j ->
+        if j = 2 then
+          (if i mod 2 = 0 then 2.0 else -2.0) +. (0.2 *. Sider_rand.Sampler.normal r)
+        else Sider_rand.Sampler.normal r)
+  in
+  let s = Solver.create data [] in
+  let v = View.of_solver ~method_:View.Pca s in
+  check_true "axis1 loads on X3"
+    (Float.abs v.View.axis1.View.direction.(2) > 0.95)
+
+let suite =
+  [
+    case "pca gain" test_pca_gain;
+    case "log-cosh score of Gaussian is 0" test_log_cosh_gaussian_zero;
+    case "log-cosh score signs" test_log_cosh_signs;
+    case "pca known directions" test_pca_known_directions;
+    case "pca gain ordering" test_pca_gain_ordering;
+    case "pca records mean" test_pca_mean;
+    case "ica recovers uniform sources" test_ica_recovers_sources;
+    case "ica on Gaussian: low scores" test_ica_gaussian_low_scores;
+    case "ica scores sorted by magnitude" test_ica_scores_sorted;
+    case "ica directions unit norm" test_ica_unit_directions;
+    case "ica drops rank-deficient directions" test_ica_rank_deficient;
+    case "ica n_components" test_ica_n_components;
+    case "whiten: identity without constraints" test_whiten_identity_without_constraints;
+    case "whiten gaussianizes constrained data" test_whiten_gaussianizes;
+    case "whiten preserves directions" test_whiten_direction_preserving;
+    case "whitened background is spherical" test_whiten_background_sample_spherical;
+    case "whiten shape check" test_whiten_shape_check;
+    case "view projection" test_view_project;
+    case "axis label format" test_axis_label_format;
+    case "axis label top terms" test_axis_label_top;
+    case "view finds planted structure" test_view_of_solver_picks_structure;
+  ]

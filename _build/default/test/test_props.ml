@@ -1,0 +1,231 @@
+(* Cross-cutting property-based tests (qcheck) on the core data
+   structures and invariants. *)
+
+open Sider_linalg
+open Sider_maxent
+open Test_helpers
+
+let rng = Sider_rand.Rng.create 777
+
+(* Generator: a small data matrix and a few random row subsets. *)
+let gen_rowsets =
+  QCheck.Gen.(
+    let* n = int_range 3 12 in
+    let* k = int_range 1 4 in
+    let* sets =
+      list_repeat k
+        (let* size = int_range 1 n in
+         let* rows = list_repeat size (int_range 0 (n - 1)) in
+         return (Array.of_list rows))
+    in
+    return (n, sets))
+
+let arb_rowsets =
+  QCheck.make ~print:(fun (n, sets) ->
+      Printf.sprintf "n=%d sets=[%s]" n
+        (String.concat "; "
+           (List.map
+              (fun s ->
+                String.concat ","
+                  (Array.to_list (Array.map string_of_int s)))
+              sets)))
+    gen_rowsets
+
+let constraints_of (n, sets) =
+  let data =
+    Mat.init n 3 (fun i j -> float_of_int (((i * 3) + j) mod 7) -. 3.0)
+  in
+  let cs =
+    List.concat_map
+      (fun rows ->
+        [ Constr.linear ~data ~rows ~w:[| 1.0; 0.0; 0.0 |] ();
+          Constr.quadratic ~data ~rows ~w:[| 0.0; 1.0; 0.0 |] () ])
+      sets
+  in
+  (data, Array.of_list cs)
+
+let prop_partition_is_partition =
+  qcheck ~count:100 "partition covers every row exactly once" arb_rowsets
+    (fun input ->
+      let (n, _) = input in
+      let _, cs = constraints_of input in
+      let p = Partition.of_constraints ~n cs in
+      let seen = Array.make n 0 in
+      for c = 0 to Partition.n_classes p - 1 do
+        Array.iter (fun r -> seen.(r) <- seen.(r) + 1) (Partition.members p c)
+      done;
+      Array.for_all (Int.equal 1) seen
+      && Array.for_all
+           (fun r ->
+             Array.exists (Int.equal r)
+               (Partition.members p (Partition.class_of_row p r)))
+           (Array.init n Fun.id))
+
+let prop_constraint_rowsets_are_class_unions =
+  qcheck ~count:100 "each constraint's rows are a union of whole classes"
+    arb_rowsets
+    (fun input ->
+      let (n, _) = input in
+      let _, cs = constraints_of input in
+      let p = Partition.of_constraints ~n cs in
+      let ok = ref true in
+      Array.iteri
+        (fun idx (c : Constr.t) ->
+          let groups = Partition.classes_of_constraint p idx in
+          (* Multiplicities must equal full class sizes and sum to |I|. *)
+          let total = ref 0 in
+          Array.iter
+            (fun (cls, cnt) ->
+              total := !total + cnt;
+              if cnt <> Partition.size p cls then ok := false)
+            groups;
+          if !total <> Array.length c.Constr.rows then ok := false)
+        cs;
+      !ok)
+
+let prop_rows_in_class_share_signature =
+  qcheck ~count:100 "rows of one class belong to exactly the same constraints"
+    arb_rowsets
+    (fun input ->
+      let (n, _) = input in
+      let _, cs = constraints_of input in
+      let p = Partition.of_constraints ~n cs in
+      let membership r =
+        Array.map
+          (fun (c : Constr.t) -> Array.exists (Int.equal r) c.Constr.rows)
+          cs
+      in
+      let ok = ref true in
+      for cls = 0 to Partition.n_classes p - 1 do
+        let members = Partition.members p cls in
+        let sig0 = membership members.(0) in
+        Array.iter
+          (fun r -> if membership r <> sig0 then ok := false)
+          members
+      done;
+      !ok)
+
+let prop_solver_satisfies_random_constraints =
+  qcheck ~count:40 "solver satisfies random constraint systems" arb_rowsets
+    (fun input ->
+      let data, cs = constraints_of input in
+      let s = Solver.create data (Array.to_list cs) in
+      ignore (Solver.solve ~max_sweeps:4000 ~lambda_tol:1e-6 ~param_tol:1e-6 s);
+      (* Feasibility up to the solver's own cap behaviour: accept either a
+         tiny residual or a collapsed-variance direction (singular optimum,
+         cf. Fig. 5 Case B). *)
+      Solver.residual s < 0.05
+      ||
+      let collapsed = ref false in
+      for cls = 0 to Solver.n_classes s - 1 do
+        let sigma = (Solver.class_params s cls).Gauss_params.sigma in
+        if Mat.trace sigma < 0.1 then collapsed := true
+      done;
+      !collapsed)
+
+let prop_constraint_eval_matches_target =
+  qcheck ~count:60 "constraint target equals its own evaluation" arb_rowsets
+    (fun input ->
+      let data, cs = constraints_of input in
+      Array.for_all
+        (fun (c : Constr.t) ->
+          Float.abs (Constr.eval c data -. c.Constr.target) < 1e-9)
+        cs)
+
+let prop_csv_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 8 in
+      let* d = int_range 1 5 in
+      let* values =
+        list_repeat (n * d) (float_range (-1000.0) 1000.0)
+      in
+      return (n, d, Array.of_list values))
+  in
+  qcheck ~count:80 "csv roundtrips random matrices"
+    (QCheck.make
+       ~print:(fun (n, d, _) -> Printf.sprintf "%dx%d" n d)
+       gen)
+    (fun (n, d, values) ->
+      let m = Mat.init n d (fun i j -> values.((i * d) + j)) in
+      let ds =
+        Sider_data.Dataset.create
+          ~columns:(Array.init d (fun j -> Printf.sprintf "c%d" j))
+          m
+      in
+      let back = Sider_data.Csv.of_string (Sider_data.Csv.to_string ds) in
+      Mat.approx_equal ~eps:0.0 m (Sider_data.Dataset.matrix back))
+
+let prop_whiten_margin_standardizes =
+  qcheck ~count:20 "whitening after margin constraints standardizes columns"
+    QCheck.(int_range 2 4)
+    (fun d ->
+      let data =
+        Mat.init 80 d (fun i j ->
+            (2.0 *. Sider_rand.Sampler.normal rng)
+            +. float_of_int (j * (i mod 3)))
+      in
+      let s = Solver.create data (Constr.margin data) in
+      ignore (Solver.solve ~lambda_tol:1e-7 ~param_tol:1e-7 s);
+      let y = Sider_projection.Whiten.whiten s in
+      let means = Mat.col_means y and vars = Mat.col_variances y in
+      Array.for_all (fun m -> Float.abs m < 0.05) means
+      && Array.for_all (fun v -> Float.abs (v -. 1.0) < 0.1) vars)
+
+let prop_ellipse_polyline_on_boundary =
+  qcheck ~count:40 "ellipse polyline points lie on the boundary"
+    QCheck.(pair (float_range 0.1 5.0) (float_range 0.1 5.0))
+    (fun (a, b) ->
+      let e =
+        Sider_stats.Ellipse.of_moments ~confidence:0.9
+          ~mean:[| 1.0; -2.0 |]
+          ~cov:(Mat.diag [| a; b |]) ()
+      in
+      let pts = Sider_stats.Ellipse.polyline ~segments:16 e in
+      Array.for_all
+        (fun (x, y) ->
+          (* On the boundary: the scaled quadratic form equals 1. *)
+          let cx, cy = e.Sider_stats.Ellipse.center in
+          let proj (ax, ay) = ((x -. cx) *. ax) +. ((y -. cy) *. ay) in
+          let u = proj e.Sider_stats.Ellipse.axis1 in
+          let v = proj e.Sider_stats.Ellipse.axis2 in
+          let q =
+            ((u /. e.Sider_stats.Ellipse.radius1) ** 2.0)
+            +. ((v /. e.Sider_stats.Ellipse.radius2) ** 2.0)
+          in
+          Float.abs (q -. 1.0) < 1e-9)
+        pts)
+
+let prop_rng_streams_diverge =
+  qcheck ~count:50 "split rng streams do not collide" QCheck.small_int
+    (fun seed ->
+      let a = Sider_rand.Rng.create seed in
+      let b = Sider_rand.Rng.split a in
+      let collide = ref false in
+      for _ = 1 to 20 do
+        if Sider_rand.Rng.uint64 a = Sider_rand.Rng.uint64 b then
+          collide := true
+      done;
+      not !collide)
+
+let prop_kmeans_assignment_valid =
+  qcheck ~count:30 "kmeans assignments are within range and non-empty"
+    QCheck.(pair (int_range 2 4) (int_range 10 40))
+    (fun (k, n) ->
+      let m = Sider_rand.Sampler.normal_mat rng n 2 in
+      let r = Sider_stats.Kmeans.fit (Sider_rand.Rng.create (k + n)) ~k m in
+      Array.for_all (fun c -> c >= 0 && c < k) r.Sider_stats.Kmeans.assignment)
+
+let suite =
+  [
+    prop_partition_is_partition;
+    prop_constraint_rowsets_are_class_unions;
+    prop_rows_in_class_share_signature;
+    prop_solver_satisfies_random_constraints;
+    prop_constraint_eval_matches_target;
+    prop_csv_roundtrip;
+    prop_whiten_margin_standardizes;
+    prop_ellipse_polyline_on_boundary;
+    prop_rng_streams_diverge;
+    prop_kmeans_assignment_valid;
+  ]

@@ -1,0 +1,218 @@
+(* RNG and sampler tests. *)
+
+open Sider_rand
+open Sider_linalg
+open Test_helpers
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_true "same stream" (Rng.uint64 a = Rng.uint64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check_true "different seeds differ" (Rng.uint64 a <> Rng.uint64 b)
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.copy a in
+  let x = Rng.uint64 a in
+  let y = Rng.uint64 b in
+  check_true "copy replays" (x = y)
+
+let test_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  check_true "split stream differs" (Rng.uint64 a <> Rng.uint64 b)
+
+let test_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    check_true "in [0,1)" (x >= 0.0 && x < 1.0)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 4 in
+  let n = 50_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng
+  done;
+  approx ~eps:0.01 "uniform mean" 0.5 (!acc /. float_of_int n)
+
+let test_int_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 7 in
+    check_true "in [0,7)" (x >= 0 && x < 7)
+  done;
+  Alcotest.check_raises "non-positive bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_int_uniform () =
+  let rng = Rng.create 6 in
+  let counts = Array.make 5 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let x = Rng.int rng 5 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      approx ~eps:0.02 "each bucket ~1/5" 0.2 (float_of_int c /. float_of_int n))
+    counts
+
+let test_normal_moments () =
+  let rng = Rng.create 8 in
+  let n = 100_000 in
+  let xs = Array.init n (fun _ -> Sampler.normal rng) in
+  approx ~eps:0.02 "mean 0" 0.0 (Vec.mean xs);
+  approx ~eps:0.03 "variance 1" 1.0 (Vec.variance xs);
+  approx ~eps:0.05 "skewness 0" 0.0 (Sider_stats.Descriptive.skewness xs);
+  approx ~eps:0.1 "kurtosis 0" 0.0 (Sider_stats.Descriptive.kurtosis xs)
+
+let test_gaussian_params () =
+  let rng = Rng.create 9 in
+  let xs = Array.init 50_000 (fun _ -> Sampler.gaussian rng ~mean:3.0 ~sd:2.0) in
+  approx ~eps:0.05 "mean" 3.0 (Vec.mean xs);
+  approx ~eps:0.15 "variance" 4.0 (Vec.variance xs)
+
+let test_exponential () =
+  let rng = Rng.create 10 in
+  let xs = Array.init 50_000 (fun _ -> Sampler.exponential rng ~rate:2.0) in
+  approx ~eps:0.02 "mean 1/rate" 0.5 (Vec.mean xs);
+  check_true "non-negative" (Vec.min xs >= 0.0)
+
+let test_poisson () =
+  let rng = Rng.create 11 in
+  let xs =
+    Array.init 20_000 (fun _ ->
+        float_of_int (Sampler.poisson rng ~lambda:4.0))
+  in
+  approx ~eps:0.1 "mean" 4.0 (Vec.mean xs);
+  approx ~eps:0.25 "variance" 4.0 (Vec.variance xs)
+
+let test_poisson_large_lambda () =
+  let rng = Rng.create 12 in
+  let xs =
+    Array.init 5_000 (fun _ ->
+        float_of_int (Sampler.poisson rng ~lambda:1000.0))
+  in
+  approx ~eps:5.0 "normal-approx mean" 1000.0 (Vec.mean xs)
+
+let test_categorical () =
+  let rng = Rng.create 13 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30_000 do
+    let i = Sampler.categorical rng [| 1.0; 2.0; 7.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  approx ~eps:0.02 "w=1" 0.1 (float_of_int counts.(0) /. 30_000.0);
+  approx ~eps:0.02 "w=2" 0.2 (float_of_int counts.(1) /. 30_000.0);
+  approx ~eps:0.02 "w=7" 0.7 (float_of_int counts.(2) /. 30_000.0)
+
+let test_gamma_moments () =
+  let rng = Rng.create 14 in
+  let shape = 3.0 and scale = 2.0 in
+  let xs =
+    Array.init 50_000 (fun _ -> Sampler.gamma rng ~shape ~scale)
+  in
+  approx ~eps:0.1 "gamma mean" (shape *. scale) (Vec.mean xs);
+  approx ~eps:0.6 "gamma variance" (shape *. scale *. scale) (Vec.variance xs)
+
+let test_gamma_small_shape () =
+  let rng = Rng.create 15 in
+  let xs = Array.init 50_000 (fun _ -> Sampler.gamma rng ~shape:0.5 ~scale:1.0) in
+  approx ~eps:0.02 "boosted small-shape mean" 0.5 (Vec.mean xs)
+
+let test_dirichlet () =
+  let rng = Rng.create 16 in
+  let alpha = [| 2.0; 3.0; 5.0 |] in
+  let acc = Array.make 3 0.0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let theta = Sampler.dirichlet rng alpha in
+    approx ~eps:1e-9 "sums to 1" 1.0 (Vec.sum theta);
+    Array.iteri (fun i x -> acc.(i) <- acc.(i) +. x) theta
+  done;
+  approx ~eps:0.01 "E[θ1]" 0.2 (acc.(0) /. float_of_int n);
+  approx ~eps:0.01 "E[θ3]" 0.5 (acc.(2) /. float_of_int n)
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 17 in
+  let arr = Array.init 50 Fun.id in
+  let orig = Array.copy arr in
+  Sampler.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check_true "same multiset" (sorted = orig);
+  check_true "actually moved" (arr <> orig)
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 18 in
+  let s = Sampler.sample_without_replacement rng 10 100 in
+  check_true "10 draws" (Array.length s = 10);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  let distinct = ref true in
+  for i = 1 to 9 do
+    if sorted.(i) = sorted.(i - 1) then distinct := false
+  done;
+  check_true "distinct" !distinct;
+  Array.iter (fun x -> check_true "in range" (x >= 0 && x < 100)) s
+
+let test_mvn_sampler () =
+  let rng = Rng.create 19 in
+  let cov = Mat.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |] in
+  let chol = Chol.decompose cov in
+  let n = 50_000 in
+  let samples =
+    Array.init n (fun _ -> Sampler.mvn rng ~mean:[| 1.0; -1.0 |] ~chol)
+  in
+  let xs = Array.map (fun v -> v.(0)) samples in
+  let ys = Array.map (fun v -> v.(1)) samples in
+  approx ~eps:0.03 "mean x" 1.0 (Vec.mean xs);
+  approx ~eps:0.03 "mean y" (-1.0) (Vec.mean ys);
+  approx ~eps:0.1 "var x" 2.0 (Vec.variance xs);
+  let cov_xy =
+    let mx = Vec.mean xs and my = Vec.mean ys in
+    Array.fold_left ( +. ) 0.0
+      (Array.mapi (fun i x -> (x -. mx) *. (ys.(i) -. my)) xs)
+    /. float_of_int n
+  in
+  approx ~eps:0.1 "cov xy" 1.0 cov_xy
+
+let prop_int_within_bound =
+  let rng = Rng.create 20 in
+  qcheck ~count:100 "Rng.int bound respected" QCheck.(int_range 1 1000)
+    (fun b ->
+      let x = Rng.int rng b in
+      x >= 0 && x < b)
+
+let suite =
+  [
+    case "determinism" test_determinism;
+    case "seed sensitivity" test_seed_sensitivity;
+    case "copy replays stream" test_copy_independent;
+    case "split diverges" test_split_independent;
+    case "float in range" test_float_range;
+    case "uniform mean" test_float_mean;
+    case "int bounds" test_int_bounds;
+    case "int uniformity" test_int_uniform;
+    case "normal moments" test_normal_moments;
+    case "gaussian with params" test_gaussian_params;
+    case "exponential" test_exponential;
+    case "poisson small lambda" test_poisson;
+    case "poisson large lambda" test_poisson_large_lambda;
+    case "categorical" test_categorical;
+    case "gamma moments" test_gamma_moments;
+    case "gamma small shape" test_gamma_small_shape;
+    case "dirichlet" test_dirichlet;
+    case "shuffle permutes" test_shuffle_permutes;
+    case "sampling without replacement" test_sample_without_replacement;
+    case "multivariate normal" test_mvn_sampler;
+    prop_int_within_bound;
+  ]
