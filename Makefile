@@ -1,0 +1,21 @@
+# Developer entry points.  `make verify` is the tier-1 gate every PR must
+# keep green: a full type-check of every target followed by the test suite.
+
+.PHONY: all build check test verify clean
+
+all: build
+
+build:
+	dune build
+
+check:
+	dune build @check
+
+test:
+	dune runtest
+
+verify:
+	dune build @check && dune runtest
+
+clean:
+	dune clean

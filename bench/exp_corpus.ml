@@ -53,7 +53,7 @@ let run () =
        (Sider_viz.Svg.session_figure ~selection:sel session);
      Session.add_cluster_constraint session sel
    | None -> note "!! no conversation-like selection found");
-  ignore (Session.update_background session);
+  ignore (Session.update_background_exn session);
   ignore (Session.recompute_view session);
 
   subhead "Fig. 8a: second PCA view";
@@ -86,7 +86,7 @@ let run () =
        | [] -> ());
       Session.add_cluster_constraint session sel)
     selections;
-  ignore (Session.update_background session);
+  ignore (Session.update_background_exn session);
   ignore (Session.recompute_view session);
 
   subhead "Fig. 8b: third PCA view";

@@ -27,7 +27,7 @@ let run () =
   let sels = Auto_explore.mark_clusters session in
   note "clusters marked in view 1: %d" (Array.length sels);
   Array.iter (Session.add_cluster_constraint session) sels;
-  let report = Session.update_background session in
+  let report = Session.update_background_exn session in
   note "MaxEnt update: %d sweeps, %.3f s" report.Sider_maxent.Solver.sweeps
     report.Sider_maxent.Solver.elapsed;
   artifact "fig2b_updated_background.svg" (Sider_viz.Svg.session_figure session);

@@ -100,7 +100,7 @@ let run () =
               group13;
             Session.add_cluster_constraint session (Array.of_list !rows))
           [ "A"; "B"; "C"; "D" ];
-        ignore (Session.update_background session);
+        ignore (Session.update_background_exn session);
         ignore (Session.recompute_view session);
         let pts = Session.scatter session in
         (session,

@@ -37,7 +37,7 @@ let run () =
 
   subhead "Fig. 9b: 1-cluster constraint";
   Session.add_one_cluster_constraint session;
-  let r = Session.update_background session in
+  let r = Session.update_background_exn session in
   note "MaxEnt update: %d sweeps, %.2f s" r.Sider_maxent.Solver.sweeps
     r.Sider_maxent.Solver.elapsed;
   (* PCA is uninformative after a full covariance constraint (Sec. II-C);
@@ -73,7 +73,7 @@ let run () =
     !centre;
 
   Array.iter (Session.add_cluster_constraint session) selections;
-  let r = Session.update_background session in
+  let r = Session.update_background_exn session in
   note "MaxEnt update: %d sweeps, %.2f s, converged %b"
     r.Sider_maxent.Solver.sweeps r.Sider_maxent.Solver.elapsed
     r.Sider_maxent.Solver.converged;

@@ -58,7 +58,7 @@ let run () =
 
   subhead "iteration 1: after 4 cluster constraints (Fig. 4c)";
   mark session group13 [ "A"; "B"; "C"; "D" ];
-  ignore (Session.update_background session);
+  ignore (Session.update_background_exn session);
   ignore (Session.recompute_view session);
   let sc1 = ica_scores session in
   compare_line ~label:"ICA scores"
@@ -76,7 +76,7 @@ let run () =
 
   subhead "iteration 2: after 7 cluster constraints (Fig. 4d)";
   mark session group45 [ "E"; "F"; "G" ];
-  ignore (Session.update_background session);
+  ignore (Session.update_background_exn session);
   ignore (Session.recompute_view session);
   let sc2 = ica_scores session in
   compare_line ~label:"ICA scores (noise floor)"

@@ -151,10 +151,21 @@ let handle st line =
     print_endline "queued 1-cluster constraint; run `update`";
     true
   | [ "update" ] ->
-    let r = Session.update_background st.session in
-    Printf.printf "background updated: %d sweeps, %.2f s, converged %b\n"
-      r.Sider_maxent.Solver.sweeps r.Sider_maxent.Solver.elapsed
-      r.Sider_maxent.Solver.converged;
+    (match Session.update_background st.session with
+     | Ok r ->
+       Printf.printf "background updated: %d sweeps, %.2f s, converged %b\n"
+         r.Sider_maxent.Solver.sweeps r.Sider_maxent.Solver.elapsed
+         r.Sider_maxent.Solver.converged;
+       List.iter
+         (fun e ->
+           Printf.printf "recovered from: %s\n"
+             (Sider_robust.Sider_error.to_string e))
+         r.Sider_maxent.Solver.degradations
+     | Error e ->
+       Printf.printf
+         "update failed (%s); session rolled back, constraints still \
+          queued\n"
+         (Sider_robust.Sider_error.to_string e));
     true
   | [ "next" ] | [ "next"; "pca" ] | [ "next"; "ica" ] ->
     let method_ =

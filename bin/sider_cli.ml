@@ -144,7 +144,12 @@ let explore_cmd =
     Printf.printf "\nfinal scores %.3g / %.3g — %s\n" s1 s2
       (match result.Auto_explore.stopped with
        | `Converged -> "background explains the data"
-       | `Max_iterations -> "iteration budget reached")
+       | `Max_iterations -> "iteration budget reached"
+       | `Degraded e ->
+         Printf.sprintf
+           "stopped early after a numerical fault (%s); showing the last \
+            good state"
+           (Sider_robust.Sider_error.to_string e))
   in
   Cmd.v
     (Cmd.info "explore"
@@ -203,6 +208,38 @@ let export_cmd =
   Cmd.v (Cmd.info "export" ~doc:"Write a built-in dataset to CSV")
     Term.(const run $ dataset_t $ seed_t $ out_t)
 
+(* --- doctor ----------------------------------------------------------------------- *)
+
+let doctor_cmd =
+  let shallow_t =
+    Arg.(value & flag
+         & info [ "shallow" ]
+             ~doc:"Skip the end-to-end solver probe (static checks only).")
+  in
+  let run dataset seed label_column shallow =
+    let report =
+      match
+        Sider_robust.Sider_error.protect (fun () ->
+            load_dataset ~seed ~label_column dataset)
+      with
+      | Ok ds ->
+        Printf.printf "%s\n" (Dataset.describe ds);
+        Doctor.check_dataset ~deep:(not shallow) ~seed ds
+      | Error e ->
+        Doctor.fault ~check:"load"
+          (Sider_robust.Sider_error.to_string e)
+      | exception Failure msg -> Doctor.fault ~check:"load" msg
+    in
+    print_string (Doctor.to_string report);
+    if not report.Doctor.healthy then Stdlib.exit 2
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:"Diagnose a dataset: static health checks plus an end-to-end \
+             solver probe.  Exits 0 when healthy, 2 when a fault was \
+             diagnosed.")
+    Term.(const run $ dataset_t $ seed_t $ label_column_t $ shallow_t)
+
 (* --- runtime ---------------------------------------------------------------------- *)
 
 let runtime_cmd =
@@ -244,6 +281,16 @@ let main =
   Cmd.group
     (Cmd.info "sider" ~version:"1.0.0" ~doc)
     [ datasets_cmd; view_cmd; explore_cmd; repl_cmd; replay_cmd;
-      export_cmd; runtime_cmd ]
+      export_cmd; runtime_cmd; doctor_cmd ]
 
-let () = exit (Cmd.eval main)
+(* Structured engine errors become one-line diagnostics with distinct
+   exit codes instead of an OCaml backtrace: 2 for a diagnosed numerical
+   or data fault, 1 for everything else. *)
+let () =
+  try exit (Cmd.eval ~catch:false main) with
+  | Sider_robust.Sider_error.Error e ->
+    Printf.eprintf "sider: %s\n" (Sider_robust.Sider_error.to_string e);
+    exit 2
+  | Failure msg ->
+    Printf.eprintf "sider: %s\n" msg;
+    exit 1

@@ -49,7 +49,7 @@ let () =
             (best_two (Session.class_match session sel));
           Session.add_cluster_constraint session sel)
         selections;
-      let r = Session.update_background session in
+      let r = Session.update_background_exn session in
       Printf.printf "MaxEnt update: %d sweeps, %.2f s\n"
         r.Sider_maxent.Solver.sweeps r.Sider_maxent.Solver.elapsed;
       ignore (Session.recompute_view session)

@@ -48,7 +48,7 @@ let () =
          | [] -> ());
         Session.add_cluster_constraint session sel)
       sels;
-    let r = Session.update_background session in
+    let r = Session.update_background_exn session in
     total_solver_time := !total_solver_time +. r.Sider_maxent.Solver.elapsed;
     Printf.printf "MaxEnt update: %d sweeps, %.2f s (n = 20,000!)\n"
       r.Sider_maxent.Solver.sweeps r.Sider_maxent.Solver.elapsed;

@@ -44,7 +44,7 @@ let () =
     selections;
 
   section "4. Update the background distribution (MaxEnt solve)";
-  let report = Session.update_background session in
+  let report = Session.update_background_exn session in
   Printf.printf "solved in %d sweeps (%.3f s), converged: %b\n"
     report.Sider_maxent.Solver.sweeps report.Sider_maxent.Solver.elapsed
     report.Sider_maxent.Solver.converged;
@@ -71,7 +71,7 @@ let () =
 
   section "7. Mark those too and ask again";
   Array.iter (Session.add_cluster_constraint session) selections;
-  ignore (Session.update_background session);
+  ignore (Session.update_background_exn session);
   ignore (Session.recompute_view session);
   let s1, _ = Session.view_scores session in
   Printf.printf

@@ -42,7 +42,7 @@ let () =
   (* (b) 1-cluster constraint: learn the overall covariance. *)
   print_endline "\n-- Adding the 1-cluster constraint (overall covariance) --";
   Session.add_one_cluster_constraint session;
-  let r = Session.update_background session in
+  let r = Session.update_background_exn session in
   Printf.printf "MaxEnt update: %d sweeps, %.2f s\n" r.Sider_maxent.Solver.sweeps
     r.Sider_maxent.Solver.elapsed;
   (* PCA is blind after a full-covariance constraint (every whitened
@@ -71,7 +71,7 @@ let () =
       selections
   in
   Array.iter (Session.add_cluster_constraint session) named;
-  let r = Session.update_background session in
+  let r = Session.update_background_exn session in
   Printf.printf "MaxEnt update: %d sweeps, %.2f s, converged %b\n"
     r.Sider_maxent.Solver.sweeps r.Sider_maxent.Solver.elapsed
     r.Sider_maxent.Solver.converged;

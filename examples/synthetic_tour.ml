@@ -77,7 +77,7 @@ let () =
   (* The user marks the four visible clusters (Fig. 4b). *)
   print_endline "\n-- Marking clusters A, B, C, D and updating --";
   mark_by_group session group13 [ "A"; "B"; "C"; "D" ];
-  let r = Session.update_background session in
+  let r = Session.update_background_exn session in
   Printf.printf "MaxEnt solve: %d sweeps, %.3f s, converged %b\n"
     r.Sider_maxent.Solver.sweeps r.Sider_maxent.Solver.elapsed
     r.Sider_maxent.Solver.converged;
@@ -102,7 +102,7 @@ let () =
   (* The user marks the three clusters of dims 4-5 (Fig. 4d). *)
   print_endline "\n-- Marking clusters E, F, G and updating --";
   mark_by_group session group45 [ "E"; "F"; "G" ];
-  let r = Session.update_background session in
+  let r = Session.update_background_exn session in
   Printf.printf "MaxEnt solve: %d sweeps, %.3f s, converged %b\n"
     r.Sider_maxent.Solver.sweeps r.Sider_maxent.Solver.elapsed
     r.Sider_maxent.Solver.converged;

@@ -14,7 +14,7 @@ type iteration = {
 type result = {
   iterations : iteration list;
   final_scores : float * float;
-  stopped : [ `Converged | `Max_iterations ];
+  stopped : [ `Converged | `Max_iterations | `Degraded of Sider_robust.Sider_error.t ];
 }
 
 let mark_clusters ?rng ?(k_max = 6) ?(min_size = 8) ?(sample_cap = 1000)
@@ -84,13 +84,20 @@ let run ?(max_iterations = 6) ?(score_threshold = 0.01) ?k_max
       Array.iter
         (fun sel -> Session.add_cluster_constraint session sel)
         selections;
-      let report = Session.update_background ~time_cutoff session in
-      ignore (Session.recompute_view session);
-      let iter =
-        { step; axis1_label = a1; axis2_label = a2; scores = (s1, s2);
-          selections; class_matches; solver_report = report }
-      in
-      loop (step + 1) (iter :: acc)
+      match Session.update_background ~time_cutoff session with
+      | Error e ->
+        (* The session rolled back to its checkpoint; the simulated
+           analyst has nothing better to try, so stop at the last good
+           state instead of crashing the exploration. *)
+        { iterations = List.rev acc; final_scores = (s1, s2);
+          stopped = `Degraded e }
+      | Ok report ->
+        ignore (Session.recompute_view session);
+        let iter =
+          { step; axis1_label = a1; axis2_label = a2; scores = (s1, s2);
+            selections; class_matches; solver_report = report }
+        in
+        loop (step + 1) (iter :: acc)
     end
   in
   loop 1 []

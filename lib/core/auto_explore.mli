@@ -26,7 +26,11 @@ type iteration = {
 type result = {
   iterations : iteration list;
   final_scores : float * float;
-  stopped : [ `Converged | `Max_iterations ];
+  stopped :
+    [ `Converged | `Max_iterations
+    | `Degraded of Sider_robust.Sider_error.t ];
+      (** [`Degraded e]: an update failed and was rolled back; the
+          result reflects the last good state. *)
 }
 
 val mark_clusters : ?rng:Rng.t -> ?k_max:int -> ?min_size:int ->

@@ -11,6 +11,7 @@ let static_pca m =
               score = Scores.pca_gain fitted.Pca.variances.(0) };
     axis2 = { View.direction = w2;
               score = Scores.pca_gain fitted.Pca.variances.(1) };
+    degraded = None;
   }
 
 let static_ica ?rng m =
@@ -21,6 +22,7 @@ let static_ica ?rng m =
     View.method_ = View.Ica;
     axis1 = { View.direction = w1; score = fitted.Fastica.scores.(0) };
     axis2 = { View.direction = w2; score = fitted.Fastica.scores.(1) };
+    degraded = None;
   }
 
 type randomizer = {

@@ -4,6 +4,7 @@ open Sider_data
 open Sider_maxent
 open Sider_projection
 open Sider_stats
+open Sider_robust
 
 type event =
   | Added_cluster of { rows : int array; tag : string }
@@ -32,6 +33,7 @@ type t = {
   mutable view : View.t;
   mutable sample : Mat.t;               (* cached background sample *)
   mutable history : event list;         (* newest first *)
+  mutable degradations : Sider_error.t list; (* newest first *)
   creation_args : int * bool * float * View.method_;
 }
 
@@ -78,7 +80,8 @@ let create ?(seed = 2018) ?(standardize = true) ?(jitter = 1e-3)
   let view = View.of_solver ~rng:(Rng.split rng) ~method_ solver in
   let sample = Solver.sample solver rng in
   { dataset = ds; std; rng; method_; solver; pending = []; tags = []; view;
-    sample; history = []; creation_args = (seed, standardize, jitter, method_) }
+    sample; history = []; degradations = [];
+    creation_args = (seed, standardize, jitter, method_) }
 
 let record t e = t.history <- e :: t.history
 
@@ -138,12 +141,56 @@ let add_one_cluster_constraint t =
   record t Added_one_cluster;
   t.pending <- t.pending @ Constr.one_cluster ~tag:"1-cluster" (data t)
 
+let degradations t = List.rev t.degradations
+
+let degrade t e = t.degradations <- e :: t.degradations
+
+(* Queued constraints whose statistics are not finite would poison every
+   multiplier they touch; catch them before they reach the solver. *)
+let validate_pending pending =
+  List.iter
+    (fun (c : Constr.t) ->
+      if
+        not
+          (Float.is_finite c.Constr.target
+           && Float.is_finite c.Constr.shift
+           && Sider_robust.Kernels.finite_vec c.Constr.w)
+      then
+        Sider_error.raise_
+          (Sider_error.degenerate_data ~constraint_tag:c.Constr.tag
+             "constraint has non-finite target, shift or direction"))
+    pending
+
 let update_background ?(time_cutoff = 10.0) ?max_sweeps ?lambda_tol
     ?param_tol t =
-  record t (Updated { time_cutoff; max_sweeps });
-  t.solver <- Solver.add_constraints t.solver t.pending;
-  t.pending <- [];
-  Solver.solve ~time_cutoff ?max_sweeps ?lambda_tol ?param_tol t.solver
+  (* Checkpoint: [add_constraints] copies the class parameters into the
+     new solver, so holding on to the old solver (and the old pending
+     queue) *is* the pre-update snapshot.  On any failure we roll back to
+     it, leaving the session exactly as before the update. *)
+  let checkpoint_solver = t.solver and checkpoint_pending = t.pending in
+  match
+    Sider_error.protect (fun () ->
+        validate_pending t.pending;
+        let solver = Solver.add_constraints t.solver t.pending in
+        t.solver <- solver;
+        t.pending <- [];
+        Solver.solve ~time_cutoff ?max_sweeps ?lambda_tol ?param_tol solver)
+  with
+  | Ok report ->
+    record t (Updated { time_cutoff; max_sweeps });
+    List.iter (degrade t) report.Solver.degradations;
+    Ok report
+  | Error e ->
+    t.solver <- checkpoint_solver;
+    t.pending <- checkpoint_pending;
+    degrade t e;
+    Error e
+
+let update_background_exn ?time_cutoff ?max_sweeps ?lambda_tol ?param_tol t =
+  match update_background ?time_cutoff ?max_sweeps ?lambda_tol ?param_tol t
+  with
+  | Ok report -> report
+  | Error e -> Sider_error.raise_ e
 
 let refresh_sample t = t.sample <- Solver.sample t.solver t.rng
 
@@ -151,6 +198,9 @@ let recompute_view ?method_ t =
   (match method_ with Some m -> t.method_ <- m | None -> ());
   record t (Viewed t.method_);
   t.view <- fresh_view t ();
+  (match t.view.View.degraded with
+   | Some e -> degrade t e
+   | None -> ());
   refresh_sample t;
   t.view
 

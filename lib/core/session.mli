@@ -22,6 +22,7 @@ open Sider_rand
 open Sider_data
 open Sider_maxent
 open Sider_projection
+open Sider_robust
 
 type t
 
@@ -106,11 +107,29 @@ val add_one_cluster_constraint : t -> unit
 (** Full-data cluster constraint — overall covariance (2d constraints). *)
 
 val update_background : ?time_cutoff:float -> ?max_sweeps:int ->
-  ?lambda_tol:float -> ?param_tol:float -> t -> Solver.report
+  ?lambda_tol:float -> ?param_tol:float -> t ->
+  (Solver.report, Sider_error.t) result
 (** Re-solve the MaxEnt problem with all queued constraints.  The default
     [time_cutoff] is 10 s, the SIDER production default; the convergence
     tolerances are adjustable as in the SIDER UI's convergence-parameter
-    panel. *)
+    panel.
+
+    Never raises on numerical failure.  [Ok report] may describe a
+    degraded-but-valid solve (finite parameters;
+    [report.Solver.degradations] lists every recovery).  [Error e] means
+    the update could not be applied at all; the session is rolled back
+    to its pre-update checkpoint — the previous background distribution
+    and the still-queued constraints — so the analyst can drop a
+    constraint or retry rather than lose the session. *)
+
+val update_background_exn : ?time_cutoff:float -> ?max_sweeps:int ->
+  ?lambda_tol:float -> ?param_tol:float -> t -> Solver.report
+(** {!update_background} unwrapped: raises [Sider_error.Error] on
+    failure.  For scripts and benchmarks where failure is unexpected. *)
+
+val degradations : t -> Sider_error.t list
+(** Every numerical fault the session has survived, oldest first:
+    solver recoveries, constraint rollbacks, view fallbacks. *)
 
 val recompute_view : ?method_:View.method_ -> t -> View.t
 (** Whiten against the current background distribution and find the most

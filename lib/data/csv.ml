@@ -1,4 +1,5 @@
 open Sider_linalg
+open Sider_robust
 
 let parse_line ?(sep = ',') line =
   let buf = Buffer.create 32 in
@@ -52,11 +53,30 @@ let quote_field ~sep s =
     Buffer.contents buf
   end
 
-let of_lines ?(sep = ',') ?label_column ?(name = "csv") lines =
+let reject detail = Sider_error.raise_ (Sider_error.degenerate_data detail)
+
+(* Duplicate header names make every by-name operation (label columns,
+   axis labels, doctor reports) ambiguous; reject them up front. *)
+let check_duplicate_headers header =
+  let seen = Hashtbl.create 16 in
+  Array.iteri
+    (fun i name ->
+      match Hashtbl.find_opt seen name with
+      | Some j ->
+        reject
+          (Printf.sprintf
+             "Csv: duplicate column name %S (columns %d and %d)" name
+             (j + 1) (i + 1))
+      | None -> Hashtbl.add seen name i)
+    header
+
+let of_lines ?(sep = ',') ?label_column ?(name = "csv")
+    ?(constant = `Keep) lines =
   match lines with
-  | [] -> failwith "Csv: empty input"
+  | [] -> reject "Csv: empty input"
   | header :: rows ->
     let header = parse_line ~sep header |> Array.of_list in
+    check_duplicate_headers header;
     let label_idx =
       match label_column with
       | None -> None
@@ -77,11 +97,19 @@ let of_lines ?(sep = ',') ?label_column ?(name = "csv") lines =
       |> List.filter (fun l -> String.trim l <> "")
       |> List.mapi (fun lineno l -> (lineno + 2, parse_line ~sep l))
     in
-    let parse_float lineno s =
-      match float_of_string_opt (String.trim s) with
-      | Some f -> f
-      | None ->
-        failwith (Printf.sprintf "Csv: line %d: not a number: %S" lineno s)
+    let parse_float lineno col s =
+      let trimmed = String.trim s in
+      if trimmed = "" then
+        reject
+          (Printf.sprintf "Csv: line %d, column %S: missing value" lineno
+             col)
+      else
+        match float_of_string_opt trimmed with
+        | Some f -> f
+        | None ->
+          reject
+            (Printf.sprintf "Csv: line %d, column %S: not a number: %S"
+               lineno col s)
     in
     let n = List.length rows in
     let matrix = Mat.create n (Array.length keep) in
@@ -94,17 +122,57 @@ let of_lines ?(sep = ',') ?label_column ?(name = "csv") lines =
             (Printf.sprintf "Csv: line %d: expected %d fields, got %d" lineno
                (Array.length header) (Array.length fields));
         Array.iteri
-          (fun j src -> Mat.set matrix r j (parse_float lineno fields.(src)))
+          (fun j src ->
+            Mat.set matrix r j
+              (parse_float lineno header.(src) fields.(src)))
           keep;
         match label_idx with
         | Some i -> labels.(r) <- fields.(i)
         | None -> ())
       rows;
     let labels = if label_idx = None then None else Some labels in
+    (* Constant columns have zero variance: standardization maps them to
+       all-zeros and any variance constraint on them is degenerate.
+       Callers choose to keep them (engine jitter handles them), repair
+       by dropping, or reject outright. *)
+    let columns, matrix =
+      match constant with
+      | `Keep -> (columns, matrix)
+      | (`Drop | `Reject) as mode ->
+        let vars = Mat.col_variances matrix in
+        let constant_cols =
+          Array.to_list columns
+          |> List.mapi (fun j c -> (j, c))
+          |> List.filter (fun (j, _) -> n > 0 && vars.(j) = 0.0)
+        in
+        (match mode, constant_cols with
+         | _, [] -> (columns, matrix)
+         | `Reject, (_, c) :: _ ->
+           reject
+             (Printf.sprintf
+                "Csv: column %S is constant (zero variance breaks \
+                 standardization); %d constant column(s) total"
+                c (List.length constant_cols))
+         | `Drop, _ ->
+           let dropped = List.map fst constant_cols in
+           let kept =
+             Array.to_list (Array.mapi (fun j c -> (j, c)) columns)
+             |> List.filter (fun (j, _) -> not (List.mem j dropped))
+           in
+           if kept = [] then
+             reject "Csv: every column is constant; nothing left to keep";
+           let kept_idx = Array.of_list (List.map fst kept) in
+           let columns' = Array.of_list (List.map snd kept) in
+           let matrix' =
+             Mat.init n (Array.length kept_idx) (fun i j ->
+                 Mat.get matrix i kept_idx.(j))
+           in
+           (columns', matrix'))
+    in
     Dataset.create ~name ?labels ~columns matrix
 
-let of_string ?sep ?label_column ?name text =
-  of_lines ?sep ?label_column ?name
+let of_string ?sep ?label_column ?name ?constant text =
+  of_lines ?sep ?label_column ?name ?constant
     (String.split_on_char '\n' text
      |> List.map (fun l ->
          (* Tolerate CRLF input. *)
@@ -113,7 +181,7 @@ let of_string ?sep ?label_column ?name text =
          else l)
      |> List.filter (fun l -> l <> ""))
 
-let read_file ?sep ?label_column path =
+let read_file ?sep ?label_column ?constant path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -124,7 +192,8 @@ let read_file ?sep ?label_column path =
            lines := input_line ic :: !lines
          done
        with End_of_file -> ());
-      of_lines ?sep ?label_column ~name:(Filename.basename path)
+      of_lines ?sep ?label_column ?constant
+        ~name:(Filename.basename path)
         (List.rev !lines))
 
 let to_string ?(sep = ',') ds =

@@ -1,4 +1,5 @@
 open Sider_linalg
+open Sider_robust
 
 type t = {
   mutable theta1 : Vec.t;
@@ -18,18 +19,72 @@ let apply_linear t ~lambda ~w =
   Vec.axpy lambda w t.theta1;
   Vec.axpy lambda g t.mean
 
+(* A Σ that lost positive definiteness shows up on the diagonal first:
+   a variance gone non-positive or non-finite.  This O(d) necessary
+   condition is the cheap validation run after every rank-1 update. *)
+let diag_healthy sigma =
+  let d, _ = Mat.dims sigma in
+  let ok = ref true in
+  for i = 0 to d - 1 do
+    let v = Mat.get sigma i i in
+    if not (Float.is_finite v) || v <= 0.0 then ok := false
+  done;
+  !ok
+
+(* Full O(d³) fallback: recompute Σ' = (Σ⁻¹ + λwwᵀ)⁻¹ and m' = Σ'θ₁'
+   from scratch through the guarded (jitter-laddered) factorization,
+   instead of trusting the Sherman-Morrison increment.  [t.theta1] must
+   already hold θ₁'. *)
+let recompute_full t ~lambda ~delta ~w ~sigma_prev =
+  (* On failure the whole update is undone — Σ, θ₁ and m keep their
+     pre-update values, so the class state stays self-consistent. *)
+  let frozen () =
+    t.sigma <- sigma_prev;
+    Vec.axpy (-.lambda *. delta) w t.theta1;
+    `Frozen
+  in
+  match Kernels.symmetric_inverse sigma_prev with
+  | Error _ -> frozen ()
+  | Ok prec ->
+    Mat.rank1_update prec lambda w;
+    (match Kernels.symmetric_inverse prec with
+     | Error _ -> frozen ()
+     | Ok sigma' ->
+       t.sigma <- Mat.symmetrize sigma';
+       t.mean <- Mat.mv t.sigma t.theta1;
+       `Recomputed)
+
 let apply_quadratic t ~lambda ~delta ~w =
   let g = Mat.mv t.sigma w in
   let c = Vec.dot w g in
   let denom = 1.0 +. (lambda *. c) in
-  if denom <= 0.0 then
-    invalid_arg "Gauss_params.apply_quadratic: indefinite update";
-  (* Σ ← Σ − (λ/denom) g gᵀ  (Sherman-Morrison). *)
-  Mat.rank1_update t.sigma (-.lambda /. denom) g;
-  (* m ← Σ' θ₁' with θ₁' = θ₁ + λδw reduces to m + λ(δ − gᵀθ₁)/denom · g. *)
-  let d_old = Vec.dot g t.theta1 in
-  Vec.axpy (lambda *. delta) w t.theta1;
-  Vec.axpy (lambda *. (delta -. d_old) /. denom) g t.mean
+  if denom <= 0.0 then begin
+    (* Indefinite in the Woodbury form: skip the O(d²) path entirely and
+       let the guarded full recompute decide (its jitter ladder can
+       still produce a valid posterior for λ slightly past −1/c). *)
+    let sigma_prev = Mat.copy t.sigma in
+    Vec.axpy (lambda *. delta) w t.theta1;
+    recompute_full t ~lambda ~delta ~w ~sigma_prev
+  end
+  else begin
+    let sigma_prev = Mat.copy t.sigma in
+    (* Σ ← Σ − (λ/denom) g gᵀ  (Sherman-Morrison). *)
+    Mat.rank1_update t.sigma (-.lambda /. denom) g;
+    (* m ← Σ' θ₁' with θ₁' = θ₁ + λδw reduces to
+       m + λ(δ − gᵀθ₁)/denom · g. *)
+    let d_old = Vec.dot g t.theta1 in
+    Vec.axpy (lambda *. delta) w t.theta1;
+    if diag_healthy t.sigma then begin
+      Vec.axpy (lambda *. (delta -. d_old) /. denom) g t.mean;
+      `Sherman_morrison
+    end
+    else begin
+      (* Positive definiteness lost to cancellation: fall back to the
+         full recompute from the pre-update Σ. *)
+      t.sigma <- sigma_prev;
+      recompute_full t ~lambda ~delta ~w ~sigma_prev
+    end
+  end
 
 let proj_mean t w = Vec.dot w t.mean
 

@@ -23,10 +23,21 @@ val copy : t -> t
 val apply_linear : t -> lambda:float -> w:Vec.t -> unit
 (** Add [λ w] to [θ₁]; [Σ] is unchanged and [m] shifts by [λ Σ w]. *)
 
-val apply_quadratic : t -> lambda:float -> delta:float -> w:Vec.t -> unit
+val apply_quadratic :
+  t -> lambda:float -> delta:float -> w:Vec.t ->
+  [ `Sherman_morrison | `Recomputed | `Frozen ]
 (** Add [λ δ w] to [θ₁] and [λ w wᵀ] to [Σ⁻¹].  [Σ] is updated in place by
-    the rank-1 Woodbury formula and [m] by the induced O(d) correction.
-    Raises [Invalid_argument] if [1 + λ wᵀΣw ≤ 0] (indefinite update). *)
+    the rank-1 Woodbury formula and [m] by the induced O(d) correction;
+    the result is validated (diagonal of [Σ] positive and finite) after
+    the update.  Never raises:
+
+    - [`Sherman_morrison] — the O(d²) fast path held (the normal case);
+    - [`Recomputed] — positive definiteness was lost (or the update was
+      indefinite, [1 + λ wᵀΣw ≤ 0]) and [Σ', m'] were recomputed from
+      scratch in O(d³) through the jitter-laddered factorization;
+    - [`Frozen] — even the full recompute failed; [Σ] keeps its
+      pre-update value ([θ₁] still absorbs the multiplier, so the class
+      is effectively frozen for this update). *)
 
 val proj_mean : t -> Vec.t -> float
 (** [wᵀ m]. *)

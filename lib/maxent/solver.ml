@@ -1,5 +1,6 @@
 open Sider_linalg
 open Sider_rand
+open Sider_robust
 
 type t = {
   data : Mat.t;
@@ -16,6 +17,7 @@ type report = {
   max_dlambda : float;
   max_dparam : float;
   elapsed : float;
+  degradations : Sider_error.t list;
 }
 
 let overall_sd data =
@@ -106,8 +108,10 @@ let residual t =
 (* --- one constraint update ---------------------------------------------- *)
 
 (* Linear constraint (Eq. 9): the mean along w shifts by λ wᵀΣw per row,
-   Σ unchanged, so λ = (v̂ − ṽ) / Σ_i wᵀΣ_i w. *)
-let update_linear t idx =
+   Σ unchanged, so λ = (v̂ − ṽ) / Σ_i wᵀΣ_i w.  [damp] scales the step
+   (1.0 = the exact Eq. 9 step): the solver halves it while recovering
+   from a numerically failed sweep. *)
+let update_linear t idx ~damp =
   let constr = t.constraints.(idx) in
   let w = constr.Constr.w in
   let groups = Partition.classes_of_constraint t.partition idx in
@@ -119,9 +123,9 @@ let update_linear t idx =
       v_cur := !v_cur +. (fcnt *. Gauss_params.proj_mean p w);
       denom := !denom +. (fcnt *. Gauss_params.proj_var p w))
     groups;
-  if !denom <= 0.0 then (0.0, 0.0)
+  if !denom <= 0.0 then (0.0, 0.0, [])
   else begin
-    let lambda = (constr.Constr.target -. !v_cur) /. !denom in
+    let lambda = damp *. (constr.Constr.target -. !v_cur) /. !denom in
     let dparam = ref 0.0 in
     Array.iter
       (fun (cls, _) ->
@@ -131,7 +135,7 @@ let update_linear t idx =
             (Float.abs (lambda *. Gauss_params.proj_var p w));
         Gauss_params.apply_linear p ~lambda ~w)
       groups;
-    (lambda, !dparam)
+    (lambda, !dparam, [])
   end
 
 (* Quadratic constraint: after adding λwwᵀ to Σ⁻¹ and λδw to θ₁, the
@@ -141,7 +145,7 @@ let update_linear t idx =
    strictly decreasing on (−1/max c, ∞) with range (0, ∞), so the root of
    v(λ) = v̂ is unique; we locate it by bracketed bisection with Newton
    acceleration. *)
-let update_quadratic t idx ~lambda_cap =
+let update_quadratic t idx ~lambda_cap ~damp =
   let constr = t.constraints.(idx) in
   let w = constr.Constr.w in
   let delta = constr.Constr.shift in
@@ -168,7 +172,7 @@ let update_quadratic t idx ~lambda_cap =
     !acc
   in
   let v_hat = Float.max constr.Constr.target 0.0 in
-  if c_max <= 0.0 then (0.0, 0.0) (* direction already degenerate: frozen *)
+  if c_max <= 0.0 then (0.0, 0.0, []) (* direction already degenerate: frozen *)
   else begin
     let lo = -1.0 /. c_max in
     let v0 = v 0.0 in
@@ -203,9 +207,14 @@ let update_quadratic t idx ~lambda_cap =
         0.5 *. (!a +. !b)
       end
     in
-    if lambda = 0.0 then (0.0, 0.0)
+    (* Damping shrinks the step toward 0; since λ = 0 is always interior
+       to the feasible interval (−1/max c, ∞), a damped step can never
+       leave it. *)
+    let lambda = damp *. lambda in
+    if lambda = 0.0 then (0.0, 0.0, [])
     else begin
       let dparam = ref 0.0 in
+      let faults = ref [] in
       Array.iteri
         (fun i (cls, _) ->
           let p = t.classes.(cls) in
@@ -213,46 +222,142 @@ let update_quadratic t idx ~lambda_cap =
           let dsd = sqrt (cs.(i) /. denom) -. sqrt cs.(i) in
           let dmean = lambda *. (delta -. es.(i)) *. cs.(i) /. denom in
           dparam := Float.max !dparam (Float.max (Float.abs dsd) (Float.abs dmean));
-          Gauss_params.apply_quadratic p ~lambda ~delta ~w)
+          match Gauss_params.apply_quadratic p ~lambda ~delta ~w with
+          | `Sherman_morrison -> ()
+          | `Recomputed ->
+            faults :=
+              Sider_error.singular_covariance ~class_index:cls
+                ~constraint_tag:constr.Constr.tag
+                "rank-1 update lost positive definiteness; recomputed Σ \
+                 in full"
+              :: !faults
+          | `Frozen ->
+            faults :=
+              Sider_error.singular_covariance ~class_index:cls
+                ~constraint_tag:constr.Constr.tag
+                "rank-1 update and full recompute both failed; class \
+                 frozen for this update"
+              :: !faults)
         groups;
-      (lambda, !dparam)
+      (lambda, !dparam, !faults)
     end
   end
 
 (* --- main loop ----------------------------------------------------------- *)
 
+(* Non-finite scan of the class parameters: the state that must stay
+   finite for every downstream consumer (whitening, sampling, scores). *)
+let first_bad_class t =
+  let bad = ref None in
+  Array.iteri
+    (fun cls p ->
+      if !bad = None
+         && not
+              (Kernels.finite_vec p.Gauss_params.mean
+               && Kernels.finite_vec p.Gauss_params.theta1
+               && Kernels.finite_mat p.Gauss_params.sigma)
+      then bad := Some cls)
+    t.classes;
+  !bad
+
+let restore_classes t snapshot =
+  Array.iteri (fun cls p -> t.classes.(cls) <- Gauss_params.copy p) snapshot
+
 let solve ?(max_sweeps = 1000) ?(lambda_tol = 1e-2) ?(param_tol = 1e-2)
-    ?time_cutoff ?(lambda_cap = 1e7) ?trace t =
+    ?time_cutoff ?(lambda_cap = 1e7) ?(recovery_budget = 8) ?trace t =
   let start = Sys.time () in
   let sweeps = ref 0 and updates = ref 0 in
   let converged = ref false in
   let last_dlambda = ref infinity and last_dparam = ref infinity in
+  let degradations = ref [] in
+  let recoveries_left = ref recovery_budget in
+  let damp = ref 1.0 in
+  let stop = ref false in
+  let degrade e = degradations := e :: !degradations in
   let cut_off () =
     match time_cutoff with
     | None -> false
     | Some budget -> Sys.time () -. start > budget
   in
-  while (not !converged) && !sweeps < max_sweeps && not (cut_off ()) do
+  while (not !stop) && (not !converged) && !sweeps < max_sweeps
+        && not (cut_off ())
+  do
     incr sweeps;
+    (* Fault-injection hooks (no-ops unless a test armed them). *)
+    if Fault.should_fail_sweep ~sweep:!sweeps then
+      Sider_error.raise_
+        (Sider_error.solver_divergence ~sweep:!sweeps
+           "injected sweep failure");
+    (match Fault.nan_class_for_sweep ~sweep:!sweeps with
+     | Some cls when cls < Array.length t.classes ->
+       t.classes.(cls).Gauss_params.mean.(0) <- Float.nan
+     | _ -> ());
+    (* Pre-sweep scan: parameters poisoned outside a sweep (injection,
+       corrupted warm start) are reset to the prior for that class —
+       the only finite state available before any snapshot exists. *)
+    (match first_bad_class t with
+     | Some cls ->
+       let _, d = Mat.dims t.data in
+       t.classes.(cls) <- Gauss_params.initial d;
+       degrade
+         (Sider_error.nan_detected ~class_index:cls ~sweep:!sweeps
+            "non-finite class parameters at sweep start; class reset to \
+             the prior")
+     | None -> ());
+    let snapshot = Array.map Gauss_params.copy t.classes in
     let max_dl = ref 0.0 and max_dp = ref 0.0 in
     Array.iteri
       (fun idx (constr : Constr.t) ->
-        let dl, dp =
+        let dl, dp, faults =
           match constr.Constr.kind with
-          | Constr.Linear -> update_linear t idx
-          | Constr.Quadratic -> update_quadratic t idx ~lambda_cap
+          | Constr.Linear -> update_linear t idx ~damp:!damp
+          | Constr.Quadratic ->
+            update_quadratic t idx ~lambda_cap ~damp:!damp
         in
         incr updates;
+        List.iter degrade faults;
         max_dl := Float.max !max_dl (Float.abs dl);
         max_dp := Float.max !max_dp dp)
       t.constraints;
-    last_dlambda := !max_dl;
-    last_dparam := !max_dp;
-    (match trace with
-     | Some f -> f ~sweep:!sweeps ~updates:!updates t
-     | None -> ());
-    if !max_dl <= lambda_tol || !max_dp <= param_tol *. t.data_sd then
-      converged := true
+    (* Post-sweep scan: a sweep that produced NaN/Inf anywhere is rolled
+       back wholesale and retried with a halved step, under a bounded
+       budget.  On exhaustion the solver stops at the last good state. *)
+    (match first_bad_class t with
+     | Some cls ->
+       restore_classes t snapshot;
+       if !recoveries_left > 0 then begin
+         decr recoveries_left;
+         damp := !damp /. 2.0;
+         decr sweeps;
+         (* The rolled-back sweep is retried; don't let its (bogus)
+            deltas trigger the convergence test. *)
+         degrade
+           (Sider_error.nan_detected ~class_index:cls ~sweep:(!sweeps + 1)
+              (Printf.sprintf
+                 "non-finite parameters after sweep; rolled back, \
+                  retrying with step %.3g"
+                 !damp))
+       end
+       else begin
+         degrade
+           (Sider_error.solver_divergence ~class_index:cls ~sweep:!sweeps
+              (Printf.sprintf
+                 "recovery budget (%d) exhausted; stopping at the last \
+                  finite state"
+                 recovery_budget));
+         stop := true
+       end
+     | None ->
+       last_dlambda := !max_dl;
+       last_dparam := !max_dp;
+       (match trace with
+        | Some f -> f ~sweep:!sweeps ~updates:!updates t
+        | None -> ());
+       (* A clean sweep earns the step size back (symmetric to the
+          halving on failure, capped at the exact step). *)
+       if !damp < 1.0 then damp := Float.min 1.0 (!damp *. 2.0);
+       if !max_dl <= lambda_tol || !max_dp <= param_tol *. t.data_sd then
+         converged := true)
   done;
   {
     sweeps = !sweeps;
@@ -261,6 +366,7 @@ let solve ?(max_sweeps = 1000) ?(lambda_tol = 1e-2) ?(param_tol = 1e-2)
     max_dlambda = !last_dlambda;
     max_dparam = !last_dparam;
     elapsed = Sys.time () -. start;
+    degradations = List.rev !degradations;
   }
 
 let relative_entropy t =

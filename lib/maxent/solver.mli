@@ -14,6 +14,7 @@
 
 open Sider_linalg
 open Sider_rand
+open Sider_robust
 
 type t
 
@@ -25,6 +26,12 @@ type report = {
   max_dparam : float;     (** Largest projected mean / sd change in the
                               last sweep, in units of the data sd. *)
   elapsed : float;        (** CPU seconds spent in [solve]. *)
+  degradations : Sider_error.t list;
+                          (** Numerical faults survived during the solve,
+                              oldest first: rank-1 updates that fell back
+                              to a full recompute, sweeps rolled back
+                              after a NaN scan, recovery-budget
+                              exhaustion.  Empty on a clean solve. *)
 }
 
 val create : Mat.t -> Constr.t list -> t
@@ -52,9 +59,19 @@ val row_params : t -> int -> Gauss_params.t
 (** Parameters governing a data row. *)
 
 val solve : ?max_sweeps:int -> ?lambda_tol:float -> ?param_tol:float ->
-  ?time_cutoff:float -> ?lambda_cap:float ->
+  ?time_cutoff:float -> ?lambda_cap:float -> ?recovery_budget:int ->
   ?trace:(sweep:int -> updates:int -> t -> unit) -> t -> report
 (** Run iterative scaling until convergence.
+
+    Every sweep is guarded: class parameters are scanned for NaN/Inf
+    before and after the sweep.  A poisoned pre-sweep state resets the
+    offending class to the prior; a sweep that *produces* non-finite
+    parameters is rolled back to its snapshot and retried with a halved
+    step, up to [recovery_budget] (default 8) times in total, after which
+    the solver stops at the last finite state ([converged = false], a
+    [Solver_divergence] entry in [degradations]).  The solver therefore
+    never returns non-finite parameters and never raises on numerical
+    failure.
 
     Convergence follows the paper's criterion: the maximal absolute
     multiplier change in a sweep is below [lambda_tol] (default 1e-2), or

@@ -1,5 +1,6 @@
 open Sider_linalg
 open Sider_rand
+open Sider_robust
 
 type method_ = Pca | Ica
 
@@ -9,32 +10,73 @@ type t = {
   method_ : method_;
   axis1 : axis;
   axis2 : axis;
+  degraded : Sider_error.t option;
 }
 
 let method_name = function Pca -> "PCA" | Ica -> "ICA"
 
-let of_whitened ?rng ~method_ y =
+let pca_view ?degraded y =
+  let fitted = Pca.fit y in
+  let w1, w2 = Pca.top2 fitted in
+  {
+    method_ = Pca;
+    axis1 = { direction = w1; score = fitted.Pca.gains.(0) };
+    axis2 = { direction = w2; score = fitted.Pca.gains.(1) };
+    degraded;
+  }
+
+let of_whitened ?rng ?(ica_restarts = 2) ?ica_max_iter ~method_ y =
   let rng = match rng with Some r -> r | None -> Rng.create 42 in
   match method_ with
-  | Pca ->
-    let fitted = Pca.fit y in
-    let w1, w2 = Pca.top2 fitted in
-    {
-      method_;
-      axis1 = { direction = w1; score = fitted.Pca.gains.(0) };
-      axis2 = { direction = w2; score = fitted.Pca.gains.(1) };
-    }
+  | Pca -> pca_view y
   | Ica ->
-    let fitted = Fastica.fit rng y in
-    let w1, w2 = Fastica.top2 fitted in
-    {
-      method_;
-      axis1 = { direction = w1; score = fitted.Fastica.scores.(0) };
-      axis2 = { direction = w2; score = fitted.Fastica.scores.(1) };
-    }
+    (* FastICA is a fixed-point iteration from a random start: when it
+       fails to converge, re-drawing the start ("seed rotation" — the
+       rng stream simply advances) usually fixes it.  After the retry
+       budget, degrade to PCA and record why: a slightly less sharp view
+       beats killing the session. *)
+    let usable f =
+      let _, m = Mat.dims f.Fastica.directions in
+      m >= 2 && Kernels.finite_mat f.Fastica.directions
+    in
+    let rec attempt k =
+      let fitted = Fastica.fit ?max_iter:ica_max_iter rng y in
+      if (fitted.Fastica.converged && usable fitted) || k >= ica_restarts
+      then (fitted, k)
+      else attempt (k + 1)
+    in
+    let fitted, restarts = attempt 0 in
+    if usable fitted then begin
+      let w1, w2 = Fastica.top2 fitted in
+      let degraded =
+        if fitted.Fastica.converged then None
+        else
+          Some
+            (Sider_error.non_convergence
+               (Printf.sprintf
+                  "FastICA did not converge after %d restarts; using the \
+                   non-converged directions"
+                  restarts))
+      in
+      {
+        method_ = Ica;
+        axis1 = { direction = w1; score = fitted.Fastica.scores.(0) };
+        axis2 = { direction = w2; score = fitted.Fastica.scores.(1) };
+        degraded;
+      }
+    end
+    else
+      pca_view
+        ~degraded:
+          (Sider_error.non_convergence
+             (Printf.sprintf
+                "FastICA found fewer than two usable directions after %d \
+                 restarts; fell back to PCA"
+                restarts))
+        y
 
-let of_solver ?rng ~method_ solver =
-  of_whitened ?rng ~method_ (Whiten.whiten solver)
+let of_solver ?rng ?ica_restarts ~method_ solver =
+  of_whitened ?rng ?ica_restarts ~method_ (Whiten.whiten solver)
 
 let project t m =
   let n, _ = Mat.dims m in

@@ -11,6 +11,7 @@
 open Sider_linalg
 open Sider_rand
 open Sider_maxent
+open Sider_robust
 
 type method_ = Pca | Ica
 
@@ -20,17 +21,32 @@ type axis = {
 }
 
 type t = {
-  method_ : method_;
+  method_ : method_;   (** The method that actually produced the axes —
+                           [Pca] when an ICA request degraded. *)
   axis1 : axis;
   axis2 : axis;
+  degraded : Sider_error.t option;
+      (** [Some _] when the view is the product of graceful degradation:
+          FastICA used non-converged directions, or fell back to PCA. *)
 }
 
-val of_whitened : ?rng:Rng.t -> method_:method_ -> Mat.t -> t
+val of_whitened : ?rng:Rng.t -> ?ica_restarts:int -> ?ica_max_iter:int ->
+  method_:method_ -> Mat.t -> t
 (** Compute the most informative view of a whitened matrix.  [rng] seeds
-    the FastICA initialisation (default: fixed seed 42).  Raises
-    [Invalid_argument] when fewer than two usable directions exist. *)
+    the FastICA initialisation (default: fixed seed 42).
 
-val of_solver : ?rng:Rng.t -> method_:method_ -> Solver.t -> t
+    An ICA fit that does not converge is restarted with a fresh draw
+    from [rng] up to [ica_restarts] (default 2) additional times.  If it
+    still has not converged, the non-converged directions are used when
+    usable (≥ 2 finite directions) and the view is flagged [degraded];
+    when unusable, the view falls back to PCA with the degradation
+    recorded.  [ica_max_iter] is passed through to {!Fastica.fit}
+    (mainly for tests forcing non-convergence).  Raises
+    [Invalid_argument] when fewer than two usable directions exist even
+    for PCA (d < 2). *)
+
+val of_solver : ?rng:Rng.t -> ?ica_restarts:int -> method_:method_ ->
+  Solver.t -> t
 (** Whiten the solver's data with respect to its background distribution,
     then find the view — one full step of the paper's pipeline. *)
 

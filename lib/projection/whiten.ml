@@ -1,12 +1,25 @@
 open Sider_linalg
 open Sider_maxent
+open Sider_robust
 
 let class_transforms ?(clamp = 1e-12) solver =
   Array.init (Solver.n_classes solver) (fun c ->
       let p = Solver.class_params solver c in
-      let dec = Eigen.symmetric (Mat.symmetrize p.Gauss_params.sigma) in
-      (* Σ^{-1/2} = U D^{-1/2} Uᵀ — the "rotate back" of Eq. 14. *)
-      Eigen.power ~clamp dec (-0.5))
+      let sigma = Mat.symmetrize p.Gauss_params.sigma in
+      (match Kernels.first_nonfinite_mat sigma with
+       | Some (i, j) ->
+         Sider_error.raise_
+           (Sider_error.nan_detected ~class_index:c
+              (Printf.sprintf "Whiten: Σ[%d,%d] is not finite" i j))
+       | None -> ());
+      let dec = Eigen.symmetric sigma in
+      (* Σ^{-1/2} = U D^{-1/2} Uᵀ — the "rotate back" of Eq. 14.  The
+         floor is relative to the leading eigenvalue (never below the
+         absolute [clamp]), so a near-singular Σ is regularized into a
+         large-but-bounded transform instead of exploding or raising. *)
+      let lead = Array.fold_left Float.max 0.0 dec.Eigen.values in
+      let floor_ = Float.max clamp (1e-10 *. lead) in
+      Eigen.power ~clamp:floor_ dec (-0.5))
 
 let whiten_with solver transforms m =
   let n, d = Mat.dims m in

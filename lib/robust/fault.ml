@@ -1,0 +1,91 @@
+open Sider_linalg
+
+type injection =
+  | Nan_in_class of { sweep : int; cls : int }
+  | Fail_sweep of { sweep : int }
+
+type fired = { injection : injection; at_sweep : int }
+
+let armed_ : injection list ref = ref []
+
+let fired_ : fired list ref = ref []
+
+let reset () =
+  armed_ := [];
+  fired_ := []
+
+let arm i = armed_ := !armed_ @ [ i ]
+
+let armed () = !armed_
+
+let fired () = List.rev !fired_
+
+let consume pred =
+  let rec go acc = function
+    | [] -> None
+    | x :: rest ->
+      if pred x then begin
+        armed_ := List.rev_append acc rest;
+        Some x
+      end
+      else go (x :: acc) rest
+  in
+  go [] !armed_
+
+let nan_class_for_sweep ~sweep =
+  match
+    consume (function Nan_in_class n -> n.sweep = sweep | _ -> false)
+  with
+  | Some (Nan_in_class n as i) ->
+    fired_ := { injection = i; at_sweep = sweep } :: !fired_;
+    Some n.cls
+  | _ -> None
+
+let should_fail_sweep ~sweep =
+  match consume (function Fail_sweep f -> f.sweep = sweep | _ -> false) with
+  | Some i ->
+    fired_ := { injection = i; at_sweep = sweep } :: !fired_;
+    true
+  | _ -> false
+
+(* A fixed full rotation built from Givens rotations with index-derived
+   angles: dense enough to hide the eigenbasis, fully deterministic. *)
+let fixed_rotation d =
+  let q = Mat.identity d in
+  let qa = q.Mat.a in
+  for p = 0 to d - 2 do
+    for r = p + 1 to d - 1 do
+      let angle = 0.7 +. (0.37 *. float_of_int ((p * d) + r)) in
+      let c = cos angle and s = sin angle in
+      for i = 0 to d - 1 do
+        let qip = qa.((i * d) + p) and qir = qa.((i * d) + r) in
+        qa.((i * d) + p) <- (c *. qip) -. (s *. qir);
+        qa.((i * d) + r) <- (s *. qip) +. (c *. qir)
+      done
+    done
+  done;
+  q
+
+let ill_conditioned_cov ~d ~log10_kappa =
+  if d < 1 then invalid_arg "Fault.ill_conditioned_cov: d must be positive";
+  let q = fixed_rotation d in
+  let out = Mat.create d d in
+  for k = 0 to d - 1 do
+    let t = if d = 1 then 0.0 else float_of_int k /. float_of_int (d - 1) in
+    let lam = 10.0 ** (-.log10_kappa *. t) in
+    Mat.rank1_update out lam (Mat.col q k)
+  done;
+  Mat.symmetrize out
+
+let with_nans m positions =
+  let out = Mat.copy m in
+  List.iter (fun (i, j) -> Mat.set out i j Float.nan) positions;
+  out
+
+let adversarial_rowsets ~n =
+  if n < 2 then invalid_arg "Fault.adversarial_rowsets: need n >= 2";
+  let all = Array.init n Fun.id in
+  let half = Array.init ((n / 2) + 1) Fun.id in
+  let overlap = Array.init ((n / 2) + 1) (fun i -> n - 1 - i) in
+  let comb = Array.init ((n + 1) / 2) (fun i -> 2 * i) in
+  [ all; half; Array.copy half; overlap; [| 0 |]; comb ]

@@ -1,0 +1,61 @@
+(** Deterministic fault injection for testing the robustness layer.
+
+    The harness has two halves:
+
+    - a global registry of armed {e injections}.  Instrumented code (the
+      MaxEnt solver) polls the registry at well-defined sites and applies
+      the corruption itself, so this module stays free of upward
+      dependencies.  Injections are one-shot: firing consumes them and
+      records a {!fired} entry.
+    - deterministic builders of pathological inputs — ill-conditioned
+      covariances, NaN-poisoned matrices, adversarial row sets — with no
+      hidden randomness, so test failures replay exactly.
+
+    All state is global and mutable; call {!reset} at the start of every
+    test. *)
+
+open Sider_linalg
+
+type injection =
+  | Nan_in_class of { sweep : int; cls : int }
+      (** At the start of sweep [sweep], poison class [cls]'s mean with a
+          NaN (exercises the solver's scan-rollback-retry path). *)
+  | Fail_sweep of { sweep : int }
+      (** At the start of sweep [sweep], raise a structured
+          solver-divergence error (exercises the session's
+          checkpoint-rollback path). *)
+
+type fired = { injection : injection; at_sweep : int }
+
+val reset : unit -> unit
+(** Disarm everything and clear the fired log. *)
+
+val arm : injection -> unit
+
+val armed : unit -> injection list
+
+val fired : unit -> fired list
+(** Injections that have gone off, oldest first. *)
+
+(** {2 Polling sites (called by instrumented code)} *)
+
+val nan_class_for_sweep : sweep:int -> int option
+(** Consume a [Nan_in_class] armed for this sweep, if any. *)
+
+val should_fail_sweep : sweep:int -> bool
+(** Consume a [Fail_sweep] armed for this sweep. *)
+
+(** {2 Deterministic pathological inputs} *)
+
+val ill_conditioned_cov : d:int -> log10_kappa:float -> Mat.t
+(** A symmetric positive-definite [d×d] matrix with condition number
+    [10^log10_kappa]: geometrically spaced eigenvalues in a fixed
+    (seed-free) rotation. *)
+
+val with_nans : Mat.t -> (int * int) list -> Mat.t
+(** Copy of the matrix with NaN written at each position. *)
+
+val adversarial_rowsets : n:int -> int array list
+(** Row selections designed to stress the partition/solver: the full row
+    set, a duplicated cluster (same set twice), two heavily overlapping
+    clusters, a singleton, and an interleaved comb. *)

@@ -1,0 +1,80 @@
+(** Structured numerical-failure descriptions.
+
+    Every recoverable failure of the pipeline — a covariance that lost
+    positive-definiteness, a solver sweep that produced NaN, FastICA
+    refusing to converge, a degenerate input file — is described by a
+    {!t} carrying enough context (class index, constraint tag, sweep
+    number, free-form detail) to render a useful diagnostic and to let
+    callers decide between retry, degradation and abort.
+
+    The variants are the failure taxonomy of the robustness layer:
+
+    - {!Singular_covariance}: a Σ lost (or never had) positive
+      definiteness beyond what the jitter ladder could repair;
+    - {!Solver_divergence}: the iterative-scaling loop exhausted its
+      recovery budget (rollback + damped retry) without a clean sweep;
+    - {!Non_convergence}: an iterative method (FastICA, the solver) hit
+      its iteration budget without meeting its tolerance;
+    - {!Degenerate_data}: the input itself is unusable — constant
+      columns, duplicate headers, non-numeric cells, empty selections;
+    - {!Nan_detected}: a non-finite value appeared in a state that must
+      stay finite (class parameters, whitening input). *)
+
+type context = {
+  class_index : int option;    (** Row-equivalence class involved. *)
+  constraint_tag : string option; (** Provenance tag of the constraint. *)
+  sweep : int option;          (** Solver sweep number when it happened. *)
+  detail : string;             (** Human-readable specifics. *)
+}
+
+type t =
+  | Singular_covariance of context
+  | Solver_divergence of context
+  | Non_convergence of context
+  | Degenerate_data of context
+  | Nan_detected of context
+
+exception Error of t
+(** The exception form, for code that cannot return a [result]. *)
+
+val context :
+  ?class_index:int -> ?constraint_tag:string -> ?sweep:int -> string ->
+  context
+
+val singular_covariance :
+  ?class_index:int -> ?constraint_tag:string -> ?sweep:int -> string -> t
+
+val solver_divergence :
+  ?class_index:int -> ?constraint_tag:string -> ?sweep:int -> string -> t
+
+val non_convergence :
+  ?class_index:int -> ?constraint_tag:string -> ?sweep:int -> string -> t
+
+val degenerate_data :
+  ?class_index:int -> ?constraint_tag:string -> ?sweep:int -> string -> t
+
+val nan_detected :
+  ?class_index:int -> ?constraint_tag:string -> ?sweep:int -> string -> t
+
+val context_of : t -> context
+
+val label : t -> string
+(** Short kebab-case tag of the variant, e.g. ["singular-covariance"]. *)
+
+val to_string : t -> string
+(** One-line diagnostic: label, context fields present, detail. *)
+
+val pp : Format.formatter -> t -> unit
+
+val raise_ : t -> 'a
+(** [raise_ e] raises [Error e]. *)
+
+val of_exn : exn -> t option
+(** Map a known numerical exception to a structured error: [Error e]
+    unwraps to [e]; [Failure]/[Invalid_argument]/[Division_by_zero] become
+    {!Degenerate_data}.  [None] for exceptions that should propagate
+    (e.g. [Out_of_memory], [Stack_overflow], [Sys.Break]). *)
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a thunk, converting known numerical exceptions (see {!of_exn})
+    into [Error _].  Unknown exceptions propagate. *)

@@ -1,5 +1,6 @@
 open Sider_linalg
 open Sider_rand
+open Sider_robust
 
 type t = {
   mean : Vec.t;
@@ -42,14 +43,39 @@ let sample_n t rng n =
   done;
   out
 
-let log_pdf t x =
-  if t.singular then invalid_arg "Mvn.log_pdf: singular covariance";
+let log_pdf_with t chol x =
   let d = dim t in
   let diff = Vec.sub x t.mean in
-  let solved = Chol.solve t.chol diff in
+  let solved = Chol.solve chol diff in
   let maha2 = Vec.dot diff solved in
-  let log_det = Chol.log_det t.chol in
+  let log_det = Chol.log_det chol in
   -0.5 *. (maha2 +. log_det +. (float_of_int d *. log (2.0 *. Float.pi)))
+
+let log_pdf_result t x =
+  if t.singular then
+    Error
+      (Sider_error.singular_covariance
+         "Mvn.log_pdf: covariance is singular (zero Cholesky pivot); the \
+          density does not exist on the full space")
+  else Ok (log_pdf_with t t.chol x)
+
+let log_pdf t x =
+  match log_pdf_result t x with
+  | Ok v -> v
+  | Error e -> Sider_error.raise_ e
+
+let log_pdf_regularized ?(ladder = Kernels.default_ladder) t x =
+  if not t.singular then log_pdf_with t t.chol x
+  else
+    (* Density of N(mean, cov + εI) for the smallest ε on the ladder that
+       restores positive definiteness — finite for every input, and equal
+       to [log_pdf] whenever that one is defined. *)
+    match Kernels.chol_factor ~ladder t.cov with
+    | Ok (chol, _) -> log_pdf_with t chol x
+    | Error _ ->
+      (* Even the ladder failed (pathological cov); degenerate smoothly
+         to an isotropic unit Gaussian around the mean. *)
+      log_pdf_with t (Mat.identity (dim t)) x
 
 let mahalanobis2 t x =
   let diff = Vec.sub x t.mean in

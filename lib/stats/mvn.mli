@@ -6,6 +6,7 @@
 
 open Sider_linalg
 open Sider_rand
+open Sider_robust
 
 type t
 
@@ -28,8 +29,17 @@ val sample_n : t -> Rng.t -> int -> Mat.t
 (** [n] samples as rows. *)
 
 val log_pdf : t -> Vec.t -> float
-(** Log density.  Raises [Invalid_argument] if the covariance is singular
-    (log-det undefined). *)
+(** Log density.  Raises [Sider_error.Error (Singular_covariance _)] if
+    the covariance is singular (log-det undefined). *)
+
+val log_pdf_result : t -> Vec.t -> (float, Sider_error.t) result
+(** {!log_pdf} without the exception. *)
+
+val log_pdf_regularized : ?ladder:float array -> t -> Vec.t -> float
+(** Never-raising fallback: on a singular covariance, the density of
+    [N(mean, cov + εI)] for the smallest ε on the jitter [ladder]
+    (default {!Kernels.default_ladder}) that restores positive
+    definiteness.  Equal to {!log_pdf} whenever that one is defined. *)
 
 val mahalanobis2 : t -> Vec.t -> float
 (** Squared Mahalanobis distance to the mean (pseudo-inverse semantics on

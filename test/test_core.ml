@@ -93,7 +93,7 @@ let test_update_background_solves () =
       Array.iteri (fun i x -> if String.equal x g then rows := i :: !rows) group13;
       Session.add_cluster_constraint s (Array.of_list !rows))
     [ "A"; "B"; "C"; "D" ];
-  let r = Session.update_background s in
+  let r = Session.update_background_exn s in
   check_true "solver converged" r.Sider_maxent.Solver.converged;
   check_true "constraints registered"
     (Array.length (Sider_maxent.Solver.constraints (Session.solver s)) = 40)
@@ -113,7 +113,7 @@ let test_scores_drop_after_learning () =
             groups;
           Session.add_cluster_constraint s (Array.of_list !rows))
         names;
-      ignore (Session.update_background s);
+      ignore (Session.update_background_exn s);
       ignore (Session.recompute_view s))
     [ (Array.to_list group13 |> Array.of_list, [ "A"; "B"; "C"; "D" ]);
       (Array.to_list group45 |> Array.of_list, [ "E"; "F"; "G" ]) ];

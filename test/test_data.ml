@@ -90,9 +90,18 @@ let test_csv_errors () =
   (try
      ignore (Csv.of_string "a,b\n1,notanumber");
      Alcotest.fail "expected failure"
-   with Failure msg ->
-     check_true "line number in error" (String.length msg > 0
-                                        && String.contains msg '2'));
+   with Sider_robust.Sider_error.Error e ->
+     let msg = Sider_robust.Sider_error.to_string e in
+     let contains sub =
+       let n = String.length sub in
+       let found = ref false in
+       for i = 0 to String.length msg - n do
+         if String.sub msg i n = sub then found := true
+       done;
+       !found
+     in
+     check_true "line number in error" (contains "line 2");
+     check_true "column name in error" (contains "column \"b\""));
   (try
      ignore (Csv.of_string ~label_column:"missing" "a,b\n1,2");
      Alcotest.fail "expected failure"

@@ -17,7 +17,7 @@ let test_fig2_hidden_cluster () =
   let sels = Auto_explore.mark_clusters session in
   check_true "three groups visible" (Array.length sels = 3);
   Array.iter (Session.add_cluster_constraint session) sels;
-  let r = Session.update_background session in
+  let r = Session.update_background_exn session in
   check_true "solved" r.Sider_maxent.Solver.converged;
   ignore (Session.recompute_view session);
   (* The next view must load on X3 — the hidden direction. *)
@@ -57,7 +57,7 @@ let test_corpus_story () =
   in
   check_true "conversations separated (paper: 0.928)" (conv_j > 0.8);
   Array.iter (Session.add_cluster_constraint session) sels;
-  ignore (Session.update_background session);
+  ignore (Session.update_background_exn session);
   ignore (Session.recompute_view session);
   let s_final, _ = Session.view_scores session in
   check_true "scores collapse after constraints"
@@ -77,7 +77,7 @@ let test_segmentation_story () =
   check_true "background dwarfs data in first view" (ratio > 50.0);
   (* (b) 1-cluster constraint reveals groups under ICA. *)
   Session.add_one_cluster_constraint session;
-  ignore (Session.update_background session);
+  ignore (Session.update_background_exn session);
   ignore (Session.recompute_view ~method_:View.Ica session);
   let sels = Auto_explore.mark_clusters session in
   let best_for cls =
@@ -109,7 +109,7 @@ let test_pca_to_ica_fallback () =
   let ds = Segmentation.generate ~seed:7 () in
   let session = Session.create ~seed:2018 ~method_:View.Pca ds in
   Session.add_one_cluster_constraint session;
-  ignore (Session.update_background session);
+  ignore (Session.update_background_exn session);
   ignore (Session.recompute_view session);
   let s_pca, _ = Session.view_scores session in
   check_true "PCA blind after 1-cluster" (Float.abs s_pca < 0.05);
@@ -137,7 +137,7 @@ let test_csv_pipeline () =
       let sels = Auto_explore.mark_clusters session in
       check_true "clusters found through CSV path" (Array.length sels >= 2);
       Array.iter (Session.add_cluster_constraint session) sels;
-      let r = Session.update_background session in
+      let r = Session.update_background_exn session in
       check_true "solved" r.Sider_maxent.Solver.converged)
 
 (* Warm starting across iterations must leave earlier knowledge intact:
@@ -153,13 +153,13 @@ let test_knowledge_accumulates () =
   List.iter
     (fun g -> Session.add_cluster_constraint session (rows_of group13 g))
     [ "A"; "B"; "C"; "D" ];
-  ignore (Session.update_background session);
+  ignore (Session.update_background_exn session);
   let solver1 = Session.solver session in
   let round1 = Array.to_list (Sider_maxent.Solver.constraints solver1) in
   List.iter
     (fun g -> Session.add_cluster_constraint session (rows_of group45 g))
     [ "E"; "F"; "G" ];
-  ignore (Session.update_background session);
+  ignore (Session.update_background_exn session);
   let solver2 = Session.solver session in
   List.iter
     (fun c ->
@@ -176,7 +176,7 @@ let test_determinism_end_to_end () =
     let session = Session.create ~seed:99 ds in
     let sels = Auto_explore.mark_clusters ~rng:(Sider_rand.Rng.create 7) session in
     Array.iter (Session.add_cluster_constraint session) sels;
-    ignore (Session.update_background session);
+    ignore (Session.update_background_exn session);
     ignore (Session.recompute_view session);
     Session.axis_labels session
   in

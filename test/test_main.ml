@@ -14,5 +14,6 @@ let () =
       ("integration", Test_integration.suite);
       ("related", Test_related.suite);
       ("persist", Test_persist.suite);
+      ("robust", Test_robust.suite);
       ("properties", Test_props.suite);
     ]

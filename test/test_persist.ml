@@ -91,7 +91,7 @@ let explored_session () =
   let s = Session.create ~seed:77 ds in
   let sels = Auto_explore.mark_clusters ~rng:(Sider_rand.Rng.create 3) s in
   Array.iter (Session.add_cluster_constraint s) sels;
-  ignore (Session.update_background s);
+  ignore (Session.update_background_exn s);
   ignore (Session.recompute_view s);
   s
 

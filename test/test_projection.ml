@@ -225,6 +225,7 @@ let test_view_project () =
       View.method_ = View.Pca;
       axis1 = { View.direction = [| 1.0; 0.0 |]; score = 1.0 };
       axis2 = { View.direction = [| 0.0; 1.0 |]; score = 0.5 };
+      degraded = None;
     }
   in
   let pts = View.project v (Mat.of_arrays [| [| 3.0; 4.0 |] |]) in

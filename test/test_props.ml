@@ -216,6 +216,89 @@ let prop_kmeans_assignment_valid =
       let r = Sider_stats.Kmeans.fit (Sider_rand.Rng.create (k + n)) ~k m in
       Array.for_all (fun c -> c >= 0 && c < k) r.Sider_stats.Kmeans.assignment)
 
+(* Near-degenerate inputs through the full constraint→solve→whiten
+   pipeline: duplicated rows (rank-deficient clusters), heavily
+   overlapping clusters, and d = 1.  The guarded solver must terminate
+   within its sweep budget and never emit a non-finite number. *)
+let prop_degenerate_pipeline_stays_finite =
+  let gen =
+    QCheck.Gen.(
+      let* d = int_range 1 3 in
+      let* base = int_range 4 8 in
+      let* dup = int_range 1 3 in
+      return (d, base, dup))
+  in
+  qcheck ~count:40 "degenerate inputs stay finite within the sweep budget"
+    (QCheck.make
+       ~print:(fun (d, base, dup) ->
+         Printf.sprintf "d=%d base=%d dup=%d" d base dup)
+       gen)
+    (fun (d, base, dup) ->
+      let n = base * dup in
+      (* Every base row appears [dup] times — exact duplicates. *)
+      let data =
+        Mat.init n d (fun i j ->
+            float_of_int (((i mod base) * (j + 2)) mod 5) -. 2.0)
+      in
+      (* Two clusters overlapping on a third of the data, plus (when rows
+         are duplicated) a zero-variance cluster of identical points. *)
+      let k = Int.max 2 (2 * n / 3) in
+      let c1 = Array.init k Fun.id in
+      let c2 = Array.init k (fun i -> n - 1 - i) in
+      let cs =
+        Constr.margin data
+        @ Constr.cluster ~data ~rows:c1 ()
+        @ Constr.cluster ~data ~rows:c2 ()
+        @ (if dup > 1 then
+             Constr.cluster ~data
+               ~rows:(Array.init dup (fun t -> t * base))
+               ()
+           else [])
+      in
+      let budget = 200 in
+      let s = Solver.create data cs in
+      let r = Solver.solve ~max_sweeps:budget s in
+      let finite = ref (r.Solver.sweeps <= budget) in
+      for cls = 0 to Solver.n_classes s - 1 do
+        let p = Solver.class_params s cls in
+        if
+          not
+            (Array.for_all Float.is_finite p.Gauss_params.mean
+             && Array.for_all Float.is_finite p.Gauss_params.theta1
+             && Array.for_all Float.is_finite p.Gauss_params.sigma.Mat.a)
+        then finite := false
+      done;
+      let y = Sider_projection.Whiten.whiten s in
+      if not (Array.for_all Float.is_finite y.Mat.a) then finite := false;
+      !finite)
+
+(* d = 1 data cannot support a 2-D view (Pca.top2 needs two dimensions),
+   so the session-level degenerate case is the next worst thing: rank-1
+   d = 2 data whose second column is exactly constant. *)
+let prop_single_attribute_sessions =
+  qcheck ~count:20 "rank-1 sessions survive cluster feedback" QCheck.small_int
+    (fun seed ->
+      let n = 30 in
+      let data =
+        Mat.init n 2 (fun i j ->
+            if j = 1 then 4.0 else if i < n / 2 then 0.0 else 1.0)
+      in
+      let ds =
+        Sider_data.Dataset.create ~columns:[| "steps"; "flat" |] data
+      in
+      let session = Sider_core.Session.create ~seed:(seed + 1) ds in
+      Sider_core.Session.add_margin_constraint session;
+      Sider_core.Session.add_cluster_constraint session
+        (Array.init (n / 2) Fun.id);
+      match Sider_core.Session.update_background ~max_sweeps:200 session with
+      | Ok _ ->
+        Array.for_all
+          (fun p ->
+            Float.is_finite p.Sider_core.Session.x
+            && Float.is_finite p.Sider_core.Session.y)
+          (Sider_core.Session.scatter session)
+      | Error _ -> true)
+
 let suite =
   [
     prop_partition_is_partition;
@@ -228,4 +311,6 @@ let suite =
     prop_ellipse_polyline_on_boundary;
     prop_rng_streams_diverge;
     prop_kmeans_assignment_valid;
+    prop_degenerate_pipeline_stays_finite;
+    prop_single_attribute_sessions;
   ]

@@ -55,7 +55,7 @@ let test_session_residual_gaussianity () =
       Sider_core.Session.add_cluster_constraint session
         (Array.of_list !rows))
     [ "A"; "B"; "C"; "D" ];
-  ignore (Sider_core.Session.update_background session);
+  ignore (Sider_core.Session.update_background_exn session);
   let d_after, _ = Sider_core.Session.residual_gaussianity session in
   check_true "KS distance falls with learning" (d_after < d_before)
 

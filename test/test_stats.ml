@@ -104,9 +104,19 @@ let test_mvn_singular () =
     let v = Mvn.sample t rng in
     approx ~eps:1e-9 "degenerate support" v.(0) v.(1)
   done;
-  Alcotest.check_raises "log_pdf rejects singular"
-    (Invalid_argument "Mvn.log_pdf: singular covariance") (fun () ->
-      ignore (Mvn.log_pdf t [| 0.0; 0.0 |]))
+  (* log_pdf refuses with a structured error... *)
+  (match Mvn.log_pdf_result t [| 0.0; 0.0 |] with
+   | Ok _ -> Alcotest.fail "expected Singular_covariance"
+   | Error e ->
+     check_true "structured error"
+       (Sider_robust.Sider_error.label e = "singular-covariance"));
+  (try
+     ignore (Mvn.log_pdf t [| 0.0; 0.0 |]);
+     Alcotest.fail "expected raise"
+   with Sider_robust.Sider_error.Error _ -> ());
+  (* ...while the regularized fallback stays finite everywhere. *)
+  check_true "regularized finite"
+    (Float.is_finite (Mvn.log_pdf_regularized t [| 0.0; 0.0 |]))
 
 (* --- Metrics ----------------------------------------------------------------- *)
 
