@@ -1,7 +1,9 @@
 # Developer entry points.  `make verify` is the tier-1 gate every PR must
-# keep green: a full type-check of every target followed by the test suite.
+# keep green: a full type-check of every target, the test suite, and a
+# smoke run of the benchmark harness (sub-10-seconds; proves the harness
+# itself still works, not performance).
 
-.PHONY: all build check test verify clean
+.PHONY: all build check test verify clean bench bench-smoke bench-diff
 
 all: build
 
@@ -15,7 +17,21 @@ test:
 	dune runtest
 
 verify:
-	dune build @check && dune runtest
+	dune build @check && dune runtest && $(MAKE) bench-smoke
+
+# Full machine-readable benchmark run; rewrites the committed baseline.
+bench:
+	dune exec bench/bench_regress.exe -- --out BENCH_pr2.json
+
+# Fast sanity pass over every scenario (reduced sizes, 1 run each).
+bench-smoke:
+	dune exec bench/bench_regress.exe -- --smoke --out _artifacts/BENCH_smoke.json
+
+# Re-measure and compare against the committed baseline; exits non-zero
+# when any scenario regresses by more than 25% wall time.
+bench-diff:
+	dune exec bench/bench_regress.exe -- --out _artifacts/BENCH_head.json \
+	  --baseline BENCH_pr2.json
 
 clean:
 	dune clean

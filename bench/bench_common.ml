@@ -2,14 +2,29 @@
 
 let artifacts_dir = "_artifacts/bench"
 
+(* Create [path] and its missing parents.  Trailing separators are
+   normalized away first (their dirname is the path itself, which used to
+   loop or skip the leaf), existing prefixes — including the absolute
+   root — are left alone, and a concurrent mkdir of the same directory
+   (two bench binaries sharing _artifacts/) is tolerated instead of
+   raising [Sys_error]. *)
 let ensure_dir path =
+  let rec strip p =
+    let n = String.length p in
+    if n > 1 && p.[n - 1] = '/' then strip (String.sub p 0 (n - 1)) else p
+  in
   let rec mk p =
-    if p <> "." && p <> "/" && not (Sys.file_exists p) then begin
+    if p <> "" && p <> "." && p <> "/" && not (Sys.file_exists p) then begin
       mk (Filename.dirname p);
-      Sys.mkdir p 0o755
+      try Sys.mkdir p 0o755 with
+      | Sys_error _ when (try Sys.is_directory p with Sys_error _ -> false)
+        ->
+        (* Lost a creation race: the directory exists now, which is all
+           we wanted. *)
+        ()
     end
   in
-  mk path
+  mk (strip path)
 
 let write_file path content =
   ensure_dir (Filename.dirname path);
@@ -24,8 +39,8 @@ let artifact name content =
   Printf.printf "  [artifact] %s\n%!" path
 
 let header id title =
-  Printf.printf "\n%s\n" (String.make 78 '=');
-  Printf.printf "%s  %s\n" id title;
+  Printf.printf "\n%s\n%!" (String.make 78 '=');
+  Printf.printf "%s  %s\n%!" id title;
   Printf.printf "%s\n%!" (String.make 78 '=')
 
 let subhead title = Printf.printf "\n--- %s ---\n%!" title

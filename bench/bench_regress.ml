@@ -1,0 +1,358 @@
+(* Machine-readable perf-regression harness.
+
+     dune exec bench/bench_regress.exe -- [options]
+
+   Runs a fixed set of scenarios covering the pipeline's hot paths (micro
+   solver sweeps, Table-II-style session updates on synthetic and
+   segmentation data, whiten+PCA, ICA, the full pipeline) and writes one
+   JSON document per invocation:
+
+     { "schema": "sider-bench/1", "label": "pr2", "smoke": false,
+       "scenarios": [ { "name": ..., "wall_s": ..., "sweeps": ...,
+                        "classes": ..., "peak_heap_words": ...,
+                        "allocated_words": ..., "runs": ... }, ... ] }
+
+   Per scenario: median wall-clock of the timed section over --runs
+   repetitions, sweeps-to-convergence and row-equivalence-class count
+   where a solver is involved, peak heap words ([Gc.stat] after the runs)
+   and allocated words per run.
+
+   Options:
+     --out PATH        output path (default BENCH_pr2.json)
+     --baseline PATH   compare against a previous output; exit 1 when any
+                       scenario regresses by more than 25% wall-clock
+     --smoke           tiny inputs, 1 run: exercises the harness in
+                       seconds (wired into `make verify`)
+     --runs N          repetitions per scenario (default 3; smoke 1)
+     --label STR       label recorded in the output (default pr2) *)
+
+open Sider_data
+open Sider_maxent
+open Sider_projection
+open Sider_core
+
+type run_result = { wall : float; sweeps : int; classes : int }
+
+type scenario = {
+  name : string;
+  descr : string;
+  run : smoke:bool -> run_result;
+}
+
+let time_of f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* --- scenario building blocks -------------------------------------------- *)
+
+let clustered_constraints ds =
+  let data = Dataset.matrix ds in
+  Constr.margin data
+  @ List.concat_map
+      (fun cls -> Constr.cluster ~data ~rows:(Dataset.class_indices ds cls) ())
+      (Dataset.classes ds)
+
+(* Micro solver sweeps: a bounded number of sweeps over margin + cluster
+   constraints, the per-sweep cost the paper's OPTIM column is built from. *)
+let micro_solver ~smoke =
+  let n, d, k = if smoke then (128, 4, 2) else (512, 8, 4) in
+  let ds = Sider_data.Synth.clustered ~seed:31 ~n ~d ~k () in
+  let solver = Solver.create (Dataset.matrix ds) (clustered_constraints ds) in
+  let report, wall =
+    time_of (fun () ->
+        Solver.solve ~max_sweeps:25 ~lambda_tol:0.0 ~param_tol:0.0 solver)
+  in
+  { wall; sweeps = report.Solver.sweeps; classes = Solver.n_classes solver }
+
+(* Quadratic updates at moderate dimension: root finding + rank-1
+   Woodbury, on overlapping row sets so classes refine. *)
+let quadratic_updates ~smoke =
+  let d = if smoke then 8 else 32 in
+  let rng = Sider_rand.Rng.create 7 in
+  let data = Sider_rand.Sampler.normal_mat rng 256 d in
+  let constraints =
+    List.init 4 (fun i ->
+        let w =
+          Sider_linalg.Vec.normalize (Sider_rand.Sampler.normal_vec rng d)
+        in
+        let rows = Array.init 96 (fun r -> r + (32 * i)) in
+        Constr.quadratic ~tag:(Printf.sprintf "q%d" i) ~data ~rows ~w ())
+  in
+  let solver = Solver.create data constraints in
+  let report, wall =
+    time_of (fun () ->
+        Solver.solve ~max_sweeps:10 ~lambda_tol:0.0 ~param_tol:0.0 solver)
+  in
+  { wall; sweeps = report.Solver.sweeps; classes = Solver.n_classes solver }
+
+(* Table-II-style end-to-end session update on synthetic clusters: the
+   latency an analyst sees between marking a cluster and the next view. *)
+let session_update_synthetic ~smoke =
+  let n, d, k = if smoke then (256, 8, 2) else (2048, 16, 4) in
+  let ds = Sider_data.Synth.clustered ~seed:5 ~n ~d ~k () in
+  let session = Session.create ~seed:5 ds in
+  Session.add_margin_constraint session;
+  Session.add_cluster_constraint session
+    (Dataset.class_indices ds (List.hd (Dataset.classes ds)));
+  let report, wall =
+    time_of (fun () ->
+        Session.update_background ~time_cutoff:60.0 session)
+  in
+  let sweeps =
+    match report with Ok r -> r.Solver.sweeps | Error _ -> 0
+  in
+  { wall; sweeps; classes = Solver.n_classes (Session.solver session) }
+
+(* The same update on the (synthetic stand-in for the) UCI Image
+   Segmentation data of the paper's Sec. IV-C. *)
+let session_update_segmentation ~smoke =
+  let ds = Sider_data.Segmentation.generate ~seed:2018 () in
+  let ds =
+    if smoke then Dataset.select_rows ds (Array.init 330 Fun.id) else ds
+  in
+  let session = Session.create ~seed:2018 ds in
+  Session.add_margin_constraint session;
+  (match Dataset.classes ds with
+   | cls :: _ ->
+     Session.add_cluster_constraint session (Dataset.class_indices ds cls)
+   | [] -> ());
+  let report, wall =
+    time_of (fun () ->
+        Session.update_background ~time_cutoff:60.0 session)
+  in
+  let sweeps =
+    match report with Ok r -> r.Solver.sweeps | Error _ -> 0
+  in
+  { wall; sweeps; classes = Solver.n_classes (Session.solver session) }
+
+(* Whiten + PCA over a solved background: the per-interaction view cost
+   once the solver is warm. *)
+let whiten_pca ~smoke =
+  let n, d, k = if smoke then (256, 8, 2) else (1024, 16, 4) in
+  let ds = Sider_data.Synth.clustered ~seed:13 ~n ~d ~k () in
+  let solver = Solver.create (Dataset.matrix ds) (clustered_constraints ds) in
+  ignore (Solver.solve ~time_cutoff:30.0 solver);
+  let _, wall =
+    time_of (fun () ->
+        let y = Whiten.whiten solver in
+        let fitted = Pca.fit y in
+        ignore (Pca.top2 fitted))
+  in
+  { wall; sweeps = 0; classes = Solver.n_classes solver }
+
+(* FastICA on whitened data: the paper's ICA column (O(n d²)). *)
+let ica_projection ~smoke =
+  let n, d, k = if smoke then (256, 6, 2) else (1024, 8, 3) in
+  let ds = Sider_data.Synth.clustered ~seed:17 ~n ~d ~k () in
+  let data = Dataset.matrix ds in
+  let solver = Solver.create data (Constr.margin data) in
+  ignore (Solver.solve ~time_cutoff:30.0 solver);
+  let y = Whiten.whiten solver in
+  let _, wall =
+    time_of (fun () ->
+        ignore (Fastica.fit (Sider_rand.Rng.create 17) y))
+  in
+  { wall; sweeps = 0; classes = Solver.n_classes solver }
+
+(* Full pipeline on the paper's introduction data: session creation,
+   two feedback rounds, view recomputation and the scatter readout. *)
+let full_pipeline ~smoke:_ =
+  let ds = Sider_data.Synth.three_d ~seed:2018 () in
+  let result, wall =
+    time_of (fun () ->
+        let session = Session.create ~seed:2018 ds in
+        Session.add_margin_constraint session;
+        let r1 = Session.update_background ~time_cutoff:30.0 session in
+        ignore (Session.recompute_view session);
+        Session.add_cluster_constraint session
+          (Dataset.class_indices ds (List.hd (Dataset.classes ds)));
+        let r2 = Session.update_background ~time_cutoff:30.0 session in
+        ignore (Session.recompute_view session);
+        ignore (Session.scatter session);
+        let sweeps_of = function Ok r -> r.Solver.sweeps | Error _ -> 0 in
+        (sweeps_of r1 + sweeps_of r2,
+         Solver.n_classes (Session.solver session)))
+  in
+  let sweeps, classes = result in
+  { wall; sweeps; classes }
+
+let scenarios =
+  [ { name = "micro_solver_sweeps";
+      descr = "25 bounded sweeps, margin+cluster constraints";
+      run = micro_solver };
+    { name = "quadratic_updates_d32";
+      descr = "10 sweeps of 4 overlapping quadratic constraints";
+      run = quadratic_updates };
+    { name = "session_update_synthetic";
+      descr = "Table-II-style session update, synthetic clusters";
+      run = session_update_synthetic };
+    { name = "session_update_segmentation";
+      descr = "session update on the segmentation stand-in";
+      run = session_update_segmentation };
+    { name = "whiten_pca";
+      descr = "whiten a solved background and fit PCA";
+      run = whiten_pca };
+    { name = "ica_projection";
+      descr = "FastICA on whitened data";
+      run = ica_projection };
+    { name = "full_pipeline";
+      descr = "two feedback rounds end-to-end on three_d";
+      run = full_pipeline } ]
+
+(* --- measurement ----------------------------------------------------------- *)
+
+type measured = {
+  m_name : string;
+  m_wall : float;          (* median over runs *)
+  m_sweeps : int;
+  m_classes : int;
+  m_peak_heap : int;       (* Gc top_heap_words after the runs *)
+  m_alloc_words : float;   (* words allocated per run *)
+  m_runs : int;
+}
+
+let median values =
+  let v = Array.copy values in
+  Array.sort compare v;
+  let n = Array.length v in
+  if n = 0 then nan
+  else if n mod 2 = 1 then v.(n / 2)
+  else 0.5 *. (v.((n / 2) - 1) +. v.(n / 2))
+
+let measure ~smoke ~runs sc =
+  let a0 = Gc.allocated_bytes () in
+  let results = Array.init runs (fun _ -> sc.run ~smoke) in
+  let alloc_words =
+    (Gc.allocated_bytes () -. a0) /. 8.0 /. float_of_int runs
+  in
+  let peak = (Gc.stat ()).Gc.top_heap_words in
+  let last = results.(runs - 1) in
+  {
+    m_name = sc.name;
+    m_wall = median (Array.map (fun r -> r.wall) results);
+    m_sweeps = last.sweeps;
+    m_classes = last.classes;
+    m_peak_heap = peak;
+    m_alloc_words = alloc_words;
+    m_runs = runs;
+  }
+
+(* --- JSON in / out --------------------------------------------------------- *)
+
+let to_json ~label ~smoke measured =
+  Json.Obj
+    [ ("schema", Json.String "sider-bench/1");
+      ("label", Json.String label);
+      ("smoke", Json.Bool smoke);
+      ("scenarios",
+       Json.List
+         (List.map
+            (fun m ->
+              Json.Obj
+                [ ("name", Json.String m.m_name);
+                  ("wall_s", Json.Number m.m_wall);
+                  ("sweeps", Json.Number (float_of_int m.m_sweeps));
+                  ("classes", Json.Number (float_of_int m.m_classes));
+                  ("peak_heap_words",
+                   Json.Number (float_of_int m.m_peak_heap));
+                  ("allocated_words", Json.Number m.m_alloc_words);
+                  ("runs", Json.Number (float_of_int m.m_runs)) ])
+            measured)) ]
+
+let baseline_walls path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let doc = Json.of_string text in
+  Json.member "scenarios" doc
+  |> Json.to_list
+  |> List.map (fun s ->
+      (Json.to_str (Json.member "name" s),
+       Json.to_float (Json.member "wall_s" s)))
+
+(* A regression needs both a >25% relative slowdown and a 2ms absolute
+   one: sub-millisecond scenarios jitter far more than 25% run to run. *)
+let regressed ~old_wall ~new_wall =
+  new_wall > (old_wall *. 1.25) +. 0.002
+
+let diff_against ~baseline measured =
+  Printf.printf "\n  %-30s %12s %12s %9s\n" "scenario" "baseline(s)"
+    "now(s)" "delta";
+  Printf.printf "  %s\n" (String.make 68 '-');
+  let regressions = ref [] in
+  List.iter
+    (fun m ->
+      match List.assoc_opt m.m_name baseline with
+      | None ->
+        Printf.printf "  %-30s %12s %12.4f %9s\n%!" m.m_name "-" m.m_wall
+          "new"
+      | Some old_wall ->
+        let delta =
+          if old_wall > 0.0 then 100.0 *. ((m.m_wall /. old_wall) -. 1.0)
+          else 0.0
+        in
+        let flag = regressed ~old_wall ~new_wall:m.m_wall in
+        if flag then regressions := m.m_name :: !regressions;
+        Printf.printf "  %-30s %12.4f %12.4f %+8.1f%%%s\n%!" m.m_name
+          old_wall m.m_wall delta
+          (if flag then "  REGRESSION" else ""))
+    measured;
+  List.rev !regressions
+
+(* --- driver ---------------------------------------------------------------- *)
+
+let () =
+  let smoke = ref false in
+  let out = ref "BENCH_pr2.json" in
+  let baseline = ref "" in
+  let runs = ref 0 in
+  let label = ref "pr2" in
+  let specs =
+    [ ("--smoke", Arg.Set smoke, "tiny inputs, 1 run (harness self-test)");
+      ("--out", Arg.Set_string out, "PATH output JSON path");
+      ("--baseline", Arg.Set_string baseline,
+       "PATH previous output to diff against (exit 1 on >25% regression)");
+      ("--runs", Arg.Set_int runs, "N repetitions per scenario");
+      ("--label", Arg.Set_string label, "STR label recorded in the output") ]
+  in
+  Arg.parse specs
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench_regress [--smoke] [--out PATH] [--baseline PATH] [--runs N]";
+  let smoke = !smoke in
+  let runs = if !runs > 0 then !runs else if smoke then 1 else 3 in
+  Printf.printf "bench_regress: %d scenarios, %d run(s) each%s\n%!"
+    (List.length scenarios) runs
+    (if smoke then " [smoke]" else "");
+  let measured =
+    List.map
+      (fun sc ->
+        Printf.printf "  %-30s %s ...%!" sc.name sc.descr;
+        let m = measure ~smoke ~runs sc in
+        Printf.printf " %.4fs (sweeps %d, classes %d)\n%!" m.m_wall
+          m.m_sweeps m.m_classes;
+        m)
+      scenarios
+  in
+  let json = Json.to_string (to_json ~label:!label ~smoke measured) in
+  Bench_common.write_file !out (json ^ "\n");
+  Printf.printf "  wrote %s\n%!" !out;
+  if !baseline <> "" then begin
+    match baseline_walls !baseline with
+    | exception Sys_error msg ->
+      Printf.eprintf "bench_regress: cannot read baseline: %s\n%!" msg;
+      exit 2
+    | exception Json.Parse_error msg ->
+      Printf.eprintf "bench_regress: bad baseline JSON: %s\n%!" msg;
+      exit 2
+    | baseline ->
+      (match diff_against ~baseline measured with
+       | [] -> Printf.printf "\n  no regressions > 25%%\n%!"
+       | names ->
+         Printf.printf "\n  %d regression(s): %s\n%!" (List.length names)
+           (String.concat ", " names);
+         exit 1)
+  end

@@ -8,6 +8,7 @@
      replay     reload a saved session snapshot and continue
      export     generate a built-in dataset as CSV
      runtime    run a single OPTIM/ICA timing cell (Table II)
+     trace      replay a session with the observability stderr sink on
 
    Datasets are built-in generators (three_d, x5, corpus, segmentation,
    gaussian) or any CSV file with a header row. *)
@@ -240,6 +241,55 @@ let doctor_cmd =
              diagnosed.")
     Term.(const run $ dataset_t $ seed_t $ label_column_t $ shallow_t)
 
+(* --- trace ------------------------------------------------------------------------ *)
+
+(* Replays a canonical two-round feedback session with the stderr
+   tracing sink installed: every solver sweep, constraint update,
+   whitening and projection fit prints as an indented span (children
+   close before their parent), and the run ends with the metrics tables
+   (per-kind update histograms, Woodbury fast-path counters, end-to-end
+   update latency).  Spans go to stderr so stdout stays scriptable. *)
+let trace_cmd =
+  let module Obs = Sider_obs.Obs in
+  let cutoff_t =
+    Arg.(value & opt float 10.0 & info [ "time-cutoff" ] ~docv:"SECONDS"
+           ~doc:"MaxEnt solver time cutoff per update.")
+  in
+  let run dataset seed label_column method_ cutoff =
+    let ds = load_dataset ~seed ~label_column dataset in
+    print_endline (Dataset.describe ds);
+    Obs.set_sink (Some (Obs.stderr_sink ()));
+    Fun.protect ~finally:(fun () -> Obs.set_sink None) @@ fun () ->
+    let session = Session.create ~seed ~method_ ds in
+    let report label = function
+      | Ok r ->
+        Printf.printf "%s: %d sweeps in %.3fs, converged %b\n%!" label
+          r.Sider_maxent.Solver.sweeps r.Sider_maxent.Solver.elapsed
+          r.Sider_maxent.Solver.converged
+      | Error e ->
+        Printf.printf "%s: rolled back (%s)\n%!" label
+          (Sider_robust.Sider_error.to_string e)
+    in
+    Session.add_margin_constraint session;
+    report "margin update"
+      (Session.update_background ~time_cutoff:cutoff session);
+    ignore (Session.recompute_view session);
+    Session.add_one_cluster_constraint session;
+    report "1-cluster update"
+      (Session.update_background ~time_cutoff:cutoff session);
+    ignore (Session.recompute_view session);
+    let s1, s2 = Session.view_scores session in
+    Printf.printf "final view scores %.3g / %.3g\n%!" s1 s2;
+    Obs.flush ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Replay a margin + 1-cluster feedback session with the \
+             tracing sink enabled: nested spans with per-constraint \
+             timings and a metrics summary on stderr.")
+    Term.(const run $ dataset_t $ seed_t $ label_column_t $ method_t
+          $ cutoff_t)
+
 (* --- runtime ---------------------------------------------------------------------- *)
 
 let runtime_cmd =
@@ -281,7 +331,7 @@ let main =
   Cmd.group
     (Cmd.info "sider" ~version:"1.0.0" ~doc)
     [ datasets_cmd; view_cmd; explore_cmd; repl_cmd; replay_cmd;
-      export_cmd; runtime_cmd; doctor_cmd ]
+      export_cmd; runtime_cmd; doctor_cmd; trace_cmd ]
 
 (* Structured engine errors become one-line diagnostics with distinct
    exit codes instead of an OCaml backtrace: 2 for a diagnosed numerical

@@ -5,6 +5,7 @@ open Sider_maxent
 open Sider_projection
 open Sider_stats
 open Sider_robust
+module Obs = Sider_obs.Obs
 
 type event =
   | Added_cluster of { rows : int array; tag : string }
@@ -163,6 +164,12 @@ let validate_pending pending =
 
 let update_background ?(time_cutoff = 10.0) ?max_sweeps ?lambda_tol
     ?param_tol t =
+  (* The end-to-end latency of this span (constraint registration +
+     repartition + MaxEnt solve) is the paper's Table II interactivity
+     metric, recorded into the [session.update_s] histogram. *)
+  Obs.timed ~hist:"session.update_s" "session.update_background"
+    ~attrs:[ ("pending", Obs.Int (List.length t.pending)) ]
+  @@ fun () ->
   (* Checkpoint: [add_constraints] copies the class parameters into the
      new solver, so holding on to the old solver (and the old pending
      queue) *is* the pre-update snapshot.  On any failure we roll back to
@@ -179,11 +186,15 @@ let update_background ?(time_cutoff = 10.0) ?max_sweeps ?lambda_tol
   | Ok report ->
     record t (Updated { time_cutoff; max_sweeps });
     List.iter (degrade t) report.Solver.degradations;
+    Obs.span_attr "outcome" (Obs.Str "ok");
+    Obs.span_attr "classes"
+      (Obs.Int (Sider_maxent.Solver.n_classes t.solver));
     Ok report
   | Error e ->
     t.solver <- checkpoint_solver;
     t.pending <- checkpoint_pending;
     degrade t e;
+    Obs.span_attr "outcome" (Obs.Str "rolled_back");
     Error e
 
 let update_background_exn ?time_cutoff ?max_sweeps ?lambda_tol ?param_tol t =
@@ -195,6 +206,7 @@ let update_background_exn ?time_cutoff ?max_sweeps ?lambda_tol ?param_tol t =
 let refresh_sample t = t.sample <- Solver.sample t.solver t.rng
 
 let recompute_view ?method_ t =
+  Obs.with_span "session.recompute_view" @@ fun () ->
   (match method_ with Some m -> t.method_ <- m | None -> ());
   record t (Viewed t.method_);
   t.view <- fresh_view t ();

@@ -1,5 +1,6 @@
 open Sider_linalg
 open Sider_robust
+module Obs = Sider_obs.Obs
 
 type t = {
   mutable theta1 : Vec.t;
@@ -54,6 +55,16 @@ let recompute_full t ~lambda ~delta ~w ~sigma_prev =
        t.mean <- Mat.mv t.sigma t.theta1;
        `Recomputed)
 
+(* Counts how often the O(d²) Woodbury fast path holds versus degrading
+   to the full O(d³) recompute (or freezing) — the ratio behind the
+   paper's Table II interactivity claim. *)
+let counted outcome =
+  (match outcome with
+   | `Sherman_morrison -> Obs.count "gauss.woodbury.fast"
+   | `Recomputed -> Obs.count "gauss.woodbury.recompute"
+   | `Frozen -> Obs.count "gauss.woodbury.frozen");
+  outcome
+
 let apply_quadratic t ~lambda ~delta ~w =
   let g = Mat.mv t.sigma w in
   let c = Vec.dot w g in
@@ -64,7 +75,7 @@ let apply_quadratic t ~lambda ~delta ~w =
        still produce a valid posterior for λ slightly past −1/c). *)
     let sigma_prev = Mat.copy t.sigma in
     Vec.axpy (lambda *. delta) w t.theta1;
-    recompute_full t ~lambda ~delta ~w ~sigma_prev
+    counted (recompute_full t ~lambda ~delta ~w ~sigma_prev)
   end
   else begin
     let sigma_prev = Mat.copy t.sigma in
@@ -76,13 +87,13 @@ let apply_quadratic t ~lambda ~delta ~w =
     Vec.axpy (lambda *. delta) w t.theta1;
     if diag_healthy t.sigma then begin
       Vec.axpy (lambda *. (delta -. d_old) /. denom) g t.mean;
-      `Sherman_morrison
+      counted `Sherman_morrison
     end
     else begin
       (* Positive definiteness lost to cancellation: fall back to the
          full recompute from the pre-update Σ. *)
       t.sigma <- sigma_prev;
-      recompute_full t ~lambda ~delta ~w ~sigma_prev
+      counted (recompute_full t ~lambda ~delta ~w ~sigma_prev)
     end
   end
 

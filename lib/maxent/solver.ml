@@ -1,6 +1,7 @@
 open Sider_linalg
 open Sider_rand
 open Sider_robust
+module Obs = Sider_obs.Obs
 
 type t = {
   data : Mat.t;
@@ -263,8 +264,32 @@ let first_bad_class t =
 let restore_classes t snapshot =
   Array.iteri (fun cls p -> t.classes.(cls) <- Gauss_params.copy p) snapshot
 
-let solve ?(max_sweeps = 1000) ?(lambda_tol = 1e-2) ?(param_tol = 1e-2)
-    ?time_cutoff ?(lambda_cap = 1e7) ?(recovery_budget = 8) ?trace t =
+(* One constraint update, instrumented when a sink is installed: a
+   [solver.update] span tagged with the constraint's provenance plus a
+   per-kind duration histogram.  The disabled branch calls the kernels
+   directly so the hot loop pays one ref read and nothing else. *)
+let run_update t idx (constr : Constr.t) ~lambda_cap ~damp =
+  let run () =
+    match constr.Constr.kind with
+    | Constr.Linear -> update_linear t idx ~damp
+    | Constr.Quadratic -> update_quadratic t idx ~lambda_cap ~damp
+  in
+  if not (Obs.enabled ()) then run ()
+  else begin
+    let kind_s =
+      match constr.Constr.kind with
+      | Constr.Linear -> "linear"
+      | Constr.Quadratic -> "quadratic"
+    in
+    Obs.timed
+      ~hist:("solver.update." ^ kind_s ^ "_s")
+      ~attrs:
+        [ ("tag", Obs.Str constr.Constr.tag); ("kind", Obs.Str kind_s) ]
+      "solver.update" run
+  end
+
+let solve_body ~max_sweeps ~lambda_tol ~param_tol ~time_cutoff ~lambda_cap
+    ~recovery_budget ~trace t =
   let start = Sys.time () in
   let sweeps = ref 0 and updates = ref 0 in
   let converged = ref false in
@@ -273,7 +298,10 @@ let solve ?(max_sweeps = 1000) ?(lambda_tol = 1e-2) ?(param_tol = 1e-2)
   let recoveries_left = ref recovery_budget in
   let damp = ref 1.0 in
   let stop = ref false in
-  let degrade e = degradations := e :: !degradations in
+  let degrade e =
+    Obs.count "solver.degradation";
+    degradations := e :: !degradations
+  in
   let cut_off () =
     match time_cutoff with
     | None -> false
@@ -283,6 +311,8 @@ let solve ?(max_sweeps = 1000) ?(lambda_tol = 1e-2) ?(param_tol = 1e-2)
         && not (cut_off ())
   do
     incr sweeps;
+    Obs.with_span "solver.sweep" ~attrs:[ ("sweep", Obs.Int !sweeps) ]
+    @@ fun () ->
     (* Fault-injection hooks (no-ops unless a test armed them). *)
     if Fault.should_fail_sweep ~sweep:!sweeps then
       Sider_error.raise_
@@ -308,23 +338,20 @@ let solve ?(max_sweeps = 1000) ?(lambda_tol = 1e-2) ?(param_tol = 1e-2)
     let max_dl = ref 0.0 and max_dp = ref 0.0 in
     Array.iteri
       (fun idx (constr : Constr.t) ->
-        let dl, dp, faults =
-          match constr.Constr.kind with
-          | Constr.Linear -> update_linear t idx ~damp:!damp
-          | Constr.Quadratic ->
-            update_quadratic t idx ~lambda_cap ~damp:!damp
-        in
+        let dl, dp, faults = run_update t idx constr ~lambda_cap ~damp:!damp in
         incr updates;
         List.iter degrade faults;
         max_dl := Float.max !max_dl (Float.abs dl);
         max_dp := Float.max !max_dp dp)
       t.constraints;
+    Obs.count ~by:(Array.length t.constraints) "solver.updates";
     (* Post-sweep scan: a sweep that produced NaN/Inf anywhere is rolled
        back wholesale and retried with a halved step, under a bounded
        budget.  On exhaustion the solver stops at the last good state. *)
     (match first_bad_class t with
      | Some cls ->
        restore_classes t snapshot;
+       Obs.count "solver.rollback";
        if !recoveries_left > 0 then begin
          decr recoveries_left;
          damp := !damp /. 2.0;
@@ -368,6 +395,29 @@ let solve ?(max_sweeps = 1000) ?(lambda_tol = 1e-2) ?(param_tol = 1e-2)
     elapsed = Sys.time () -. start;
     degradations = List.rev !degradations;
   }
+
+let solve ?(max_sweeps = 1000) ?(lambda_tol = 1e-2) ?(param_tol = 1e-2)
+    ?time_cutoff ?(lambda_cap = 1e7) ?(recovery_budget = 8) ?trace t =
+  let run () =
+    solve_body ~max_sweeps ~lambda_tol ~param_tol ~time_cutoff ~lambda_cap
+      ~recovery_budget ~trace t
+  in
+  if not (Obs.enabled ()) then run ()
+  else begin
+    let n, _ = Mat.dims t.data in
+    Obs.with_span "solver.solve"
+      ~attrs:
+        [ ("constraints", Obs.Int (Array.length t.constraints));
+          ("classes", Obs.Int (Array.length t.classes));
+          ("rows", Obs.Int n) ]
+      (fun () ->
+        let report = run () in
+        Obs.span_attr "sweeps" (Obs.Int report.sweeps);
+        Obs.span_attr "converged" (Obs.Bool report.converged);
+        Obs.span_attr "degradations"
+          (Obs.Int (List.length report.degradations));
+        report)
+  end
 
 let relative_entropy t =
   let _, d = Mat.dims t.data in

@@ -1,0 +1,376 @@
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type span = {
+  name : string;
+  depth : int;
+  start_ns : int64;
+  dur_ns : int64;
+  attrs : (string * value) list;
+}
+
+type metric =
+  | Counter of { name : string; total : int }
+  | Gauge of { name : string; value : float }
+  | Histogram of {
+      name : string;
+      count : int;
+      sum : float;
+      p50 : float;
+      p95 : float;
+      max : float;
+    }
+
+type sink = {
+  on_span : span -> unit;
+  on_metrics : metric list -> unit;
+}
+
+(* --- clock ---------------------------------------------------------------- *)
+
+(* Wall time rebased to the first observation, clamped non-decreasing:
+   gettimeofday can step backwards (NTP), and negative durations would
+   violate the invariants downstream consumers (and the property tests)
+   rely on. *)
+let epoch = ref None
+
+let last_ns = ref 0L
+
+let now_ns () =
+  let t = Unix.gettimeofday () in
+  let e =
+    match !epoch with
+    | Some e -> e
+    | None ->
+      epoch := Some t;
+      t
+  in
+  let raw = Int64.of_float ((t -. e) *. 1e9) in
+  let ns = if Int64.compare raw !last_ns < 0 then !last_ns else raw in
+  last_ns := ns;
+  ns
+
+(* --- global state --------------------------------------------------------- *)
+
+type frame = {
+  f_name : string;
+  f_depth : int;
+  f_start : int64;
+  mutable f_attrs : (string * value) list;  (* reverse insertion order *)
+}
+
+let current_sink : sink option ref = ref None
+
+let stack : frame list ref = ref []
+
+type hist_acc = { mutable values : float array; mutable len : int }
+
+type instrument = I_counter of int ref | I_gauge of float ref | I_hist of hist_acc
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let set_sink s =
+  stack := [];
+  current_sink := s
+
+let enabled () = !current_sink <> None
+
+let current_depth () = List.length !stack
+
+let reset () =
+  Hashtbl.reset registry;
+  stack := []
+
+(* --- spans ---------------------------------------------------------------- *)
+
+let span_attr k v =
+  match !stack with
+  | fr :: _ -> fr.f_attrs <- (k, v) :: fr.f_attrs
+  | [] -> ()
+
+let with_span ?(attrs = []) name f =
+  match !current_sink with
+  | None -> f ()
+  | Some sink ->
+    let fr =
+      { f_name = name; f_depth = List.length !stack; f_start = now_ns ();
+        f_attrs = List.rev attrs }
+    in
+    stack := fr :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (* Pop down to (and including) our frame; anything above it means
+           the body leaked open spans — close them implicitly rather than
+           corrupt the stack. *)
+        let rec pop = function
+          | top :: rest ->
+            if top == fr then stack := rest else pop rest
+          | [] -> stack := []
+        in
+        pop !stack;
+        let dur = Int64.sub (now_ns ()) fr.f_start in
+        let dur = if Int64.compare dur 0L < 0 then 0L else dur in
+        sink.on_span
+          { name = fr.f_name; depth = fr.f_depth; start_ns = fr.f_start;
+            dur_ns = dur; attrs = List.rev fr.f_attrs })
+      f
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let counter_ref name =
+  match Hashtbl.find_opt registry name with
+  | Some (I_counter r) -> r
+  | Some _ -> invalid_arg (Printf.sprintf "Obs: %S is not a counter" name)
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add registry name (I_counter r);
+    r
+
+let count ?(by = 1) name =
+  if enabled () then begin
+    let r = counter_ref name in
+    r := !r + by
+  end
+
+let gauge name v =
+  if enabled () then
+    match Hashtbl.find_opt registry name with
+    | Some (I_gauge r) -> r := v
+    | Some _ -> invalid_arg (Printf.sprintf "Obs: %S is not a gauge" name)
+    | None -> Hashtbl.add registry name (I_gauge (ref v))
+
+let observe name v =
+  if enabled () then begin
+    let h =
+      match Hashtbl.find_opt registry name with
+      | Some (I_hist h) -> h
+      | Some _ ->
+        invalid_arg (Printf.sprintf "Obs: %S is not a histogram" name)
+      | None ->
+        let h = { values = Array.make 16 0.0; len = 0 } in
+        Hashtbl.add registry name (I_hist h);
+        h
+    in
+    if h.len = Array.length h.values then begin
+      let bigger = Array.make (2 * h.len) 0.0 in
+      Array.blit h.values 0 bigger 0 h.len;
+      h.values <- bigger
+    end;
+    h.values.(h.len) <- v;
+    h.len <- h.len + 1
+  end
+
+let timed ?attrs ~hist name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        observe hist (Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9))
+      (fun () -> with_span ?attrs name f)
+  end
+
+(* Type-7 quantile on a sorted prefix, matching [Descriptive.quantile]. *)
+let quantile_sorted sorted len p =
+  if len = 0 then nan
+  else begin
+    let h = p *. float_of_int (len - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let lo = if lo < 0 then 0 else if lo > len - 1 then len - 1 else lo in
+    let hi = if lo + 1 > len - 1 then len - 1 else lo + 1 in
+    sorted.(lo) +. ((h -. float_of_int lo) *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let metrics_snapshot () =
+  Hashtbl.fold
+    (fun name instr acc ->
+      let m =
+        match instr with
+        | I_counter r -> Counter { name; total = !r }
+        | I_gauge r -> Gauge { name; value = !r }
+        | I_hist h ->
+          let sorted = Array.sub h.values 0 h.len in
+          Array.sort compare sorted;
+          let sum = Array.fold_left ( +. ) 0.0 sorted in
+          Histogram
+            {
+              name;
+              count = h.len;
+              sum;
+              p50 = quantile_sorted sorted h.len 0.5;
+              p95 = quantile_sorted sorted h.len 0.95;
+              max = (if h.len = 0 then nan else sorted.(h.len - 1));
+            }
+      in
+      m :: acc)
+    registry []
+  |> List.sort (fun a b ->
+      let name = function
+        | Counter { name; _ } | Gauge { name; _ } | Histogram { name; _ } ->
+          name
+      in
+      compare (name a) (name b))
+
+let flush () =
+  match !current_sink with
+  | None -> ()
+  | Some sink -> sink.on_metrics (metrics_snapshot ())
+
+(* --- sinks ---------------------------------------------------------------- *)
+
+let null_sink = { on_span = (fun _ -> ()); on_metrics = (fun _ -> ()) }
+
+let pretty_duration ns =
+  let f = Int64.to_float ns in
+  if f >= 1e9 then Printf.sprintf "%.3f s" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.1f us" (f /. 1e3)
+  else Printf.sprintf "%Ld ns" ns
+
+let value_to_string = function
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+let stderr_sink ?(channel = stderr) () =
+  let attrs_to_string = function
+    | [] -> ""
+    | attrs ->
+      "  ["
+      ^ String.concat " "
+          (List.map (fun (k, v) -> k ^ "=" ^ value_to_string v) attrs)
+      ^ "]"
+  in
+  {
+    on_span =
+      (fun s ->
+        Printf.fprintf channel "[trace] %s%-*s %10s%s\n%!"
+          (String.make (2 * s.depth) ' ')
+          (40 - (2 * s.depth))
+          s.name
+          (pretty_duration s.dur_ns)
+          (attrs_to_string s.attrs));
+    on_metrics =
+      (fun metrics ->
+        let counters, gauges, hists =
+          List.fold_left
+            (fun (c, g, h) m ->
+              match m with
+              | Counter _ -> (m :: c, g, h)
+              | Gauge _ -> (c, m :: g, h)
+              | Histogram _ -> (c, g, m :: h))
+            ([], [], []) (List.rev metrics)
+        in
+        if counters <> [] then begin
+          Printf.fprintf channel "[metrics] %-44s %12s\n" "counter" "total";
+          List.iter
+            (function
+              | Counter { name; total } ->
+                Printf.fprintf channel "[metrics] %-44s %12d\n" name total
+              | _ -> ())
+            counters
+        end;
+        if gauges <> [] then begin
+          Printf.fprintf channel "[metrics] %-44s %12s\n" "gauge" "value";
+          List.iter
+            (function
+              | Gauge { name; value } ->
+                Printf.fprintf channel "[metrics] %-44s %12g\n" name value
+              | _ -> ())
+            gauges
+        end;
+        if hists <> [] then begin
+          Printf.fprintf channel "[metrics] %-34s %8s %10s %10s %10s %10s\n"
+            "histogram" "count" "p50" "p95" "max" "sum";
+          List.iter
+            (function
+              | Histogram { name; count; sum; p50; p95; max } ->
+                Printf.fprintf channel
+                  "[metrics] %-34s %8d %10.4g %10.4g %10.4g %10.4g\n" name
+                  count p50 p95 max sum
+              | _ -> ())
+            hists
+        end;
+        Stdlib.flush channel)
+  }
+
+(* Minimal JSON emission: enough to serialize spans and metrics in a form
+   [Sider_data.Json] parses back (the round-trip property test).  Kept
+   local so this library depends on nothing. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+
+let json_value = function
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> json_float f
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_attrs attrs =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":%s" (json_escape k) (json_value v))
+         attrs)
+  ^ "}"
+
+let span_to_json s =
+  Printf.sprintf
+    "{\"type\":\"span\",\"name\":\"%s\",\"depth\":%d,\"start_ns\":%Ld,\
+     \"dur_ns\":%Ld,\"attrs\":%s}"
+    (json_escape s.name) s.depth s.start_ns s.dur_ns (json_attrs s.attrs)
+
+let metric_to_json = function
+  | Counter { name; total } ->
+    Printf.sprintf "{\"type\":\"counter\",\"name\":\"%s\",\"total\":%d}"
+      (json_escape name) total
+  | Gauge { name; value } ->
+    Printf.sprintf "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%s}"
+      (json_escape name) (json_float value)
+  | Histogram { name; count; sum; p50; p95; max } ->
+    Printf.sprintf
+      "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sum\":%s,\
+       \"p50\":%s,\"p95\":%s,\"max\":%s}"
+      (json_escape name) count (json_float sum) (json_float p50)
+      (json_float p95) (json_float max)
+
+let json_sink emit =
+  {
+    on_span = (fun s -> emit (span_to_json s));
+    on_metrics = (fun ms -> List.iter (fun m -> emit (metric_to_json m)) ms);
+  }
+
+type recording = {
+  rec_sink : sink;
+  spans : unit -> span list;
+  metrics : unit -> metric list;
+}
+
+let recording_sink () =
+  let spans = ref [] and metrics = ref [] in
+  {
+    rec_sink =
+      {
+        on_span = (fun s -> spans := s :: !spans);
+        on_metrics = (fun ms -> metrics := List.rev_append ms !metrics);
+      };
+    spans = (fun () -> List.rev !spans);
+    metrics = (fun () -> List.rev !metrics);
+  }

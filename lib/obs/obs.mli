@@ -1,0 +1,120 @@
+(** Observability: spans, counters, gauges, histograms and pluggable sinks.
+
+    Zero external dependencies (only [unix] for the clock).  The layer is
+    *off by default*: with no sink installed every entry point reduces to
+    a single [ref] read, no clock is consulted and no allocation beyond
+    argument evaluation happens, so instrumented code paths are
+    numerically and behaviourally identical to uninstrumented ones (the
+    determinism test in [test/test_obs.ml] asserts this for the solver).
+
+    Spans form a thread-of-execution stack: [with_span] pushes a frame,
+    runs the body and emits a completed {!span} to the sink on exit
+    (normal or exceptional).  Metrics accumulate in a global registry and
+    are emitted as a {!metric} snapshot by {!flush}.
+
+    The clock is wall-time ([Unix.gettimeofday]) mapped to nanoseconds
+    since the first observation and clamped to be non-decreasing, so span
+    durations are never negative even across system clock steps. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+(** Attribute values attached to spans. *)
+
+type span = {
+  name : string;
+  depth : int;          (** 0 for a root span. *)
+  start_ns : int64;     (** Nanoseconds since the clock epoch. *)
+  dur_ns : int64;       (** Non-negative duration. *)
+  attrs : (string * value) list;  (** Insertion order. *)
+}
+
+type metric =
+  | Counter of { name : string; total : int }
+  | Gauge of { name : string; value : float }
+  | Histogram of {
+      name : string;
+      count : int;
+      sum : float;
+      p50 : float;      (** Type-7 (linear interpolation) quantiles. *)
+      p95 : float;
+      max : float;
+    }
+
+type sink = {
+  on_span : span -> unit;       (** Called when a span completes. *)
+  on_metrics : metric list -> unit;  (** Called by {!flush}. *)
+}
+
+(** {1 Built-in sinks} *)
+
+val null_sink : sink
+(** Swallows everything (instrumentation overhead without output; used to
+    measure the cost of the layer itself). *)
+
+val stderr_sink : ?channel:out_channel -> unit -> sink
+(** Pretty-printer: completed spans as an indented tree (children close
+    before their parent, so the tree reads innermost-first), metrics as
+    aligned tables.  Defaults to [stderr]; every line is flushed. *)
+
+val json_sink : (string -> unit) -> sink
+(** [json_sink emit] calls [emit] with one self-contained JSON object per
+    span / metric (JSON-lines; no trailing newline).  The output parses
+    with [Sider_data.Json.of_string]; non-finite floats are emitted as
+    [null]. *)
+
+type recording = {
+  rec_sink : sink;
+  spans : unit -> span list;      (** Completion order. *)
+  metrics : unit -> metric list;  (** Snapshots from every {!flush}, concatenated. *)
+}
+
+val recording_sink : unit -> recording
+(** In-memory sink for tests. *)
+
+(** {1 Installing a sink} *)
+
+val set_sink : sink option -> unit
+(** [set_sink None] disables the layer (the default). *)
+
+val enabled : unit -> bool
+
+(** {1 Spans} *)
+
+val with_span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** Runs the body inside a named span.  Disabled: exactly [f ()]. *)
+
+val span_attr : string -> value -> unit
+(** Attach an attribute to the innermost open span (no-op when disabled
+    or outside any span). *)
+
+val current_depth : unit -> int
+(** Number of open spans (0 when disabled). *)
+
+(** {1 Metrics} *)
+
+val count : ?by:int -> string -> unit
+(** Increment a counter (default [by:1]). *)
+
+val gauge : string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : string -> float -> unit
+(** Record one observation into a histogram. *)
+
+val timed : ?attrs:(string * value) list -> hist:string -> string ->
+  (unit -> 'a) -> 'a
+(** [timed ~hist name f]: {!with_span} [name] around [f], additionally
+    recording the elapsed seconds into histogram [hist]. *)
+
+val metrics_snapshot : unit -> metric list
+(** Current registry contents, sorted by name. *)
+
+val flush : unit -> unit
+(** Emit {!metrics_snapshot} to the sink (registry keeps accumulating). *)
+
+val reset : unit -> unit
+(** Clear the metrics registry and the span stack (tests). *)
+
+(** {1 Clock} *)
+
+val now_ns : unit -> int64
+(** Non-decreasing nanosecond clock (see module comment). *)

@@ -1,5 +1,6 @@
 open Sider_linalg
 open Sider_rand
+module Obs = Sider_obs.Obs
 
 type t = {
   directions : Mat.t;
@@ -14,7 +15,7 @@ let sym_decorrelate w =
   let dec = Eigen.symmetric (Mat.symmetrize wwt) in
   Mat.matmul (Eigen.power dec (-0.5)) w
 
-let fit ?n_components ?(max_iter = 200) ?(tol = 1e-4) ?(rank_tol = 1e-9)
+let fit_impl ?n_components ?(max_iter = 200) ?(tol = 1e-4) ?(rank_tol = 1e-9)
     rng m =
   let n, d = Mat.dims m in
   if n < 2 then invalid_arg "Fastica.fit: need at least two rows";
@@ -100,6 +101,20 @@ let fit ?n_components ?(max_iter = 200) ?(tol = 1e-4) ?(rank_tol = 1e-9)
       iterations = !iterations;
       converged = !converged;
     }
+  end
+
+let fit ?n_components ?max_iter ?tol ?rank_tol rng m =
+  let run () = fit_impl ?n_components ?max_iter ?tol ?rank_tol rng m in
+  if not (Obs.enabled ()) then run ()
+  else begin
+    let n, d = Mat.dims m in
+    Obs.with_span "ica.fit"
+      ~attrs:[ ("rows", Obs.Int n); ("cols", Obs.Int d) ]
+      (fun () ->
+        let fitted = run () in
+        Obs.span_attr "iterations" (Obs.Int fitted.iterations);
+        Obs.span_attr "converged" (Obs.Bool fitted.converged);
+        fitted)
   end
 
 let top2 t =

@@ -1,4 +1,5 @@
 open Sider_linalg
+module Obs = Sider_obs.Obs
 
 type t = {
   directions : Mat.t;
@@ -8,6 +9,10 @@ type t = {
 }
 
 let fit_gen ~order m =
+  let n, d = Mat.dims m in
+  Obs.with_span "pca.fit"
+    ~attrs:[ ("rows", Obs.Int n); ("cols", Obs.Int d) ]
+  @@ fun () ->
   let cov = Mat.covariance m in
   let { Eigen.values; vectors } = Eigen.symmetric cov in
   let d = Array.length values in

@@ -1,6 +1,7 @@
 open Sider_linalg
 open Sider_rand
 open Sider_robust
+module Obs = Sider_obs.Obs
 
 type method_ = Pca | Ica
 
@@ -27,6 +28,9 @@ let pca_view ?degraded y =
 
 let of_whitened ?rng ?(ica_restarts = 2) ?ica_max_iter ~method_ y =
   let rng = match rng with Some r -> r | None -> Rng.create 42 in
+  Obs.with_span "view.of_whitened"
+    ~attrs:[ ("method", Obs.Str (method_name method_)) ]
+  @@ fun () ->
   match method_ with
   | Pca -> pca_view y
   | Ica ->
@@ -43,7 +47,10 @@ let of_whitened ?rng ?(ica_restarts = 2) ?ica_max_iter ~method_ y =
       let fitted = Fastica.fit ?max_iter:ica_max_iter rng y in
       if (fitted.Fastica.converged && usable fitted) || k >= ica_restarts
       then (fitted, k)
-      else attempt (k + 1)
+      else begin
+        Obs.count "view.ica_restart";
+        attempt (k + 1)
+      end
     in
     let fitted, restarts = attempt 0 in
     if usable fitted then begin
@@ -65,7 +72,8 @@ let of_whitened ?rng ?(ica_restarts = 2) ?ica_max_iter ~method_ y =
         degraded;
       }
     end
-    else
+    else begin
+      Obs.count "view.pca_fallback";
       pca_view
         ~degraded:
           (Sider_error.non_convergence
@@ -74,6 +82,7 @@ let of_whitened ?rng ?(ica_restarts = 2) ?ica_max_iter ~method_ y =
                  restarts; fell back to PCA"
                 restarts))
         y
+    end
 
 let of_solver ?rng ?ica_restarts ~method_ solver =
   of_whitened ?rng ?ica_restarts ~method_ (Whiten.whiten solver)

@@ -1,8 +1,12 @@
 open Sider_linalg
 open Sider_maxent
 open Sider_robust
+module Obs = Sider_obs.Obs
 
 let class_transforms ?(clamp = 1e-12) solver =
+  Obs.with_span "whiten.transforms"
+    ~attrs:[ ("classes", Obs.Int (Solver.n_classes solver)) ]
+  @@ fun () ->
   Array.init (Solver.n_classes solver) (fun c ->
       let p = Solver.class_params solver c in
       let sigma = Mat.symmetrize p.Gauss_params.sigma in
@@ -23,6 +27,9 @@ let class_transforms ?(clamp = 1e-12) solver =
 
 let whiten_with solver transforms m =
   let n, d = Mat.dims m in
+  Obs.with_span "whiten.apply"
+    ~attrs:[ ("rows", Obs.Int n); ("cols", Obs.Int d) ]
+  @@ fun () ->
   let out = Mat.create n d in
   let part = Solver.partition solver in
   for r = 0 to n - 1 do
@@ -34,9 +41,11 @@ let whiten_with solver transforms m =
   out
 
 let whiten ?clamp solver =
+  Obs.with_span "whiten" @@ fun () ->
   whiten_with solver (class_transforms ?clamp solver) (Solver.data solver)
 
 let whiten_matrix ?clamp solver m =
   if Mat.dims m <> Mat.dims (Solver.data solver) then
     invalid_arg "Whiten.whiten_matrix: shape mismatch with solver data";
+  Obs.with_span "whiten" @@ fun () ->
   whiten_with solver (class_transforms ?clamp solver) m

@@ -1,0 +1,213 @@
+(* Golden-fixture tests: whitened-Y and PCA/ICA projections of a
+   fixed-seed synthetic dataset, recorded under test/golden/ as JSON and
+   compared with a tolerance-aware comparator.  Numeric refactors that
+   move the pipeline's output by more than [tolerance] fail here with the
+   worst offending entry; intentional changes are promoted by rerunning
+   with GOLDEN_UPDATE=1, which rewrites the fixtures in the source tree:
+
+     GOLDEN_UPDATE=1 dune runtest *)
+
+open Test_helpers
+open Sider_linalg
+open Sider_data
+open Sider_maxent
+open Sider_projection
+
+let tolerance = 1e-6
+
+let update_mode () = Sys.getenv_opt "GOLDEN_UPDATE" = Some "1"
+
+(* Updates must land in the source tree, not the _build sandbox, so the
+   directory is located by probing for this file: `dune runtest` runs
+   from _build/default/test (three levels below the root), `dune exec`
+   from wherever it was invoked.  GOLDEN_DIR overrides both. *)
+let golden_dir () =
+  match Sys.getenv_opt "GOLDEN_DIR" with
+  | Some d -> d
+  | None -> (
+    let marker d = Sys.file_exists (Filename.concat d "test_golden.ml") in
+    match List.find_opt marker [ "../../../test"; "test"; "." ] with
+    | Some d -> Filename.concat d "golden"
+    | None -> "golden")
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let dir = Filename.dirname path in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+(* --- JSON codecs ---------------------------------------------------------- *)
+
+let mat_to_json m =
+  let n, d = Mat.dims m in
+  let flat = Array.init (n * d) (fun i -> Mat.get m (i / d) (i mod d)) in
+  Json.Obj
+    [ ("rows", Json.Number (float_of_int n));
+      ("cols", Json.Number (float_of_int d));
+      ("data", Json.floats flat) ]
+
+let mat_of_json j =
+  let n = Json.to_int (Json.member "rows" j) in
+  let d = Json.to_int (Json.member "cols" j) in
+  let flat = Json.to_floats (Json.member "data" j) in
+  if Array.length flat <> n * d then
+    Alcotest.failf "golden matrix: %d values for a %dx%d shape"
+      (Array.length flat) n d;
+  Mat.init n d (fun i k -> flat.((i * d) + k))
+
+(* --- tolerance-aware comparators ------------------------------------------ *)
+
+let check_close_vec msg expected actual =
+  if Array.length expected <> Array.length actual then
+    Alcotest.failf "%s: length %d vs %d" msg (Array.length expected)
+      (Array.length actual);
+  let worst = ref 0.0 and at = ref 0 in
+  Array.iteri
+    (fun i e ->
+      let d = Float.abs (e -. actual.(i)) in
+      if d > !worst then begin
+        worst := d;
+        at := i
+      end)
+    expected;
+  if !worst > tolerance then
+    Alcotest.failf
+      "%s: max |diff| %.3g at index %d (expected %.12g, got %.12g, \
+       tolerance %g)"
+      msg !worst !at expected.(!at) actual.(!at) tolerance
+
+let check_close_mat msg expected actual =
+  if Mat.dims expected <> Mat.dims actual then begin
+    let en, ed = Mat.dims expected and an, ad = Mat.dims actual in
+    Alcotest.failf "%s: shape %dx%d vs %dx%d" msg en ed an ad
+  end;
+  let n, d = Mat.dims expected in
+  let worst = ref 0.0 and at = ref (0, 0) in
+  for i = 0 to n - 1 do
+    for k = 0 to d - 1 do
+      let diff = Float.abs (Mat.get expected i k -. Mat.get actual i k) in
+      if diff > !worst then begin
+        worst := diff;
+        at := (i, k)
+      end
+    done
+  done;
+  if !worst > tolerance then begin
+    let i, k = !at in
+    Alcotest.failf
+      "%s: max |diff| %.3g at (%d,%d) (expected %.12g, got %.12g, \
+       tolerance %g)"
+      msg !worst i k
+      (Mat.get expected i k)
+      (Mat.get actual i k)
+      tolerance
+  end
+
+(* Projection axes are defined up to sign; fix the sign so the largest-
+   magnitude component is positive, on both sides of the comparison. *)
+let canonical_sign v =
+  let lead = ref 0 in
+  Array.iteri
+    (fun i x -> if Float.abs x > Float.abs v.(!lead) then lead := i)
+    v;
+  if Array.length v > 0 && v.(!lead) < 0.0 then Array.map Float.neg v
+  else Array.copy v
+
+(* --- the fixed-seed pipeline ---------------------------------------------- *)
+
+let fixture_whitened =
+  (* Computed once: the three fixtures share the solve + whitening. *)
+  lazy
+    (let ds = Synth.clustered ~seed:11 ~n:120 ~d:6 ~k:3 () in
+     let data = Dataset.matrix ds in
+     let constraints =
+       Constr.margin data
+       @ List.concat_map
+           (fun cls ->
+             Constr.cluster ~data ~rows:(Dataset.class_indices ds cls) ())
+           (Dataset.classes ds)
+     in
+     let solver = Solver.create data constraints in
+     let report = Solver.solve ~max_sweeps:60 solver in
+     check_true "fixture solver produced a finite state"
+       (report.Solver.sweeps > 0);
+     Whiten.whiten solver)
+
+let run_fixture ~file ~compute ~check =
+  let path = Filename.concat (golden_dir ()) file in
+  let actual = compute () in
+  if update_mode () then begin
+    write_file path (Json.to_string actual ^ "\n");
+    Printf.printf "[golden] regenerated %s\n%!" path
+  end
+  else if not (Sys.file_exists path) then
+    Alcotest.failf
+      "missing golden fixture %s — generate it with GOLDEN_UPDATE=1 dune \
+       runtest"
+      path
+  else check (Json.of_string (read_file path)) actual
+
+let test_whitened_y () =
+  run_fixture ~file:"whiten_y.json"
+    ~compute:(fun () -> mat_to_json (Lazy.force fixture_whitened))
+    ~check:(fun expected actual ->
+      check_close_mat "whitened Y" (mat_of_json expected)
+        (mat_of_json actual))
+
+let axes_to_json ~score_key (a1, s1) (a2, s2) =
+  Json.Obj
+    [ ("axis1", Json.floats (canonical_sign a1));
+      ("axis2", Json.floats (canonical_sign a2));
+      (score_key, Json.floats [| s1; s2 |]) ]
+
+let check_axes ~score_key msg expected actual =
+  let part key j = Json.to_floats (Json.member key j) in
+  check_close_vec (msg ^ ": axis1") (part "axis1" expected)
+    (part "axis1" actual);
+  check_close_vec (msg ^ ": axis2") (part "axis2" expected)
+    (part "axis2" actual);
+  check_close_vec (msg ^ ": " ^ score_key)
+    (part score_key expected) (part score_key actual)
+
+let test_pca_projection () =
+  run_fixture ~file:"pca.json"
+    ~compute:(fun () ->
+      let y = Lazy.force fixture_whitened in
+      let fitted = Pca.fit y in
+      let w1, w2 = Pca.top2 fitted in
+      axes_to_json ~score_key:"gains" (w1, fitted.Pca.gains.(0))
+        (w2, fitted.Pca.gains.(1)))
+    ~check:(fun expected actual ->
+      check_axes ~score_key:"gains" "PCA" expected actual)
+
+let test_ica_projection () =
+  run_fixture ~file:"ica.json"
+    ~compute:(fun () ->
+      let y = Lazy.force fixture_whitened in
+      (* Seed and restart budget chosen so FastICA converges on this
+         fixture; the result is still fully deterministic. *)
+      let view =
+        View.of_whitened ~rng:(Sider_rand.Rng.create 1) ~ica_restarts:8
+          ~method_:View.Ica y
+      in
+      check_true "fixture ICA did not degrade" (view.View.degraded = None);
+      axes_to_json ~score_key:"scores"
+        (view.View.axis1.View.direction, view.View.axis1.View.score)
+        (view.View.axis2.View.direction, view.View.axis2.View.score))
+    ~check:(fun expected actual ->
+      check_axes ~score_key:"scores" "ICA" expected actual)
+
+let suite =
+  [
+    case "whitened Y matches the recorded fixture" test_whitened_y;
+    case "PCA projection matches the recorded fixture" test_pca_projection;
+    case "ICA projection matches the recorded fixture" test_ica_projection;
+  ]

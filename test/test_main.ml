@@ -16,4 +16,6 @@ let () =
       ("persist", Test_persist.suite);
       ("robust", Test_robust.suite);
       ("properties", Test_props.suite);
+      ("obs", Test_obs.suite);
+      ("golden", Test_golden.suite);
     ]

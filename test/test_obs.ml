@@ -1,0 +1,269 @@
+(* Observability layer: span-stack well-formedness, histogram quantile
+   properties, JSON-lines round-tripping, and the determinism guarantee —
+   instrumented hot paths with sinks disabled (or enabled) produce
+   bit-identical numerics. *)
+
+open Test_helpers
+open Sider_obs
+open Sider_data
+open Sider_maxent
+
+(* Every test leaves the global layer disabled and empty. *)
+let with_recording f =
+  let r = Obs.recording_sink () in
+  Obs.reset ();
+  Obs.set_sink (Some r.Obs.rec_sink);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink None;
+      Obs.reset ())
+    (fun () -> f r)
+
+(* --- span stack ----------------------------------------------------------- *)
+
+(* Deterministic random span tree: returns the number of [with_span]
+   calls made. *)
+let rec random_tree rng depth =
+  let children = if depth >= 4 then 0 else Sider_rand.Rng.int rng 4 in
+  let count = ref 1 in
+  Obs.with_span
+    (Printf.sprintf "node-d%d" depth)
+    (fun () ->
+      Alcotest.(check int) "stack depth" (depth + 1) (Obs.current_depth ());
+      for _ = 1 to children do
+        count := !count + random_tree rng (depth + 1)
+      done);
+  !count
+
+let test_span_nesting () =
+  for seed = 0 to 19 do
+    with_recording (fun r ->
+        let rng = Sider_rand.Rng.create seed in
+        let expected = random_tree rng 0 in
+        let spans = r.Obs.spans () in
+        (* Every start has exactly one end. *)
+        Alcotest.(check int)
+          "one completed span per with_span" expected (List.length spans);
+        Alcotest.(check int) "stack empty at the end" 0 (Obs.current_depth ());
+        List.iter
+          (fun (s : Obs.span) ->
+            check_true "duration non-negative" (Int64.compare s.Obs.dur_ns 0L >= 0);
+            check_true "start non-negative"
+              (Int64.compare s.Obs.start_ns 0L >= 0);
+            (* The name records the depth it was opened at; the emitted
+               depth must agree. *)
+            Alcotest.(check string)
+              "depth matches name" (Printf.sprintf "node-d%d" s.Obs.depth)
+              s.Obs.name)
+          spans)
+  done
+
+let test_span_on_exception () =
+  with_recording (fun r ->
+      (try
+         Obs.with_span "outer" (fun () ->
+             Obs.with_span "inner" (fun () -> failwith "boom"))
+       with Failure _ -> ());
+      let names = List.map (fun s -> s.Obs.name) (r.Obs.spans ()) in
+      Alcotest.(check (list string))
+        "both spans emitted despite the raise" [ "inner"; "outer" ] names;
+      Alcotest.(check int) "stack unwound" 0 (Obs.current_depth ()))
+
+let test_span_attrs () =
+  with_recording (fun r ->
+      Obs.with_span "s" ~attrs:[ ("a", Obs.Int 1) ] (fun () ->
+          Obs.span_attr "b" (Obs.Str "x"));
+      match r.Obs.spans () with
+      | [ s ] ->
+        Alcotest.(check int) "attr count" 2 (List.length s.Obs.attrs);
+        check_true "insertion order"
+          (List.map fst s.Obs.attrs = [ "a"; "b" ])
+      | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans))
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let find_hist name metrics =
+  List.find_map
+    (function
+      | Obs.Histogram { name = n; count; sum; p50; p95; max }
+        when n = name ->
+        Some (count, sum, p50, p95, max)
+      | _ -> None)
+    metrics
+
+let test_histogram_quantiles =
+  qcheck ~count:100 "histogram p50 <= p95 <= max"
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_exclusive 1000.0))
+    (fun values ->
+      with_recording (fun _ ->
+          List.iter (fun v -> Obs.observe "h" v) values;
+          match find_hist "h" (Obs.metrics_snapshot ()) with
+          | None -> false
+          | Some (count, _sum, p50, p95, max) ->
+            let ground_max = List.fold_left Float.max neg_infinity values in
+            count = List.length values
+            && p50 <= p95 +. 1e-12
+            && p95 <= max +. 1e-12
+            && Float.abs (max -. ground_max) < 1e-12))
+
+let test_counters_gauges () =
+  with_recording (fun _ ->
+      Obs.count "c";
+      Obs.count ~by:4 "c";
+      Obs.gauge "g" 1.5;
+      Obs.gauge "g" 2.5;
+      let metrics = Obs.metrics_snapshot () in
+      List.iter
+        (function
+          | Obs.Counter { name = "c"; total } ->
+            Alcotest.(check int) "counter total" 5 total
+          | Obs.Gauge { name = "g"; value } ->
+            approx "gauge keeps last value" 2.5 value
+          | _ -> ())
+        metrics;
+      Alcotest.(check int) "two instruments" 2 (List.length metrics))
+
+let test_disabled_is_inert () =
+  Obs.set_sink None;
+  Obs.reset ();
+  let ran = ref false in
+  let out = Obs.with_span "ignored" (fun () -> ran := true; 42) in
+  Alcotest.(check int) "body result passes through" 42 out;
+  check_true "body ran" !ran;
+  Obs.count "c";
+  Obs.observe "h" 1.0;
+  Obs.gauge "g" 1.0;
+  Alcotest.(check int)
+    "nothing recorded while disabled" 0
+    (List.length (Obs.metrics_snapshot ()));
+  Alcotest.(check int) "no open spans" 0 (Obs.current_depth ())
+
+(* --- JSON-lines sink ------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let lines = ref [] in
+  let sink = Obs.json_sink (fun l -> lines := l :: !lines) in
+  Obs.reset ();
+  Obs.set_sink (Some sink);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink None;
+      Obs.reset ())
+    (fun () ->
+      Obs.with_span "outer \"quoted\"\n"
+        ~attrs:[ ("k", Obs.Str "v\twith\\escapes"); ("n", Obs.Int (-3));
+                 ("f", Obs.Float 1.5e-7); ("b", Obs.Bool true) ]
+        (fun () -> Obs.with_span "inner" (fun () -> ()));
+      Obs.count ~by:7 "updates";
+      Obs.gauge "ratio" 0.25;
+      Obs.observe "lat" 0.5;
+      Obs.observe "lat" 1.5;
+      Obs.flush ());
+  let parsed = List.rev_map Json.of_string !lines in
+  Alcotest.(check int) "2 spans + 3 metrics" 5 (List.length parsed);
+  let typ j = Json.to_str (Json.member "type" j) in
+  let spans = List.filter (fun j -> typ j = "span") parsed in
+  Alcotest.(check int) "span lines" 2 (List.length spans);
+  List.iter
+    (fun j ->
+      check_true "span has non-negative duration"
+        (Json.to_float (Json.member "dur_ns" j) >= 0.0))
+    spans;
+  let outer =
+    List.find
+      (fun j -> Json.to_str (Json.member "name" j) = "outer \"quoted\"\n")
+      spans
+  in
+  let attrs = Json.member "attrs" outer in
+  Alcotest.(check string) "string attr round-trips" "v\twith\\escapes"
+    (Json.to_str (Json.member "k" attrs));
+  Alcotest.(check int) "int attr round-trips" (-3)
+    (Json.to_int (Json.member "n" attrs));
+  approx "float attr round-trips" 1.5e-7
+    (Json.to_float (Json.member "f" attrs));
+  check_true "bool attr round-trips" (Json.to_bool (Json.member "b" attrs));
+  let counter =
+    List.find (fun j -> typ j = "counter") parsed
+  in
+  Alcotest.(check int) "counter total" 7
+    (Json.to_int (Json.member "total" counter));
+  let hist = List.find (fun j -> typ j = "histogram") parsed in
+  Alcotest.(check int) "histogram count" 2
+    (Json.to_int (Json.member "count" hist));
+  approx "histogram max" 1.5 (Json.to_float (Json.member "max" hist))
+
+(* --- determinism ---------------------------------------------------------- *)
+
+let build_solver () =
+  let ds = Sider_data.Synth.clustered ~seed:23 ~n:160 ~d:6 ~k:3 () in
+  let data = Sider_data.Dataset.matrix ds in
+  let constraints =
+    Constr.margin data
+    @ List.concat_map
+        (fun cls ->
+          Constr.cluster ~data
+            ~rows:(Sider_data.Dataset.class_indices ds cls) ())
+        (Sider_data.Dataset.classes ds)
+  in
+  Solver.create data constraints
+
+let solve_once () =
+  let solver = build_solver () in
+  let report = Solver.solve ~max_sweeps:40 solver in
+  (solver, report)
+
+let check_identical_params msg a b =
+  for c = 0 to Solver.n_classes a - 1 do
+    let pa = Solver.class_params a c and pb = Solver.class_params b c in
+    let open Sider_maxent.Gauss_params in
+    approx_mat ~eps:0.0
+      (Printf.sprintf "%s: sigma class %d" msg c)
+      pa.sigma pb.sigma;
+    approx_vec ~eps:0.0
+      (Printf.sprintf "%s: mean class %d" msg c)
+      pa.mean pb.mean;
+    approx_vec ~eps:0.0
+      (Printf.sprintf "%s: theta1 class %d" msg c)
+      pa.theta1 pb.theta1
+  done
+
+let check_identical_reports msg (a : Solver.report) (b : Solver.report) =
+  (* [elapsed] is wall time; everything else must be bit-identical. *)
+  Alcotest.(check int) (msg ^ ": sweeps") a.Solver.sweeps b.Solver.sweeps;
+  Alcotest.(check int) (msg ^ ": updates") a.Solver.updates b.Solver.updates;
+  Alcotest.(check bool) (msg ^ ": converged") a.Solver.converged
+    b.Solver.converged;
+  approx ~eps:0.0 (msg ^ ": max_dlambda") a.Solver.max_dlambda
+    b.Solver.max_dlambda;
+  approx ~eps:0.0 (msg ^ ": max_dparam") a.Solver.max_dparam
+    b.Solver.max_dparam
+
+let test_solver_determinism () =
+  Obs.set_sink None;
+  let s1, r1 = solve_once () in
+  let s2, r2 = solve_once () in
+  check_identical_reports "disabled twice" r1 r2;
+  check_identical_params "disabled twice" s1 s2;
+  (* Instrumentation on: spans and counters flow, numerics do not move. *)
+  let s3, r3 =
+    with_recording (fun rec_ ->
+        let out = solve_once () in
+        check_true "instrumented run emitted spans"
+          (r1.Solver.sweeps = 0 || rec_.Obs.spans () <> []);
+        out)
+  in
+  check_identical_reports "instrumented vs disabled" r1 r3;
+  check_identical_params "instrumented vs disabled" s1 s3
+
+let suite =
+  [
+    case "span nesting is well-formed" test_span_nesting;
+    case "spans survive exceptions" test_span_on_exception;
+    case "span attrs keep insertion order" test_span_attrs;
+    test_histogram_quantiles;
+    case "counters accumulate, gauges keep last" test_counters_gauges;
+    case "disabled layer is inert" test_disabled_is_inert;
+    case "json-lines round-trip through Sider_data.Json" test_json_roundtrip;
+    case "solver is bit-deterministic with and without sinks"
+      test_solver_determinism;
+  ]
