@@ -1,9 +1,11 @@
 # Developer entry points.  `make verify` is the tier-1 gate every PR must
-# keep green: a full type-check of every target, the test suite, and a
-# smoke run of the benchmark harness (sub-10-seconds; proves the harness
-# itself still works, not performance).
+# keep green: a full type-check of every target, the test suite (plus a
+# multi-domain smoke pass — results must be bit-identical, see
+# lib/par/), and a smoke run of the benchmark harness (sub-10-seconds;
+# proves the harness itself still works, not performance).
 
-.PHONY: all build check test verify clean bench bench-smoke bench-diff
+.PHONY: all build check test verify clean bench bench-smoke bench-diff \
+        bench-scaling
 
 all: build
 
@@ -17,11 +19,12 @@ test:
 	dune runtest
 
 verify:
-	dune build @check && dune runtest && $(MAKE) bench-smoke
+	dune build @check && dune runtest && SIDER_DOMAINS=2 dune runtest --force \
+	  && $(MAKE) bench-smoke
 
 # Full machine-readable benchmark run; rewrites the committed baseline.
 bench:
-	dune exec bench/bench_regress.exe -- --out BENCH_pr2.json
+	dune exec bench/bench_regress.exe -- --out BENCH_pr3.json
 
 # Fast sanity pass over every scenario (reduced sizes, 1 run each).
 bench-smoke:
@@ -31,7 +34,13 @@ bench-smoke:
 # when any scenario regresses by more than 25% wall time.
 bench-diff:
 	dune exec bench/bench_regress.exe -- --out _artifacts/BENCH_head.json \
-	  --baseline BENCH_pr2.json
+	  --baseline BENCH_pr3.json
+
+# Wall clock of the Sider_par-enabled scenarios at 1, 2 and 4 domains
+# (results are bit-identical at every size; only the time may change).
+bench-scaling:
+	dune exec bench/bench_regress.exe -- --scaling \
+	  --out _artifacts/BENCH_scaling.json
 
 clean:
 	dune clean

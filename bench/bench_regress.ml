@@ -7,29 +7,37 @@
    segmentation data, whiten+PCA, ICA, the full pipeline) and writes one
    JSON document per invocation:
 
-     { "schema": "sider-bench/1", "label": "pr2", "smoke": false,
-       "scenarios": [ { "name": ..., "wall_s": ..., "sweeps": ...,
-                        "classes": ..., "peak_heap_words": ...,
-                        "allocated_words": ..., "runs": ... }, ... ] }
+     { "schema": "sider-bench/2", "label": "pr3", "smoke": false,
+       "domains": 1, "ocaml_version": "...",
+       "scenarios": [ { "name": ..., "wall_s": ..., "wall_min_s": ...,
+                        "sweeps": ..., "classes": ...,
+                        "peak_heap_words": ..., "allocated_words": ...,
+                        "runs": ... }, ... ],
+       "scaling": [ { "name": ..., "domains": ..., "wall_s": ... } ] }
 
-   Per scenario: median wall-clock of the timed section over --runs
-   repetitions, sweeps-to-convergence and row-equivalence-class count
-   where a solver is involved, peak heap words ([Gc.stat] after the runs)
-   and allocated words per run.
+   Per scenario: median and minimum wall-clock of the timed section over
+   --runs repetitions, sweeps-to-convergence and row-equivalence-class
+   count where a solver is involved, peak heap words ([Gc.stat] after
+   the runs) and the median words allocated by a single run.  [wall_s]
+   keeps its v1 meaning (the median), so a v1 file works as --baseline
+   and a v2 file works as a baseline for v1-era outputs.
 
    Options:
-     --out PATH        output path (default BENCH_pr2.json)
+     --out PATH        output path (default BENCH_pr3.json)
      --baseline PATH   compare against a previous output; exit 1 when any
                        scenario regresses by more than 25% wall-clock
      --smoke           tiny inputs, 1 run: exercises the harness in
                        seconds (wired into `make verify`)
      --runs N          repetitions per scenario (default 3; smoke 1)
-     --label STR       label recorded in the output (default pr2) *)
+     --label STR       label recorded in the output (default pr3)
+     --scaling         also run the Sider_par-enabled scenarios at 1, 2
+                       and 4 domains and record a "scaling" section *)
 
 open Sider_data
 open Sider_maxent
 open Sider_projection
 open Sider_core
+module Par = Sider_par.Par
 
 type run_result = { wall : float; sweeps : int; classes : int }
 
@@ -205,10 +213,11 @@ let scenarios =
 type measured = {
   m_name : string;
   m_wall : float;          (* median over runs *)
+  m_wall_min : float;      (* fastest run — least scheduler/GC noise *)
   m_sweeps : int;
   m_classes : int;
   m_peak_heap : int;       (* Gc top_heap_words after the runs *)
-  m_alloc_words : float;   (* words allocated per run *)
+  m_alloc_words : int;     (* median words allocated by a single run *)
   m_runs : int;
 }
 
@@ -220,45 +229,76 @@ let median values =
   else if n mod 2 = 1 then v.(n / 2)
   else 0.5 *. (v.((n / 2) - 1) +. v.(n / 2))
 
+(* Lower median, so the reported value is an actually-observed count
+   rather than an average that no run produced. *)
+let median_int (values : int array) =
+  let v = Array.copy values in
+  Array.sort compare v;
+  let n = Array.length v in
+  if n = 0 then 0 else v.((n - 1) / 2)
+
 let measure ~smoke ~runs sc =
-  let a0 = Gc.allocated_bytes () in
-  let results = Array.init runs (fun _ -> sc.run ~smoke) in
-  let alloc_words =
-    (Gc.allocated_bytes () -. a0) /. 8.0 /. float_of_int runs
+  let walls = Array.make runs 0.0 in
+  let allocs = Array.make runs 0 in
+  let results =
+    Array.init runs (fun i ->
+        let a0 = Gc.allocated_bytes () in
+        let r = sc.run ~smoke in
+        allocs.(i) <-
+          int_of_float ((Gc.allocated_bytes () -. a0) /. 8.0);
+        walls.(i) <- r.wall;
+        r)
   in
   let peak = (Gc.stat ()).Gc.top_heap_words in
   let last = results.(runs - 1) in
   {
     m_name = sc.name;
-    m_wall = median (Array.map (fun r -> r.wall) results);
+    m_wall = median walls;
+    m_wall_min = Array.fold_left Float.min walls.(0) walls;
     m_sweeps = last.sweeps;
     m_classes = last.classes;
     m_peak_heap = peak;
-    m_alloc_words = alloc_words;
+    m_alloc_words = median_int allocs;
     m_runs = runs;
   }
 
 (* --- JSON in / out --------------------------------------------------------- *)
 
-let to_json ~label ~smoke measured =
+(* Schema v2 keeps [wall_s] as the median so v1 consumers (and
+   [baseline_walls] below, pointed at either version) read the same
+   statistic, and adds the minimum plus the execution environment. *)
+let to_json ~label ~smoke ~scaling measured =
+  let scenario_json m =
+    Json.Obj
+      [ ("name", Json.String m.m_name);
+        ("wall_s", Json.Number m.m_wall);
+        ("wall_min_s", Json.Number m.m_wall_min);
+        ("sweeps", Json.Number (float_of_int m.m_sweeps));
+        ("classes", Json.Number (float_of_int m.m_classes));
+        ("peak_heap_words", Json.Number (float_of_int m.m_peak_heap));
+        ("allocated_words", Json.Number (float_of_int m.m_alloc_words));
+        ("runs", Json.Number (float_of_int m.m_runs)) ]
+  in
   Json.Obj
-    [ ("schema", Json.String "sider-bench/1");
-      ("label", Json.String label);
-      ("smoke", Json.Bool smoke);
-      ("scenarios",
-       Json.List
-         (List.map
-            (fun m ->
-              Json.Obj
-                [ ("name", Json.String m.m_name);
-                  ("wall_s", Json.Number m.m_wall);
-                  ("sweeps", Json.Number (float_of_int m.m_sweeps));
-                  ("classes", Json.Number (float_of_int m.m_classes));
-                  ("peak_heap_words",
-                   Json.Number (float_of_int m.m_peak_heap));
-                  ("allocated_words", Json.Number m.m_alloc_words);
-                  ("runs", Json.Number (float_of_int m.m_runs)) ])
-            measured)) ]
+    ([ ("schema", Json.String "sider-bench/2");
+       ("label", Json.String label);
+       ("smoke", Json.Bool smoke);
+       ("domains", Json.Number (float_of_int (Par.domain_count ())));
+       ("ocaml_version", Json.String Sys.ocaml_version);
+       ("scenarios", Json.List (List.map scenario_json measured)) ]
+     @
+     match scaling with
+     | [] -> []
+     | rows ->
+       [ ("scaling",
+          Json.List
+            (List.map
+               (fun (name, domains, wall) ->
+                 Json.Obj
+                   [ ("name", Json.String name);
+                     ("domains", Json.Number (float_of_int domains));
+                     ("wall_s", Json.Number wall) ])
+               rows)) ])
 
 let baseline_walls path =
   let ic = open_in path in
@@ -305,23 +345,54 @@ let diff_against ~baseline measured =
 
 (* --- driver ---------------------------------------------------------------- *)
 
+(* Domain-scaling sweep: the three projection/session scenarios that
+   fan out through [Sider_par], each at 1, 2 and 4 domains.  Results are
+   deterministic for any domain count, so the sweep is purely about
+   wall clock. *)
+let scaling_names =
+  [ "session_update_synthetic"; "whiten_pca"; "ica_projection" ]
+
+let scaling_domain_counts = [ 1; 2; 4 ]
+
+let run_scaling ~smoke =
+  let restore = Par.domain_count () in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let sc = List.find (fun sc -> sc.name = name) scenarios in
+        List.map
+          (fun d ->
+            Par.set_domains d;
+            let r = sc.run ~smoke in
+            Printf.printf "  %-30s domains=%d %.4fs\n%!" sc.name d r.wall;
+            (name, d, r.wall))
+          scaling_domain_counts)
+      scaling_names
+  in
+  Par.set_domains restore;
+  rows
+
 let () =
   let smoke = ref false in
-  let out = ref "BENCH_pr2.json" in
+  let out = ref "BENCH_pr3.json" in
   let baseline = ref "" in
   let runs = ref 0 in
-  let label = ref "pr2" in
+  let label = ref "pr3" in
+  let scaling = ref false in
   let specs =
     [ ("--smoke", Arg.Set smoke, "tiny inputs, 1 run (harness self-test)");
       ("--out", Arg.Set_string out, "PATH output JSON path");
       ("--baseline", Arg.Set_string baseline,
        "PATH previous output to diff against (exit 1 on >25% regression)");
       ("--runs", Arg.Set_int runs, "N repetitions per scenario");
-      ("--label", Arg.Set_string label, "STR label recorded in the output") ]
+      ("--label", Arg.Set_string label, "STR label recorded in the output");
+      ("--scaling", Arg.Set scaling,
+       " also run the par-enabled scenarios at 1/2/4 domains") ]
   in
   Arg.parse specs
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench_regress [--smoke] [--out PATH] [--baseline PATH] [--runs N]";
+    "bench_regress [--smoke] [--out PATH] [--baseline PATH] [--runs N] \
+     [--scaling]";
   let smoke = !smoke in
   let runs = if !runs > 0 then !runs else if smoke then 1 else 3 in
   Printf.printf "bench_regress: %d scenarios, %d run(s) each%s\n%!"
@@ -332,12 +403,21 @@ let () =
       (fun sc ->
         Printf.printf "  %-30s %s ...%!" sc.name sc.descr;
         let m = measure ~smoke ~runs sc in
-        Printf.printf " %.4fs (sweeps %d, classes %d)\n%!" m.m_wall
-          m.m_sweeps m.m_classes;
+        Printf.printf " %.4fs (min %.4fs, sweeps %d, classes %d)\n%!"
+          m.m_wall m.m_wall_min m.m_sweeps m.m_classes;
         m)
       scenarios
   in
-  let json = Json.to_string (to_json ~label:!label ~smoke measured) in
+  let scaling_rows =
+    if !scaling then begin
+      Printf.printf "  domain scaling:\n%!";
+      run_scaling ~smoke
+    end
+    else []
+  in
+  let json =
+    Json.to_string (to_json ~label:!label ~smoke ~scaling:scaling_rows measured)
+  in
   Bench_common.write_file !out (json ^ "\n");
   Printf.printf "  wrote %s\n%!" !out;
   if !baseline <> "" then begin

@@ -73,24 +73,45 @@ let symmetric ?(max_sweeps = 64) ?(eps = 1e-12) m =
   let order = Array.init n Fun.id in
   Array.sort (fun i j -> compare (Mat.get a j j) (Mat.get a i i)) order;
   let values = Array.map (fun i -> Mat.get a i i) order in
-  let vectors = Mat.init n n (fun i j -> Mat.get v i order.(j)) in
+  let vectors = Mat.create n n in
+  let ua = vectors.Mat.a in
+  for i = 0 to n - 1 do
+    let off = i * n in
+    for j = 0 to n - 1 do
+      Array.unsafe_set ua (off + j)
+        (Array.unsafe_get va (off + Array.unsafe_get order j))
+    done
+  done;
   { values; vectors }
+
+(* Σ_k w_k u_k u_kᵀ accumulated column-by-column straight out of the
+   eigenvector storage; the per-entry order and the zero-skip match
+   [Mat.rank1_update] on an extracted column exactly, without the n
+   column copies. *)
+let weighted_outer_sum ~n (va : float array) weight =
+  let out = Mat.create n n in
+  let oa = out.Mat.a in
+  for k = 0 to n - 1 do
+    let w = weight k in
+    for i = 0 to n - 1 do
+      let avi = w *. Array.unsafe_get va ((i * n) + k) in
+      if avi <> 0.0 then begin
+        let off = i * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set oa (off + j)
+            (Array.unsafe_get oa (off + j)
+             +. (avi *. Array.unsafe_get va ((j * n) + k)))
+        done
+      end
+    done
+  done;
+  out
 
 let reconstruct { values; vectors } =
   let n = Array.length values in
-  let out = Mat.create n n in
-  for k = 0 to n - 1 do
-    let col = Mat.col vectors k in
-    Mat.rank1_update out values.(k) col
-  done;
-  out
+  weighted_outer_sum ~n vectors.Mat.a (fun k -> values.(k))
 
 let power ?(clamp = 1e-12) { values; vectors } p =
   let n = Array.length values in
-  let out = Mat.create n n in
-  for k = 0 to n - 1 do
-    let lam = Float.max values.(k) clamp in
-    let col = Mat.col vectors k in
-    Mat.rank1_update out (lam ** p) col
-  done;
-  out
+  weighted_outer_sum ~n vectors.Mat.a (fun k ->
+      Float.max values.(k) clamp ** p)

@@ -1,4 +1,16 @@
+module Par = Sider_par.Par
+
 type t = { rows : int; cols : int; a : float array }
+
+(* Fan a row-range body out across the domain pool when the estimated
+   flop count justifies the scheduling cost; below the threshold (or with
+   a single-domain pool) the same chunked body runs inline.  Results are
+   bit-identical either way: bodies write disjoint output rows. *)
+let par_work_min = 1 lsl 16
+
+let par_rows ?label ~work n body =
+  let min = if work >= par_work_min then 1 else Stdlib.max_int in
+  Par.parallel_for_chunks ~min ?label ~n body
 
 let create rows cols =
   if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
@@ -41,6 +53,11 @@ let to_arrays m =
 
 let copy m = { m with a = Array.copy m.a }
 
+let copy_into ~dst src =
+  if dst.rows <> src.rows || dst.cols <> src.cols then
+    invalid_arg "Mat.copy_into: shape mismatch";
+  Array.blit src.a 0 dst.a 0 (Array.length src.a)
+
 let dims m = (m.rows, m.cols)
 
 let get m i j = m.a.((i * m.cols) + j)
@@ -48,6 +65,73 @@ let get m i j = m.a.((i * m.cols) + j)
 let set m i j x = m.a.((i * m.cols) + j) <- x
 
 let row m i = Array.sub m.a (i * m.cols) m.cols
+
+let get_row_into m i dst =
+  if Array.length dst <> m.cols then
+    invalid_arg "Mat.get_row_into: bad length";
+  Array.blit m.a (i * m.cols) dst 0 m.cols
+
+(* Dot of [a.(aoff..aoff+len-1)] with [b.(boff..boff+len-1)], unrolled by
+   four.  One accumulator, strictly increasing index — the addition order
+   is exactly that of the plain loop, so results are bit-identical; the
+   unrolling only amortizes the loop-bound checks (~20% on the d²-sized
+   kernels that dominate whitening and the solver). *)
+let dot_range (a : float array) aoff (b : float array) boff len =
+  let acc = ref 0.0 in
+  let j = ref 0 in
+  while !j + 3 < len do
+    let j0 = !j in
+    acc := !acc
+           +. (Array.unsafe_get a (aoff + j0) *. Array.unsafe_get b (boff + j0));
+    acc := !acc
+           +. (Array.unsafe_get a (aoff + j0 + 1)
+               *. Array.unsafe_get b (boff + j0 + 1));
+    acc := !acc
+           +. (Array.unsafe_get a (aoff + j0 + 2)
+               *. Array.unsafe_get b (boff + j0 + 2));
+    acc := !acc
+           +. (Array.unsafe_get a (aoff + j0 + 3)
+               *. Array.unsafe_get b (boff + j0 + 3));
+    j := j0 + 4
+  done;
+  while !j < len do
+    acc := !acc
+           +. (Array.unsafe_get a (aoff + !j) *. Array.unsafe_get b (boff + !j));
+    incr j
+  done;
+  !acc
+
+(* [dst.(doff+k) <- dst.(doff+k) +. s *. src.(soff+k)] for [k < len],
+   unrolled by four.  Each destination slot is read and written exactly
+   once per call, so the accumulation order across calls is unchanged. *)
+let axpy_range (dst : float array) doff s (src : float array) soff len =
+  let k = ref 0 in
+  while !k + 3 < len do
+    let k0 = !k in
+    Array.unsafe_set dst (doff + k0)
+      (Array.unsafe_get dst (doff + k0)
+       +. (s *. Array.unsafe_get src (soff + k0)));
+    Array.unsafe_set dst (doff + k0 + 1)
+      (Array.unsafe_get dst (doff + k0 + 1)
+       +. (s *. Array.unsafe_get src (soff + k0 + 1)));
+    Array.unsafe_set dst (doff + k0 + 2)
+      (Array.unsafe_get dst (doff + k0 + 2)
+       +. (s *. Array.unsafe_get src (soff + k0 + 2)));
+    Array.unsafe_set dst (doff + k0 + 3)
+      (Array.unsafe_get dst (doff + k0 + 3)
+       +. (s *. Array.unsafe_get src (soff + k0 + 3)));
+    k := k0 + 4
+  done;
+  while !k < len do
+    Array.unsafe_set dst (doff + !k)
+      (Array.unsafe_get dst (doff + !k)
+       +. (s *. Array.unsafe_get src (soff + !k)));
+    incr k
+  done
+
+let row_dot m i v =
+  if Array.length v <> m.cols then invalid_arg "Mat.row_dot: bad length";
+  dot_range m.a (i * m.cols) v 0 m.cols
 
 let col m j = Array.init m.rows (fun i -> m.a.((i * m.cols) + j))
 
@@ -57,77 +141,228 @@ let set_row m i v =
 
 let rows_list m = List.init m.rows (row m)
 
-let transpose m = init m.cols m.rows (fun i j -> get m j i)
+let transpose m =
+  let t = create m.cols m.rows in
+  let ma = m.a and ta = t.a in
+  for i = 0 to m.rows - 1 do
+    let off = i * m.cols in
+    for j = 0 to m.cols - 1 do
+      Array.unsafe_set ta ((j * m.rows) + i) (Array.unsafe_get ma (off + j))
+    done
+  done;
+  t
 
 let check_same name x y =
   if x.rows <> y.rows || x.cols <> y.cols then
     invalid_arg (Printf.sprintf "Mat.%s: shape mismatch (%dx%d vs %dx%d)"
                    name x.rows x.cols y.rows y.cols)
 
+let check_dst name dst rows cols =
+  if dst.rows <> rows || dst.cols <> cols then
+    invalid_arg (Printf.sprintf "Mat.%s: dst is %dx%d, need %dx%d"
+                   name dst.rows dst.cols rows cols)
+
+let add_into ~dst x y =
+  check_same "add_into" x y;
+  check_dst "add_into" dst x.rows x.cols;
+  let xa = x.a and ya = y.a and za = dst.a in
+  for i = 0 to Array.length xa - 1 do
+    Array.unsafe_set za i (Array.unsafe_get xa i +. Array.unsafe_get ya i)
+  done
+
+let sub_into ~dst x y =
+  check_same "sub_into" x y;
+  check_dst "sub_into" dst x.rows x.cols;
+  let xa = x.a and ya = y.a and za = dst.a in
+  for i = 0 to Array.length xa - 1 do
+    Array.unsafe_set za i (Array.unsafe_get xa i -. Array.unsafe_get ya i)
+  done
+
+let scale_into ~dst s x =
+  check_dst "scale_into" dst x.rows x.cols;
+  let xa = x.a and za = dst.a in
+  for i = 0 to Array.length xa - 1 do
+    Array.unsafe_set za i (s *. Array.unsafe_get xa i)
+  done
+
 let add x y =
   check_same "add" x y;
-  { x with a = Array.mapi (fun i v -> v +. y.a.(i)) x.a }
+  let z = create x.rows x.cols in
+  add_into ~dst:z x y;
+  z
 
 let sub x y =
   check_same "sub" x y;
-  { x with a = Array.mapi (fun i v -> v -. y.a.(i)) x.a }
+  let z = create x.rows x.cols in
+  sub_into ~dst:z x y;
+  z
 
-let scale s x = { x with a = Array.map (fun v -> s *. v) x.a }
+let scale s x =
+  let z = create x.rows x.cols in
+  scale_into ~dst:z s x;
+  z
+
+(* k-blocking keeps a bounded panel of [y] rows hot while it is streamed
+   against a chunk of [x] rows; block order never changes the per-entry
+   accumulation order (increasing [k]), so results are identical to the
+   unblocked loop. *)
+let kblock = 64
+
+let matmul_into ~dst x y =
+  if x.cols <> y.rows then
+    invalid_arg (Printf.sprintf "Mat.matmul_into: inner dims (%dx%d)*(%dx%d)"
+                   x.rows x.cols y.rows y.cols);
+  check_dst "matmul_into" dst x.rows y.cols;
+  (* Zero-length arrays are physically shared (the empty-array atom), so
+     an empty dst is never a real alias. *)
+  if Array.length dst.a > 0 && (dst.a == x.a || dst.a == y.a) then
+    invalid_arg "Mat.matmul_into: dst aliases an input";
+  let xa = x.a and ya = y.a and za = dst.a in
+  let xc = x.cols and yc = y.cols in
+  (* The inner [j] loop is contiguous in both [y] and [dst]; indices are
+     in range by construction, so unchecked access is safe (no flambda in
+     this toolchain, so the bounds checks would not be elided).  The
+     [xik <> 0.0] skip must be kept for exact reproducibility: skipping a
+     zero row-entry is not FP-neutral when [y] holds NaN or infinities. *)
+  par_rows ~label:"mat.matmul" ~work:(x.rows * xc * yc) x.rows (fun lo hi ->
+      Array.fill za (lo * yc) ((hi - lo) * yc) 0.0;
+      let kb = ref 0 in
+      while !kb < xc do
+        let khi = Stdlib.min xc (!kb + kblock) in
+        for i = lo to hi - 1 do
+          let xoff = i * xc and zoff = i * yc in
+          for k = !kb to khi - 1 do
+            let xik = Array.unsafe_get xa (xoff + k) in
+            if xik <> 0.0 then axpy_range za zoff xik ya (k * yc) yc
+          done
+        done;
+        kb := khi
+      done)
 
 let matmul x y =
   if x.cols <> y.rows then
     invalid_arg (Printf.sprintf "Mat.matmul: inner dims (%dx%d)*(%dx%d)"
                    x.rows x.cols y.rows y.cols);
   let z = create x.rows y.cols in
-  let xa = x.a and ya = y.a and za = z.a in
-  (* k-loop in the middle keeps the inner loop contiguous in both [y] and
-     [z], which matters for the d=128 benchmark sizes; indices are in
-     range by construction, so unchecked access is safe (no flambda in
-     this toolchain, so the bounds checks would not be elided). *)
-  for i = 0 to x.rows - 1 do
-    for k = 0 to x.cols - 1 do
-      let xik = Array.unsafe_get xa ((i * x.cols) + k) in
-      if xik <> 0.0 then begin
-        let yoff = k * y.cols and zoff = i * y.cols in
-        for j = 0 to y.cols - 1 do
-          Array.unsafe_set za (zoff + j)
-            (Array.unsafe_get za (zoff + j)
-             +. (xik *. Array.unsafe_get ya (yoff + j)))
-        done
-      end
-    done
-  done;
+  matmul_into ~dst:z x y;
   z
+
+(* [x yᵀ] without forming the transpose: entry [(i, j)] is the dot product
+   of row [i] of [x] with row [j] of [y], accumulated in increasing [k]
+   with the same zero-skip as {!matmul_into} — bit-identical to
+   [matmul x (transpose y)]. *)
+let matmul_nt_into ~dst x y =
+  if x.cols <> y.cols then
+    invalid_arg (Printf.sprintf "Mat.matmul_nt_into: inner dims (%dx%d)*(%dx%d)ᵀ"
+                   x.rows x.cols y.rows y.cols);
+  check_dst "matmul_nt_into" dst x.rows y.rows;
+  (* Zero-length arrays are physically shared (the empty-array atom), so
+     an empty dst is never a real alias. *)
+  if Array.length dst.a > 0 && (dst.a == x.a || dst.a == y.a) then
+    invalid_arg "Mat.matmul_nt_into: dst aliases an input";
+  let xa = x.a and ya = y.a and za = dst.a in
+  let xc = x.cols and yr = y.rows in
+  par_rows ~label:"mat.matmul_nt" ~work:(x.rows * xc * yr) x.rows
+    (fun lo hi ->
+      for i = lo to hi - 1 do
+        let xoff = i * xc and zoff = i * yr in
+        for j = 0 to yr - 1 do
+          let yoff = j * xc in
+          let acc = ref 0.0 in
+          for k = 0 to xc - 1 do
+            let xik = Array.unsafe_get xa (xoff + k) in
+            if xik <> 0.0 then
+              acc := !acc +. (xik *. Array.unsafe_get ya (yoff + k))
+          done;
+          Array.unsafe_set za (zoff + j) !acc
+        done
+      done)
+
+let matmul_nt x y =
+  if x.cols <> y.cols then
+    invalid_arg (Printf.sprintf "Mat.matmul_nt: inner dims (%dx%d)*(%dx%d)ᵀ"
+                   x.rows x.cols y.rows y.cols);
+  let z = create x.rows y.rows in
+  matmul_nt_into ~dst:z x y;
+  z
+
+(* [xᵀ y] without forming the transpose: output row [j] depends only on
+   column [j] of [x], so rows fan out independently; each entry sums over
+   the data rows in increasing [i] with the usual zero-skip —
+   bit-identical to [matmul (transpose x) y]. *)
+let matmul_tn_into ~dst x y =
+  if x.rows <> y.rows then
+    invalid_arg (Printf.sprintf "Mat.matmul_tn_into: inner dims (%dx%d)ᵀ*(%dx%d)"
+                   x.rows x.cols y.rows y.cols);
+  check_dst "matmul_tn_into" dst x.cols y.cols;
+  (* Zero-length arrays are physically shared (the empty-array atom), so
+     an empty dst is never a real alias. *)
+  if Array.length dst.a > 0 && (dst.a == x.a || dst.a == y.a) then
+    invalid_arg "Mat.matmul_tn_into: dst aliases an input";
+  let xa = x.a and ya = y.a and za = dst.a in
+  let rows = x.rows and xc = x.cols and yc = y.cols in
+  (* i-outer within each chunk of output rows: every input row is read
+     once, contiguously, while each output entry still accumulates in
+     increasing row order — bit-identical to the j-outer formulation but
+     without the strided column walk over [x]. *)
+  par_rows ~label:"mat.matmul_tn" ~work:(rows * xc * yc) xc (fun lo hi ->
+      Array.fill za (lo * yc) ((hi - lo) * yc) 0.0;
+      for i = 0 to rows - 1 do
+        let xoff = i * xc and yoff = i * yc in
+        for j = lo to hi - 1 do
+          let xij = Array.unsafe_get xa (xoff + j) in
+          if xij <> 0.0 then axpy_range za (j * yc) xij ya yoff yc
+        done
+      done)
+
+let matmul_tn x y =
+  if x.rows <> y.rows then
+    invalid_arg (Printf.sprintf "Mat.matmul_tn: inner dims (%dx%d)ᵀ*(%dx%d)"
+                   x.rows x.cols y.rows y.cols);
+  let z = create x.cols y.cols in
+  matmul_tn_into ~dst:z x y;
+  z
+
+let mv_into ~dst m v =
+  if m.cols <> Array.length v then
+    invalid_arg "Mat.mv_into: dimension mismatch";
+  if Array.length dst <> m.rows then invalid_arg "Mat.mv_into: bad dst";
+  if Array.length dst > 0 && dst == v then
+    invalid_arg "Mat.mv_into: dst aliases the input";
+  let ma = m.a in
+  for i = 0 to m.rows - 1 do
+    Array.unsafe_set dst i (dot_range ma (i * m.cols) v 0 m.cols)
+  done
 
 let mv m v =
   if m.cols <> Array.length v then invalid_arg "Mat.mv: dimension mismatch";
-  let ma = m.a in
-  Array.init m.rows (fun i ->
-      let off = i * m.cols in
-      let acc = ref 0.0 in
-      for j = 0 to m.cols - 1 do
-        acc := !acc
-               +. (Array.unsafe_get ma (off + j) *. Array.unsafe_get v j)
-      done;
-      !acc)
+  let dst = Array.make m.rows 0.0 in
+  mv_into ~dst m v;
+  dst
 
 let tmv m v =
   if m.rows <> Array.length v then invalid_arg "Mat.tmv: dimension mismatch";
   let out = Array.make m.cols 0.0 in
   for i = 0 to m.rows - 1 do
     let vi = v.(i) in
-    if vi <> 0.0 then begin
-      let off = i * m.cols in
-      for j = 0 to m.cols - 1 do
-        out.(j) <- out.(j) +. (vi *. m.a.(off + j))
-      done
-    end
+    if vi <> 0.0 then axpy_range out 0 vi m.a (i * m.cols) m.cols
   done;
   out
 
+(* Allocation-free [vᵀ m v]: the inner loop reproduces one element of
+   [mv m v] (increasing [j]), the outer one the [Vec.dot] fold
+   (increasing [i]) — bit-identical to [Vec.dot v (mv m v)]. *)
 let quad_form m v =
   if m.rows <> m.cols then invalid_arg "Mat.quad_form: not square";
-  Vec.dot v (mv m v)
+  if m.cols <> Array.length v then
+    invalid_arg "Mat.quad_form: dimension mismatch";
+  let ma = m.a in
+  let acc = ref 0.0 in
+  for i = 0 to m.rows - 1 do
+    let r = dot_range ma (i * m.cols) v 0 m.cols in
+    acc := !acc +. (Array.unsafe_get v i *. r)
+  done;
+  !acc
 
 let outer u v =
   init (Array.length u) (Array.length v) (fun i j -> u.(i) *. v.(j))
@@ -173,6 +408,30 @@ let is_symmetric ?(eps = 1e-9) m =
 
 let map f m = { m with a = Array.map f m.a }
 
+let map_into ~dst f m =
+  check_dst "map_into" dst m.rows m.cols;
+  let ma = m.a and za = dst.a in
+  (* Elementwise, so rows are trivially independent; the generous
+     per-element work estimate covers transcendental maps (tanh in the
+     FastICA inner loop), which are the ones worth fanning out. *)
+  par_rows ~label:"mat.map" ~work:(m.rows * m.cols * 16) m.rows
+    (fun lo hi ->
+      for i = lo * m.cols to (hi * m.cols) - 1 do
+        Array.unsafe_set za i (f (Array.unsafe_get ma i))
+      done)
+
+let tanh_into ~dst m =
+  check_dst "tanh_into" dst m.rows m.cols;
+  let ma = m.a and za = dst.a in
+  (* Specialized so [tanh] is a direct (unboxed) call: going through the
+     [map_into] closure boxes every argument and result, which roughly
+     doubles the cost of FastICA's dominant kernel. *)
+  par_rows ~label:"mat.tanh" ~work:(m.rows * m.cols * 16) m.rows
+    (fun lo hi ->
+      for i = lo * m.cols to (hi * m.cols) - 1 do
+        Array.unsafe_set za i (tanh (Array.unsafe_get ma i))
+      done)
+
 let col_means m =
   if m.rows = 0 then invalid_arg "Mat.col_means: empty matrix";
   let means = Array.make m.cols 0.0 in
@@ -183,7 +442,10 @@ let col_means m =
     done
   done;
   let n = float_of_int m.rows in
-  Array.map (fun s -> s /. n) means
+  for j = 0 to m.cols - 1 do
+    means.(j) <- means.(j) /. n
+  done;
+  means
 
 let col_variances m =
   let means = col_means m in
@@ -200,25 +462,55 @@ let col_variances m =
 
 let center_cols m =
   let means = col_means m in
-  (init m.rows m.cols (fun i j -> get m i j -. means.(j)), means)
-
-let covariance m =
-  let centered, _ = center_cols m in
-  let cov = create m.cols m.cols in
+  let c = create m.rows m.cols in
+  let ma = m.a and ca = c.a in
   for i = 0 to m.rows - 1 do
     let off = i * m.cols in
     for j = 0 to m.cols - 1 do
-      let xj = centered.a.(off + j) in
-      if xj <> 0.0 then
-        for k = 0 to m.cols - 1 do
-          cov.a.((j * m.cols) + k) <-
-            cov.a.((j * m.cols) + k) +. (xj *. centered.a.(off + k))
-        done
+      Array.unsafe_set ca (off + j)
+        (Array.unsafe_get ma (off + j) -. Array.unsafe_get means j)
     done
   done;
-  scale (1.0 /. float_of_int m.rows) cov
+  (c, means)
 
-let gram m = matmul (transpose m) m
+(* Accumulated output-row-at-a-time: row [j] of the covariance depends
+   only on column [j] against every column, so the [j]-ranges fan out
+   across domains while each entry still sums over the data rows in
+   increasing [i] with the same zero-skip as the single-pass loop —
+   bit-identical for any domain count. *)
+let covariance m =
+  let centered, _ = center_cols m in
+  let cov = create m.cols m.cols in
+  let ca = centered.a and cova = cov.a in
+  let rows = m.rows and cols = m.cols in
+  (* Same i-outer trick as [matmul_tn_into]: stream the centered matrix
+     row by row, accumulating the upper triangle of the chunk; per-entry
+     order stays increasing-i, so the result is bit-identical.  The lower
+     triangle is mirrored afterwards — exact because x·y = y·x in IEEE
+     and both triangles would accumulate in the same row order. *)
+  par_rows ~label:"mat.covariance" ~work:(rows * cols * cols / 2) cols
+    (fun lo hi ->
+      for i = 0 to rows - 1 do
+        let off = i * cols in
+        for j = lo to hi - 1 do
+          let xj = Array.unsafe_get ca (off + j) in
+          if xj <> 0.0 then
+            axpy_range cova ((j * cols) + j) xj ca (off + j) (cols - j)
+        done
+      done);
+  for j = 1 to cols - 1 do
+    for k = 0 to j - 1 do
+      Array.unsafe_set cova ((j * cols) + k)
+        (Array.unsafe_get cova ((k * cols) + j))
+    done
+  done;
+  let s = 1.0 /. float_of_int rows in
+  for i = 0 to (cols * cols) - 1 do
+    Array.unsafe_set cova i (s *. Array.unsafe_get cova i)
+  done;
+  cov
+
+let gram m = matmul_tn m m
 
 let hcat x y =
   if x.rows <> y.rows then invalid_arg "Mat.hcat: row mismatch";

@@ -2,7 +2,16 @@
 
     All shape-sensitive operations raise [Invalid_argument] on mismatch.
     Matrices are mutable through {!set}; the algebraic operations are
-    functional and allocate fresh results. *)
+    functional and allocate fresh results.  The [_into] variants write
+    into caller-provided storage instead, for allocation-free inner
+    loops; destinations must have the exact result shape and (except for
+    the element-wise operations) must not alias an input.
+
+    The heavy kernels ({!matmul}, {!matmul_nt}, {!covariance}, {!gram})
+    fan their independent output rows out across the [Sider_par] domain
+    pool when the estimated work is large enough; chunking is a pure
+    function of the problem size, so results are bit-identical for any
+    domain count (see [Sider_par.Par]). *)
 
 type t = private { rows : int; cols : int; a : float array }
 
@@ -26,6 +35,10 @@ val to_arrays : t -> float array array
 
 val copy : t -> t
 
+val copy_into : dst:t -> t -> unit
+(** [copy_into ~dst src] overwrites [dst] with the contents of [src]
+    (same shape required). *)
+
 val dims : t -> int * int
 
 val get : t -> int -> int -> float
@@ -33,6 +46,14 @@ val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
 
 val row : t -> int -> Vec.t
+
+val get_row_into : t -> int -> Vec.t -> unit
+(** [get_row_into m i dst] copies row [i] into [dst] (length [cols])
+    without allocating. *)
+
+val row_dot : t -> int -> Vec.t -> float
+(** [row_dot m i v] is [Vec.dot (row m i) v] without materializing the
+    row. *)
 
 val col : t -> int -> Vec.t
 
@@ -48,10 +69,44 @@ val sub : t -> t -> t
 
 val scale : float -> t -> t
 
+val add_into : dst:t -> t -> t -> unit
+(** [add_into ~dst x y] writes [x + y] into [dst]; [dst] may alias [x] or
+    [y]. *)
+
+val sub_into : dst:t -> t -> t -> unit
+(** [sub_into ~dst x y] writes [x - y] into [dst]; [dst] may alias [x] or
+    [y]. *)
+
+val scale_into : dst:t -> float -> t -> unit
+(** [scale_into ~dst s x] writes [s * x] into [dst]; [dst] may alias
+    [x]. *)
+
 val matmul : t -> t -> t
+
+val matmul_into : dst:t -> t -> t -> unit
+(** [matmul_into ~dst x y] writes [x y] into [dst] ([dst] must not alias
+    an input). *)
+
+val matmul_nt : t -> t -> t
+(** [matmul_nt x y] is [x yᵀ] without forming the transpose;
+    bit-identical to [matmul x (transpose y)]. *)
+
+val matmul_nt_into : dst:t -> t -> t -> unit
+(** In-place form of {!matmul_nt} ([dst] must not alias an input). *)
+
+val matmul_tn : t -> t -> t
+(** [matmul_tn x y] is [xᵀ y] without forming the transpose;
+    bit-identical to [matmul (transpose x) y]. *)
+
+val matmul_tn_into : dst:t -> t -> t -> unit
+(** In-place form of {!matmul_tn} ([dst] must not alias an input). *)
 
 val mv : t -> Vec.t -> Vec.t
 (** Matrix-vector product. *)
+
+val mv_into : dst:Vec.t -> t -> Vec.t -> unit
+(** [mv_into ~dst m v] writes [m v] into [dst] (length [rows]; must not
+    alias [v]). *)
 
 val tmv : t -> Vec.t -> Vec.t
 (** [tmv m v] is [mᵀ v] without forming the transpose. *)
@@ -76,6 +131,15 @@ val symmetrize : t -> t
 val is_symmetric : ?eps:float -> t -> bool
 
 val map : (float -> float) -> t -> t
+
+val map_into : dst:t -> (float -> float) -> t -> unit
+(** [map_into ~dst f m] writes [f] applied elementwise into [dst]; [dst]
+    may alias [m]. *)
+
+val tanh_into : dst:t -> t -> unit
+(** [tanh_into ~dst m] is [map_into ~dst tanh m] with [tanh] called
+    directly (unboxed) — the FastICA inner-loop kernel.  [dst] may alias
+    [m]. *)
 
 val col_means : t -> Vec.t
 

@@ -37,8 +37,26 @@ let scale s a = Array.map (fun x -> s *. x) a
 
 let axpy a x y =
   check_dims "axpy" x y;
-  for i = 0 to Array.length x - 1 do
-    y.(i) <- y.(i) +. (a *. x.(i))
+  let n = Array.length x in
+  let i = ref 0 in
+  (* Unrolled by four; each slot is read and written once, so the result
+     is bit-identical to the plain loop. *)
+  while !i + 3 < n do
+    let i0 = !i in
+    Array.unsafe_set y i0
+      (Array.unsafe_get y i0 +. (a *. Array.unsafe_get x i0));
+    Array.unsafe_set y (i0 + 1)
+      (Array.unsafe_get y (i0 + 1) +. (a *. Array.unsafe_get x (i0 + 1)));
+    Array.unsafe_set y (i0 + 2)
+      (Array.unsafe_get y (i0 + 2) +. (a *. Array.unsafe_get x (i0 + 2)));
+    Array.unsafe_set y (i0 + 3)
+      (Array.unsafe_get y (i0 + 3) +. (a *. Array.unsafe_get x (i0 + 3)));
+    i := i0 + 4
+  done;
+  while !i < n do
+    Array.unsafe_set y !i
+      (Array.unsafe_get y !i +. (a *. Array.unsafe_get x !i));
+    incr i
   done
 
 let mul a b =
@@ -47,9 +65,22 @@ let mul a b =
 
 let dot a b =
   check_dims "dot" a b;
+  let n = Array.length a in
   let acc = ref 0.0 in
-  for i = 0 to Array.length a - 1 do
-    acc := !acc +. (a.(i) *. b.(i))
+  let i = ref 0 in
+  (* Single accumulator, strictly increasing index: the addition order is
+     that of the plain loop, so the unrolling is bit-neutral. *)
+  while !i + 3 < n do
+    let i0 = !i in
+    acc := !acc +. (Array.unsafe_get a i0 *. Array.unsafe_get b i0);
+    acc := !acc +. (Array.unsafe_get a (i0 + 1) *. Array.unsafe_get b (i0 + 1));
+    acc := !acc +. (Array.unsafe_get a (i0 + 2) *. Array.unsafe_get b (i0 + 2));
+    acc := !acc +. (Array.unsafe_get a (i0 + 3) *. Array.unsafe_get b (i0 + 3));
+    i := i0 + 4
+  done;
+  while !i < n do
+    acc := !acc +. (Array.unsafe_get a !i *. Array.unsafe_get b !i);
+    incr i
   done;
   !acc
 

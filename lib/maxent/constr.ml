@@ -12,14 +12,25 @@ type t = {
 }
 
 let normalize_rows rows =
-  let sorted = Array.copy rows in
-  Array.sort compare sorted;
-  let dedup = ref [] in
-  Array.iteri
-    (fun i r ->
-      if i = 0 || sorted.(i - 1) <> r then dedup := r :: !dedup)
-    sorted;
-  Array.of_list (List.rev !dedup)
+  (* Fast path: row sets arriving already sorted and duplicate-free (the
+     common case — class index arrays, [Array.init n Fun.id]) skip the
+     sort and the intermediate list entirely. *)
+  let n = Array.length rows in
+  let sorted_unique = ref true in
+  for i = 1 to n - 1 do
+    if rows.(i - 1) >= rows.(i) then sorted_unique := false
+  done;
+  if !sorted_unique then Array.copy rows
+  else begin
+    let sorted = Array.copy rows in
+    Array.sort compare sorted;
+    let dedup = ref [] in
+    Array.iteri
+      (fun i r ->
+        if i = 0 || sorted.(i - 1) <> r then dedup := r :: !dedup)
+      sorted;
+    Array.of_list (List.rev !dedup)
+  end
 
 let check_rows data rows =
   let n, _ = Mat.dims data in
@@ -32,15 +43,29 @@ let check_rows data rows =
 let mean_over data rows =
   let _, d = Mat.dims data in
   let m = Vec.create d in
-  Array.iter (fun r -> Vec.axpy 1.0 (Mat.row data r) m) rows;
+  Array.iter
+    (fun r ->
+      for j = 0 to d - 1 do
+        m.(j) <- m.(j) +. Mat.get data r j
+      done)
+    rows;
   Vec.scale (1.0 /. float_of_int (Array.length rows)) m
+
+(* Target sums stay a strict left fold: a tree reduction would shift the
+   targets by rounding ulps, and the ICA golden fixture is sensitive to
+   that through the solver trajectory.  {!Mat.row_dot} still avoids
+   materializing one row copy per term. *)
+let target_sum rows term =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length rows - 1 do
+    acc := !acc +. term rows.(i)
+  done;
+  !acc
 
 let linear ?(tag = "lin") ~data ~rows ~w () =
   check_rows data rows;
   let rows = normalize_rows rows in
-  let target =
-    Array.fold_left (fun acc r -> acc +. Vec.dot w (Mat.row data r)) 0.0 rows
-  in
+  let target = target_sum rows (fun r -> Mat.row_dot data r w) in
   { kind = Linear; rows; w = Vec.copy w; target; shift = 0.0; tag }
 
 let quadratic ?(tag = "quad") ~data ~rows ~w () =
@@ -49,11 +74,9 @@ let quadratic ?(tag = "quad") ~data ~rows ~w () =
   let m_hat = mean_over data rows in
   let shift = Vec.dot m_hat w in
   let target =
-    Array.fold_left
-      (fun acc r ->
-        let p = Vec.dot w (Mat.row data r) -. shift in
-        acc +. (p *. p))
-      0.0 rows
+    target_sum rows (fun r ->
+        let p = Mat.row_dot data r w -. shift in
+        p *. p)
   in
   { kind = Quadratic; rows; w = Vec.copy w; target; shift; tag }
 
@@ -94,14 +117,14 @@ let eval t data =
   match t.kind with
   | Linear ->
     Array.fold_left
-      (fun acc r -> acc +. Vec.dot t.w (Mat.row data r))
+      (fun acc r -> acc +. Mat.row_dot data r t.w)
       0.0 t.rows
   | Quadratic ->
     (* [m̂_I] is a constant of the constraint (Eq. 4), not recomputed from
        the argument matrix. *)
     Array.fold_left
       (fun acc r ->
-        let p = Vec.dot t.w (Mat.row data r) -. t.shift in
+        let p = Mat.row_dot data r t.w -. t.shift in
         acc +. (p *. p))
       0.0 t.rows
 

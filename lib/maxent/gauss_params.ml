@@ -6,17 +6,23 @@ type t = {
   mutable theta1 : Vec.t;
   mutable sigma : Mat.t;
   mutable mean : Vec.t;
+  scratch_g : Vec.t;
+  mutable scratch_sigma : Mat.t;
 }
 
 let initial d =
-  { theta1 = Vec.create d; sigma = Mat.identity d; mean = Vec.create d }
+  { theta1 = Vec.create d; sigma = Mat.identity d; mean = Vec.create d;
+    scratch_g = Vec.create d; scratch_sigma = Mat.create d d }
 
 let copy t =
+  let d = Array.length t.mean in
   { theta1 = Vec.copy t.theta1; sigma = Mat.copy t.sigma;
-    mean = Vec.copy t.mean }
+    mean = Vec.copy t.mean;
+    scratch_g = Vec.create d; scratch_sigma = Mat.create d d }
 
 let apply_linear t ~lambda ~w =
-  let g = Mat.mv t.sigma w in
+  let g = t.scratch_g in
+  Mat.mv_into ~dst:g t.sigma w;
   Vec.axpy lambda w t.theta1;
   Vec.axpy lambda g t.mean
 
@@ -38,9 +44,16 @@ let diag_healthy sigma =
    already hold θ₁'. *)
 let recompute_full t ~lambda ~delta ~w ~sigma_prev =
   (* On failure the whole update is undone — Σ, θ₁ and m keep their
-     pre-update values, so the class state stays self-consistent. *)
+     pre-update values, so the class state stays self-consistent.
+     [sigma_prev] is the reusable [scratch_sigma] buffer, so restoring is
+     a pointer swap: the (possibly corrupted) Σ buffer becomes the next
+     scratch. *)
   let frozen () =
-    t.sigma <- sigma_prev;
+    if t.sigma != sigma_prev then begin
+      let corrupt = t.sigma in
+      t.sigma <- sigma_prev;
+      t.scratch_sigma <- corrupt
+    end;
     Vec.axpy (-.lambda *. delta) w t.theta1;
     `Frozen
   in
@@ -52,7 +65,7 @@ let recompute_full t ~lambda ~delta ~w ~sigma_prev =
      | Error _ -> frozen ()
      | Ok sigma' ->
        t.sigma <- Mat.symmetrize sigma';
-       t.mean <- Mat.mv t.sigma t.theta1;
+       Mat.mv_into ~dst:t.mean t.sigma t.theta1;
        `Recomputed)
 
 (* Counts how often the O(d²) Woodbury fast path holds versus degrading
@@ -66,19 +79,21 @@ let counted outcome =
   outcome
 
 let apply_quadratic t ~lambda ~delta ~w =
-  let g = Mat.mv t.sigma w in
+  let g = t.scratch_g in
+  Mat.mv_into ~dst:g t.sigma w;
   let c = Vec.dot w g in
   let denom = 1.0 +. (lambda *. c) in
+  (* Snapshot Σ into the reusable scratch (no per-update allocation). *)
+  let sigma_prev = t.scratch_sigma in
+  Mat.copy_into ~dst:sigma_prev t.sigma;
   if denom <= 0.0 then begin
     (* Indefinite in the Woodbury form: skip the O(d²) path entirely and
        let the guarded full recompute decide (its jitter ladder can
        still produce a valid posterior for λ slightly past −1/c). *)
-    let sigma_prev = Mat.copy t.sigma in
     Vec.axpy (lambda *. delta) w t.theta1;
     counted (recompute_full t ~lambda ~delta ~w ~sigma_prev)
   end
   else begin
-    let sigma_prev = Mat.copy t.sigma in
     (* Σ ← Σ − (λ/denom) g gᵀ  (Sherman-Morrison). *)
     Mat.rank1_update t.sigma (-.lambda /. denom) g;
     (* m ← Σ' θ₁' with θ₁' = θ₁ + λδw reduces to
@@ -89,12 +104,11 @@ let apply_quadratic t ~lambda ~delta ~w =
       Vec.axpy (lambda *. (delta -. d_old) /. denom) g t.mean;
       counted `Sherman_morrison
     end
-    else begin
+    else
       (* Positive definiteness lost to cancellation: fall back to the
-         full recompute from the pre-update Σ. *)
-      t.sigma <- sigma_prev;
+         full recompute from the pre-update Σ (which also restores it on
+         failure). *)
       counted (recompute_full t ~lambda ~delta ~w ~sigma_prev)
-    end
   end
 
 let proj_mean t w = Vec.dot w t.mean

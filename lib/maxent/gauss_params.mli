@@ -13,6 +13,11 @@ type t = {
   mutable theta1 : Vec.t;   (** Natural parameter [Σ⁻¹m]. *)
   mutable sigma : Mat.t;    (** Dual covariance [Σ]. *)
   mutable mean : Vec.t;     (** Dual mean [m = Σ θ₁]. *)
+  scratch_g : Vec.t;
+  (** Internal reusable buffer for [Σw]; not part of the class state. *)
+  mutable scratch_sigma : Mat.t;
+  (** Internal reusable pre-update [Σ] snapshot for Woodbury rollback;
+      not part of the class state. *)
 }
 
 val initial : int -> t

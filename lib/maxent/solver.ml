@@ -2,6 +2,14 @@ open Sider_linalg
 open Sider_rand
 open Sider_robust
 module Obs = Sider_obs.Obs
+module Par = Sider_par.Par
+
+(* Per-equivalence-class applies fan out across the domain pool: classes
+   are disjoint state, so bodies touch disjoint [Gauss_params.t] values
+   and the result is bit-identical for any domain count.  One class per
+   chunk ([~chunk:1]): class updates are O(d²) each and the class count
+   is small. *)
+let par_classes_min = 2
 
 type t = {
   data : Mat.t;
@@ -127,16 +135,20 @@ let update_linear t idx ~damp =
   if !denom <= 0.0 then (0.0, 0.0, [])
   else begin
     let lambda = damp *. (constr.Constr.target -. !v_cur) /. !denom in
-    let dparam = ref 0.0 in
-    Array.iter
-      (fun (cls, _) ->
-        let p = t.classes.(cls) in
-        dparam :=
-          Float.max !dparam
-            (Float.abs (lambda *. Gauss_params.proj_var p w));
-        Gauss_params.apply_linear p ~lambda ~w)
-      groups;
-    (lambda, !dparam, [])
+    let dparam =
+      Par.parallel_reduce ~chunk:1 ~min:par_classes_min
+        ~label:"solver.apply_linear" ~n:(Array.length groups) ~init:0.0
+        ~step:(fun acc i ->
+          let cls, _ = groups.(i) in
+          let p = t.classes.(cls) in
+          let acc =
+            Float.max acc (Float.abs (lambda *. Gauss_params.proj_var p w))
+          in
+          Gauss_params.apply_linear p ~lambda ~w;
+          acc)
+        ~combine:Float.max ()
+    in
+    (lambda, dparam, [])
   end
 
 (* Quadratic constraint: after adding λwwᵀ to Σ⁻¹ and λδw to θ₁, the
@@ -155,13 +167,13 @@ let update_quadratic t idx ~lambda_cap ~damp =
   let cs = Array.make k 0.0
   and es = Array.make k 0.0
   and cnts = Array.make k 0.0 in
-  Array.iteri
-    (fun i (cls, cnt) ->
+  Par.parallel_for ~chunk:1 ~min:par_classes_min ~label:"solver.quad_scan"
+    ~n:k (fun i ->
+      let cls, cnt = groups.(i) in
       let p = t.classes.(cls) in
       cs.(i) <- Gauss_params.proj_var p w;
       es.(i) <- Gauss_params.proj_mean p w;
-      cnts.(i) <- float_of_int cnt)
-    groups;
+      cnts.(i) <- float_of_int cnt);
   let c_max = Array.fold_left Float.max 0.0 cs in
   let v lambda =
     let acc = ref 0.0 in
@@ -214,15 +226,18 @@ let update_quadratic t idx ~lambda_cap ~damp =
     let lambda = damp *. lambda in
     if lambda = 0.0 then (0.0, 0.0, [])
     else begin
-      let dparam = ref 0.0 in
-      let faults = ref [] in
-      Array.iteri
-        (fun i (cls, _) ->
+      (* Per-chunk partials are (max |Δparam|, reversed fault list); the
+         ordered tree combine prepends higher-index chunks, reproducing
+         exactly the reversed order the sequential fold built. *)
+      let apply_range lo hi =
+        let dp = ref 0.0 and faults = ref [] in
+        for i = lo to hi - 1 do
+          let cls, _ = groups.(i) in
           let p = t.classes.(cls) in
           let denom = 1.0 +. (lambda *. cs.(i)) in
           let dsd = sqrt (cs.(i) /. denom) -. sqrt cs.(i) in
           let dmean = lambda *. (delta -. es.(i)) *. cs.(i) /. denom in
-          dparam := Float.max !dparam (Float.max (Float.abs dsd) (Float.abs dmean));
+          dp := Float.max !dp (Float.max (Float.abs dsd) (Float.abs dmean));
           match Gauss_params.apply_quadratic p ~lambda ~delta ~w with
           | `Sherman_morrison -> ()
           | `Recomputed ->
@@ -238,9 +253,17 @@ let update_quadratic t idx ~lambda_cap ~damp =
                 ~constraint_tag:constr.Constr.tag
                 "rank-1 update and full recompute both failed; class \
                  frozen for this update"
-              :: !faults)
-        groups;
-      (lambda, !dparam, !faults)
+              :: !faults
+        done;
+        (!dp, !faults)
+      in
+      match
+        Par.parallel_reduce_chunks ~chunk:1 ~min:par_classes_min
+          ~label:"solver.apply_quadratic" ~n:k ~part:apply_range
+          ~combine:(fun (d1, f1) (d2, f2) -> (Float.max d1 d2, f2 @ f1)) ()
+      with
+      | None -> (lambda, 0.0, [])
+      | Some (dparam, faults) -> (lambda, dparam, faults)
     end
   end
 

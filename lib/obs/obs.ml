@@ -68,6 +68,25 @@ type instrument = I_counter of int ref | I_gauge of float ref | I_hist of hist_a
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 
+(* The metrics registry is shared across domains: bodies fanned out by
+   [Sider_par] bump counters (e.g. the Woodbury fast-path counters) from
+   worker domains.  Every registry access is taken under this mutex once
+   the [enabled] fast path has passed; with no sink installed nothing
+   locks.  The span stack stays single-domain (owned by whichever domain
+   installed the sink — in practice the main one); parallel bodies must
+   not open spans. *)
+let registry_m = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_m;
+  match f () with
+  | v ->
+    Mutex.unlock registry_m;
+    v
+  | exception e ->
+    Mutex.unlock registry_m;
+    raise e
+
 let set_sink s =
   stack := [];
   current_sink := s
@@ -77,7 +96,7 @@ let enabled () = !current_sink <> None
 let current_depth () = List.length !stack
 
 let reset () =
-  Hashtbl.reset registry;
+  locked (fun () -> Hashtbl.reset registry);
   stack := []
 
 (* --- spans ---------------------------------------------------------------- *)
@@ -126,38 +145,39 @@ let counter_ref name =
     r
 
 let count ?(by = 1) name =
-  if enabled () then begin
-    let r = counter_ref name in
-    r := !r + by
-  end
+  if enabled () then
+    locked (fun () ->
+        let r = counter_ref name in
+        r := !r + by)
 
 let gauge name v =
   if enabled () then
-    match Hashtbl.find_opt registry name with
-    | Some (I_gauge r) -> r := v
-    | Some _ -> invalid_arg (Printf.sprintf "Obs: %S is not a gauge" name)
-    | None -> Hashtbl.add registry name (I_gauge (ref v))
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (I_gauge r) -> r := v
+        | Some _ -> invalid_arg (Printf.sprintf "Obs: %S is not a gauge" name)
+        | None -> Hashtbl.add registry name (I_gauge (ref v)))
 
 let observe name v =
-  if enabled () then begin
-    let h =
-      match Hashtbl.find_opt registry name with
-      | Some (I_hist h) -> h
-      | Some _ ->
-        invalid_arg (Printf.sprintf "Obs: %S is not a histogram" name)
-      | None ->
-        let h = { values = Array.make 16 0.0; len = 0 } in
-        Hashtbl.add registry name (I_hist h);
-        h
-    in
-    if h.len = Array.length h.values then begin
-      let bigger = Array.make (2 * h.len) 0.0 in
-      Array.blit h.values 0 bigger 0 h.len;
-      h.values <- bigger
-    end;
-    h.values.(h.len) <- v;
-    h.len <- h.len + 1
-  end
+  if enabled () then
+    locked (fun () ->
+        let h =
+          match Hashtbl.find_opt registry name with
+          | Some (I_hist h) -> h
+          | Some _ ->
+            invalid_arg (Printf.sprintf "Obs: %S is not a histogram" name)
+          | None ->
+            let h = { values = Array.make 16 0.0; len = 0 } in
+            Hashtbl.add registry name (I_hist h);
+            h
+        in
+        if h.len = Array.length h.values then begin
+          let bigger = Array.make (2 * h.len) 0.0 in
+          Array.blit h.values 0 bigger 0 h.len;
+          h.values <- bigger
+        end;
+        h.values.(h.len) <- v;
+        h.len <- h.len + 1)
 
 let timed ?attrs ~hist name f =
   if not (enabled ()) then f ()
@@ -181,6 +201,7 @@ let quantile_sorted sorted len p =
   end
 
 let metrics_snapshot () =
+  locked (fun () ->
   Hashtbl.fold
     (fun name instr acc ->
       let m =
@@ -202,7 +223,7 @@ let metrics_snapshot () =
             }
       in
       m :: acc)
-    registry []
+    registry [])
   |> List.sort (fun a b ->
       let name = function
         | Counter { name; _ } | Gauge { name; _ } | Histogram { name; _ } ->

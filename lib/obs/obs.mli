@@ -14,7 +14,17 @@
 
     The clock is wall-time ([Unix.gettimeofday]) mapped to nanoseconds
     since the first observation and clamped to be non-decreasing, so span
-    durations are never negative even across system clock steps. *)
+    durations are never negative even across system clock steps.
+
+    {2 Domains}
+
+    The metrics registry is protected by a mutex: {!count}, {!gauge},
+    {!observe}, {!metrics_snapshot}, {!flush} and {!reset} are safe to
+    call from any domain (bodies fanned out by [Sider_par] bump counters
+    from workers).  Spans are {e not} domain-safe: the span stack belongs
+    to the domain that installed the sink — in practice the main one —
+    and code running inside a parallel body must not call {!with_span} or
+    {!timed}. *)
 
 type value = Bool of bool | Int of int | Float of float | Str of string
 (** Attribute values attached to spans. *)

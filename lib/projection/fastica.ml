@@ -11,7 +11,7 @@ type t = {
 
 (* Symmetric decorrelation: W ← (W Wᵀ)^{-1/2} W. *)
 let sym_decorrelate w =
-  let wwt = Mat.matmul w (Mat.transpose w) in
+  let wwt = Mat.matmul_nt w w in
   let dec = Eigen.symmetric (Mat.symmetrize wwt) in
   Mat.matmul (Eigen.power dec (-0.5)) w
 
@@ -44,22 +44,34 @@ let fit_impl ?n_components ?(max_iter = 200) ?(tol = 1e-4) ?(rank_tol = 1e-9)
     in
     let z = Mat.matmul centered dproj in          (* n × m_comp *)
     let fn = float_of_int n in
-    (* Fixed point iteration on the unmixing matrix w : m_comp × m_comp. *)
+    (* Fixed point iteration on the unmixing matrix w : m_comp × m_comp.
+       The n-sized intermediates are allocated once and reused across
+       iterations; every kernel below is bit-identical to its
+       transpose-then-multiply predecessor. *)
     let w = ref (sym_decorrelate (Sampler.normal_mat rng m_comp m_comp)) in
+    let s = Mat.create n m_comp in
+    let g = Mat.create n m_comp in
+    let gz = Mat.create m_comp m_comp in
+    let eg' = Vec.create m_comp in
     let iterations = ref 0 and converged = ref false in
     while (not !converged) && !iterations < max_iter do
       incr iterations;
-      let s = Mat.matmul z (Mat.transpose !w) in  (* n × m_comp *)
+      Mat.matmul_nt_into ~dst:s z !w;            (* s = z wᵀ, n × m_comp *)
       (* g = tanh, g' = 1 − tanh²; the update is
-         W_new = (gᵀ z)/n − diag(E[g']) W, expressed through matmul so the
-         inner loops are the optimized kernels. *)
-      let g = Mat.map tanh s in
-      let gz = Mat.matmul (Mat.transpose g) z in  (* m_comp × m_comp *)
-      let eg' = Vec.create m_comp in
+         W_new = (gᵀ z)/n − diag(E[g']) W.  The tanh map dominates the
+         iteration cost and fans out across rows; the E[g'] column sums
+         stay a sequential pass so their accumulation order (increasing
+         row index) never changes. *)
+      Mat.tanh_into ~dst:g s;
+      Mat.matmul_tn_into ~dst:gz g z;            (* gᵀ z, m_comp × m_comp *)
+      Vec.fill eg' 0.0;
+      let ga = g.Mat.a in
       for i = 0 to n - 1 do
+        let off = i * m_comp in
         for k = 0 to m_comp - 1 do
-          let t = Mat.get g i k in
-          eg'.(k) <- eg'.(k) +. (1.0 -. (t *. t))
+          let t = Array.unsafe_get ga (off + k) in
+          Array.unsafe_set eg' k
+            (Array.unsafe_get eg' k +. (1.0 -. (t *. t)))
         done
       done;
       let w_new =
@@ -70,22 +82,28 @@ let fit_impl ?n_components ?(max_iter = 200) ?(tol = 1e-4) ?(rank_tol = 1e-9)
       (* Convergence: every direction's inner product with its previous
          value is ±1. *)
       let delta = ref 0.0 in
+      let na = w_new.Mat.a and oa = (!w).Mat.a in
       for k = 0 to m_comp - 1 do
-        let dot = Vec.dot (Mat.row w_new k) (Mat.row !w k) in
-        delta := Float.max !delta (Float.abs (Float.abs dot -. 1.0))
+        let off = k * m_comp in
+        let dot = ref 0.0 in
+        for j = 0 to m_comp - 1 do
+          dot := !dot
+                 +. (Array.unsafe_get na (off + j)
+                     *. Array.unsafe_get oa (off + j))
+        done;
+        delta := Float.max !delta (Float.abs (Float.abs !dot -. 1.0))
       done;
       w := w_new;
       if !delta < tol then converged := true
     done;
     (* Map unmixing rows back to input-space directions:
        s_k = w_k · D^{-1/2}Vᵀ(x − mean) so the direction is V D^{-1/2} w_kᵀ,
-       normalized to unit length. *)
-    let dirs = Mat.matmul dproj (Mat.transpose !w) in (* d × m_comp *)
+       normalized to unit length (norms computed once per column). *)
+    let dirs = Mat.matmul_nt dproj !w in          (* d × m_comp *)
+    let norms = Array.init m_comp (fun j -> Vec.norm2 (Mat.col dirs j)) in
     let dirs =
       Mat.init d m_comp (fun i j ->
-          let col = Mat.col dirs j in
-          let nrm = Vec.norm2 col in
-          if nrm = 0.0 then 0.0 else Mat.get dirs i j /. nrm)
+          if norms.(j) = 0.0 then 0.0 else Mat.get dirs i j /. norms.(j))
     in
     let scores =
       Array.init m_comp (fun j -> Scores.direction_log_cosh m (Mat.col dirs j))

@@ -1,5 +1,16 @@
-type t = { mutable s0 : int64; mutable s1 : int64;
-           mutable s2 : int64; mutable s3 : int64 }
+(* xoshiro256++ with the four 64-bit state words stored as raw bit
+   patterns inside an unboxed [float array]: a mutable [int64] record
+   field boxes on every write (and every read of a boxed field allocates
+   again when the value flows into [Int64] arithmetic), which made the
+   generator the dominant allocator in sampling-heavy benchmarks.
+   [Int64.bits_of_float] / [float_of_bits] are compiler primitives that
+   reinterpret the payload, so the stream is bit-for-bit the same as the
+   record-based implementation — only the state storage changed. *)
+type t = float array
+
+let get_s t i = Int64.bits_of_float (Array.unsafe_get t i)
+
+let set_s t i v = Array.unsafe_set t i (Int64.float_of_bits v)
 
 (* splitmix64: used only to expand the seed into the xoshiro state. *)
 let splitmix64_next state =
@@ -10,38 +21,40 @@ let splitmix64_next state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
-let create seed =
-  let state = ref (Int64.of_int seed) in
-  let s0 = splitmix64_next state in
-  let s1 = splitmix64_next state in
-  let s2 = splitmix64_next state in
-  let s3 = splitmix64_next state in
-  { s0; s1; s2; s3 }
+let from_splitmix state =
+  let t = Array.make 4 0.0 in
+  set_s t 0 (splitmix64_next state);
+  set_s t 1 (splitmix64_next state);
+  set_s t 2 (splitmix64_next state);
+  set_s t 3 (splitmix64_next state);
+  t
+
+let create seed = from_splitmix (ref (Int64.of_int seed))
 
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let uint64 t =
   let open Int64 in
-  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
+  let s0 = get_s t 0 and s1 = get_s t 1 in
+  let s2 = get_s t 2 and s3 = get_s t 3 in
+  let result = add (rotl (add s0 s3) 23) s0 in
+  let tmp = shift_left s1 17 in
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 tmp in
+  let s3 = rotl s3 45 in
+  set_s t 0 s0;
+  set_s t 1 s1;
+  set_s t 2 s2;
+  set_s t 3 s3;
   result
 
-let split t =
-  let state = ref (uint64 t) in
-  let s0 = splitmix64_next state in
-  let s1 = splitmix64_next state in
-  let s2 = splitmix64_next state in
-  let s3 = splitmix64_next state in
-  { s0; s1; s2; s3 }
+let split t = from_splitmix (ref (uint64 t))
 
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let copy = Array.copy
 
 let float t =
   (* Top 53 bits scaled to [0,1). *)

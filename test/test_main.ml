@@ -17,5 +17,6 @@ let () =
       ("robust", Test_robust.suite);
       ("properties", Test_props.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
       ("golden", Test_golden.suite);
     ]

@@ -299,6 +299,108 @@ let prop_single_attribute_sessions =
           (Sider_core.Session.scatter session)
       | Error _ -> true)
 
+(* --- differential tests: optimized linalg kernels vs naive loops ----------- *)
+
+(* Random shapes including empty (0), degenerate (1×k) and non-square.
+   Entries are gaussian, so the optimized kernels' zero-skips never fire
+   and every accumulation follows the same index order as the naive
+   loops: results must match to the last bit. *)
+let gen_dims lo hi =
+  QCheck.Gen.(
+    let* r = int_range lo hi in
+    let* c = int_range lo hi in
+    let* k = int_range lo hi in
+    let* seed = int_range 0 10_000 in
+    return (r, k, c, seed))
+
+let arb_dims =
+  QCheck.make
+    ~print:(fun (r, k, c, seed) -> Printf.sprintf "%dx%d * %dx%d seed=%d" r k k c seed)
+    (gen_dims 0 9)
+
+let mats_of (r, k, c, seed) =
+  let rng = Sider_rand.Rng.create (1234 + seed) in
+  ( Sider_rand.Sampler.normal_mat rng r k,
+    Sider_rand.Sampler.normal_mat rng k c )
+
+let naive_matmul x y =
+  let r, k = Mat.dims x and _, c = Mat.dims y in
+  Mat.init r c (fun i j ->
+      let acc = ref 0.0 in
+      for l = 0 to k - 1 do
+        acc := !acc +. (Mat.get x i l *. Mat.get y l j)
+      done;
+      !acc)
+
+let bits_equal_mat a b =
+  Mat.dims a = Mat.dims b
+  && Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       a.Mat.a b.Mat.a
+
+let bits_equal_vec (a : Vec.t) (b : Vec.t) =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       a b
+
+let prop_matmul_matches_naive =
+  qcheck ~count:100 "matmul = naive triple loop (bitwise)" arb_dims
+    (fun dims ->
+      let x, y = mats_of dims in
+      bits_equal_mat (Mat.matmul x y) (naive_matmul x y))
+
+let prop_matmul_nt_tn_match_transpose =
+  qcheck ~count:100 "matmul_nt/_tn = matmul via transpose (bitwise)" arb_dims
+    (fun dims ->
+      let x, y = mats_of dims in
+      bits_equal_mat (Mat.matmul_nt x (Mat.transpose y)) (Mat.matmul x y)
+      && bits_equal_mat (Mat.matmul_tn (Mat.transpose x) y) (Mat.matmul x y))
+
+let prop_mv_tmv_match_naive =
+  qcheck ~count:100 "mv/tmv = naive loops (bitwise)" arb_dims
+    (fun (r, k, _, seed) ->
+      let rng = Sider_rand.Rng.create (4321 + seed) in
+      let m = Sider_rand.Sampler.normal_mat rng r k in
+      let v = Sider_rand.Sampler.normal_vec rng k in
+      let u = Sider_rand.Sampler.normal_vec rng r in
+      let naive_mv =
+        Array.init r (fun i ->
+            let acc = ref 0.0 in
+            for j = 0 to k - 1 do
+              acc := !acc +. (Mat.get m i j *. v.(j))
+            done;
+            !acc)
+      in
+      (* tmv accumulates row-by-row (i outer), not per-entry. *)
+      let naive_tmv = Array.make k 0.0 in
+      for i = 0 to r - 1 do
+        for j = 0 to k - 1 do
+          naive_tmv.(j) <- naive_tmv.(j) +. (u.(i) *. Mat.get m i j)
+        done
+      done;
+      bits_equal_vec (Mat.mv m v) naive_mv
+      && bits_equal_vec (Mat.tmv m u) naive_tmv)
+
+let prop_covariance_symmetric_halving =
+  qcheck ~count:100 "covariance mirror equals direct accumulation" arb_dims
+    (fun (r, k, _, seed) ->
+      QCheck.assume (r >= 1);
+      let rng = Sider_rand.Rng.create (9876 + seed) in
+      let m = Sider_rand.Sampler.normal_mat rng r k in
+      let cov = Mat.covariance m in
+      let centered, _ = Mat.center_cols m in
+      let reference =
+        Mat.init k k (fun a b ->
+            let acc = ref 0.0 in
+            for i = 0 to r - 1 do
+              acc := !acc +. (Mat.get centered i a *. Mat.get centered i b)
+            done;
+            !acc /. float_of_int r)
+      in
+      Mat.approx_equal ~eps:1e-12 cov reference
+      && bits_equal_mat cov (Mat.transpose cov))
+
 let suite =
   [
     prop_partition_is_partition;
@@ -313,4 +415,8 @@ let suite =
     prop_kmeans_assignment_valid;
     prop_degenerate_pipeline_stays_finite;
     prop_single_attribute_sessions;
+    prop_matmul_matches_naive;
+    prop_matmul_nt_tn_match_transpose;
+    prop_mv_tmv_match_naive;
+    prop_covariance_symmetric_halving;
   ]
