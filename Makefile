@@ -1,8 +1,10 @@
 # Developer entry points.  `make verify` is the tier-1 gate every PR must
 # keep green: a full type-check of every target, the test suite (plus a
 # multi-domain smoke pass — results must be bit-identical, see
-# lib/par/), and a smoke run of the benchmark harness (sub-10-seconds;
-# proves the harness itself still works, not performance).
+# lib/par/ — and a pass with a live stderr tracing sink, which must not
+# move any numeric either), and a smoke run of the benchmark harness
+# (sub-10-seconds; proves the harness itself still works, not
+# performance).
 
 .PHONY: all build check test verify clean bench bench-smoke bench-diff \
         bench-scaling
@@ -20,11 +22,11 @@ test:
 
 verify:
 	dune build @check && dune runtest && SIDER_DOMAINS=2 dune runtest --force \
-	  && $(MAKE) bench-smoke
+	  && SIDER_TRACE=stderr dune runtest --force && $(MAKE) bench-smoke
 
 # Full machine-readable benchmark run; rewrites the committed baseline.
 bench:
-	dune exec bench/bench_regress.exe -- --out BENCH_pr3.json
+	dune exec bench/bench_regress.exe -- --out BENCH_pr4.json
 
 # Fast sanity pass over every scenario (reduced sizes, 1 run each).
 bench-smoke:
@@ -34,7 +36,7 @@ bench-smoke:
 # when any scenario regresses by more than 25% wall time.
 bench-diff:
 	dune exec bench/bench_regress.exe -- --out _artifacts/BENCH_head.json \
-	  --baseline BENCH_pr3.json
+	  --baseline BENCH_pr4.json
 
 # Wall clock of the Sider_par-enabled scenarios at 1, 2 and 4 domains
 # (results are bit-identical at every size; only the time may change).

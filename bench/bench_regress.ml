@@ -7,7 +7,7 @@
    segmentation data, whiten+PCA, ICA, the full pipeline) and writes one
    JSON document per invocation:
 
-     { "schema": "sider-bench/2", "label": "pr3", "smoke": false,
+     { "schema": "sider-bench/2", "label": "pr4", "smoke": false,
        "domains": 1, "ocaml_version": "...",
        "scenarios": [ { "name": ..., "wall_s": ..., "wall_min_s": ...,
                         "sweeps": ..., "classes": ...,
@@ -23,7 +23,7 @@
    and a v2 file works as a baseline for v1-era outputs.
 
    Options:
-     --out PATH        output path (default BENCH_pr3.json)
+     --out PATH        output path (default BENCH_pr4.json)
      --baseline PATH   compare against a previous output; exit 1 when any
                        scenario regresses by more than 25% wall-clock
      --smoke           tiny inputs, 1 run: exercises the harness in
@@ -185,6 +185,25 @@ let full_pipeline ~smoke:_ =
   let sweeps, classes = result in
   { wall; sweeps; classes }
 
+(* Observability overhead: the session_update_synthetic workload under
+   the three telemetry states a deployment can be in.  The _off variant
+   re-measures the baseline inside the same process so the three rows
+   are directly comparable; the acceptance bar is null-sink overhead
+   within ~5% of wall on this scenario. *)
+let obs_overhead mode ~smoke =
+  let module Obs = Sider_obs.Obs in
+  (match mode with
+   | `Off -> ()
+   | `Null_sink -> Obs.set_sink (Some Obs.null_sink)
+   | `Recorder -> Obs.set_flight_recorder ~capacity:256 true);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink None;
+      Obs.set_flight_recorder false;
+      Obs.flight_reset ();
+      Obs.reset ())
+    (fun () -> session_update_synthetic ~smoke)
+
 let scenarios =
   [ { name = "micro_solver_sweeps";
       descr = "25 bounded sweeps, margin+cluster constraints";
@@ -206,7 +225,16 @@ let scenarios =
       run = ica_projection };
     { name = "full_pipeline";
       descr = "two feedback rounds end-to-end on three_d";
-      run = full_pipeline } ]
+      run = full_pipeline };
+    { name = "obs_overhead_off";
+      descr = "session update, telemetry fully disabled";
+      run = obs_overhead `Off };
+    { name = "obs_overhead_null_sink";
+      descr = "session update, null sink installed (full instrumentation)";
+      run = obs_overhead `Null_sink };
+    { name = "obs_overhead_recorder";
+      descr = "session update, flight recorder on (ring writes only)";
+      run = obs_overhead `Recorder } ]
 
 (* --- measurement ----------------------------------------------------------- *)
 
@@ -374,10 +402,10 @@ let run_scaling ~smoke =
 
 let () =
   let smoke = ref false in
-  let out = ref "BENCH_pr3.json" in
+  let out = ref "BENCH_pr4.json" in
   let baseline = ref "" in
   let runs = ref 0 in
-  let label = ref "pr3" in
+  let label = ref "pr4" in
   let scaling = ref false in
   let specs =
     [ ("--smoke", Arg.Set smoke, "tiny inputs, 1 run (harness self-test)");

@@ -1,22 +1,31 @@
 (* sider — command-line interface to the SIDER engine.
 
    Subcommands:
-     datasets   list the built-in datasets
-     view       print the most informative projection of a dataset
-     explore    run the full simulated-analyst exploration loop
-     repl       interactive session (select / cluster / update / next)
-     replay     reload a saved session snapshot and continue
-     export     generate a built-in dataset as CSV
-     runtime    run a single OPTIM/ICA timing cell (Table II)
-     trace      replay a session with the observability stderr sink on
+     datasets     list the built-in datasets
+     view         print the most informative projection of a dataset
+     explore      run the full simulated-analyst exploration loop
+     repl         interactive session (select / cluster / update / next)
+     replay       reload a saved session snapshot and continue
+     export       generate a built-in dataset as CSV
+     runtime      run a single OPTIM/ICA timing cell (Table II)
+     trace        replay a session with the observability stderr sink on
+     convergence  plot the per-sweep solver convergence series
+     serve        run feedback rounds with a Prometheus /metrics endpoint
 
    Datasets are built-in generators (three_d, x5, corpus, segmentation,
-   gaussian) or any CSV file with a header row. *)
+   gaussian) or any CSV file with a header row.
+
+   Telemetry defaults: every invocation honours SIDER_TRACE (stderr /
+   null), keeps the crash-forensics flight recorder on (auto-dumping to
+   stderr when the engine records an error), and accepts a uniform
+   --trace-json FILE flag that mirrors the span/metric stream to a
+   JSON-lines file. *)
 
 open Cmdliner
 open Sider_data
 open Sider_core
 open Sider_projection
+module Obs = Sider_obs.Obs
 
 (* --- dataset loading ------------------------------------------------------- *)
 
@@ -44,6 +53,33 @@ let load_dataset ~seed ~label_column name =
             "unknown dataset %S (not a builtin, not an existing file)" other))
 
 (* --- common options ----------------------------------------------------------- *)
+
+(* Uniform tracing flag: every subcommand accepts [--trace-json FILE] and
+   mirrors the observability stream there as JSON lines.  The channel is
+   closed (after a best-effort flush) by the [at_exit] hook in [main], so
+   even a run that dies on an exception keeps the spans written so far. *)
+let trace_json_out : out_channel option ref = ref None
+
+let setup_trace_json = function
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    trace_json_out := Some oc;
+    Obs.set_sink
+      (Some
+         (Obs.json_sink (fun line ->
+              output_string oc line;
+              output_char oc '\n')))
+
+let trace_json_t =
+  let doc =
+    "Mirror the observability stream (spans, metrics flush) to $(docv) \
+     as JSON lines."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "trace-json" ] ~docv:"FILE" ~doc)
+
+let obs_setup_t = Term.(const setup_trace_json $ trace_json_t)
 
 let seed_t =
   let doc = "Random seed (controls generators, sampling and FastICA)." in
@@ -77,12 +113,12 @@ let datasets_cmd =
       builtin_datasets
   in
   Cmd.v (Cmd.info "datasets" ~doc:"List built-in datasets")
-    Term.(const run $ const ())
+    Term.(const run $ obs_setup_t)
 
 (* --- view ------------------------------------------------------------------------ *)
 
 let view_cmd =
-  let run dataset seed label_column method_ svg =
+  let run () dataset seed label_column method_ svg =
     let ds = load_dataset ~seed ~label_column dataset in
     let session = Session.create ~seed ~method_ ds in
     print_endline (Dataset.describe ds);
@@ -96,7 +132,8 @@ let view_cmd =
   Cmd.v
     (Cmd.info "view"
        ~doc:"Show the most informative projection of a dataset")
-    Term.(const run $ dataset_t $ seed_t $ label_column_t $ method_t $ svg_t)
+    Term.(const run $ obs_setup_t $ dataset_t $ seed_t $ label_column_t
+          $ method_t $ svg_t)
 
 (* --- explore --------------------------------------------------------------------- *)
 
@@ -113,7 +150,7 @@ let explore_cmd =
     Arg.(value & opt float 10.0 & info [ "time-cutoff" ] ~docv:"SECONDS"
            ~doc:"MaxEnt solver time cutoff per update (SIDER default 10s).")
   in
-  let run dataset seed label_column method_ iterations threshold cutoff =
+  let run () dataset seed label_column method_ iterations threshold cutoff =
     let ds = load_dataset ~seed ~label_column dataset in
     let session = Session.create ~seed ~method_ ds in
     print_endline (Dataset.describe ds);
@@ -155,13 +192,13 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Run the full simulated-analyst exploration loop")
-    Term.(const run $ dataset_t $ seed_t $ label_column_t $ method_t
-          $ iterations_t $ threshold_t $ cutoff_t)
+    Term.(const run $ obs_setup_t $ dataset_t $ seed_t $ label_column_t
+          $ method_t $ iterations_t $ threshold_t $ cutoff_t)
 
 (* --- repl ------------------------------------------------------------------------ *)
 
 let repl_cmd =
-  let run dataset seed label_column method_ =
+  let run () dataset seed label_column method_ =
     let ds = load_dataset ~seed ~label_column dataset in
     let session = Session.create ~seed ~method_ ds in
     print_endline (Dataset.describe ds);
@@ -170,7 +207,8 @@ let repl_cmd =
   Cmd.v
     (Cmd.info "repl"
        ~doc:"Interactive terminal session (select / cluster / update / next)")
-    Term.(const run $ dataset_t $ seed_t $ label_column_t $ method_t)
+    Term.(const run $ obs_setup_t $ dataset_t $ seed_t $ label_column_t
+          $ method_t)
 
 (* --- replay ---------------------------------------------------------------------- *)
 
@@ -179,7 +217,7 @@ let replay_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SESSION.json"
            ~doc:"Session snapshot written by the repl's `savesession`.")
   in
-  let run path =
+  let run () path =
     let session = Persist.load path in
     Printf.printf "replayed %s: %d constraints, %d interactions\n" path
       (Array.length (Sider_maxent.Solver.constraints (Session.solver session)))
@@ -192,7 +230,7 @@ let replay_cmd =
     (Cmd.info "replay"
        ~doc:"Reload a saved session (exact deterministic replay) and \
              continue interactively")
-    Term.(const run $ path_t)
+    Term.(const run $ obs_setup_t $ path_t)
 
 (* --- export ----------------------------------------------------------------------- *)
 
@@ -201,13 +239,13 @@ let export_cmd =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT.csv"
            ~doc:"Output CSV path.")
   in
-  let run dataset seed out =
+  let run () dataset seed out =
     let ds = load_dataset ~seed ~label_column:None dataset in
     Csv.write_file out ds;
     Printf.printf "wrote %s (%s)\n" out (Dataset.describe ds)
   in
   Cmd.v (Cmd.info "export" ~doc:"Write a built-in dataset to CSV")
-    Term.(const run $ dataset_t $ seed_t $ out_t)
+    Term.(const run $ obs_setup_t $ dataset_t $ seed_t $ out_t)
 
 (* --- doctor ----------------------------------------------------------------------- *)
 
@@ -217,7 +255,13 @@ let doctor_cmd =
          & info [ "shallow" ]
              ~doc:"Skip the end-to-end solver probe (static checks only).")
   in
-  let run dataset seed label_column shallow =
+  let flight_t =
+    Arg.(value & flag
+         & info [ "flight-recorder" ]
+             ~doc:"After the report, dump the flight recorder's current \
+                   entries (JSON lines) to stdout.")
+  in
+  let run () dataset seed label_column shallow flight =
     let report =
       match
         Sider_robust.Sider_error.protect (fun () ->
@@ -232,14 +276,19 @@ let doctor_cmd =
       | exception Failure msg -> Doctor.fault ~check:"load" msg
     in
     print_string (Doctor.to_string report);
+    if flight then
+      ignore
+        (Obs.dump_flight_recorder ~out:stdout
+           ~reason:"doctor --flight-recorder" ());
     if not report.Doctor.healthy then Stdlib.exit 2
   in
   Cmd.v
     (Cmd.info "doctor"
-       ~doc:"Diagnose a dataset: static health checks plus an end-to-end \
-             solver probe.  Exits 0 when healthy, 2 when a fault was \
-             diagnosed.")
-    Term.(const run $ dataset_t $ seed_t $ label_column_t $ shallow_t)
+       ~doc:"Diagnose a dataset: static health checks, an end-to-end \
+             solver probe, and a telemetry self-check.  Exits 0 when \
+             healthy, 2 when a fault was diagnosed.")
+    Term.(const run $ obs_setup_t $ dataset_t $ seed_t $ label_column_t
+          $ shallow_t $ flight_t)
 
 (* --- trace ------------------------------------------------------------------------ *)
 
@@ -250,16 +299,20 @@ let doctor_cmd =
    (per-kind update histograms, Woodbury fast-path counters, end-to-end
    update latency).  Spans go to stderr so stdout stays scriptable. *)
 let trace_cmd =
-  let module Obs = Sider_obs.Obs in
   let cutoff_t =
     Arg.(value & opt float 10.0 & info [ "time-cutoff" ] ~docv:"SECONDS"
            ~doc:"MaxEnt solver time cutoff per update.")
   in
-  let run dataset seed label_column method_ cutoff =
+  let run () dataset seed label_column method_ cutoff =
     let ds = load_dataset ~seed ~label_column dataset in
     print_endline (Dataset.describe ds);
-    Obs.set_sink (Some (Obs.stderr_sink ()));
-    Fun.protect ~finally:(fun () -> Obs.set_sink None) @@ fun () ->
+    (* [--trace-json] (or SIDER_TRACE) may have installed a sink already;
+       keep it — the stderr sink is only the default. *)
+    let installed_here = not (Obs.sink_installed ()) in
+    if installed_here then Obs.set_sink (Some (Obs.stderr_sink ()));
+    Fun.protect
+      ~finally:(fun () -> if installed_here then Obs.set_sink None)
+    @@ fun () ->
     let session = Session.create ~seed ~method_ ds in
     let report label = function
       | Ok r ->
@@ -287,8 +340,8 @@ let trace_cmd =
        ~doc:"Replay a margin + 1-cluster feedback session with the \
              tracing sink enabled: nested spans with per-constraint \
              timings and a metrics summary on stderr.")
-    Term.(const run $ dataset_t $ seed_t $ label_column_t $ method_t
-          $ cutoff_t)
+    Term.(const run $ obs_setup_t $ dataset_t $ seed_t $ label_column_t
+          $ method_t $ cutoff_t)
 
 (* --- runtime ---------------------------------------------------------------------- *)
 
@@ -296,7 +349,7 @@ let runtime_cmd =
   let n_t = Arg.(value & opt int 2048 & info [ "n" ] ~doc:"Rows.") in
   let d_t = Arg.(value & opt int 16 & info [ "d" ] ~doc:"Dimensions.") in
   let k_t = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Clusters.") in
-  let run n d k seed =
+  let run () n d k seed =
     let ds = Synth.clustered ~seed ~n ~d ~k () in
     let data = Dataset.matrix ds in
     let constraints =
@@ -324,19 +377,163 @@ let runtime_cmd =
   in
   Cmd.v
     (Cmd.info "runtime" ~doc:"Time one cell of the paper's Table II grid")
-    Term.(const run $ n_t $ d_t $ k_t $ seed_t)
+    Term.(const run $ obs_setup_t $ n_t $ d_t $ k_t $ seed_t)
+
+(* --- convergence ------------------------------------------------------------------ *)
+
+(* The solver records one row per sweep into the [solver.convergence]
+   series (multiplier/parameter deltas, per-kind residuals, Woodbury
+   fast-path counts, wall time) while the observability layer is active;
+   this command replays the canonical margin + 1-cluster session with a
+   null sink and renders that series. *)
+let convergence_cmd =
+  let cutoff_t =
+    Arg.(value & opt float 10.0 & info [ "time-cutoff" ] ~docv:"SECONDS"
+           ~doc:"MaxEnt solver time cutoff per update.")
+  in
+  let run () dataset seed label_column cutoff =
+    let ds = load_dataset ~seed ~label_column dataset in
+    print_endline (Dataset.describe ds);
+    if not (Obs.enabled ()) then Obs.set_sink (Some Obs.null_sink);
+    let session = Session.create ~seed ds in
+    let update label =
+      match Session.update_background ~time_cutoff:cutoff session with
+      | Ok r ->
+        Printf.printf "%s: %d sweeps, converged %b\n" label
+          r.Sider_maxent.Solver.sweeps r.Sider_maxent.Solver.converged
+      | Error e ->
+        Printf.printf "%s: rolled back (%s)\n" label
+          (Sider_robust.Sider_error.to_string e)
+    in
+    Session.add_margin_constraint session;
+    update "margin update";
+    Session.add_one_cluster_constraint session;
+    update "1-cluster update";
+    match Obs.series "solver.convergence" with
+    | [] -> print_endline "no convergence series recorded"
+    | rows ->
+      let num key pt =
+        match List.assoc_opt key pt with
+        | Some (Obs.Float f) -> f
+        | Some (Obs.Int i) -> float_of_int i
+        | _ -> Float.nan
+      in
+      (* The sweep column restarts at 1 for each update; the plot x-axis
+         is the cumulative row index so both updates show in sequence. *)
+      let curve key =
+        Array.of_list
+          (List.mapi
+             (fun i pt ->
+               (float_of_int (i + 1),
+                Float.log10 (Float.max 1e-16 (num key pt))))
+             rows)
+      in
+      print_string
+        (Sider_viz.Ascii_plot.render ~width:72 ~height:18
+           ~title:"solver convergence (log10, per recorded sweep)"
+           ~xlabel:"sweep (cumulative over updates)" ~ylabel:"log10"
+           [ { Sider_viz.Ascii_plot.points = curve "max_dlambda";
+               glyph = 'L'; name = "L max|dlambda|" };
+             { Sider_viz.Ascii_plot.points = curve "max_dparam";
+               glyph = 'p'; name = "p max dparam/sd" };
+             { Sider_viz.Ascii_plot.points = curve "residual_linear";
+               glyph = 'l'; name = "l residual linear" };
+             { Sider_viz.Ascii_plot.points = curve "residual_quadratic";
+               glyph = 'q'; name = "q residual quadratic" } ]);
+      Printf.printf "%5s %12s %12s %12s %12s %6s %6s %9s\n" "sweep"
+        "max|dl|" "max dparam" "res lin" "res quad" "wfast" "wrec"
+        "wall s";
+      List.iter
+        (fun pt ->
+          Printf.printf "%5.0f %12.4g %12.4g %12.4g %12.4g %6.0f %6.0f %9.2g\n"
+            (num "sweep" pt) (num "max_dlambda" pt) (num "max_dparam" pt)
+            (num "residual_linear" pt) (num "residual_quadratic" pt)
+            (num "woodbury_fast" pt) (num "woodbury_recompute" pt)
+            (num "wall_s" pt))
+        rows
+  in
+  Cmd.v
+    (Cmd.info "convergence"
+       ~doc:"Replay a margin + 1-cluster feedback session and plot the \
+             solver's per-sweep convergence series (deltas, per-kind \
+             residuals, Woodbury fast-path counts).")
+    Term.(const run $ obs_setup_t $ dataset_t $ seed_t $ label_column_t
+          $ cutoff_t)
+
+(* --- serve ------------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let port_t =
+    Arg.(value & opt int 9100 & info [ "metrics-port" ] ~docv:"PORT"
+           ~doc:"TCP port for the Prometheus text exposition endpoint \
+                 (GET /metrics, GET /healthz); 0 picks an ephemeral port.")
+  in
+  let rounds_t =
+    Arg.(value & opt int 0 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Feedback rounds to run before exiting; 0 (default) runs \
+                 until interrupted.")
+  in
+  let run () dataset seed label_column method_ port rounds =
+    let ds = load_dataset ~seed ~label_column dataset in
+    (* /metrics serves the registry, which only fills while the layer is
+       active; a null sink turns recording on without trace output
+       (unless --trace-json / SIDER_TRACE already installed one). *)
+    if not (Obs.enabled ()) then Obs.set_sink (Some Obs.null_sink);
+    let server = Sider_serve.Serve.start ~port () in
+    Fun.protect ~finally:(fun () -> Sider_serve.Serve.stop server)
+    @@ fun () ->
+    Printf.printf
+      "serving http://127.0.0.1:%d/metrics (liveness on /healthz)\n%!"
+      (Sider_serve.Serve.port server);
+    print_endline (Dataset.describe ds);
+    let round = ref 0 in
+    while rounds = 0 || !round < rounds do
+      incr round;
+      let session = Session.create ~seed:(seed + !round) ~method_ ds in
+      Session.add_margin_constraint session;
+      ignore (Session.update_background session);
+      ignore (Session.recompute_view session);
+      Session.add_one_cluster_constraint session;
+      ignore (Session.update_background session);
+      ignore (Session.recompute_view session);
+      Obs.count "serve.rounds";
+      Printf.printf "round %d done\n%!" !round;
+      if rounds = 0 || !round < rounds then Unix.sleepf 0.5
+    done
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run continuous feedback rounds on a dataset while exposing \
+             the live metrics registry as a Prometheus text endpoint.")
+    Term.(const run $ obs_setup_t $ dataset_t $ seed_t $ label_column_t
+          $ method_t $ port_t $ rounds_t)
 
 let main =
   let doc = "SIDER: interactive visual data exploration with subjective feedback" in
   Cmd.group
     (Cmd.info "sider" ~version:"1.0.0" ~doc)
     [ datasets_cmd; view_cmd; explore_cmd; repl_cmd; replay_cmd;
-      export_cmd; runtime_cmd; doctor_cmd; trace_cmd ]
+      export_cmd; runtime_cmd; doctor_cmd; trace_cmd; convergence_cmd;
+      serve_cmd ]
 
 (* Structured engine errors become one-line diagnostics with distinct
    exit codes instead of an OCaml backtrace: 2 for a diagnosed numerical
    or data fault, 1 for everything else. *)
 let () =
+  (* Production telemetry defaults: honour SIDER_TRACE, keep the
+     crash-forensics ring on (auto-dumping new entries to stderr whenever
+     the engine records an error), and flush whatever sink is live on the
+     way out — including the --trace-json channel. *)
+  Obs.install_from_env ();
+  Obs.set_flight_recorder ~capacity:512 true;
+  Obs.set_flight_auto_dump (Some stderr);
+  at_exit (fun () ->
+      (try Obs.flush () with _ -> ());
+      match !trace_json_out with
+      | Some oc ->
+        trace_json_out := None;
+        (try Stdlib.flush oc; close_out oc with _ -> ())
+      | None -> ());
   try exit (Cmd.eval ~catch:false main) with
   | Sider_robust.Sider_error.Error e ->
     Printf.eprintf "sider: %s\n" (Sider_robust.Sider_error.to_string e);

@@ -1,6 +1,7 @@
 open Sider_linalg
 open Sider_data
 open Sider_robust
+module Obs = Sider_obs.Obs
 
 type severity = Info | Warning | Fault
 
@@ -204,6 +205,54 @@ let deep_probe ~seed ds acc =
           (Printexc.to_string exn) }
     :: acc
 
+(* Telemetry self-checks: the observability layer itself is part of the
+   production surface (flight recorder, /metrics endpoint), so the doctor
+   verifies it can actually carry a span.  The round-trip probe installs
+   a throwaway recording sink — skipped when a real sink is live, since
+   [set_sink] would silently replace it. *)
+let check_telemetry acc =
+  let acc =
+    if Obs.sink_installed () then
+      { check = "telemetry"; severity = Info;
+        message =
+          "a sink is already installed; span round-trip probe skipped \
+           to keep the live trace intact" }
+      :: acc
+    else begin
+      let r = Obs.recording_sink () in
+      Obs.set_sink (Some r.Obs.rec_sink);
+      Obs.with_span "doctor.roundtrip" (fun () -> ());
+      let spans = r.Obs.spans () in
+      Obs.set_sink None;
+      match spans with
+      | [ s ]
+        when s.Obs.name = "doctor.roundtrip"
+             && Int64.compare s.Obs.dur_ns 0L >= 0 ->
+        { check = "telemetry"; severity = Info;
+          message = "span round-trip ok (install → span → uninstall)" }
+        :: acc
+      | spans ->
+        { check = "telemetry"; severity = Fault;
+          message =
+            Printf.sprintf
+              "span round-trip failed: expected 1 completed span, got %d"
+              (List.length spans) }
+        :: acc
+    end
+  in
+  let st = Obs.flight_stats () in
+  { check = "telemetry"; severity = Info;
+    message =
+      (if st.Obs.fr_enabled then
+         Printf.sprintf
+           "flight recorder on: capacity %d, %d entries written, %d \
+            dropped by wraparound"
+           st.Obs.fr_capacity st.Obs.fr_written st.Obs.fr_dropped
+       else
+         Printf.sprintf "flight recorder off (capacity %d)"
+           st.Obs.fr_capacity) }
+  :: acc
+
 let check_dataset ?(deep = true) ?(seed = 2018) ds =
   let acc = [] in
   let acc = check_shape ds acc in
@@ -215,6 +264,9 @@ let check_dataset ?(deep = true) ?(seed = 2018) ds =
   let acc =
     if deep && not static_fault then deep_probe ~seed ds acc else acc
   in
+  (* Last, so the flight-recorder stats reflect whatever the deep probe
+     recorded. *)
+  let acc = check_telemetry acc in
   finalize acc
 
 let to_string report =

@@ -29,7 +29,10 @@ val check_dataset : ?deep:bool -> ?seed:int -> Dataset.t -> report
 (** Run all checks.  [deep] (default [true]) enables the end-to-end solver
     probe; it is skipped automatically when a static fault was already
     found (the probe would only crash on the same defect).  [seed]
-    (default 2018) seeds the probe session. *)
+    (default 2018) seeds the probe session.  The report ends with a
+    telemetry section: a sink install → span → uninstall round-trip
+    (skipped, with an [Info] note, when a live sink is installed) and the
+    flight recorder's capacity / written / dropped statistics. *)
 
 val fault : check:string -> string -> report
 (** A report consisting of one fault — for callers whose input failed

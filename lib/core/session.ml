@@ -144,7 +144,10 @@ let add_one_cluster_constraint t =
 
 let degradations t = List.rev t.degradations
 
-let degrade t e = t.degradations <- e :: t.degradations
+let degrade t e =
+  t.degradations <- e :: t.degradations;
+  Obs.flight_event ~name:"session.degradation"
+    ~detail:(Sider_robust.Sider_error.to_string e)
 
 (* Queued constraints whose statistics are not finite would poison every
    multiplier they touch; catch them before they reach the solver. *)
@@ -195,6 +198,10 @@ let update_background ?(time_cutoff = 10.0) ?max_sweeps ?lambda_tol
     t.pending <- checkpoint_pending;
     degrade t e;
     Obs.span_attr "outcome" (Obs.Str "rolled_back");
+    let reason = Sider_robust.Sider_error.to_string e in
+    Obs.flight_event ~name:"session.update_background"
+      ~detail:("error: " ^ reason);
+    Obs.flight_auto_dump ~reason;
     Error e
 
 let update_background_exn ?time_cutoff ?max_sweeps ?lambda_tol ?param_tol t =

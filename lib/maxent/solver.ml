@@ -17,6 +17,11 @@ type t = {
   partition : Partition.t;
   classes : Gauss_params.t array;
   data_sd : float;
+  (* Per-constraint duration-histogram handle for the instrumented
+     update path (per-kind names), built once so the per-update hot
+     loop pays neither allocation nor a registry lookup when a sink or
+     the flight recorder is active. *)
+  update_obs : Obs.hist array;
 }
 
 type report = {
@@ -42,7 +47,17 @@ let build data constraints init_params =
     Array.init (Partition.n_classes partition) (fun c ->
         init_params ~cls:c ~representative:(Partition.members partition c).(0) ~d)
   in
-  { data; constraints; partition; classes; data_sd = overall_sd data }
+  let update_obs =
+    Array.map
+      (fun (c : Constr.t) ->
+        Obs.hist_handle
+          (match c.Constr.kind with
+           | Constr.Linear -> "solver.update.linear_s"
+           | Constr.Quadratic -> "solver.update.quadratic_s"))
+      constraints
+  in
+  { data; constraints; partition; classes; data_sd = overall_sd data;
+    update_obs }
 
 let create data constraints =
   build data constraints (fun ~cls:_ ~representative:_ ~d ->
@@ -113,6 +128,19 @@ let residual t =
       worst := Float.max !worst (Float.abs (v -. constr.Constr.target) /. scale))
     t.constraints;
   !worst
+
+let residual_by_kind t =
+  let worst_l = ref 0.0 and worst_q = ref 0.0 in
+  Array.iteri
+    (fun idx (constr : Constr.t) ->
+      let v = expectation_idx t idx in
+      let scale = Float.max 1.0 (Float.abs constr.Constr.target) in
+      let r = Float.abs (v -. constr.Constr.target) /. scale in
+      match constr.Constr.kind with
+      | Constr.Linear -> worst_l := Float.max !worst_l r
+      | Constr.Quadratic -> worst_q := Float.max !worst_q r)
+    t.constraints;
+  (!worst_l, !worst_q)
 
 (* --- one constraint update ---------------------------------------------- *)
 
@@ -287,29 +315,16 @@ let first_bad_class t =
 let restore_classes t snapshot =
   Array.iteri (fun cls p -> t.classes.(cls) <- Gauss_params.copy p) snapshot
 
-(* One constraint update, instrumented when a sink is installed: a
-   [solver.update] span tagged with the constraint's provenance plus a
-   per-kind duration histogram.  The disabled branch calls the kernels
-   directly so the hot loop pays one ref read and nothing else. *)
+(* One constraint update.  Telemetry lives in the sweep loop, not here:
+   a span per constraint update (hundreds per solve, each ~10 µs of
+   useful work) costs more than it tells, so spans stop at sweep
+   granularity and per-update durations go into per-kind histograms
+   via preregistered handles with chained clock reads — see
+   [solve_body]. *)
 let run_update t idx (constr : Constr.t) ~lambda_cap ~damp =
-  let run () =
-    match constr.Constr.kind with
-    | Constr.Linear -> update_linear t idx ~damp
-    | Constr.Quadratic -> update_quadratic t idx ~lambda_cap ~damp
-  in
-  if not (Obs.enabled ()) then run ()
-  else begin
-    let kind_s =
-      match constr.Constr.kind with
-      | Constr.Linear -> "linear"
-      | Constr.Quadratic -> "quadratic"
-    in
-    Obs.timed
-      ~hist:("solver.update." ^ kind_s ^ "_s")
-      ~attrs:
-        [ ("tag", Obs.Str constr.Constr.tag); ("kind", Obs.Str kind_s) ]
-      "solver.update" run
-  end
+  match constr.Constr.kind with
+  | Constr.Linear -> update_linear t idx ~damp
+  | Constr.Quadratic -> update_quadratic t idx ~lambda_cap ~damp
 
 let solve_body ~max_sweeps ~lambda_tol ~param_tol ~time_cutoff ~lambda_cap
     ~recovery_budget ~trace t =
@@ -323,6 +338,8 @@ let solve_body ~max_sweeps ~lambda_tol ~param_tol ~time_cutoff ~lambda_cap
   let stop = ref false in
   let degrade e =
     Obs.count "solver.degradation";
+    Obs.flight_event ~name:"solver.degradation" ~detail:(Sider_error.to_string e);
+    Obs.flight_auto_dump ~reason:(Sider_error.to_string e);
     degradations := e :: !degradations
   in
   let cut_off () =
@@ -334,6 +351,15 @@ let solve_body ~max_sweeps ~lambda_tol ~param_tol ~time_cutoff ~lambda_cap
         && not (cut_off ())
   do
     incr sweeps;
+    (* Sweep-local telemetry baselines, read only when the layer is
+       active: the convergence series reports per-sweep Woodbury
+       fast/recompute deltas and per-sweep wall clock. *)
+    let obs = Obs.enabled () in
+    let sweep_t0 = if obs then Obs.now_ns () else 0L in
+    let wood_fast0 = if obs then Obs.counter_value "gauss.woodbury.fast" else 0
+    and wood_rec0 =
+      if obs then Obs.counter_value "gauss.woodbury.recompute" else 0
+    in
     Obs.with_span "solver.sweep" ~attrs:[ ("sweep", Obs.Int !sweeps) ]
     @@ fun () ->
     (* Fault-injection hooks (no-ops unless a test armed them). *)
@@ -359,9 +385,19 @@ let solve_body ~max_sweeps ~lambda_tol ~param_tol ~time_cutoff ~lambda_cap
      | None -> ());
     let snapshot = Array.map Gauss_params.copy t.classes in
     let max_dl = ref 0.0 and max_dp = ref 0.0 in
+    (* Chained per-update timing: the end of update [i] is the start of
+       update [i+1], so the instrumented loop pays one clock read and
+       one handle push per update (the disabled loop pays nothing). *)
+    let t_prev = ref (if obs then Obs.now_ns () else 0L) in
     Array.iteri
       (fun idx (constr : Constr.t) ->
         let dl, dp, faults = run_update t idx constr ~lambda_cap ~damp:!damp in
+        if obs then begin
+          let now = Obs.now_ns () in
+          Obs.observe_into t.update_obs.(idx)
+            (Int64.to_float (Int64.sub now !t_prev) /. 1e9);
+          t_prev := now
+        end;
         incr updates;
         List.iter degrade faults;
         max_dl := Float.max !max_dl (Float.abs dl);
@@ -400,6 +436,27 @@ let solve_body ~max_sweeps ~lambda_tol ~param_tol ~time_cutoff ~lambda_cap
      | None ->
        last_dlambda := !max_dl;
        last_dparam := !max_dp;
+       if obs then begin
+         (* One convergence-series row per completed sweep: enough to
+            diagnose a stalling iterative-scaling run as a time series
+            (rendered by `sider convergence`).  Reads only — the solver
+            state is untouched, so numerics stay bit-identical. *)
+         let res_l, res_q = residual_by_kind t in
+         Obs.series_add "solver.convergence"
+           [ ("sweep", Obs.Int !sweeps);
+             ("max_dlambda", Obs.Float !max_dl);
+             ("max_dparam", Obs.Float !max_dp);
+             ("residual_linear", Obs.Float res_l);
+             ("residual_quadratic", Obs.Float res_q);
+             ("woodbury_fast",
+              Obs.Int (Obs.counter_value "gauss.woodbury.fast" - wood_fast0));
+             ("woodbury_recompute",
+              Obs.Int
+                (Obs.counter_value "gauss.woodbury.recompute" - wood_rec0));
+             ("wall_s",
+              Obs.Float
+                (Int64.to_float (Int64.sub (Obs.now_ns ()) sweep_t0) /. 1e9)) ]
+       end;
        (match trace with
         | Some f -> f ~sweep:!sweeps ~updates:!updates t
         | None -> ());

@@ -92,6 +92,11 @@ val residual : t -> float
 (** Maximum over constraints of [|expectation − target|] scaled by
     [max(1, |target|)]: a global feasibility measure used by tests. *)
 
+val residual_by_kind : t -> float * float
+(** {!residual} split into [(linear, quadratic)] worst cases — the
+    per-constraint-kind residual recorded into the [solver.convergence]
+    series each sweep (0 for a kind with no constraints). *)
+
 val relative_entropy : t -> float
 (** [−S = E_p[log(p(X)/q(X))]]: the Kullback-Leibler divergence of the
     background distribution from the prior (the negated objective of

@@ -27,27 +27,24 @@ type sink = {
 
 (* --- clock ---------------------------------------------------------------- *)
 
-(* Wall time rebased to the first observation, clamped non-decreasing:
-   gettimeofday can step backwards (NTP), and negative durations would
-   violate the invariants downstream consumers (and the property tests)
-   rely on. *)
-let epoch = ref None
+(* Wall time rebased to module load, clamped non-decreasing across all
+   domains: gettimeofday can step backwards (NTP), and negative durations
+   would violate the invariants downstream consumers (and the property
+   tests) rely on.  The clamp is a CAS max so the clock can be read from
+   worker domains without a lock. *)
+let epoch = Unix.gettimeofday ()
 
-let last_ns = ref 0L
+let last_ns : int64 Atomic.t = Atomic.make 0L
 
 let now_ns () =
-  let t = Unix.gettimeofday () in
-  let e =
-    match !epoch with
-    | Some e -> e
-    | None ->
-      epoch := Some t;
-      t
+  let raw = Int64.of_float ((Unix.gettimeofday () -. epoch) *. 1e9) in
+  let rec clamp () =
+    let last = Atomic.get last_ns in
+    if Int64.compare raw last <= 0 then last
+    else if Atomic.compare_and_set last_ns last raw then raw
+    else clamp ()
   in
-  let raw = Int64.of_float ((t -. e) *. 1e9) in
-  let ns = if Int64.compare raw !last_ns < 0 then !last_ns else raw in
-  last_ns := ns;
-  ns
+  clamp ()
 
 (* --- global state --------------------------------------------------------- *)
 
@@ -60,7 +57,41 @@ type frame = {
 
 let current_sink : sink option ref = ref None
 
-let stack : frame list ref = ref []
+(* The single fast-path switch: true iff a sink is installed or the
+   flight recorder is on.  Every entry point reads this one ref and
+   returns immediately when false. *)
+let active = ref false
+
+(* The domain that owns the sink (installs it and is the only one that
+   ever calls its callbacks).  Defaults to whichever domain loaded this
+   module — in practice the main one. *)
+let controller : int ref = ref (Domain.self () :> int)
+
+let is_controller () = (Domain.self () :> int) = !controller
+
+(* Per-domain span stacks: each domain pushes and pops frames on its own
+   stack, so bodies fanned out by [Sider_par] can open spans freely. *)
+let dls_stack : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let own_stack () = Domain.DLS.get dls_stack
+
+(* Depth offset for spans opened on worker domains (or inside parallel
+   bodies on the controller): the controller's open-span depth at the
+   moment the fan-out engaged, maintained by [Sider_par].  [fanout_on]
+   additionally marks controller-run chunk bodies so their spans are
+   tagged with a domain id exactly like worker-run ones. *)
+let fanout_base = Atomic.make 0
+
+let fanout_on = Atomic.make false
+
+let enter_fanout ~depth =
+  Atomic.set fanout_base (Stdlib.max 0 depth);
+  Atomic.set fanout_on true
+
+let exit_fanout () =
+  Atomic.set fanout_base 0;
+  Atomic.set fanout_on false
 
 type hist_acc = { mutable values : float array; mutable len : int }
 
@@ -68,13 +99,17 @@ type instrument = I_counter of int ref | I_gauge of float ref | I_hist of hist_a
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 
-(* The metrics registry is shared across domains: bodies fanned out by
-   [Sider_par] bump counters (e.g. the Woodbury fast-path counters) from
-   worker domains.  Every registry access is taken under this mutex once
-   the [enabled] fast path has passed; with no sink installed nothing
-   locks.  The span stack stays single-domain (owned by whichever domain
-   installed the sink — in practice the main one); parallel bodies must
-   not open spans. *)
+(* Time-series registry: named sequences of attribute rows (the solver's
+   per-sweep convergence records).  Rows are kept newest-first and
+   reversed on read. *)
+let series_tbl : (string, (string * value) list list ref) Hashtbl.t =
+  Hashtbl.create 8
+
+(* The metrics and series registries are shared across domains: bodies
+   fanned out by [Sider_par] bump counters (e.g. the Woodbury fast-path
+   counters) from worker domains.  Every registry access is taken under
+   this mutex once the [active] fast path has passed; with the layer off
+   nothing locks. *)
 let registry_m = Mutex.create ()
 
 let locked f =
@@ -87,51 +122,144 @@ let locked f =
     Mutex.unlock registry_m;
     raise e
 
+(* Completed spans from worker domains, buffered until the controller
+   next emits (so sink callbacks stay single-threaded) and bounded so a
+   sink-less stretch cannot leak memory. *)
+let pending_max = 8192
+
+let pending : span list ref = ref []  (* newest first *)
+
+let pending_len = ref 0
+
+let pending_dropped = ref 0
+
+let pending_m = Mutex.create ()
+
+let push_pending sp =
+  Mutex.lock pending_m;
+  if !pending_len >= pending_max then incr pending_dropped
+  else begin
+    pending := sp :: !pending;
+    incr pending_len
+  end;
+  Mutex.unlock pending_m
+
+let take_pending () =
+  Mutex.lock pending_m;
+  let spans = List.rev !pending in
+  pending := [];
+  pending_len := 0;
+  Mutex.unlock pending_m;
+  spans
+
+(* --- flight recorder ------------------------------------------------------ *)
+
+(* Always-on-capable ring buffer of the last [capacity] completed spans
+   and discrete events.  Writes are lock-free — one fetch-and-add on the
+   cursor plus one slot store — so worker domains record without
+   contending.  Reads (dumps) are best-effort snapshots: a slot being
+   overwritten mid-dump yields a stale entry, never a crash. *)
+
+type flight_entry =
+  | F_span of span
+  | F_event of { at_ns : int64; ev_name : string; detail : string }
+
+type flight_stats = {
+  fr_enabled : bool;
+  fr_capacity : int;
+  fr_written : int;
+  fr_dropped : int;
+}
+
+let fr_default_capacity = 256
+
+let fr_on = ref false
+
+let fr_slots : flight_entry option array ref =
+  ref (Array.make fr_default_capacity None)
+
+let fr_cursor = Atomic.make 0
+
+(* Cursor position of the last auto-dump: automatic dumps emit only the
+   entries recorded since the previous one, so a cascade of degradations
+   produces incremental dumps instead of repeating the whole ring. *)
+let fr_auto_cursor = ref 0
+
+let fr_auto_dest : out_channel option ref = ref None
+
+let refresh_active () = active := !current_sink <> None || !fr_on
+
+let set_flight_recorder ?(capacity = fr_default_capacity) on =
+  let capacity = Stdlib.max 1 capacity in
+  if Array.length !fr_slots <> capacity then begin
+    fr_slots := Array.make capacity None;
+    Atomic.set fr_cursor 0;
+    fr_auto_cursor := 0
+  end;
+  fr_on := on;
+  refresh_active ()
+
+let flight_recorder_enabled () = !fr_on
+
+let fr_record e =
+  let slots = !fr_slots in
+  let i = Atomic.fetch_and_add fr_cursor 1 in
+  slots.(i mod Array.length slots) <- Some e
+
+let flight_event ~name ~detail =
+  if !active && !fr_on then
+    fr_record (F_event { at_ns = now_ns (); ev_name = name; detail })
+
+let flight_reset () =
+  Array.fill !fr_slots 0 (Array.length !fr_slots) None;
+  Atomic.set fr_cursor 0;
+  fr_auto_cursor := 0
+
+let flight_stats () =
+  let written = Atomic.get fr_cursor in
+  let cap = Array.length !fr_slots in
+  {
+    fr_enabled = !fr_on;
+    fr_capacity = cap;
+    fr_written = written;
+    fr_dropped = Stdlib.max 0 (written - cap);
+  }
+
+let set_flight_auto_dump dest = fr_auto_dest := dest
+
+(* --- sink installation ---------------------------------------------------- *)
+
 let set_sink s =
-  stack := [];
-  current_sink := s
+  (own_stack ()) := [];
+  controller := (Domain.self () :> int);
+  Mutex.lock pending_m;
+  pending := [];
+  pending_len := 0;
+  Mutex.unlock pending_m;
+  current_sink := s;
+  refresh_active ()
 
-let enabled () = !current_sink <> None
+let enabled () = !active
 
-let current_depth () = List.length !stack
+let sink_installed () = !current_sink <> None
+
+let current_depth () = List.length !(own_stack ())
+
+(* Bumped (under the registry mutex) every time the registry is cleared,
+   so preregistered instrument handles notice and rebind lazily. *)
+let registry_gen = ref 0
 
 let reset () =
-  locked (fun () -> Hashtbl.reset registry);
-  stack := []
-
-(* --- spans ---------------------------------------------------------------- *)
-
-let span_attr k v =
-  match !stack with
-  | fr :: _ -> fr.f_attrs <- (k, v) :: fr.f_attrs
-  | [] -> ()
-
-let with_span ?(attrs = []) name f =
-  match !current_sink with
-  | None -> f ()
-  | Some sink ->
-    let fr =
-      { f_name = name; f_depth = List.length !stack; f_start = now_ns ();
-        f_attrs = List.rev attrs }
-    in
-    stack := fr :: !stack;
-    Fun.protect
-      ~finally:(fun () ->
-        (* Pop down to (and including) our frame; anything above it means
-           the body leaked open spans — close them implicitly rather than
-           corrupt the stack. *)
-        let rec pop = function
-          | top :: rest ->
-            if top == fr then stack := rest else pop rest
-          | [] -> stack := []
-        in
-        pop !stack;
-        let dur = Int64.sub (now_ns ()) fr.f_start in
-        let dur = if Int64.compare dur 0L < 0 then 0L else dur in
-        sink.on_span
-          { name = fr.f_name; depth = fr.f_depth; start_ns = fr.f_start;
-            dur_ns = dur; attrs = List.rev fr.f_attrs })
-      f
+  locked (fun () ->
+      Hashtbl.reset registry;
+      Hashtbl.reset series_tbl;
+      incr registry_gen);
+  (own_stack ()) := [];
+  Mutex.lock pending_m;
+  pending := [];
+  pending_len := 0;
+  pending_dropped := 0;
+  Mutex.unlock pending_m
 
 (* --- metrics -------------------------------------------------------------- *)
 
@@ -145,13 +273,19 @@ let counter_ref name =
     r
 
 let count ?(by = 1) name =
-  if enabled () then
+  if !active then
     locked (fun () ->
         let r = counter_ref name in
         r := !r + by)
 
+let counter_value name =
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (I_counter r) -> !r
+      | _ -> 0)
+
 let gauge name v =
-  if enabled () then
+  if !active then
     locked (fun () ->
         match Hashtbl.find_opt registry name with
         | Some (I_gauge r) -> r := v
@@ -159,7 +293,7 @@ let gauge name v =
         | None -> Hashtbl.add registry name (I_gauge (ref v)))
 
 let observe name v =
-  if enabled () then
+  if !active then
     locked (fun () ->
         let h =
           match Hashtbl.find_opt registry name with
@@ -179,19 +313,180 @@ let observe name v =
         h.values.(h.len) <- v;
         h.len <- h.len + 1)
 
-let timed ?attrs ~hist name f =
-  if not (enabled ()) then f ()
-  else begin
-    let t0 = now_ns () in
-    Fun.protect
-      ~finally:(fun () ->
-        observe hist (Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9))
-      (fun () -> with_span ?attrs name f)
+(* --- preregistered histogram handles -------------------------------------- *)
+
+(* [observe] pays a mutex acquisition plus a hashtable lookup per call —
+   fine for coarse events, too heavy for a per-constraint-update site
+   that fires hundreds of times per solve.  A handle caches the bound
+   accumulator and pushes without the registry mutex.  This is sound
+   under the layer's writer discipline: handles are only ever written
+   from the controller domain (worker domains go through [observe]),
+   and concurrent readers are either same-domain systhreads (serialized
+   by the runtime lock at safepoints, and every intermediate state of
+   the push below is a consistent prefix) or take a snapshot under the
+   registry mutex after the controller is quiescent. *)
+
+type hist = {
+  h_name : string;
+  mutable h_acc : hist_acc;
+  mutable h_gen : int;  (* generation [h_acc] was bound under; -1 = unbound *)
+}
+
+let hist_handle name = { h_name = name; h_acc = { values = [||]; len = 0 }; h_gen = -1 }
+
+let hist_rebind h =
+  locked (fun () ->
+      let acc =
+        match Hashtbl.find_opt registry h.h_name with
+        | Some (I_hist a) -> a
+        | Some _ ->
+          invalid_arg (Printf.sprintf "Obs: %S is not a histogram" h.h_name)
+        | None ->
+          let a = { values = Array.make 16 0.0; len = 0 } in
+          Hashtbl.add registry h.h_name (I_hist a);
+          a
+      in
+      h.h_acc <- acc;
+      h.h_gen <- !registry_gen)
+
+let observe_into h v =
+  if !active then begin
+    if h.h_gen <> !registry_gen then hist_rebind h;
+    let acc = h.h_acc in
+    if acc.len = Array.length acc.values then begin
+      let bigger = Array.make (Stdlib.max 16 (2 * acc.len)) 0.0 in
+      Array.blit acc.values 0 bigger 0 acc.len;
+      acc.values <- bigger
+    end;
+    acc.values.(acc.len) <- v;
+    acc.len <- acc.len + 1
   end
 
-(* Type-7 quantile on a sorted prefix, matching [Descriptive.quantile]. *)
+(* --- series --------------------------------------------------------------- *)
+
+let series_add name row =
+  if !active then
+    locked (fun () ->
+        match Hashtbl.find_opt series_tbl name with
+        | Some rows -> rows := row :: !rows
+        | None -> Hashtbl.add series_tbl name (ref [ row ]))
+
+let series name =
+  locked (fun () ->
+      match Hashtbl.find_opt series_tbl name with
+      | Some rows -> List.rev !rows
+      | None -> [])
+
+let series_names () =
+  locked (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) series_tbl [])
+  |> List.sort compare
+
+(* --- GC telemetry --------------------------------------------------------- *)
+
+(* Sampled when a root span closes on the controller: cheap enough to be
+   invisible next to any span worth opening, frequent enough that the
+   gauges track a long-running session. *)
+let sample_gc () =
+  let s = Gc.quick_stat () in
+  gauge "gc.minor_collections" (float_of_int s.Gc.minor_collections);
+  gauge "gc.major_collections" (float_of_int s.Gc.major_collections);
+  gauge "gc.promoted_words" s.Gc.promoted_words;
+  gauge "gc.heap_words" (float_of_int s.Gc.heap_words)
+
+(* --- spans ---------------------------------------------------------------- *)
+
+let span_attr k v =
+  match !(own_stack ()) with
+  | fr :: _ -> fr.f_attrs <- (k, v) :: fr.f_attrs
+  | [] -> ()
+
+(* Emit a completed span.  Controller spans go straight to the sink
+   (after draining any buffered worker spans, so children stitched in
+   from other domains appear before their logical parent closes);
+   worker spans are buffered.  Everything lands in the flight recorder
+   ring when it is on. *)
+let complete_span ~worker sp =
+  if !fr_on then fr_record (F_span sp);
+  match !current_sink with
+  | None -> ()
+  | Some sink ->
+    if worker then push_pending sp
+    else begin
+      (* Unlocked length probe: workers only push while the controller is
+         blocked inside [Par.run_job], and the pool mutex handover there
+         orders their pushes before this read, so a zero here is exact —
+         the common single-domain case skips the drain mutex entirely. *)
+      if !pending_len > 0 then List.iter sink.on_span (take_pending ());
+      sink.on_span sp;
+      if sp.depth = 0 then sample_gc ()
+    end
+
+(* Close [fr]: pop down to (and including) its frame — anything above it
+   means the body leaked open spans; close them implicitly rather than
+   corrupt the stack — then time, optionally feed [hist], and emit. *)
+let finish_span ~stack ~worker ~in_fanout ~hist fr =
+  let rec pop = function
+    | top :: rest -> if top == fr then stack := rest else pop rest
+    | [] -> stack := []
+  in
+  pop !stack;
+  let dur = Int64.sub (now_ns ()) fr.f_start in
+  let dur = if Int64.compare dur 0L < 0 then 0L else dur in
+  (match hist with
+   | None -> ()
+   | Some h -> observe h (Int64.to_float dur /. 1e9));
+  let attrs = List.rev fr.f_attrs in
+  let attrs =
+    if in_fanout then attrs @ [ ("domain", Int (Domain.self () :> int)) ]
+    else attrs
+  in
+  complete_span ~worker
+    { name = fr.f_name; depth = fr.f_depth; start_ns = fr.f_start;
+      dur_ns = dur; attrs }
+
+(* Shared body of [with_span] / [timed]: one clock read on open, one on
+   close (the histogram sample reuses the span's own duration), and a
+   hand-rolled unwind instead of [Fun.protect] — this path runs per
+   constraint update, so closure and exception-wrapper allocations are
+   worth avoiding. *)
+let with_span_core ~attrs ~hist name f =
+  let stack = own_stack () in
+  let worker = not (is_controller ()) in
+  let in_fanout = worker || Atomic.get fanout_on in
+  let base = if in_fanout then Atomic.get fanout_base else 0 in
+  let fr =
+    { f_name = name;
+      f_depth = base + List.length !stack;
+      f_start = now_ns ();
+      f_attrs = List.rev attrs }
+  in
+  stack := fr :: !stack;
+  match f () with
+  | v ->
+    finish_span ~stack ~worker ~in_fanout ~hist fr;
+    v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    finish_span ~stack ~worker ~in_fanout ~hist fr;
+    Printexc.raise_with_backtrace e bt
+
+let with_span ?(attrs = []) name f =
+  if not !active then f () else with_span_core ~attrs ~hist:None name f
+
+let timed ?(attrs = []) ~hist name f =
+  if not !active then f ()
+  else with_span_core ~attrs ~hist:(Some hist) name f
+
+(* --- quantiles ------------------------------------------------------------ *)
+
+(* Type-7 quantile on a sorted prefix, matching [Descriptive.quantile].
+   Edge cases are pinned down by the qcheck suite: the empty histogram
+   yields 0.0 (never NaN — a NaN would poison JSON output and the
+   Prometheus exposition), and a single observation is its own quantile
+   at every p. *)
 let quantile_sorted sorted len p =
-  if len = 0 then nan
+  if len = 0 then 0.0
+  else if len = 1 then sorted.(0)
   else begin
     let h = p *. float_of_int (len - 1) in
     let lo = int_of_float (Float.floor h) in
@@ -199,6 +494,11 @@ let quantile_sorted sorted len p =
     let hi = if lo + 1 > len - 1 then len - 1 else lo + 1 in
     sorted.(lo) +. ((h -. float_of_int lo) *. (sorted.(hi) -. sorted.(lo)))
   end
+
+let quantile_type7 values p =
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  quantile_sorted sorted (Array.length sorted) p
 
 let metrics_snapshot () =
   locked (fun () ->
@@ -219,7 +519,7 @@ let metrics_snapshot () =
               sum;
               p50 = quantile_sorted sorted h.len 0.5;
               p95 = quantile_sorted sorted h.len 0.95;
-              max = (if h.len = 0 then nan else sorted.(h.len - 1));
+              max = (if h.len = 0 then 0.0 else sorted.(h.len - 1));
             }
       in
       m :: acc)
@@ -234,7 +534,9 @@ let metrics_snapshot () =
 let flush () =
   match !current_sink with
   | None -> ()
-  | Some sink -> sink.on_metrics (metrics_snapshot ())
+  | Some sink ->
+    List.iter sink.on_span (take_pending ());
+    sink.on_metrics (metrics_snapshot ())
 
 (* --- sinks ---------------------------------------------------------------- *)
 
@@ -267,7 +569,7 @@ let stderr_sink ?(channel = stderr) () =
       (fun s ->
         Printf.fprintf channel "[trace] %s%-*s %10s%s\n%!"
           (String.make (2 * s.depth) ' ')
-          (40 - (2 * s.depth))
+          (Stdlib.max 1 (40 - (2 * s.depth)))
           s.name
           (pretty_duration s.dur_ns)
           (attrs_to_string s.attrs));
@@ -372,6 +674,13 @@ let metric_to_json = function
       (json_escape name) count (json_float sum) (json_float p50)
       (json_float p95) (json_float max)
 
+let series_point_to_json name row =
+  Printf.sprintf "{\"type\":\"series\",\"name\":\"%s\",\"point\":%s}"
+    (json_escape name) (json_attrs row)
+
+let series_to_json name =
+  List.map (series_point_to_json name) (series name)
+
 let json_sink emit =
   {
     on_span = (fun s -> emit (span_to_json s));
@@ -395,3 +704,67 @@ let recording_sink () =
     spans = (fun () -> List.rev !spans);
     metrics = (fun () -> List.rev !metrics);
   }
+
+(* --- flight recorder dumping ---------------------------------------------- *)
+
+let flight_entry_to_json = function
+  | F_span sp -> span_to_json sp
+  | F_event { at_ns; ev_name; detail } ->
+    Printf.sprintf
+      "{\"type\":\"event\",\"at_ns\":%Ld,\"name\":\"%s\",\"detail\":\"%s\"}"
+      at_ns (json_escape ev_name) (json_escape detail)
+
+(* Entries currently held in the ring, oldest first, as JSON lines.
+   [since] skips entries before that cursor position (used by the
+   incremental auto-dump). *)
+let flight_entries_since since =
+  let slots = !fr_slots in
+  let cap = Array.length slots in
+  let hi = Atomic.get fr_cursor in
+  let lo = Stdlib.max since (Stdlib.max 0 (hi - cap)) in
+  let out = ref [] in
+  for i = hi - 1 downto lo do
+    match slots.(i mod cap) with
+    | Some e -> out := flight_entry_to_json e :: !out
+    | None -> ()
+  done;
+  (!out, hi)
+
+let flight_entries () = fst (flight_entries_since 0)
+
+let dump_flight_recorder ?(out = stderr) ~reason () =
+  let lines, _ = flight_entries_since 0 in
+  Printf.fprintf out
+    "{\"type\":\"flight_recorder\",\"reason\":\"%s\",\"entries\":%d,\
+     \"dropped\":%d}\n"
+    (json_escape reason) (List.length lines) (flight_stats ()).fr_dropped;
+  List.iter (fun l -> output_string out l; output_char out '\n') lines;
+  Stdlib.flush out;
+  List.length lines
+
+let flight_auto_dump ~reason =
+  if !fr_on then
+    match !fr_auto_dest with
+    | None -> ()
+    | Some out ->
+      let lines, hi = flight_entries_since !fr_auto_cursor in
+      fr_auto_cursor := hi;
+      if lines <> [] then begin
+        Printf.fprintf out
+          "{\"type\":\"flight_recorder\",\"reason\":\"%s\",\"entries\":%d}\n"
+          (json_escape reason) (List.length lines);
+        List.iter (fun l -> output_string out l; output_char out '\n') lines;
+        Stdlib.flush out
+      end
+
+(* --- environment hook ------------------------------------------------------ *)
+
+(* SIDER_TRACE=stderr installs the tree printer, SIDER_TRACE=null the
+   swallow-everything sink (metrics registry still accumulates).  Used by
+   `make verify` to replay the whole suite with a live sink so a
+   crashing sink cannot ship silently. *)
+let install_from_env () =
+  match Sys.getenv_opt "SIDER_TRACE" with
+  | Some "stderr" -> set_sink (Some (stderr_sink ()))
+  | Some "null" -> set_sink (Some null_sink)
+  | Some _ | None -> ()

@@ -1,11 +1,13 @@
-(** Observability: spans, counters, gauges, histograms and pluggable sinks.
+(** Observability: spans, counters, gauges, histograms, time series, a
+    flight recorder and pluggable sinks.
 
     Zero external dependencies (only [unix] for the clock).  The layer is
-    *off by default*: with no sink installed every entry point reduces to
-    a single [ref] read, no clock is consulted and no allocation beyond
-    argument evaluation happens, so instrumented code paths are
-    numerically and behaviourally identical to uninstrumented ones (the
-    determinism test in [test/test_obs.ml] asserts this for the solver).
+    *off by default*: with neither a sink installed nor the flight
+    recorder enabled, every entry point reduces to a single [ref] read,
+    no clock is consulted and no allocation beyond argument evaluation
+    happens, so instrumented code paths are numerically and behaviourally
+    identical to uninstrumented ones (the determinism test in
+    [test/test_obs.ml] asserts this for the solver, at 1 and 2 domains).
 
     Spans form a thread-of-execution stack: [with_span] pushes a frame,
     runs the body and emits a completed {!span} to the sink on exit
@@ -13,18 +15,22 @@
     are emitted as a {!metric} snapshot by {!flush}.
 
     The clock is wall-time ([Unix.gettimeofday]) mapped to nanoseconds
-    since the first observation and clamped to be non-decreasing, so span
-    durations are never negative even across system clock steps.
+    since module load and clamped (atomically, across domains) to be
+    non-decreasing, so span durations are never negative even across
+    system clock steps.
 
     {2 Domains}
 
-    The metrics registry is protected by a mutex: {!count}, {!gauge},
-    {!observe}, {!metrics_snapshot}, {!flush} and {!reset} are safe to
-    call from any domain (bodies fanned out by [Sider_par] bump counters
-    from workers).  Spans are {e not} domain-safe: the span stack belongs
-    to the domain that installed the sink — in practice the main one —
-    and code running inside a parallel body must not call {!with_span} or
-    {!timed}. *)
+    Every entry point is safe from any domain.  The metrics and series
+    registries are protected by a mutex; the clock clamp and the flight
+    recorder are lock-free.  Spans use {e per-domain} stacks
+    ([Domain.DLS]), so bodies fanned out by [Sider_par] may call
+    {!with_span} / {!timed} freely.  The sink's callbacks only ever run
+    on the {e controller} domain (the one that called {!set_sink}):
+    spans completed on worker domains are buffered and stitched into the
+    controller's output — tagged with a [domain] attribute carrying the
+    worker's domain id, and offset to the fan-out point's depth — the
+    next time the controller emits a span, or at {!flush}. *)
 
 type value = Bool of bool | Int of int | Float of float | Str of string
 (** Attribute values attached to spans. *)
@@ -34,7 +40,8 @@ type span = {
   depth : int;          (** 0 for a root span. *)
   start_ns : int64;     (** Nanoseconds since the clock epoch. *)
   dur_ns : int64;       (** Non-negative duration. *)
-  attrs : (string * value) list;  (** Insertion order. *)
+  attrs : (string * value) list;  (** Insertion order.  Spans completed
+      inside a [Sider_par] fan-out carry a trailing [("domain", Int id)]. *)
 }
 
 type metric =
@@ -58,7 +65,8 @@ type sink = {
 
 val null_sink : sink
 (** Swallows everything (instrumentation overhead without output; used to
-    measure the cost of the layer itself). *)
+    measure the cost of the layer itself, and by long-running services
+    that only need the metrics registry live for [/metrics] scrapes). *)
 
 val stderr_sink : ?channel:out_channel -> unit -> sink
 (** Pretty-printer: completed spans as an indented tree (children close
@@ -83,26 +91,43 @@ val recording_sink : unit -> recording
 (** {1 Installing a sink} *)
 
 val set_sink : sink option -> unit
-(** [set_sink None] disables the layer (the default). *)
+(** [set_sink None] uninstalls the sink (with the flight recorder also
+    off, this disables the layer — the default).  The calling domain
+    becomes the controller: the only domain on which the sink's
+    callbacks run. *)
 
 val enabled : unit -> bool
+(** True when a sink is installed {e or} the flight recorder is on —
+    i.e. when instrumentation records anything at all. *)
+
+val sink_installed : unit -> bool
+
+val install_from_env : unit -> unit
+(** Honour the [SIDER_TRACE] environment variable: [stderr] installs
+    {!stderr_sink}, [null] installs {!null_sink}, anything else (or
+    unset) is a no-op.  Called by the CLI and the test runner so `make
+    verify` can replay the suite with a live sink. *)
 
 (** {1 Spans} *)
 
 val with_span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
-(** Runs the body inside a named span.  Disabled: exactly [f ()]. *)
+(** Runs the body inside a named span.  Disabled: exactly [f ()].  Safe
+    from any domain, including inside [Sider_par.Par] parallel bodies. *)
 
 val span_attr : string -> value -> unit
-(** Attach an attribute to the innermost open span (no-op when disabled
-    or outside any span). *)
+(** Attach an attribute to the calling domain's innermost open span
+    (no-op when disabled or outside any span). *)
 
 val current_depth : unit -> int
-(** Number of open spans (0 when disabled). *)
+(** Number of open spans on the calling domain (0 when disabled). *)
 
 (** {1 Metrics} *)
 
 val count : ?by:int -> string -> unit
 (** Increment a counter (default [by:1]). *)
+
+val counter_value : string -> int
+(** Current total of a counter (0 when absent — e.g. layer disabled). *)
 
 val gauge : string -> float -> unit
 (** Set a gauge to its latest value. *)
@@ -110,21 +135,124 @@ val gauge : string -> float -> unit
 val observe : string -> float -> unit
 (** Record one observation into a histogram. *)
 
+type hist
+(** Preregistered histogram handle: the name is resolved (and the
+    histogram created) lazily on first use, then cached so the hot path
+    skips the registry mutex and hashtable lookup {!observe} pays per
+    call.  Handles survive {!reset} — they rebind on next use.  Writer
+    discipline: a handle must only be written from the controller
+    domain; worker-domain code records through {!observe}. *)
+
+val hist_handle : string -> hist
+(** Make a handle for the named histogram.  Cheap; allocates nothing in
+    the registry until the first {!observe_into} with the layer on. *)
+
+val observe_into : hist -> float -> unit
+(** Record one observation through a handle (no-op while disabled). *)
+
 val timed : ?attrs:(string * value) list -> hist:string -> string ->
   (unit -> 'a) -> 'a
 (** [timed ~hist name f]: {!with_span} [name] around [f], additionally
-    recording the elapsed seconds into histogram [hist]. *)
+    recording the span's own duration (seconds) into histogram [hist] —
+    the two share a single pair of clock reads. *)
 
 val metrics_snapshot : unit -> metric list
 (** Current registry contents, sorted by name. *)
 
+val quantile_type7 : float array -> float -> float
+(** [quantile_type7 values p]: the type-7 (linear interpolation) quantile
+    of the (unsorted) sample, the statistic {!metrics_snapshot} reports
+    as p50/p95.  Edge cases: an empty sample yields [0.0] (never NaN); a
+    single observation is its own quantile at every [p]. *)
+
 val flush : unit -> unit
-(** Emit {!metrics_snapshot} to the sink (registry keeps accumulating). *)
+(** Drain buffered worker-domain spans, then emit {!metrics_snapshot} to
+    the sink (the registry keeps accumulating). *)
 
 val reset : unit -> unit
-(** Clear the metrics registry and the span stack (tests). *)
+(** Clear the metrics/series registries, the calling domain's span stack
+    and the worker-span buffer (tests).  The flight recorder is cleared
+    separately by {!flight_reset}. *)
+
+(** {1 Time series}
+
+    Named append-only sequences of attribute rows — the solver's
+    per-sweep convergence records ([solver.convergence]).  Recorded only
+    while {!enabled}; bounded by the producer (the solver's sweep cap). *)
+
+val series_add : string -> (string * value) list -> unit
+
+val series : string -> (string * value) list list
+(** Rows in insertion order (empty when the series was never written). *)
+
+val series_names : unit -> string list
+
+val series_to_json : string -> string list
+(** One JSON object per row:
+    [{"type":"series","name":...,"point":{...}}]. *)
+
+(** {1 Flight recorder}
+
+    A fixed-size lock-free ring buffer of the last N completed spans and
+    discrete events, cheap enough (one atomic fetch-and-add plus one slot
+    store per record) to leave on in production.  The CLI enables it for
+    every subcommand; dumps happen automatically when the session layer
+    records a degradation or a failed update (incrementally — each
+    automatic dump emits only the entries recorded since the previous
+    one), and on demand via [sider doctor --flight-recorder]. *)
+
+type flight_stats = {
+  fr_enabled : bool;
+  fr_capacity : int;
+  fr_written : int;   (** Entries ever recorded. *)
+  fr_dropped : int;   (** Entries overwritten by wraparound. *)
+}
+
+val set_flight_recorder : ?capacity:int -> bool -> unit
+(** Enable/disable the recorder.  Changing [capacity] (default 256)
+    clears the ring. *)
+
+val flight_recorder_enabled : unit -> bool
+
+val flight_event : name:string -> detail:string -> unit
+(** Record a discrete event (no-op unless the recorder is on). *)
+
+val flight_stats : unit -> flight_stats
+
+val flight_entries : unit -> string list
+(** Entries currently held in the ring, oldest first, one JSON line per
+    entry (spans as in {!json_sink}; events as
+    [{"type":"event","at_ns":...,"name":...,"detail":...}]). *)
+
+val dump_flight_recorder : ?out:out_channel -> reason:string -> unit -> int
+(** Write a one-line JSON header (with [reason] and the drop count)
+    followed by {!flight_entries} to [out] (default [stderr]); returns
+    the number of entries dumped. *)
+
+val set_flight_auto_dump : out_channel option -> unit
+(** Destination for automatic dumps ([None], the default, disables
+    them). *)
+
+val flight_auto_dump : reason:string -> unit
+(** Incremental dump to the configured destination: only entries
+    recorded since the last automatic dump.  Called by the session layer
+    on degradations and failed updates. *)
+
+val flight_reset : unit -> unit
+(** Clear the ring (tests). *)
+
+(** {1 Fan-out stitching (used by [Sider_par])} *)
+
+val enter_fanout : depth:int -> unit
+(** Mark the start of a parallel fan-out whose bodies may open spans:
+    [depth] (the controller's {!current_depth}) becomes the depth offset
+    for spans opened inside the fan-out, and such spans are tagged with
+    the executing domain's id. *)
+
+val exit_fanout : unit -> unit
 
 (** {1 Clock} *)
 
 val now_ns : unit -> int64
-(** Non-decreasing nanosecond clock (see module comment). *)
+(** Non-decreasing nanosecond clock, safe from any domain (see module
+    comment). *)

@@ -35,6 +35,13 @@ type job = {
   next : int Atomic.t;       (* next chunk to claim *)
   remaining : int Atomic.t;  (* chunks not yet completed *)
   mutable failed : exn option;  (* first failure, kept under [m] *)
+  (* Telemetry, maintained only when an Obs sink/recorder is active.
+     All of it is timing-side: chunk *results* never depend on it. *)
+  obs : bool;
+  job_gen : int;                  (* generation, for participant dedup *)
+  participants : int Atomic.t;    (* distinct domains that ran >= 1 chunk *)
+  chunk_wall_sum : int64 Atomic.t;  (* summed per-chunk wall, ns *)
+  chunk_wall_max : int64 Atomic.t;  (* slowest chunk, ns *)
 }
 
 type pool = {
@@ -75,17 +82,54 @@ let target : int option ref = ref None
 
 let main_domain = Domain.self ()
 
+(* Last job generation this domain participated in: lets an instrumented
+   job count distinct participating domains with one DLS read per chunk
+   instead of a shared set. *)
+let seen_gen : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let atomic_max a v =
+  let rec go () =
+    let cur = Atomic.get a in
+    if Int64.compare v cur <= 0 || Atomic.compare_and_set a cur v then ()
+    else go ()
+  in
+  go ()
+
+let atomic_add_i64 a v =
+  let rec go () =
+    let cur = Atomic.get a in
+    if Atomic.compare_and_set a cur (Int64.add cur v) then () else go ()
+  in
+  go ()
+
 let drain_chunks j =
   let continue_ = ref true in
   while !continue_ do
     let c = Atomic.fetch_and_add j.next 1 in
     if c >= j.chunks then continue_ := false
     else begin
+      let t0 =
+        if j.obs then begin
+          let seen = Domain.DLS.get seen_gen in
+          if !seen <> j.job_gen then begin
+            seen := j.job_gen;
+            Atomic.incr j.participants
+          end;
+          Obs.now_ns ()
+        end
+        else 0L
+      in
       (try j.run_chunk c
        with e ->
          Mutex.lock pool.m;
          if j.failed = None then j.failed <- Some e;
          Mutex.unlock pool.m);
+      if j.obs then begin
+        let dt = Int64.sub (Obs.now_ns ()) t0 in
+        Obs.observe "par.chunk_wall_s" (Int64.to_float dt /. 1e9);
+        atomic_add_i64 j.chunk_wall_sum dt;
+        atomic_max j.chunk_wall_max dt
+      end;
       (* The finisher of the last chunk wakes the submitter; the
          broadcast is taken under the pool mutex so it cannot be lost
          between the submitter's check and its wait. *)
@@ -170,17 +214,32 @@ let can_engage () =
   (not pool.busy) && Domain.self () = main_domain
 
 let run_job ~chunks run_chunk =
+  let obs = Obs.enabled () in
+  Mutex.lock pool.m;
+  let gen = pool.gen + 1 in
+  Mutex.unlock pool.m;
   let j = {
     run_chunk;
     chunks;
     next = Atomic.make 0;
     remaining = Atomic.make chunks;
     failed = None;
+    obs;
+    job_gen = gen;
+    participants = Atomic.make 0;
+    chunk_wall_sum = Atomic.make 0L;
+    chunk_wall_max = Atomic.make 0L;
   } in
+  if obs then begin
+    Obs.count "par.tasks_queued";
+    (* Body spans opened on any domain stitch in under the submitter's
+       current open span, tagged with the executing domain's id. *)
+    Obs.enter_fanout ~depth:(Obs.current_depth ())
+  end;
   Mutex.lock pool.m;
   pool.busy <- true;
   pool.job <- Some j;
-  pool.gen <- pool.gen + 1;
+  pool.gen <- gen;
   Condition.broadcast pool.work;
   Mutex.unlock pool.m;
   drain_chunks j;
@@ -191,6 +250,18 @@ let run_job ~chunks run_chunk =
   pool.job <- None;
   pool.busy <- false;
   Mutex.unlock pool.m;
+  if obs then begin
+    Obs.exit_fanout ();
+    let size = List.length pool.workers + 1 in
+    Obs.gauge "par.pool_utilization"
+      (float_of_int (Atomic.get j.participants)
+       /. float_of_int (Stdlib.max 1 size));
+    let sum = Int64.to_float (Atomic.get j.chunk_wall_sum) in
+    let mx = Int64.to_float (Atomic.get j.chunk_wall_max) in
+    if sum > 0.0 && chunks > 0 then
+      (* Slowest chunk over the mean chunk: 1.0 = perfectly balanced. *)
+      Obs.gauge "par.chunk_imbalance" (mx /. (sum /. float_of_int chunks))
+  end;
   match j.failed with Some e -> raise e | None -> ()
 
 (* ------------------------------------------------------------------ *)

@@ -39,11 +39,17 @@
 
     {2 Observability}
 
-    When a {!Sider_obs.Obs} sink is installed, the pool maintains the
-    [par.domains] gauge and the [par.tasks] / [par.chunks] counters, and
-    each engaged fan-out emits a [par.run] span tagged with its label.
-    Bodies run on worker domains must not open spans (the span stack is
-    owned by the submitting domain); counters are safe from any domain. *)
+    When the {!Sider_obs.Obs} layer is active, the pool maintains the
+    [par.domains] gauge and the [par.tasks] / [par.chunks] /
+    [par.tasks_queued] counters; each engaged fan-out emits a [par.run]
+    span tagged with its label, records every chunk's wall time into the
+    [par.chunk_wall_s] histogram and, on completion, sets the
+    [par.pool_utilization] gauge (fraction of pool domains that ran at
+    least one chunk) and the [par.chunk_imbalance] gauge (slowest chunk
+    over the mean chunk; 1.0 = perfectly balanced).  Since [Obs] keeps a
+    span stack per domain, parallel bodies may open spans freely: spans
+    completed inside a fan-out are stitched under the submitter's open
+    span and tagged with the executing domain's id. *)
 
 val domain_count : unit -> int
 (** Current pool size (total domains including the caller's). *)

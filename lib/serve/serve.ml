@@ -1,0 +1,180 @@
+module Obs = Sider_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition (format version 0.0.4). *)
+
+let mangle name =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "sider_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+(* Prometheus floats are Go-style: plain decimal with enough digits to
+   round-trip, and [+Inf]/[-Inf]/[NaN] spelled out. *)
+let float_str v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let exposition metrics =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s;
+                                   Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (m : Obs.metric) ->
+      match m with
+      | Obs.Counter { name; total } ->
+        let n = mangle name ^ "_total" in
+        line "# TYPE %s counter" n;
+        line "%s %d" n total
+      | Obs.Gauge { name; value } ->
+        let n = mangle name in
+        line "# TYPE %s gauge" n;
+        line "%s %s" n (float_str value)
+      | Obs.Histogram { name; count; sum; p50; p95; max } ->
+        let n = mangle name in
+        line "# TYPE %s summary" n;
+        line "%s{quantile=\"0.5\"} %s" n (float_str p50);
+        line "%s{quantile=\"0.95\"} %s" n (float_str p95);
+        line "%s_sum %s" n (float_str sum);
+        line "%s_count %d" n count;
+        line "# TYPE %s_max gauge" n;
+        line "%s_max %s" n (float_str max))
+    metrics;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* The HTTP/1.1 server: one listening socket, one accept-loop thread,
+   one request per connection. *)
+
+type t = {
+  sock : Unix.file_descr;
+  bound_port : int;
+  mutable stopping : bool;   (* set before closing [sock] *)
+  mutable thread : Thread.t option;
+}
+
+let write_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  (try
+     while !sent < n do
+       sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+     done
+   with Unix.Unix_error _ -> ())
+
+let respond fd ~status ~content_type body =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+        Connection: close\r\n\r\n%s"
+       status content_type (String.length body) body)
+
+(* Read until the request line is complete (first CRLF) or the client
+   stops sending; we never need the headers, so the rest of the request
+   is simply discarded when the connection closes. *)
+let read_request_line fd =
+  let buf = Bytes.create 1024 in
+  let acc = Buffer.create 256 in
+  let rec go () =
+    if Buffer.length acc > 8192 then None
+    else
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 | (exception Unix.Unix_error _) ->
+        if Buffer.length acc = 0 then None else Some (Buffer.contents acc)
+      | n ->
+        Buffer.add_subbytes acc buf 0 n;
+        let s = Buffer.contents acc in
+        (match String.index_opt s '\n' with
+         | Some i -> Some (String.sub s 0 i)
+         | None -> go ())
+  in
+  match go () with
+  | None -> None
+  | Some line ->
+    let line =
+      match String.index_opt line '\r' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    (match String.split_on_char ' ' line with
+     | meth :: path :: _ -> Some (meth, path)
+     | _ -> None)
+
+let handle fd =
+  (match read_request_line fd with
+   | None -> ()
+   | Some (meth, path) ->
+     if meth <> "GET" then
+       respond fd ~status:"405 Method Not Allowed"
+         ~content_type:"text/plain; charset=utf-8" "method not allowed\n"
+     else
+       (* Ignore any query string: scrapers sometimes append one. *)
+       let path =
+         match String.index_opt path '?' with
+         | Some i -> String.sub path 0 i
+         | None -> path
+       in
+       match path with
+       | "/metrics" ->
+         respond fd ~status:"200 OK"
+           ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+           (exposition (Obs.metrics_snapshot ()))
+       | "/healthz" ->
+         respond fd ~status:"200 OK"
+           ~content_type:"text/plain; charset=utf-8" "ok\n"
+       | _ ->
+         respond fd ~status:"404 Not Found"
+           ~content_type:"text/plain; charset=utf-8" "not found\n");
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let continue_ = ref true in
+  while !continue_ do
+    match Unix.accept t.sock with
+    | fd, _ -> handle fd
+    | exception Unix.Unix_error _ ->
+      (* [stop] closed the listener (EBADF/EINVAL), or a transient accept
+         failure; only the former ends the loop. *)
+      if t.stopping then continue_ := false else Thread.yield ()
+  done
+
+let start ?(addr = "127.0.0.1") ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let t = { sock; bound_port; stopping = false; thread = None } in
+  t.thread <- Some (Thread.create accept_loop t);
+  t
+
+let port t = t.bound_port
+
+let stop t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    (* Closing the listener makes the blocked [accept] fail, which the
+       loop reads as shutdown. *)
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    match t.thread with
+    | Some th -> t.thread <- None; Thread.join th
+    | None -> ()
+  end

@@ -1,4 +1,7 @@
 let () =
+  (* Let `make verify` replay the whole suite with a live sink
+     (SIDER_TRACE=stderr / null) — determinism tests must still pass. *)
+  Sider_obs.Obs.install_from_env ();
   Alcotest.run "sider"
     [
       ("vec", Test_vec.suite);
@@ -17,6 +20,7 @@ let () =
       ("robust", Test_robust.suite);
       ("properties", Test_props.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
       ("par", Test_par.suite);
       ("golden", Test_golden.suite);
     ]

@@ -160,6 +160,17 @@ let test_json_roundtrip () =
       Obs.observe "lat" 1.5;
       Obs.flush ());
   let parsed = List.rev_map Json.of_string !lines in
+  (* Root-span closes sample the GC into gc.* gauges; they are exercised
+     elsewhere — drop them so the counts below stay exact. *)
+  let parsed =
+    List.filter
+      (fun j ->
+        match Json.member_opt "name" j with
+        | Some (Json.String n) ->
+          not (String.length n >= 3 && String.sub n 0 3 = "gc.")
+        | _ -> true)
+      parsed
+  in
   Alcotest.(check int) "2 spans + 3 metrics" 5 (List.length parsed);
   let typ j = Json.to_str (Json.member "type" j) in
   let spans = List.filter (fun j -> typ j = "span") parsed in
@@ -191,6 +202,205 @@ let test_json_roundtrip () =
   Alcotest.(check int) "histogram count" 2
     (Json.to_int (Json.member "count" hist));
   approx "histogram max" 1.5 (Json.to_float (Json.member "max" hist))
+
+(* --- preregistered histogram handles -------------------------------------- *)
+
+let test_hist_handle () =
+  let h = Obs.hist_handle "hh.latency_s" in
+  (* Disabled layer: the handle records nothing and registers nothing. *)
+  Obs.observe_into h 9.0;
+  with_recording (fun _ ->
+      Alcotest.(check bool) "no registration while disabled" true
+        (find_hist "hh.latency_s" (Obs.metrics_snapshot ()) = None);
+      (* Handle pushes and name-based observes land in one histogram. *)
+      Obs.observe_into h 0.25;
+      Obs.observe "hh.latency_s" 0.75;
+      (match find_hist "hh.latency_s" (Obs.metrics_snapshot ()) with
+       | Some (count, sum, _, _, _) ->
+         Alcotest.(check int) "merged count" 2 count;
+         approx "merged sum" 1.0 sum
+       | None -> Alcotest.fail "handle histogram missing");
+      (* A reset orphans the cached accumulator; the handle must rebind
+         instead of writing into the dead one. *)
+      Obs.reset ();
+      Obs.observe_into h 0.5;
+      match find_hist "hh.latency_s" (Obs.metrics_snapshot ()) with
+      | Some (count, sum, _, _, _) ->
+        Alcotest.(check int) "count after reset" 1 count;
+        approx "sum after reset" 0.5 sum
+      | None -> Alcotest.fail "handle did not rebind after reset")
+
+(* --- quantile edge cases -------------------------------------------------- *)
+
+let test_quantile_edges () =
+  approx "empty sample is 0, not NaN" 0.0 (Obs.quantile_type7 [||] 0.95);
+  approx "p95 of a single observation is that observation" 3.25
+    (Obs.quantile_type7 [| 3.25 |] 0.95);
+  approx "p50 of a single observation is that observation" 3.25
+    (Obs.quantile_type7 [| 3.25 |] 0.5);
+  (* Through the histogram path too: one observation must report finite
+     quantiles equal to itself. *)
+  with_recording (fun _ ->
+      Obs.observe "one" 2.5;
+      match find_hist "one" (Obs.metrics_snapshot ()) with
+      | Some (1, _, p50, p95, max) ->
+        approx "histogram p50 of 1 sample" 2.5 p50;
+        approx "histogram p95 of 1 sample" 2.5 p95;
+        approx "histogram max of 1 sample" 2.5 max
+      | _ -> Alcotest.fail "single-observation histogram missing")
+
+let test_quantile_props =
+  qcheck ~count:200 "type-7 quantiles are finite, bounded and exact at ends"
+    QCheck.(pair
+              (list_of_size Gen.(0 -- 30) (float_bound_exclusive 100.0))
+              (float_bound_inclusive 1.0))
+    (fun (values, p) ->
+      let arr = Array.of_list values in
+      let q = Obs.quantile_type7 arr p in
+      if arr = [||] then q = 0.0
+      else begin
+        let lo = Array.fold_left Float.min infinity arr in
+        let hi = Array.fold_left Float.max neg_infinity arr in
+        Float.is_finite q
+        && q >= lo -. 1e-12
+        && q <= hi +. 1e-12
+        && Obs.quantile_type7 arr 0.0 = lo
+        && Obs.quantile_type7 arr 1.0 = hi
+        && (Array.length arr <> 1 || q = arr.(0))
+      end)
+
+(* --- flight recorder ------------------------------------------------------ *)
+
+let with_flight ?(capacity = 64) f =
+  Obs.set_sink None;
+  Obs.reset ();
+  Obs.set_flight_recorder ~capacity true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_flight_auto_dump None;
+      Obs.set_flight_recorder false;
+      Obs.flight_reset ();
+      Obs.reset ())
+    f
+
+let entry_field key line =
+  let j = Json.of_string line in
+  match Json.member_opt key j with
+  | Some (Json.String s) -> Some s
+  | _ -> None
+
+let test_flight_wraparound () =
+  with_flight ~capacity:8 (fun () ->
+      check_true "recorder reports enabled" (Obs.flight_recorder_enabled ());
+      for i = 1 to 20 do
+        Obs.flight_event ~name:"tick" ~detail:(string_of_int i)
+      done;
+      let st = Obs.flight_stats () in
+      Alcotest.(check int) "capacity" 8 st.Obs.fr_capacity;
+      Alcotest.(check int) "written counts every record" 20 st.Obs.fr_written;
+      Alcotest.(check int) "dropped = written - capacity" 12 st.Obs.fr_dropped;
+      let entries = Obs.flight_entries () in
+      Alcotest.(check int) "ring holds the last 8" 8 (List.length entries);
+      List.iteri
+        (fun idx line ->
+          Alcotest.(check (option string))
+            "entries are the newest, oldest first"
+            (Some (string_of_int (13 + idx)))
+            (entry_field "detail" line))
+        entries)
+
+let test_flight_concurrent_writers () =
+  with_flight ~capacity:128 (fun () ->
+      let writer tag () =
+        for i = 1 to 100 do
+          Obs.flight_event ~name:tag ~detail:(string_of_int i)
+        done
+      in
+      let d1 = Domain.spawn (writer "a") and d2 = Domain.spawn (writer "b") in
+      Domain.join d1;
+      Domain.join d2;
+      let st = Obs.flight_stats () in
+      Alcotest.(check int) "no write lost to the race" 200 st.Obs.fr_written;
+      Alcotest.(check int) "dropped accounts for the rest" 72
+        st.Obs.fr_dropped;
+      Alcotest.(check int) "ring full" 128
+        (List.length (Obs.flight_entries ())))
+
+let test_flight_dump_on_degradation () =
+  let path = Filename.temp_file "sider_flight" ".jsonl" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      (try Sys.remove path with Sys_error _ -> ());
+      Sider_robust.Fault.reset ())
+  @@ fun () ->
+  with_flight (fun () ->
+      Obs.set_flight_auto_dump (Some oc);
+      let ds = Sider_data.Synth.clustered ~seed:5 ~n:100 ~d:4 ~k:2 () in
+      let session = Sider_core.Session.create ~seed:5 ds in
+      Sider_core.Session.add_margin_constraint session;
+      Sider_robust.Fault.reset ();
+      Sider_robust.Fault.arm (Sider_robust.Fault.Fail_sweep { sweep = 1 });
+      (match Sider_core.Session.update_background session with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "expected the injected failure to roll back");
+      let entries = Obs.flight_entries () in
+      check_true "ring captured the failing sweep's span"
+        (List.exists
+           (fun l -> entry_field "name" l = Some "solver.sweep")
+           entries);
+      check_true "ring captured the degradation event"
+        (List.exists
+           (fun l -> entry_field "name" l = Some "session.degradation")
+           entries);
+      (* The session's Error path auto-dumped the ring to our channel. *)
+      let content =
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+        really_input_string ic (in_channel_length ic)
+      in
+      check_true "auto-dump wrote a header"
+        (let lines = String.split_on_char '\n' content in
+         match lines with
+         | first :: _ ->
+           (match Json.member_opt "type" (Json.of_string first) with
+            | Some (Json.String "flight_recorder") -> true
+            | _ -> false)
+         | [] -> false);
+      check_true "auto-dump includes the degradation event"
+        (List.exists
+           (fun l -> l <> "" && entry_field "name" l = Some "session.degradation")
+           (String.split_on_char '\n' content)))
+
+(* --- domain-safe spans ---------------------------------------------------- *)
+
+let test_worker_spans_stitched () =
+  with_recording (fun r ->
+      Sider_par.Par.set_domains 2;
+      Fun.protect ~finally:(fun () -> Sider_par.Par.set_domains 1)
+      @@ fun () ->
+      Obs.with_span "fanout-root" (fun () ->
+          Sider_par.Par.parallel_for ~min:1 ~chunk:64 ~n:1024 (fun i ->
+              if i mod 256 = 0 then
+                Obs.with_span "body" (fun () -> ())));
+      Obs.flush ();
+      let spans = r.Obs.spans () in
+      let bodies = List.filter (fun s -> s.Obs.name = "body") spans in
+      Alcotest.(check int) "every body span emitted exactly once" 4
+        (List.length bodies);
+      List.iter
+        (fun (s : Obs.span) ->
+          (match List.assoc_opt "domain" s.Obs.attrs with
+           | Some (Obs.Int id) ->
+             check_true "domain id non-negative" (id >= 0)
+           | _ -> Alcotest.fail "body span missing its domain attribute");
+          check_true "body spans stitch under the submitter's open span"
+            (s.Obs.depth >= 1))
+        bodies;
+      check_true "root span emitted"
+        (List.exists (fun s -> s.Obs.name = "fanout-root") spans);
+      Alcotest.(check int) "no span leaked open" 0 (Obs.current_depth ()))
 
 (* --- determinism ---------------------------------------------------------- *)
 
@@ -255,15 +465,43 @@ let test_solver_determinism () =
   check_identical_reports "instrumented vs disabled" r1 r3;
   check_identical_params "instrumented vs disabled" s1 s3
 
+(* The guarantee must also hold across domain counts with a live sink:
+   worker-span buffering and par telemetry are timing-side only. *)
+let test_solver_determinism_multicore () =
+  Obs.set_sink None;
+  let s1, r1 = solve_once () in
+  let s2, r2 =
+    with_recording (fun _ ->
+        Sider_par.Par.set_domains 2;
+        Fun.protect ~finally:(fun () -> Sider_par.Par.set_domains 1)
+          solve_once)
+  in
+  check_identical_reports "2 domains + sink vs 1 domain disabled" r1 r2;
+  check_identical_params "2 domains + sink vs 1 domain disabled" s1 s2
+
 let suite =
   [
     case "span nesting is well-formed" test_span_nesting;
     case "spans survive exceptions" test_span_on_exception;
     case "span attrs keep insertion order" test_span_attrs;
     test_histogram_quantiles;
+    case "quantiles of 0- and 1-sample histograms" test_quantile_edges;
+    test_quantile_props;
     case "counters accumulate, gauges keep last" test_counters_gauges;
+    case "histogram handles merge with named observes and survive reset"
+      test_hist_handle;
     case "disabled layer is inert" test_disabled_is_inert;
     case "json-lines round-trip through Sider_data.Json" test_json_roundtrip;
+    case "flight recorder wraps around keeping the newest entries"
+      test_flight_wraparound;
+    case "flight recorder survives concurrent domain writers"
+      test_flight_concurrent_writers;
+    case "flight recorder auto-dumps on a session error"
+      test_flight_dump_on_degradation;
+    case "worker spans stitch under the submitter with domain tags"
+      test_worker_spans_stitched;
     case "solver is bit-deterministic with and without sinks"
       test_solver_determinism;
+    case "solver is bit-deterministic across domain counts with a sink"
+      test_solver_determinism_multicore;
   ]

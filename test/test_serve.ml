@@ -1,0 +1,191 @@
+(* Metrics exposition endpoint: the Prometheus text rendering grammar,
+   and a live raw-socket scrape against an ephemeral-port server fed by a
+   real solver session (counters must move between scrapes). *)
+
+open Test_helpers
+open Sider_obs
+module Serve = Sider_serve.Serve
+
+(* --- exposition grammar --------------------------------------------------- *)
+
+let test_exposition_grammar () =
+  let metrics =
+    [ Obs.Counter { name = "solver.updates"; total = 12 };
+      Obs.Gauge { name = "par.domains"; value = 2.0 };
+      Obs.Histogram
+        { name = "session.update_s"; count = 3; sum = 0.6; p50 = 0.1;
+          p95 = 0.3; max = 0.31 } ]
+  in
+  let lines =
+    String.split_on_char '\n' (Serve.exposition metrics)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check (list string))
+    "counter, gauge and summary render exactly"
+    [ "# TYPE sider_solver_updates_total counter";
+      "sider_solver_updates_total 12";
+      "# TYPE sider_par_domains gauge";
+      "sider_par_domains 2";
+      "# TYPE sider_session_update_s summary";
+      "sider_session_update_s{quantile=\"0.5\"} 0.1";
+      "sider_session_update_s{quantile=\"0.95\"} 0.3";
+      "sider_session_update_s_sum 0.6";
+      "sider_session_update_s_count 3";
+      "# TYPE sider_session_update_s_max gauge";
+      "sider_session_update_s_max 0.31" ]
+    lines;
+  Alcotest.(check string) "empty snapshot renders empty" ""
+    (Serve.exposition [])
+
+(* Every sample line must be [name{labels} value] with names restricted
+   to the Prometheus charset and values parseable as floats. *)
+let sample_line_ok line =
+  let name_end =
+    match (String.index_opt line '{', String.index_opt line ' ') with
+    | Some b, Some sp when b < sp -> b
+    | _, Some sp -> sp
+    | _ -> String.length line
+  in
+  let name = String.sub line 0 name_end in
+  let value =
+    match String.rindex_opt line ' ' with
+    | Some sp -> String.sub line (sp + 1) (String.length line - sp - 1)
+    | None -> ""
+  in
+  String.length name > 0
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+  && (float_of_string_opt value <> None
+      || value = "+Inf" || value = "-Inf" || value = "NaN")
+
+let check_exposition_grammar body =
+  String.split_on_char '\n' body
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun line ->
+      if String.length line >= 1 && line.[0] = '#' then
+        check_true "comment is a TYPE declaration"
+          (String.length line > 7 && String.sub line 0 7 = "# TYPE ")
+      else check_true ("sample line well-formed: " ^ line)
+          (sample_line_ok line))
+
+(* --- live server ---------------------------------------------------------- *)
+
+let http_request ?(meth = "GET") port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req =
+    Printf.sprintf "%s %s HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+      meth path
+  in
+  ignore (Unix.write_substring sock req 0 (String.length req));
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read sock chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n -> Buffer.add_subbytes buf chunk 0 n; drain ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  drain ();
+  let resp = Buffer.contents buf in
+  let status =
+    match String.split_on_char ' ' resp with
+    | _ :: code :: _ -> int_of_string_opt code |> Option.value ~default:0
+    | _ -> 0
+  in
+  let body =
+    let rec find i =
+      if i + 3 >= String.length resp then String.length resp
+      else if String.sub resp i 4 = "\r\n\r\n" then i + 4
+      else find (i + 1)
+    in
+    let b = find 0 in
+    String.sub resp b (String.length resp - b)
+  in
+  (status, body)
+
+let counter_value body name =
+  String.split_on_char '\n' body
+  |> List.find_map (fun line ->
+      let prefix = name ^ " " in
+      let pl = String.length prefix in
+      if String.length line > pl && String.sub line 0 pl = prefix then
+        int_of_string_opt (String.sub line pl (String.length line - pl))
+      else None)
+
+let run_update session =
+  match Sider_core.Session.update_background session with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "update failed: %s"
+      (Sider_robust.Sider_error.to_string e)
+
+let test_live_scrape () =
+  Obs.reset ();
+  Obs.set_sink (Some Obs.null_sink);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink None;
+      Obs.reset ())
+  @@ fun () ->
+  (* Real telemetry: a margin feedback round on synthetic data. *)
+  let ds = Sider_data.Synth.clustered ~seed:11 ~n:120 ~d:5 ~k:2 () in
+  let session = Sider_core.Session.create ~seed:11 ds in
+  Sider_core.Session.add_margin_constraint session;
+  run_update session;
+  let server = Serve.start ~port:0 () in
+  Fun.protect ~finally:(fun () -> Serve.stop server) @@ fun () ->
+  let port = Serve.port server in
+  check_true "ephemeral port assigned" (port > 0);
+  let status, body = http_request port "/metrics" in
+  Alcotest.(check int) "/metrics answers 200" 200 status;
+  check_exposition_grammar body;
+  let updates =
+    match counter_value body "sider_solver_updates_total" with
+    | Some v -> v
+    | None -> Alcotest.fail "sider_solver_updates_total missing"
+  in
+  check_true "solver updates counted" (updates > 0);
+  check_true "session latency summary exposed"
+    (counter_value body "sider_session_update_s_count" <> None);
+  (* GC gauges are sampled when the update's root span closes, so a
+     real run must expose at least this gauge with a positive value. *)
+  check_true "gc heap gauge exposed"
+    (counter_value body "sider_gc_heap_words"
+     |> Option.fold ~none:false ~some:(fun v -> v > 0));
+  (* More work between scrapes: the counter must strictly increase. *)
+  Sider_core.Session.add_one_cluster_constraint session;
+  run_update session;
+  let status2, body2 = http_request port "/metrics" in
+  Alcotest.(check int) "second scrape answers 200" 200 status2;
+  (match counter_value body2 "sider_solver_updates_total" with
+   | Some v2 -> check_true "counter increased between scrapes" (v2 > updates)
+   | None -> Alcotest.fail "counter disappeared between scrapes");
+  let status, body = http_request port "/healthz" in
+  Alcotest.(check int) "/healthz answers 200" 200 status;
+  Alcotest.(check string) "/healthz body" "ok\n" body;
+  let status, _ = http_request port "/nope" in
+  Alcotest.(check int) "unknown path answers 404" 404 status;
+  let status, _ = http_request ~meth:"POST" port "/metrics" in
+  Alcotest.(check int) "non-GET answers 405" 405 status
+
+let test_stop_idempotent () =
+  let server = Serve.start ~port:0 () in
+  Serve.stop server;
+  Serve.stop server;
+  (* The port is released: a fresh server can start immediately. *)
+  let server2 = Serve.start ~port:0 () in
+  Serve.stop server2
+
+let suite =
+  [
+    case "exposition grammar: counter, gauge, summary" test_exposition_grammar;
+    case "live scrape: /metrics, /healthz, 404, 405, counter movement"
+      test_live_scrape;
+    case "stop is idempotent and releases the port" test_stop_idempotent;
+  ]
