@@ -1,13 +1,14 @@
 # Developer entry points.  `make verify` is the tier-1 gate every PR must
-# keep green: a full type-check of every target, the test suite (plus a
-# multi-domain smoke pass — results must be bit-identical, see
+# keep green: a full type-check of every target, the repo invariant
+# linter (tools/lint/, zero unannotated findings), the test suite (plus
+# a multi-domain smoke pass — results must be bit-identical, see
 # lib/par/ — and a pass with a live stderr tracing sink, which must not
 # move any numeric either), and a smoke run of the benchmark harness
 # (sub-10-seconds; proves the harness itself still works, not
 # performance).
 
-.PHONY: all build check test verify clean bench bench-smoke bench-diff \
-        bench-scaling
+.PHONY: all build check test lint lint-fixtures verify clean bench \
+        bench-smoke bench-diff bench-scaling
 
 all: build
 
@@ -20,8 +21,18 @@ check:
 test:
 	dune runtest
 
+# sider-lint over the typed AST of every library/executable (see
+# DESIGN.md §10); exits non-zero on any unannotated finding.
+lint:
+	dune build @lint
+
+# The linter's own expected-output suite (also part of `dune runtest`).
+lint-fixtures:
+	dune build @lint-fixtures
+
 verify:
-	dune build @check && dune runtest && SIDER_DOMAINS=2 dune runtest --force \
+	dune build @check && $(MAKE) lint && dune runtest \
+	  && SIDER_DOMAINS=2 dune runtest --force \
 	  && SIDER_TRACE=stderr dune runtest --force && $(MAKE) bench-smoke
 
 # Full machine-readable benchmark run; rewrites the committed baseline.

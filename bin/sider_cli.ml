@@ -496,7 +496,8 @@ let serve_cmd =
       Session.add_one_cluster_constraint session;
       ignore (Session.update_background session);
       ignore (Session.recompute_view session);
-      Obs.count "serve.rounds";
+      (* One registry lookup per 0.5 s serve round — not a hot loop. *)
+      Obs.count "serve.rounds" [@sider.allow "obs-hygiene"];
       Printf.printf "round %d done\n%!" !round;
       if rounds = 0 || !round < rounds then Unix.sleepf 0.5
     done

@@ -54,4 +54,8 @@ let save store name sel = Hashtbl.replace store name sel
 let load store name = Hashtbl.find_opt store name
 
 let names store =
-  Hashtbl.fold (fun k _ acc -> k :: acc) store [] |> List.sort compare
+  (* Fold order is hash-layout order, but the sort right after makes the
+     result canonical. *)
+  (Hashtbl.fold (fun k _ acc -> k :: acc) store []
+   [@sider.allow "determinism"])
+  |> List.sort compare

@@ -1,3 +1,16 @@
+(* Linter escapes, audited file-wide:
+   - error-discipline: every raise here is an [Invalid_argument] on a
+     caller-side precondition (shape/bounds mismatch), not a data-
+     dependent numerical failure.  lib/robust depends on this library,
+     so structured [Sider_error] values cannot be raised from linalg
+     without a dependency cycle; the exact message strings are locked
+     by the golden tests.
+   - float-equality: every float [=]/[<>] is an exact-zero test in a
+     dense kernel — sparse-skip guards that must compare bit-exactly
+     (skipping a zero entry is not FP-neutral under NaN/Inf inputs, see
+     [matmul]) on paths too hot for [Float.equal]'s C call. *)
+[@@@sider.allow "error-discipline, float-equality"]
+
 module Par = Sider_par.Par
 
 type t = { rows : int; cols : int; a : float array }

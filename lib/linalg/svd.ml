@@ -25,10 +25,11 @@ let reconstruct { u; singular; v } =
   let out = Mat.create n d in
   for k = 0 to r - 1 do
     let s = singular.(k) in
-    if s <> 0.0 then
+    (* Exact-zero sparse skips; bit-exact on purpose (see mat.ml). *)
+    if (s <> 0.0) [@sider.allow "float-equality"] then
       for i = 0 to n - 1 do
         let uik = Mat.get u i k *. s in
-        if uik <> 0.0 then
+        if (uik <> 0.0) [@sider.allow "float-equality"] then
           for j = 0 to d - 1 do
             Mat.set out i j (Mat.get out i j +. (uik *. Mat.get v j k))
           done

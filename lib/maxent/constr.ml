@@ -34,10 +34,10 @@ let normalize_rows rows =
 
 let check_rows data rows =
   let n, _ = Mat.dims data in
-  if Array.length rows = 0 then invalid_arg "Constr: empty row set";
+  if Array.length rows = 0 then invalid_arg "Constr: empty row set" [@sider.allow "error-discipline"];
   Array.iter
     (fun r ->
-      if r < 0 || r >= n then invalid_arg "Constr: row index out of range")
+      if r < 0 || r >= n then invalid_arg "Constr: row index out of range" [@sider.allow "error-discipline"])
     rows
 
 let mean_over data rows =

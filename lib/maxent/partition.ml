@@ -6,7 +6,7 @@ type t = {
 }
 
 let of_constraints ~n constraints =
-  if n <= 0 then invalid_arg "Partition.of_constraints: n must be positive";
+  if n <= 0 then invalid_arg "Partition.of_constraints: n must be positive" [@sider.allow "error-discipline"];
   (* Signature of a row = the sorted list of constraint indices covering
      it; rows with equal signatures form a class.  Constraint indices are
      consed in increasing order, so lists compare consistently without
@@ -52,7 +52,10 @@ let of_constraints ~n constraints =
             Hashtbl.replace counts c
               (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
           constr.Constr.rows;
-        Hashtbl.fold (fun c cnt acc -> (c, cnt) :: acc) counts []
+        (* Fold order is hash-layout order; the sort right after makes
+           the per-constraint class list canonical. *)
+        (Hashtbl.fold (fun c cnt acc -> (c, cnt) :: acc) counts []
+         [@sider.allow "determinism"])
         |> List.sort compare
         |> Array.of_list)
       constraints

@@ -25,7 +25,7 @@ type report = {
   max_dlambda : float;    (** Largest multiplier change in the last sweep. *)
   max_dparam : float;     (** Largest projected mean / sd change in the
                               last sweep, in units of the data sd. *)
-  elapsed : float;        (** CPU seconds spent in [solve]. *)
+  elapsed : float;        (** Wall-clock seconds spent in [solve]. *)
   degradations : Sider_error.t list;
                           (** Numerical faults survived during the solve,
                               oldest first: rank-1 updates that fell back
@@ -77,7 +77,7 @@ val solve : ?max_sweeps:int -> ?lambda_tol:float -> ?param_tol:float ->
     multiplier change in a sweep is below [lambda_tol] (default 1e-2), or
     the maximal change of constraint means / square-root variances is
     below [param_tol] (default 1e-2) times the standard deviation of the
-    full data.  [time_cutoff] (seconds, default none) reproduces the
+    full data.  [time_cutoff] (wall-clock seconds, default none) reproduces the
     SIDER ~10 s cutoff that guards against the slow adversarial cases of
     Fig. 5.  [lambda_cap] (default 1e7) bounds a single multiplier change;
     it is reached only when a constraint's target variance is exactly

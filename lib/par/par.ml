@@ -126,7 +126,13 @@ let drain_chunks j =
          Mutex.unlock pool.m);
       if j.obs then begin
         let dt = Int64.sub (Obs.now_ns ()) t0 in
-        Obs.observe "par.chunk_wall_s" (Int64.to_float dt /. 1e9);
+        (* By-name on purpose: this records from worker domains, and
+           histogram handles are single-writer (controller domain only,
+           see obs.mli) — [Obs.observe] takes the registry lock, which
+           is the only domain-safe recording path here.  One lookup per
+           chunk, under [j.obs] only. *)
+        Obs.observe "par.chunk_wall_s" (Int64.to_float dt /. 1e9)
+        [@sider.allow "obs-hygiene"];
         atomic_add_i64 j.chunk_wall_sum dt;
         atomic_max j.chunk_wall_max dt
       end;

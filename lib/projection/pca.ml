@@ -34,5 +34,5 @@ let fit_by_variance m = fit_gen ~order:`Variance m
 
 let top2 t =
   let d, _ = Mat.dims t.directions in
-  if d < 2 then invalid_arg "Pca.top2: need at least 2 dimensions";
+  if d < 2 then invalid_arg "Pca.top2: need at least 2 dimensions" [@sider.allow "error-discipline"];
   (Mat.col t.directions 0, Mat.col t.directions 1)

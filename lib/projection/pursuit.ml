@@ -85,7 +85,7 @@ let search_from rng index m ~sweeps ~tol start =
 
 let maximize ?(restarts = 5) ?(sweeps = 20) ?(tol = 1e-6) rng index m =
   let _, d = Mat.dims m in
-  if d < 1 then invalid_arg "Pursuit.maximize: empty matrix";
+  if d < 1 then invalid_arg "Pursuit.maximize: empty matrix" [@sider.allow "error-discipline"];
   let total_evals = ref 0 in
   let best = ref None in
   for r = 0 to Stdlib.max 0 (restarts - 1) do

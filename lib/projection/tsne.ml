@@ -54,11 +54,15 @@ let conditional_row d2 i n target_log_perp =
     incr iter;
     if !h > target_log_perp then begin
       lo := !beta;
-      beta := if !hi = infinity then !beta *. 2.0 else 0.5 *. (!beta +. !hi)
+      beta :=
+        if Float.equal !hi infinity then !beta *. 2.0
+        else 0.5 *. (!beta +. !hi)
     end
     else begin
       hi := !beta;
-      beta := if !lo = neg_infinity then !beta /. 2.0 else 0.5 *. (!beta +. !lo)
+      beta :=
+        if Float.equal !lo neg_infinity then !beta /. 2.0
+        else 0.5 *. (!beta +. !lo)
     end;
     h := entropy_of !beta
   done;
@@ -105,7 +109,7 @@ let low_dim_affinities emb =
 let fit ?(params = default_params) rng m =
   let n, _ = Mat.dims m in
   if float_of_int n <= 3.0 *. params.perplexity then
-    invalid_arg "Tsne.fit: perplexity too large for n";
+    invalid_arg "Tsne.fit: perplexity too large for n" [@sider.allow "error-discipline"];
   let p = joint_affinities ~params m in
   (* learning_rate = 0 selects the scikit-learn 'auto' rate
      max(n / (4·exaggeration), 50). *)

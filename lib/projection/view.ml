@@ -99,7 +99,7 @@ let project_vec t v =
 let axis_label ?top ~columns ~prefix axis =
   let d = Array.length axis.direction in
   if Array.length columns <> d then
-    invalid_arg "View.axis_label: column count mismatch";
+    invalid_arg "View.axis_label: column count mismatch" [@sider.allow "error-discipline"];
   let top = match top with Some t -> Stdlib.min t d | None -> d in
   let order = Array.init d Fun.id in
   Array.sort

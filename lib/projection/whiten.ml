@@ -105,6 +105,6 @@ let whiten ?clamp solver =
 
 let whiten_matrix ?clamp solver m =
   if Mat.dims m <> Mat.dims (Solver.data solver) then
-    invalid_arg "Whiten.whiten_matrix: shape mismatch with solver data";
+    invalid_arg "Whiten.whiten_matrix: shape mismatch with solver data" [@sider.allow "error-discipline"];
   Obs.with_span "whiten" @@ fun () ->
   whiten_with solver (class_transforms ?clamp solver) m

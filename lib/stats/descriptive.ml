@@ -12,8 +12,8 @@ type summary = {
 }
 
 let quantile v p =
-  if Array.length v = 0 then invalid_arg "Descriptive.quantile: empty";
-  if p < 0.0 || p > 1.0 then invalid_arg "Descriptive.quantile: p not in [0,1]";
+  if Array.length v = 0 then invalid_arg "Descriptive.quantile: empty" [@sider.allow "error-discipline"];
+  if p < 0.0 || p > 1.0 then invalid_arg "Descriptive.quantile: p not in [0,1]" [@sider.allow "error-discipline"];
   let sorted = Array.copy v in
   Array.sort compare sorted;
   let n = Array.length sorted in
@@ -26,7 +26,7 @@ let quantile v p =
 let median v = quantile v 0.5
 
 let summarize v =
-  if Array.length v = 0 then invalid_arg "Descriptive.summarize: empty";
+  if Array.length v = 0 then invalid_arg "Descriptive.summarize: empty" [@sider.allow "error-discipline"];
   let mean = Vec.mean v in
   {
     n = Array.length v;
@@ -47,15 +47,16 @@ let central_moment v k =
 
 let skewness v =
   let m2 = central_moment v 2 in
-  if m2 = 0.0 then 0.0 else central_moment v 3 /. (m2 ** 1.5)
+  if Float.equal m2 0.0 then 0.0 else central_moment v 3 /. (m2 ** 1.5)
 
 let kurtosis v =
   let m2 = central_moment v 2 in
-  if m2 = 0.0 then 0.0 else (central_moment v 4 /. (m2 *. m2)) -. 3.0
+  if Float.equal m2 0.0 then 0.0
+  else (central_moment v 4 /. (m2 *. m2)) -. 3.0
 
 let correlation x y =
   if Array.length x <> Array.length y then
-    invalid_arg "Descriptive.correlation: length mismatch";
+    invalid_arg "Descriptive.correlation: length mismatch" [@sider.allow "error-discipline"];
   let mx = Vec.mean x and my = Vec.mean y in
   let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
   Array.iteri
@@ -65,13 +66,13 @@ let correlation x y =
       sxx := !sxx +. (dx *. dx);
       syy := !syy +. (dy *. dy))
     x;
-  if !sxx = 0.0 || !syy = 0.0 then 0.0
+  if Float.equal !sxx 0.0 || Float.equal !syy 0.0 then 0.0
   else !sxy /. sqrt (!sxx *. !syy)
 
 let standardize v =
   let mean = Vec.mean v in
   let sd = sqrt (Vec.variance ~mean v) in
-  if sd = 0.0 then Array.map (fun x -> x -. mean) v
+  if Float.equal sd 0.0 then Array.map (fun x -> x -. mean) v
   else Array.map (fun x -> (x -. mean) /. sd) v
 
 let column_summaries m =

@@ -9,7 +9,7 @@ type t = {
 }
 
 let of_moments ?(confidence = 0.95) ~mean ~cov () =
-  if Array.length mean <> 2 then invalid_arg "Ellipse.of_moments: need 2-D";
+  if Array.length mean <> 2 then invalid_arg "Ellipse.of_moments: need 2-D" [@sider.allow "error-discipline"];
   let { Eigen.values; vectors } = Eigen.symmetric cov in
   let r2 = Gaussian.chi2_quantile_2d confidence in
   let radius k = sqrt (Float.max values.(k) 0.0 *. r2) in
@@ -22,7 +22,7 @@ let of_moments ?(confidence = 0.95) ~mean ~cov () =
   }
 
 let of_points ?confidence pts =
-  if Array.length pts = 0 then invalid_arg "Ellipse.of_points: empty";
+  if Array.length pts = 0 then invalid_arg "Ellipse.of_points: empty" [@sider.allow "error-discipline"];
   let m = Mat.init (Array.length pts) 2 (fun i j ->
       let x, y = pts.(i) in
       if j = 0 then x else y)
@@ -34,7 +34,8 @@ let contains t (x, y) =
   let dx = x -. cx and dy = y -. cy in
   let proj (ax, ay) = (dx *. ax) +. (dy *. ay) in
   let u = proj t.axis1 and v = proj t.axis2 in
-  let term r p = if r = 0.0 then (if p = 0.0 then 0.0 else infinity)
+  let term r p =
+    if Float.equal r 0.0 then (if Float.equal p 0.0 then 0.0 else infinity)
     else (p /. r) ** 2.0
   in
   term t.radius1 u +. term t.radius2 v <= 1.0

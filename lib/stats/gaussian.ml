@@ -29,7 +29,7 @@ let cdf ?(mean = 0.0) ?(sd = 1.0) x =
 
 (* Acklam's inverse normal CDF approximation. *)
 let quantile p =
-  if p <= 0.0 || p >= 1.0 then invalid_arg "Gaussian.quantile: p not in (0,1)";
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Gaussian.quantile: p not in (0,1)" [@sider.allow "error-discipline"];
   let a = [| -3.969683028665376e+01; 2.209460984245205e+02;
              -2.759285104469687e+02; 1.383577518672690e+02;
              -3.066479806614716e+01; 2.506628277459239e+00 |] in
@@ -87,5 +87,5 @@ let log_cosh_moment =
 
 let chi2_quantile_2d p =
   if p <= 0.0 || p >= 1.0 then
-    invalid_arg "Gaussian.chi2_quantile_2d: p not in (0,1)";
+    invalid_arg "Gaussian.chi2_quantile_2d: p not in (0,1)" [@sider.allow "error-discipline"];
   -2.0 *. log (1.0 -. p)

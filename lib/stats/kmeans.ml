@@ -87,7 +87,7 @@ let lloyd ~max_iter rng ~k data =
 
 let fit ?(max_iter = 100) ?(restarts = 4) rng ~k data =
   let n, _ = Mat.dims data in
-  if k <= 0 || k > n then invalid_arg "Kmeans.fit: invalid k";
+  if k <= 0 || k > n then invalid_arg "Kmeans.fit: invalid k" [@sider.allow "error-discipline"];
   let best = ref None in
   for _ = 1 to Stdlib.max 1 restarts do
     let r = lloyd ~max_iter rng ~k data in
@@ -127,7 +127,7 @@ let silhouette data assignment =
           done;
           if Float.is_finite !b then begin
             let s =
-              if Float.max a !b = 0.0 then 0.0
+              if Float.equal (Float.max a !b) 0.0 then 0.0
               else (!b -. a) /. Float.max a !b
             in
             total := !total +. s;

@@ -1,6 +1,6 @@
 let statistic ~cdf xs =
   let n = Array.length xs in
-  if n = 0 then invalid_arg "Ks.statistic: empty sample";
+  if n = 0 then invalid_arg "Ks.statistic: empty sample" [@sider.allow "error-discipline"];
   let sorted = Array.copy xs in
   Array.sort compare sorted;
   let fn = float_of_int n in
@@ -18,7 +18,7 @@ let statistic ~cdf xs =
 let statistic_gaussian xs = statistic ~cdf:(fun x -> Gaussian.cdf x) xs
 
 let p_value ~n d =
-  if n <= 0 then invalid_arg "Ks.p_value: n must be positive";
+  if n <= 0 then invalid_arg "Ks.p_value: n must be positive" [@sider.allow "error-discipline"];
   if d <= 0.0 then 1.0
   else begin
     let sn = sqrt (float_of_int n) in

@@ -12,14 +12,14 @@ type t = {
 let create ~mean ~cov =
   let d = Array.length mean in
   let rd, cd = Mat.dims cov in
-  if rd <> d || cd <> d then invalid_arg "Mvn.create: shape mismatch";
+  if rd <> d || cd <> d then invalid_arg "Mvn.create: shape mismatch" [@sider.allow "error-discipline"];
   if not (Mat.is_symmetric ~eps:1e-6 cov) then
-    invalid_arg "Mvn.create: covariance not symmetric";
+    invalid_arg "Mvn.create: covariance not symmetric" [@sider.allow "error-discipline"];
   let chol = Chol.decompose_psd (Mat.symmetrize cov) in
   let singular =
     let s = ref false in
     for i = 0 to d - 1 do
-      if Mat.get chol i i = 0.0 then s := true
+      if Float.equal (Mat.get chol i i) 0.0 then s := true
     done;
     !s
   in

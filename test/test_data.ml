@@ -283,6 +283,33 @@ let test_one_hot () =
     (Invalid_argument "Dataset.one_hot: one value per row required")
     (fun () -> ignore (Dataset.one_hot ~values:[| "x" |] ds))
 
+(* --- JSON string escaping -------------------------------------------------- *)
+
+(* Arbitrary byte strings: the full 0–255 char range, so the generator
+   hits the control characters escape_into turns into \uXXXX, the
+   quote/backslash/\n\r\t short escapes, and high (non-ASCII) bytes the
+   printer passes through raw. *)
+let arbitrary_bytes =
+  QCheck.string_gen_of_size QCheck.Gen.(0 -- 64)
+    QCheck.Gen.(map Char.chr (int_bound 255))
+
+let test_json_string_roundtrip =
+  qcheck ~count:500 "json string escaping round-trips any bytes"
+    arbitrary_bytes
+    (fun s ->
+      match Json.of_string (Json.to_string (Json.String s)) with
+      | Json.String s' -> String.equal s s'
+      | _ -> false)
+
+let test_json_key_roundtrip =
+  qcheck ~count:500 "json object keys escape-round-trip any bytes"
+    arbitrary_bytes
+    (fun s ->
+      match Json.of_string (Json.to_string (Json.Obj [ (s, Json.Bool true) ]))
+      with
+      | Json.Obj [ (s', Json.Bool true) ] -> String.equal s s'
+      | _ -> false)
+
 let suite =
   [
     case "dataset basics" test_dataset_basic;
@@ -308,4 +335,6 @@ let suite =
     case "segmentation shape" test_segmentation_shape;
     case "segmentation collinearity" test_segmentation_collinear;
     case "segmentation sky separation" test_segmentation_sky_far;
+    test_json_string_roundtrip;
+    test_json_key_roundtrip;
   ]

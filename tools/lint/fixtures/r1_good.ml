@@ -1,0 +1,9 @@
+(* [determinism] negative fixture: explicit seeds and deterministic
+   iteration only — the linter must stay silent. *)
+
+let roll (rng : Sider_rand.Rng.t) = Sider_rand.Rng.int rng 6
+
+let roll_seeded_state (st : Random.State.t) = Random.State.int st 6
+
+let lookup_sorted (h : (string, int) Hashtbl.t) keys =
+  List.filter_map (fun k -> Hashtbl.find_opt h k) (List.sort compare keys)

@@ -1,0 +1,21 @@
+(* [domain-safety] positive fixture: closures handed to the domain pool
+   that write captured mutable state — every body below races. *)
+
+let ref_race (xs : float array) =
+  let acc = ref 0.0 in
+  Sider_par.Par.parallel_for ~n:(Array.length xs) (fun i ->
+      acc := !acc +. xs.(i));
+  !acc
+
+let cell_race (bins : int array) (xs : int array) =
+  Sider_par.Par.parallel_for ~n:(Array.length xs) (fun i ->
+      bins.(0) <- bins.(0) + xs.(i))
+
+type counter = { mutable hits : int }
+
+let field_race (c : counter) n =
+  Sider_par.Par.parallel_for ~n (fun _ -> c.hits <- c.hits + 1)
+
+let table_race (tbl : (int, int) Hashtbl.t) n =
+  Sider_par.Par.parallel_for_chunks ~n (fun lo hi ->
+      Hashtbl.replace tbl lo hi)

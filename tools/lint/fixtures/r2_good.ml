@@ -1,0 +1,24 @@
+(* [domain-safety] negative fixture: disjoint per-index writes, closure-
+   local accumulators, an ordered reduction and Atomic state — all of
+   these are the sanctioned patterns and must not be flagged. *)
+
+let scale_into (dst : float array) (src : float array) =
+  Sider_par.Par.parallel_for ~n:(Array.length src) (fun i ->
+      dst.(i) <- 2.0 *. src.(i))
+
+let chunk_sum (xs : float array) =
+  match
+    Sider_par.Par.parallel_reduce_chunks ~n:(Array.length xs)
+      ~part:(fun lo hi ->
+        let s = ref 0.0 in
+        for k = lo to hi - 1 do
+          s := !s +. xs.(k)
+        done;
+        !s)
+      ~combine:( +. ) ()
+  with
+  | None -> 0.0
+  | Some total -> total
+
+let atomic_count (hits : int Atomic.t) n =
+  Sider_par.Par.parallel_for ~n (fun _ -> Atomic.incr hits)

@@ -1,0 +1,15 @@
+(* [error-discipline] / [float-equality] positive fixture: bare raises
+   and NaN-hazardous comparisons in (what the fixture run treats as) a
+   numerical module. *)
+
+let checked_sqrt x =
+  if x < 0.0 then failwith "negative input";
+  sqrt x
+
+let naive_inverse d =
+  if d = 0.0 then invalid_arg "zero determinant";
+  1.0 /. d
+
+let not_same (a : float) (b : float) = a <> b
+
+let unreachable () = assert false

@@ -1,0 +1,16 @@
+(* [error-discipline] / [float-equality] negative fixture: structured
+   errors and explicit float semantics — must stay silent. *)
+
+let checked_sqrt x =
+  if x < 0.0 then
+    Sider_robust.Sider_error.(raise_ (degenerate_data "sqrt of negative"));
+  sqrt x
+
+let safe_inverse d =
+  if Float.abs d < 1e-300 then
+    Sider_robust.Sider_error.(raise_ (singular_covariance "zero determinant"));
+  1.0 /. d
+
+let same (a : float) (b : float) = Float.equal a b
+
+let int_same (a : int) (b : int) = a = b

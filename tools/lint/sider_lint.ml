@@ -1,0 +1,647 @@
+(* sider-lint: typed-AST static analysis for the sider reproduction.
+
+   The two hardest guarantees of this codebase — bit-identical solver
+   results at any domain count, and structured-error discipline in the
+   numerical kernels — are enforced dynamically by the test suite
+   (SIDER_DOMAINS=2 replays, fault injection).  This tool proves the
+   cheap-to-prove half statically, at build time, by walking the .cmt
+   typed ASTs that dune already emits and enforcing four rule families:
+
+   - [determinism]      (R1) ambient-nondeterminism primitives (wall
+     clock, global PRNG, hash-order Hashtbl folds) are banned outside
+     lib/obs, lib/serve, bench/ and bin/.
+   - [domain-safety]    (R2) closures passed to Par.parallel_for{,_chunks}
+     / parallel_reduce{,_chunks} must not write captured mutable state,
+     unless it is Atomic, Mutex-guarded, Domain.DLS, or an array cell
+     indexed by the loop variable (heuristic write-race detector).
+   - [error-discipline] (R3a) in lib/linalg, lib/maxent, lib/stats and
+     lib/projection, raises must go through Sider_robust.Sider_error:
+     bare failwith / invalid_arg / assert false are flagged.
+   - [float-equality]   (R3b) in the same directories, polymorphic =/<>
+     on float operands is flagged (NaN hazard; use Float.equal or an
+     explicit tolerance).
+   - [obs-hygiene]      (R4) by-name Obs.count / Obs.gauge / Obs.observe
+     / Obs.counter_value lookups inside loops are flagged — hot paths
+     must use preregistered handles (Obs.hist_handle / observe_into),
+     per the PR 4 overhead budget.
+
+   Escapes are explicit and auditable:
+
+     let[@sider.allow "determinism"] stamp () = Unix.gettimeofday ()
+     (x = y) [@sider.allow "float-equality"]
+     [@@@sider.allow "error-discipline"]        (* whole file *)
+
+   Findings print as [file:line: [rule] message] on stdout, sorted; the
+   exit code is 1 when any finding survives, 0 otherwise, 2 on usage or
+   I/O errors.  Only compiler-libs is used — no new dependencies. *)
+
+let fixture_mode = ref false
+let debug = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Rule identifiers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let r_det = "determinism"
+let r_dom = "domain-safety"
+let r_err = "error-discipline"
+let r_flt = "float-equality"
+let r_obs = "obs-hygiene"
+
+let all_rules = [ r_det; r_dom; r_err; r_flt; r_obs ]
+
+(* ------------------------------------------------------------------ *)
+(* Findings                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type finding = { file : string; line : int; rule : string; msg : string }
+
+let findings : finding list ref = ref []
+let files_scanned = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* Per-directory policy                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Which rule families apply to a source file.  [domain-safety] applies
+   everywhere.  In [--fixture-mode] every rule applies to every file, so
+   the fixture suite can exercise each rule from a single directory. *)
+type policy = { det : bool; err : bool; obs : bool }
+
+let starts_with_any prefixes s =
+  List.exists (fun p -> String.starts_with ~prefix:p s) prefixes
+
+(* Directories where ambient nondeterminism is part of the job: the
+   telemetry clock lives in lib/obs, the HTTP server in lib/serve, and
+   wall-clock measurement is the whole point of bench/ and the CLI. *)
+let det_exempt = [ "lib/obs/"; "lib/serve/"; "bench/"; "bin/" ]
+
+(* The numerical kernels whose failures must be structured errors. *)
+let err_scoped = [ "lib/linalg/"; "lib/maxent/"; "lib/stats/"; "lib/projection/" ]
+
+let policy_of_file file =
+  if !fixture_mode then { det = true; err = true; obs = true }
+  else
+    {
+      det = not (starts_with_any det_exempt file);
+      err = starts_with_any err_scoped file;
+      (* lib/obs implements the metric registry itself. *)
+      obs = not (String.starts_with ~prefix:"lib/obs/" file);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* [@sider.allow "rule"] escapes                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Stack of active allow sets: one frame per attribute-carrying node on
+   the path from the structure root to the current expression, plus one
+   file-level frame for [@@@sider.allow] floating attributes. *)
+let allow_stack : string list list ref = ref []
+
+let rule_allowed rule = List.exists (List.mem rule) !allow_stack
+
+let split_rule_ids s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let cur_file = ref ""
+
+let report ~loc ~rule msg =
+  if not (rule_allowed rule) then begin
+    let pos = loc.Location.loc_start in
+    let file = if pos.Lexing.pos_fname <> "" then pos.Lexing.pos_fname else !cur_file in
+    findings := { file; line = pos.Lexing.pos_lnum; rule; msg } :: !findings
+  end
+
+(* Extract the rule ids allowed by a [sider.allow] attribute list; bad
+   payloads and unknown rule ids are findings themselves, so a typo
+   cannot silently disable a rule. *)
+let allows_of_attributes (attrs : Parsetree.attributes) : string list =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt <> "sider.allow" then []
+      else
+        match a.attr_payload with
+        | Parsetree.PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                      _ );
+                _;
+              };
+            ] ->
+          let ids = split_rule_ids s in
+          List.iter
+            (fun id ->
+              if not (List.mem id all_rules) then
+                report ~loc:a.attr_loc ~rule:r_det
+                  (Printf.sprintf
+                     "[@sider.allow]: unknown rule id %S (known: %s)" id
+                     (String.concat ", " all_rules)))
+            ids;
+          List.filter (fun id -> List.mem id all_rules) ids
+        | _ ->
+          report ~loc:a.attr_loc ~rule:r_det
+            "[@sider.allow]: payload must be a string literal of rule ids";
+          [])
+    attrs
+
+let with_allows allows f =
+  if allows = [] then f ()
+  else begin
+    allow_stack := allows :: !allow_stack;
+    Fun.protect ~finally:(fun () -> allow_stack := List.tl !allow_stack) f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Identifier classification                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* [Path.name] on idents resolved through the default [Stdlib] open
+   yields "Stdlib.Random.int"; strip the prefix so match tables read
+   naturally.  Module aliases keep their alias name in the path (e.g.
+   [module Par = Sider_par.Par] callers yield "Par.parallel_for"), which
+   the suffix matches below are written for. *)
+let norm_path p =
+  let n = Path.name p in
+  match String.index_opt n '(' with
+  | Some _ -> n (* functor application: leave as-is *)
+  | None ->
+    if String.starts_with ~prefix:"Stdlib." n then
+      String.sub n 7 (String.length n - 7)
+    else n
+
+let ends_with_any suffixes s =
+  List.exists (fun suf -> s = suf || String.ends_with ~suffix:("." ^ suf) s) suffixes
+
+(* R1: ambient clocks. *)
+let clock_idents = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+(* R1: the global-state PRNG.  [Random.State.*] with an explicit seed is
+   deterministic and allowed; everything else under [Random.] draws from
+   ambient global state. *)
+let is_global_random nm =
+  (String.starts_with ~prefix:"Random." nm
+   && not (String.starts_with ~prefix:"Random.State." nm))
+  || nm = "Random.self_init"
+
+(* R1: hash-layout-dependent iteration. *)
+let hashtbl_iteration = [ "Hashtbl.fold"; "Hashtbl.iter"; "Hashtbl.hash" ]
+
+(* R2: the deterministic fan-out entry points of lib/par. *)
+let par_entries =
+  [ "Par.parallel_for"; "Par.parallel_for_chunks"; "Par.parallel_reduce";
+    "Par.parallel_reduce_chunks" ]
+
+let is_par_entry nm = ends_with_any par_entries nm
+
+(* R2: stdlib mutators whose first argument is the mutated structure. *)
+let hashtbl_mutators =
+  [ "Hashtbl.add"; "Hashtbl.replace"; "Hashtbl.remove"; "Hashtbl.reset";
+    "Hashtbl.clear"; "Hashtbl.filter_map_inplace" ]
+
+let buffer_mutators =
+  [ "Buffer.clear"; "Buffer.reset"; "Buffer.truncate" ]
+
+let is_buffer_mutator nm =
+  ends_with_any buffer_mutators nm
+  || String.starts_with ~prefix:"Buffer.add_" nm
+  || (match String.index_opt nm '.' with
+      | Some _ -> String.ends_with ~suffix:".Buffer.add_channel" nm
+      | None -> false)
+
+(* R2: indexed writes — safe iff the index depends on the loop variable
+   (or anything else bound inside the closure). *)
+let array_setters =
+  [ "Array.set"; "Array.unsafe_set"; "Float.Array.set"; "Float.Array.unsafe_set";
+    "Bytes.set"; "Bytes.unsafe_set"; "Bigarray.Array1.set"; "Bigarray.Array2.set";
+    "Bigarray.Array3.set"; "Bigarray.Genarray.set"; "Array1.set"; "Array2.set";
+    "Array3.set"; "Genarray.set" ]
+
+(* R2: a closure that takes a Mutex is assumed to guard its writes. *)
+let mutex_idents = [ "Mutex.lock"; "Mutex.try_lock"; "Mutex.protect" ]
+
+(* R4: by-name registry lookups (hash + mutex per call); the handle path
+   (Obs.hist_handle / Obs.observe_into) resolves the name once. *)
+let obs_by_name =
+  [ "Obs.count"; "Obs.gauge"; "Obs.observe"; "Obs.counter_value" ]
+
+(* R4: loop-running higher-order functions — a closure passed here runs
+   once per element, so it counts as a loop body. *)
+let loop_hofs =
+  [ "List.iter"; "List.iteri"; "List.fold_left"; "List.fold_right"; "List.map";
+    "List.mapi"; "List.concat_map"; "List.filter_map"; "Array.iter";
+    "Array.iteri"; "Array.fold_left"; "Array.map"; "Array.mapi"; "Array.init";
+    "Seq.iter"; "Seq.map"; "String.iter"; "String.iteri"; "Hashtbl.iter";
+    "Hashtbl.fold"; "Queue.iter" ]
+
+let is_loop_hof nm = ends_with_any loop_hofs nm || is_par_entry nm
+
+(* ------------------------------------------------------------------ *)
+(* Type tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_float_type ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Traversal state                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type par_ctx = {
+  locals : (string, unit) Hashtbl.t;
+      (* Ident.unique_name of everything bound inside the closure: the
+         loop parameter(s) and any let / match / fun / for binders.
+         Anything not in here is captured from the enclosing scope. *)
+  label : string; (* entry point name, for messages *)
+}
+
+let cur_policy = ref { det = false; err = false; obs = false }
+let par_context : par_ctx option ref = ref None
+let loop_depth = ref 0
+
+let add_local ctx id = Hashtbl.replace ctx.locals (Ident.unique_name id) ()
+
+let add_pattern_locals ctx pat =
+  List.iter (add_local ctx) (Typedtree.pat_bound_idents pat)
+
+(* Head identifier of an access path: [x], [x.f], [x.f.g] all answer [x];
+   anything more complex answers [None] and is left alone (the linter
+   only flags writes it can attribute to a definite captured binding). *)
+let rec head_path (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some p
+  | Texp_field (e', _, _) -> head_path e'
+  | _ -> None
+
+let path_captured ctx = function
+  | Path.Pident id -> not (Hashtbl.mem ctx.locals (Ident.unique_name id))
+  | _ -> true (* dotted path: module-level state, by definition captured *)
+
+let expr_captured ctx e =
+  match head_path e with
+  | Some p -> if path_captured ctx p then Some (Path.last p) else None
+  | None -> None
+
+(* Does [e] mention any binding local to the closure?  Used to accept
+   captured-array writes whose index is derived from the loop variable. *)
+let mentions_local ctx (e : Typedtree.expression) =
+  let found = ref false in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub ex ->
+          (match ex.Typedtree.exp_desc with
+           | Texp_ident (Path.Pident id, _, _)
+             when Hashtbl.mem ctx.locals (Ident.unique_name id) ->
+             found := true
+           | _ -> ());
+          Tast_iterator.default_iterator.expr sub ex);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* Mutex heuristic: if the closure body manipulates a Mutex anywhere, its
+   writes are assumed to be lock-protected and R2 stands down for the
+   whole closure.  Coarse, but locks inside deterministic fan-outs are
+   rare enough that a human already reviews them. *)
+let uses_mutex (e : Typedtree.expression) =
+  let found = ref false in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub ex ->
+          (match ex.Typedtree.exp_desc with
+           | Texp_ident (p, _, _) when ends_with_any mutex_idents (norm_path p)
+             ->
+             found := true
+           | _ -> ());
+          Tast_iterator.default_iterator.expr sub ex);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Rule bodies                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_ident ~loc nm =
+  if !cur_policy.det then begin
+    if ends_with_any clock_idents nm then
+      report ~loc ~rule:r_det
+        (Printf.sprintf
+           "ambient clock read '%s'; confine wall-clock access to lib/obs \
+            (Obs.now_ns)" nm)
+    else if is_global_random nm then
+      report ~loc ~rule:r_det
+        (Printf.sprintf
+           "global-state PRNG '%s'; use Sider_rand.Rng (or Random.State) \
+            with an explicit seed" nm)
+    else if ends_with_any hashtbl_iteration nm then
+      report ~loc ~rule:r_det
+        (Printf.sprintf
+           "'%s' depends on hash layout; iterate sorted keys or annotate an \
+            order-independent reduction" nm)
+  end;
+  if !cur_policy.err && (nm = "failwith" || nm = "invalid_arg") then
+    report ~loc ~rule:r_err
+      (Printf.sprintf
+         "bare '%s' in a numerical module; raise a structured \
+          Sider_robust.Sider_error instead" nm);
+  if !cur_policy.obs && !loop_depth > 0 && ends_with_any obs_by_name nm then
+    report ~loc ~rule:r_obs
+      (Printf.sprintf
+         "by-name metric lookup '%s' inside a loop; preregister a handle \
+          (Obs.hist_handle / Obs.observe_into) outside the loop" nm)
+
+(* R2 write checks, active only inside a Par closure. *)
+let check_par_write ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+    let nm = norm_path p in
+    let explicit = List.filter_map (fun (_, a) -> a) args in
+    let flag_first what =
+      match explicit with
+      | first :: _ -> (
+        match expr_captured ctx first with
+        | Some name ->
+          report ~loc:e.exp_loc ~rule:r_dom
+            (Printf.sprintf
+               "%s '%s' captured by a %s closure; use Atomic, a Mutex, \
+                Domain.DLS, or per-index disjoint writes" what name ctx.label)
+        | None -> ())
+      | [] -> ()
+    in
+    if nm = ":=" then flag_first "assignment to ref"
+    else if nm = "incr" || nm = "decr" then flag_first "increment of ref"
+    else if ends_with_any hashtbl_mutators nm then flag_first "mutation of Hashtbl"
+    else if is_buffer_mutator nm then flag_first "mutation of Buffer"
+    else if ends_with_any array_setters nm then begin
+      (* a.(i) <- v: safe when the index depends on something bound in
+         the closure (the loop variable or a derivation of it). *)
+      match explicit with
+      | arr :: rest when List.length rest >= 2 -> (
+        let indices = List.filteri (fun i _ -> i < List.length rest - 1) rest in
+        match expr_captured ctx arr with
+        | Some name when not (List.exists (mentions_local ctx) indices) ->
+          report ~loc:e.exp_loc ~rule:r_dom
+            (Printf.sprintf
+               "write to captured array '%s' at a loop-invariant index \
+                inside a %s closure; every iteration races on the same cell"
+               name ctx.label)
+        | _ -> ())
+      | _ -> ()
+    end
+  | Texp_setfield (target, _, lbl, _) -> (
+    match expr_captured ctx target with
+    | Some name ->
+      report ~loc:e.exp_loc ~rule:r_dom
+        (Printf.sprintf
+           "mutation of field '%s' of captured '%s' inside a %s closure; \
+            use Atomic, a Mutex, Domain.DLS, or per-index disjoint state"
+           lbl.lbl_name name ctx.label)
+    | None -> ())
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The iterator                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Peel the curried [fun a -> fun b -> body] spine of a closure literal,
+   registering every parameter as closure-local, and answer the body. *)
+let rec enter_function_spine ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_function { param; cases; _ } ->
+    add_local ctx param;
+    List.iter (fun c -> add_pattern_locals ctx c.Typedtree.c_lhs) cases;
+    (match cases with
+     | [ { c_lhs = _; c_guard = None; c_rhs; _ } ] -> enter_function_spine ctx c_rhs
+     | _ -> ())
+  | _ -> ()
+
+let is_function_literal (e : Typedtree.expression) =
+  match e.exp_desc with Texp_function _ -> true | _ -> false
+
+let visit_expr sub (e : Typedtree.expression) =
+  let allows = allows_of_attributes e.exp_attributes in
+  with_allows allows @@ fun () ->
+  (* Identifier-level rules (R1 / R3a / R4). *)
+  (match e.exp_desc with
+   | Texp_ident (p, _, _) -> check_ident ~loc:e.exp_loc (norm_path p)
+   | _ -> ());
+  (* R3a: assert false. *)
+  (match e.exp_desc with
+   | Texp_assert ({ exp_desc = Texp_construct (_, cd, []); _ }, _)
+     when !cur_policy.err && cd.cstr_name = "false" ->
+     report ~loc:e.exp_loc ~rule:r_err
+       "bare 'assert false' in a numerical module; raise a structured \
+        Sider_robust.Sider_error instead"
+   | _ -> ());
+  (* R3b: polymorphic =/<> on floats. *)
+  (match e.exp_desc with
+   | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+     when !cur_policy.err ->
+     let nm = norm_path p in
+     if nm = "=" || nm = "<>" then
+       let floaty =
+         List.exists
+           (function
+             | _, Some (a : Typedtree.expression) -> is_float_type a.exp_type
+             | _, None -> false)
+           args
+       in
+       if floaty then
+         report ~loc:e.exp_loc ~rule:r_flt
+           (Printf.sprintf
+              "polymorphic '%s' on float operands (NaN hazard); use \
+               Float.equal or an explicit tolerance" nm)
+   | _ -> ());
+  (* R2: writes inside a Par closure. *)
+  (match !par_context with
+   | Some ctx ->
+     (* Track closure-local binders before descending, so scoping is an
+        over-approximation (fine for suppressing false positives). *)
+     (match e.exp_desc with
+      | Texp_let (_, vbs, _) ->
+        List.iter (fun vb -> add_pattern_locals ctx vb.Typedtree.vb_pat) vbs
+      | Texp_match (_, cases, _) ->
+        List.iter (fun c -> add_pattern_locals ctx c.Typedtree.c_lhs) cases
+      | Texp_try (_, cases) ->
+        List.iter (fun c -> add_pattern_locals ctx c.Typedtree.c_lhs) cases
+      | Texp_function { param; cases; _ } ->
+        add_local ctx param;
+        List.iter (fun c -> add_pattern_locals ctx c.Typedtree.c_lhs) cases
+      | Texp_for (id, _, _, _, _, _) -> add_local ctx id
+      | _ -> ());
+     check_par_write ctx e
+   | None -> ());
+  (* Structured descent for loop context and Par-closure entry. *)
+  match e.exp_desc with
+  | Texp_while (cond, body) ->
+    sub.Tast_iterator.expr sub cond;
+    incr loop_depth;
+    Fun.protect ~finally:(fun () -> decr loop_depth) (fun () ->
+        sub.Tast_iterator.expr sub body)
+  | Texp_for (_, _, lo, hi, _, body) ->
+    sub.Tast_iterator.expr sub lo;
+    sub.Tast_iterator.expr sub hi;
+    incr loop_depth;
+    Fun.protect ~finally:(fun () -> decr loop_depth) (fun () ->
+        sub.Tast_iterator.expr sub body)
+  | Texp_apply (({ exp_desc = Texp_ident (p, _, _); _ } as fn), args)
+    when is_par_entry (norm_path p) ->
+    (* Each function-literal argument is a parallel body: lint it with a
+       fresh capture context (and as a loop body for R4). *)
+    sub.Tast_iterator.expr sub fn;
+    List.iter
+      (fun (_, arg) ->
+        match arg with
+        | Some a when is_function_literal a ->
+          let ctx =
+            { locals = Hashtbl.create 32; label = Path.last p }
+          in
+          enter_function_spine ctx a;
+          if not (uses_mutex a) then begin
+            let saved = !par_context in
+            par_context := Some ctx;
+            incr loop_depth;
+            Fun.protect
+              ~finally:(fun () ->
+                par_context := saved;
+                decr loop_depth)
+              (fun () -> sub.Tast_iterator.expr sub a)
+          end
+          else begin
+            (* Mutex-guarded: still visit for the other rules. *)
+            incr loop_depth;
+            Fun.protect
+              ~finally:(fun () -> decr loop_depth)
+              (fun () -> sub.Tast_iterator.expr sub a)
+          end
+        | Some a -> sub.Tast_iterator.expr sub a
+        | None -> ())
+      args
+  | Texp_apply (({ exp_desc = Texp_ident (p, _, _); _ } as fn), args)
+    when is_loop_hof (norm_path p) ->
+    sub.Tast_iterator.expr sub fn;
+    List.iter
+      (fun (_, arg) ->
+        match arg with
+        | Some a when is_function_literal a ->
+          incr loop_depth;
+          Fun.protect
+            ~finally:(fun () -> decr loop_depth)
+            (fun () -> sub.Tast_iterator.expr sub a)
+        | Some a -> sub.Tast_iterator.expr sub a
+        | None -> ())
+      args
+  | _ -> Tast_iterator.default_iterator.expr sub e
+
+let visit_value_binding sub (vb : Typedtree.value_binding) =
+  let allows = allows_of_attributes vb.vb_attributes in
+  with_allows allows @@ fun () ->
+  Tast_iterator.default_iterator.value_binding sub vb
+
+let linter =
+  {
+    Tast_iterator.default_iterator with
+    expr = visit_expr;
+    value_binding = visit_value_binding;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Driving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let file_level_allows (str : Typedtree.structure) =
+  List.concat_map
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_attribute a -> allows_of_attributes [ a ]
+      | _ -> [])
+    str.str_items
+
+let lint_structure ~src (str : Typedtree.structure) =
+  cur_file := src;
+  cur_policy := policy_of_file src;
+  par_context := None;
+  loop_depth := 0;
+  allow_stack := [ file_level_allows str ];
+  linter.structure linter str
+
+let scan_cmt path =
+  match Cmt_format.read_cmt path with
+  | exception exn ->
+    Printf.eprintf "sider-lint: cannot read %s: %s\n" path
+      (Printexc.to_string exn)
+  | infos -> (
+    match (infos.cmt_annots, infos.cmt_sourcefile) with
+    | Cmt_format.Implementation str, Some src
+      when not (Filename.check_suffix src ".ml-gen") ->
+      incr files_scanned;
+      if !debug then Printf.eprintf "sider-lint: scanning %s (%s)\n" src path;
+      lint_structure ~src str
+    | _ -> ())
+
+let rec collect_cmts acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left (fun acc entry -> collect_cmts acc (Filename.concat path entry)) acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let () =
+  let roots = ref [] in
+  let usage = "sider-lint [--fixture-mode] [--debug] PATH...\n\
+               Scans PATH (directories or .cmt files) for typed-AST \
+               invariant violations." in
+  Arg.parse
+    [
+      ("--fixture-mode", Arg.Set fixture_mode,
+       " apply every rule to every file (for the linter's own test suite)");
+      ("--debug", Arg.Set debug, " log scanned files to stderr");
+    ]
+    (fun p -> roots := p :: !roots)
+    usage;
+  if !roots = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let cmts =
+    List.fold_left
+      (fun acc root ->
+        if not (Sys.file_exists root) then begin
+          Printf.eprintf "sider-lint: no such path: %s\n" root;
+          exit 2
+        end;
+        collect_cmts acc root)
+      [] (List.rev !roots)
+    |> List.sort_uniq compare
+  in
+  List.iter scan_cmt cmts;
+  let sorted =
+    List.sort_uniq
+      (fun a b ->
+        match compare a.file b.file with
+        | 0 -> (
+          match compare a.line b.line with
+          | 0 -> compare (a.rule, a.msg) (b.rule, b.msg)
+          | c -> c)
+        | c -> c)
+      !findings
+  in
+  List.iter
+    (fun f -> Printf.printf "%s:%d: [%s] %s\n" f.file f.line f.rule f.msg)
+    sorted;
+  Printf.eprintf "sider-lint: %d finding(s) in %d file(s) scanned\n"
+    (List.length sorted) !files_scanned;
+  exit (if sorted = [] then 0 else 1)
