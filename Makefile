@@ -8,7 +8,7 @@
 # performance).
 
 .PHONY: all build check test lint lint-fixtures verify clean bench \
-        bench-smoke bench-diff bench-scaling
+        bench-smoke bench-diff bench-scaling service-smoke bench-service
 
 all: build
 
@@ -33,7 +33,32 @@ lint-fixtures:
 verify:
 	dune build @check && $(MAKE) lint && dune runtest \
 	  && SIDER_DOMAINS=2 dune runtest --force \
-	  && SIDER_TRACE=stderr dune runtest --force && $(MAKE) bench-smoke
+	  && SIDER_TRACE=stderr dune runtest --force && $(MAKE) bench-smoke \
+	  && $(MAKE) service-smoke
+
+# End-to-end smoke of the session service: boot it in-process with
+# write-ahead journaling on, drive a small concurrent load through the
+# full HTTP loop (create → constrain → update → projection), then
+# doctor-verify one of the journals it wrote (exit 2 on corruption).
+# stderr — including any crash-forensics flight-recorder dumps — lands
+# in _artifacts/flight/, which CI uploads as an artifact on failure.
+service-smoke:
+	mkdir -p _artifacts/flight
+	rm -rf _artifacts/service-smoke-wal
+	dune exec bin/sider_cli.exe -- load --sessions 24 --concurrency 8 \
+	  --rows 32 --data-dir _artifacts/service-smoke-wal \
+	  --out _artifacts/BENCH_service_smoke.json \
+	  2> _artifacts/flight/service-smoke.stderr
+	dune exec bin/sider_cli.exe -- doctor \
+	  --snapshot "$$(ls _artifacts/service-smoke-wal/*.journal | head -n 1)" \
+	  2>> _artifacts/flight/service-smoke.stderr
+
+# Full service load benchmark: 1000 analysts through the journaled
+# session service; rewrites the committed BENCH_pr6.json baseline.
+bench-service:
+	rm -rf _artifacts/service-bench-wal
+	dune exec bin/sider_cli.exe -- load --sessions 1000 --concurrency 32 \
+	  --data-dir _artifacts/service-bench-wal --out BENCH_pr6.json
 
 # Full machine-readable benchmark run; rewrites the committed baseline.
 bench:

@@ -11,6 +11,8 @@
      trace        replay a session with the observability stderr sink on
      convergence  plot the per-sweep solver convergence series
      serve        run feedback rounds with a Prometheus /metrics endpoint
+     api          run the multi-tenant session service (JSON API + WAL)
+     load         drive concurrent analysts against the session API
 
    Datasets are built-in generators (three_d, x5, corpus, segmentation,
    gaussian) or any CSV file with a header row.
@@ -261,19 +263,40 @@ let doctor_cmd =
              ~doc:"After the report, dump the flight recorder's current \
                    entries (JSON lines) to stdout.")
   in
-  let run () dataset seed label_column shallow flight =
+  let snapshot_t =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot" ] ~docv:"FILE"
+             ~doc:"Validate a persistence artifact instead of a dataset: \
+                   a session snapshot or a write-ahead journal.  Checks \
+                   format version, checksum and full replayability \
+                   exactly as boot-time recovery would.")
+  in
+  let dataset_opt_t =
+    let doc =
+      "Dataset: a builtin name (see $(b,sider datasets)) or a CSV path. \
+       Optional when $(b,--snapshot) is given."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"DATASET" ~doc)
+  in
+  let run () dataset seed label_column shallow flight snapshot =
     let report =
-      match
-        Sider_robust.Sider_error.protect (fun () ->
-            load_dataset ~seed ~label_column dataset)
-      with
-      | Ok ds ->
-        Printf.printf "%s\n" (Dataset.describe ds);
-        Doctor.check_dataset ~deep:(not shallow) ~seed ds
-      | Error e ->
-        Doctor.fault ~check:"load"
-          (Sider_robust.Sider_error.to_string e)
-      | exception Failure msg -> Doctor.fault ~check:"load" msg
+      match (snapshot, dataset) with
+      | Some path, _ -> Doctor.check_store path
+      | None, Some dataset ->
+        (match
+           Sider_robust.Sider_error.protect (fun () ->
+               load_dataset ~seed ~label_column dataset)
+         with
+         | Ok ds ->
+           Printf.printf "%s\n" (Dataset.describe ds);
+           Doctor.check_dataset ~deep:(not shallow) ~seed ds
+         | Error e ->
+           Doctor.fault ~check:"load"
+             (Sider_robust.Sider_error.to_string e)
+         | exception Failure msg -> Doctor.fault ~check:"load" msg)
+      | None, None ->
+        Doctor.fault ~check:"usage"
+          "a DATASET argument or --snapshot FILE is required"
     in
     print_string (Doctor.to_string report);
     if flight then
@@ -284,11 +307,12 @@ let doctor_cmd =
   in
   Cmd.v
     (Cmd.info "doctor"
-       ~doc:"Diagnose a dataset: static health checks, an end-to-end \
-             solver probe, and a telemetry self-check.  Exits 0 when \
+       ~doc:"Diagnose a dataset (static health checks, an end-to-end \
+             solver probe, a telemetry self-check) or, with \
+             $(b,--snapshot), a persistence artifact.  Exits 0 when \
              healthy, 2 when a fault was diagnosed.")
-    Term.(const run $ obs_setup_t $ dataset_t $ seed_t $ label_column_t
-          $ shallow_t $ flight_t)
+    Term.(const run $ obs_setup_t $ dataset_opt_t $ seed_t $ label_column_t
+          $ shallow_t $ flight_t $ snapshot_t)
 
 (* --- trace ------------------------------------------------------------------------ *)
 
@@ -509,13 +533,271 @@ let serve_cmd =
     Term.(const run $ obs_setup_t $ dataset_t $ seed_t $ label_column_t
           $ method_t $ port_t $ rounds_t)
 
+(* --- api -------------------------------------------------------------------------- *)
+
+let api_cmd =
+  let port_t =
+    Arg.(value & opt int 9101 & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port for the session API; 0 picks an ephemeral port.")
+  in
+  let data_dir_t =
+    Arg.(value & opt (some string) None
+         & info [ "data-dir" ] ~docv:"DIR"
+             ~doc:"Directory for per-session write-ahead journals.  \
+                   Journals found there are replayed on boot; without \
+                   this flag sessions are in-memory only.")
+  in
+  let workers_t =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N"
+           ~doc:"Request worker threads.")
+  in
+  let queue_t =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Bounded request queue; connections beyond it are shed \
+                 with 429 + Retry-After.")
+  in
+  let max_sessions_t =
+    Arg.(value & opt int 256 & info [ "max-sessions" ] ~docv:"N"
+           ~doc:"Concurrent session cap (429 beyond it).")
+  in
+  let deadline_t =
+    Arg.(value & opt float 30.0 & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Per-request deadline including queue wait (503 beyond \
+                 it).")
+  in
+  let run () port data_dir workers queue max_sessions deadline =
+    if not (Obs.enabled ()) then Obs.set_sink (Some Obs.null_sink);
+    let config =
+      { Sider_serve.Service.default_config with
+        port; data_dir; workers; queue_capacity = queue; max_sessions;
+        deadline_s = deadline }
+    in
+    let svc = Sider_serve.Service.start ~config () in
+    List.iter
+      (fun (path, e) ->
+        Printf.eprintf "recovery skipped %s: %s\n%!" path
+          (Sider_robust.Sider_error.to_string e))
+      (Sider_serve.Service.recovery_failures svc);
+    Printf.printf
+      "session API on http://127.0.0.1:%d (%d session(s) recovered, %d \
+       worker(s)); Ctrl-C drains and exits\n%!"
+      (Sider_serve.Service.port svc)
+      (Sider_serve.Registry.count (Sider_serve.Service.registry svc))
+      workers;
+    let stop_requested = ref false in
+    let request_stop _ = stop_requested := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    while not !stop_requested do
+      Unix.sleepf 0.2
+    done;
+    Printf.printf "draining...\n%!";
+    Sider_serve.Service.stop svc;
+    Printf.printf "stopped\n%!"
+  in
+  Cmd.v
+    (Cmd.info "api"
+       ~doc:"Run the multi-tenant session service: the full interactive \
+             loop (create session, add constraint, update background, \
+             fetch projection) as a JSON API with write-ahead \
+             journaling, bounded-queue overload shedding and /metrics.")
+    Term.(const run $ obs_setup_t $ port_t $ data_dir_t $ workers_t
+          $ queue_t $ max_sessions_t $ deadline_t)
+
+(* --- load ------------------------------------------------------------------------- *)
+
+(* Closed-loop load generator: [--concurrency] analyst threads drive
+   [--sessions] full interaction loops (create -> constrain -> update ->
+   projection) against the session API, retrying on 429/503 shed
+   responses with exponential backoff.  Sessions are left alive until
+   the end of the run, so a 1000-session run really does hold 1000
+   concurrent tenants in the registry. *)
+let load_cmd =
+  let sessions_t =
+    Arg.(value & opt int 1000 & info [ "sessions" ] ~docv:"N"
+           ~doc:"Analyst sessions to drive.")
+  in
+  let concurrency_t =
+    Arg.(value & opt int 32 & info [ "concurrency" ] ~docv:"N"
+           ~doc:"Concurrent analyst threads.")
+  in
+  let target_t =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"Target an already-running service; default spawns one \
+                   in-process.")
+  in
+  let data_dir_t =
+    Arg.(value & opt (some string) None
+         & info [ "data-dir" ] ~docv:"DIR"
+             ~doc:"Journal directory for the spawned service (enables \
+                   write-ahead journaling under load).")
+  in
+  let out_t =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the machine-readable result (JSON) to $(docv).")
+  in
+  let rows_t =
+    Arg.(value & opt int 48 & info [ "rows" ] ~docv:"N"
+           ~doc:"Rows of the per-session synthetic dataset.")
+  in
+  let run () sessions concurrency target data_dir out rows seed =
+    if not (Obs.enabled ()) then Obs.set_sink (Some Obs.null_sink);
+    let own, port =
+      match target with
+      | Some p -> (None, p)
+      | None ->
+        let config =
+          { Sider_serve.Service.default_config with
+            port = 0; data_dir;
+            max_sessions = sessions + 16;
+            queue_capacity = 2 * concurrency;
+            workers = 8;
+            deadline_s = 60.0 }
+        in
+        let svc = Sider_serve.Service.start ~config () in
+        (Some svc, Sider_serve.Service.port svc)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        match own with Some svc -> Sider_serve.Service.stop svc | None -> ())
+    @@ fun () ->
+    let ds = Synth.gaussian ~seed ~n:rows ~d:4 () in
+    let create_body =
+      Json.to_string
+        (Json.Obj
+           [ ("dataset", Persist.dataset_to_json ds);
+             ("seed", Json.Number (float_of_int seed)) ])
+    in
+    let constraint_body =
+      let rows_sel = Array.init (rows / 2) (fun i -> i) in
+      Json.to_string
+        (Json.Obj [ ("type", Json.String "cluster"); ("rows", Json.ints rows_sel) ])
+    in
+    let update_body = {|{"time_cutoff":0.5,"max_sweeps":20}|} in
+    let lock = Mutex.create () in
+    let next = ref 0 in
+    let latencies = ref [] in
+    let shed_429 = ref 0 in
+    let shed_503 = ref 0 in
+    let failures = ref 0 in
+    let transport_retries = ref 0 in
+    let record lat = Mutex.lock lock; latencies := lat :: !latencies; Mutex.unlock lock in
+    let bump r = Mutex.lock lock; incr r; Mutex.unlock lock in
+    (* One request with shed-aware retry; returns the successful
+       response, or None after exhausting the budget. *)
+    let rec call ?body ~meth path attempt =
+      if attempt > 8 then None
+      else begin
+        let t0 = Unix.gettimeofday () in
+        match Sider_serve.Http.request ?body ~meth ~port path with
+        | Error _ ->
+          bump transport_retries;
+          Thread.delay (0.01 *. float_of_int (1 lsl attempt));
+          call ?body ~meth path (attempt + 1)
+        | Ok resp when resp.Sider_serve.Http.status = 429
+                    || resp.Sider_serve.Http.status = 503 ->
+          bump (if resp.Sider_serve.Http.status = 429 then shed_429 else shed_503);
+          Thread.delay (0.01 *. float_of_int (1 lsl attempt));
+          call ?body ~meth path (attempt + 1)
+        | Ok resp ->
+          record (Unix.gettimeofday () -. t0);
+          Some resp
+      end
+    in
+    let call ?body ~meth path = call ?body ~meth path 0 in
+    let analyst () =
+      let rec next_session () =
+        let i = (Mutex.lock lock;
+                 let i = !next in next := i + 1; Mutex.unlock lock; i) in
+        if i >= sessions then ()
+        else begin
+          (match call ~body:create_body ~meth:"POST" "/sessions" with
+           | Some resp when resp.Sider_serve.Http.status = 201 ->
+             let id =
+               Json.to_str
+                 (Json.member "id" (Json.of_string resp.Sider_serve.Http.r_body))
+             in
+             let step ?body meth path expect =
+               match call ?body ~meth path with
+               | Some r when r.Sider_serve.Http.status = expect -> true
+               | _ -> bump failures; false
+             in
+             ignore
+               (step ~body:constraint_body "POST"
+                  ("/sessions/" ^ id ^ "/constraints") 200
+                && step ~body:update_body "POST"
+                     ("/sessions/" ^ id ^ "/update") 200
+                && step "GET" ("/sessions/" ^ id ^ "/projection") 200)
+           | _ -> bump failures);
+          next_session ()
+        end
+      in
+      next_session ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init concurrency (fun _ -> Thread.create analyst ()) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let lats = Array.of_list !latencies in
+    let q p = Obs.quantile_type7 lats p in
+    let p50 = q 0.5 and p95 = q 0.95 and p99 = q 0.99 in
+    let mx = Array.fold_left Float.max 0.0 lats in
+    let n_req = Array.length lats in
+    let result =
+      Json.Obj
+        [ ("schema", Json.String "sider-load/1");
+          ("label", Json.String "pr6");
+          ("sessions", Json.Number (float_of_int sessions));
+          ("concurrency", Json.Number (float_of_int concurrency));
+          ("journaled", Json.Bool (data_dir <> None || target <> None));
+          ("requests_ok", Json.Number (float_of_int n_req));
+          ("shed_429", Json.Number (float_of_int !shed_429));
+          ("shed_503", Json.Number (float_of_int !shed_503));
+          ("transport_retries", Json.Number (float_of_int !transport_retries));
+          ("failures", Json.Number (float_of_int !failures));
+          ("wall_s", Json.Number wall);
+          ("throughput_rps", Json.Number (float_of_int n_req /. wall));
+          ("latency_s",
+           Json.Obj
+             [ ("p50", Json.Number p50); ("p95", Json.Number p95);
+               ("p99", Json.Number p99); ("max", Json.Number mx) ]) ]
+    in
+    Printf.printf
+      "%d sessions via %d threads in %.2fs: %d ok (%.0f rps), %d shed \
+       (429), %d shed (503), %d failure(s)\n\
+       latency p50 %.4fs  p95 %.4fs  p99 %.4fs  max %.4fs\n"
+      sessions concurrency wall n_req
+      (float_of_int n_req /. wall)
+      !shed_429 !shed_503 !failures p50 p95 p99 mx;
+    (match out with
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (Json.to_string result);
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "wrote %s\n" path
+     | None -> ());
+    if !failures > 0 then Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Drive concurrent analyst sessions against the session API \
+             (spawning one in-process unless $(b,--port) targets an \
+             existing service) and report throughput and latency \
+             quantiles.  Exits 1 if any analyst loop failed outright; \
+             shed 429/503 responses are retried, not failures.")
+    Term.(const run $ obs_setup_t $ sessions_t $ concurrency_t $ target_t
+          $ data_dir_t $ out_t $ rows_t $ seed_t)
+
 let main =
   let doc = "SIDER: interactive visual data exploration with subjective feedback" in
   Cmd.group
     (Cmd.info "sider" ~version:"1.0.0" ~doc)
     [ datasets_cmd; view_cmd; explore_cmd; repl_cmd; replay_cmd;
       export_cmd; runtime_cmd; doctor_cmd; trace_cmd; convergence_cmd;
-      serve_cmd ]
+      serve_cmd; api_cmd; load_cmd ]
 
 (* Structured engine errors become one-line diagnostics with distinct
    exit codes instead of an OCaml backtrace: 2 for a diagnosed numerical

@@ -34,6 +34,14 @@ val check_dataset : ?deep:bool -> ?seed:int -> Dataset.t -> report
     (skipped, with an [Info] note, when a live sink is installed) and the
     flight recorder's capacity / written / dropped statistics. *)
 
+val check_store : string -> report
+(** Validate a persistence artifact — a session snapshot or a
+    write-ahead journal (see {!Persist}) — the way boot-time recovery
+    would: format/version fields, checksum, and a full replay.  An
+    unterminated final journal line is a [Warning] (recovery drops it);
+    a missing file, unsupported version, checksum mismatch or
+    unreplayable content is a [Fault].  Never raises. *)
+
 val fault : check:string -> string -> report
 (** A report consisting of one fault — for callers whose input failed
     before a dataset even existed (e.g. a CSV that does not parse). *)

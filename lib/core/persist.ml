@@ -1,6 +1,79 @@
 open Sider_linalg
 open Sider_data
 open Sider_projection
+open Sider_robust
+
+(* Structured-diagnostic discipline: every malformed input surfaces as a
+   [Sider_error.t] (Degenerate_data for bad content, Io_failure for
+   filesystem faults), never a raw [Failure]/[Json.Parse_error]. *)
+
+let corrupt fmt =
+  Printf.ksprintf
+    (fun msg -> Sider_error.raise_ (Sider_error.degenerate_data msg))
+    fmt
+
+let io_fail fmt =
+  Printf.ksprintf
+    (fun msg -> Sider_error.raise_ (Sider_error.io_failure msg))
+    fmt
+
+(* Run a parsing thunk, mapping the accessor exceptions of
+   [Sider_data.Json] (and the [failwith]s below) onto structured errors
+   carrying [what] as provenance. *)
+let parsing what f =
+  try f () with
+  | Sider_error.Error _ as e -> raise e
+  | Failure msg | Invalid_argument msg -> corrupt "%s: %s" what msg
+  | Not_found -> corrupt "%s: required field missing" what
+  | Json.Parse_error msg -> corrupt "%s: %s" what msg
+
+(* --- checksums ------------------------------------------------------------- *)
+
+(* FNV-1a 64-bit over the serialized payload: not cryptographic, but it
+   reliably catches truncation, bit rot and hand editing, and needs no
+   dependencies.  Rendered as 16 hex digits. *)
+let fnv64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+(* Checksums are computed over the document serialized {e without} its
+   [checksum] field; verification rebuilds that exact string from the
+   parsed value, which is stable because the printer is deterministic
+   and parsing preserves object field order. *)
+let with_checksum fields =
+  let body = Json.Obj fields in
+  let sum = fnv64 (Json.to_string body) in
+  let rec insert = function
+    | ("version", v) :: rest ->
+      ("version", v) :: ("checksum", Json.String sum) :: rest
+    | kv :: rest -> kv :: insert rest
+    | [] -> [ ("checksum", Json.String sum) ]
+  in
+  Json.Obj (insert fields)
+
+let verify_checksum ~what j =
+  match j with
+  | Json.Obj fields ->
+    (match List.assoc_opt "checksum" fields with
+     | None -> ()  (* format version 1: no checksum recorded *)
+     | Some (Json.String recorded) ->
+       let body =
+         Json.Obj (List.filter (fun (k, _) -> k <> "checksum") fields)
+       in
+       let actual = fnv64 (Json.to_string body) in
+       if not (String.equal actual recorded) then
+         corrupt "%s: checksum mismatch (recorded %s, computed %s)" what
+           recorded actual
+     | Some _ -> corrupt "%s: checksum field is not a string" what)
+  | _ -> ()
+
+(* --- datasets --------------------------------------------------------------- *)
 
 let dataset_to_json ds =
   let m = Dataset.matrix ds in
@@ -22,6 +95,7 @@ let dataset_to_json ds =
        Json.List (List.init n (fun i -> Json.floats (Mat.row m i)))) ]
 
 let dataset_of_json j =
+  parsing "dataset" @@ fun () ->
   let name = Json.to_str (Json.member "name" j) in
   let columns =
     Json.to_list (Json.member "columns" j)
@@ -37,8 +111,17 @@ let dataset_of_json j =
   let n = List.length rows in
   let d = Array.length columns in
   let m = Mat.create n d in
-  List.iteri (fun i row -> Mat.set_row m i (Json.to_floats row)) rows;
+  List.iteri
+    (fun i row ->
+      let cells = Json.to_floats row in
+      if Array.length cells <> d then
+        corrupt "dataset: row %d has %d cells, expected %d" i
+          (Array.length cells) d;
+      Mat.set_row m i cells)
+    rows;
   Dataset.create ~name ?labels ~columns m
+
+(* --- events ----------------------------------------------------------------- *)
 
 let method_to_json = function
   | View.Pca -> Json.String "pca"
@@ -48,7 +131,7 @@ let method_of_json j =
   match Json.to_str j with
   | "pca" -> View.Pca
   | "ica" -> View.Ica
-  | other -> failwith (Printf.sprintf "Persist: unknown method %S" other)
+  | other -> corrupt "unknown method %S" other
 
 let event_to_json = function
   | Session.Added_cluster { rows; tag } ->
@@ -74,6 +157,7 @@ let event_to_json = function
     Json.Obj [ ("event", Json.String "view"); ("method", method_to_json m) ]
 
 let replay_event session j =
+  parsing "event" @@ fun () ->
   match Json.to_str (Json.member "event" j) with
   | "cluster" ->
     Session.add_cluster_constraint
@@ -102,48 +186,275 @@ let replay_event session j =
       (Session.recompute_view
          ~method_:(method_of_json (Json.member "method" j))
          session)
-  | other -> failwith (Printf.sprintf "Persist: unknown event %S" other)
+  | other -> corrupt "unknown event %S" other
+
+(* --- session snapshots ------------------------------------------------------- *)
+
+let format_version = 2
+
+let creation_fields session =
+  let seed, standardize, jitter, method_ = Session.creation_args session in
+  [ ("seed", Json.Number (float_of_int seed));
+    ("standardize", Json.Bool standardize);
+    ("jitter", Json.Number jitter);
+    ("method", method_to_json method_);
+    ("dataset", dataset_to_json (Session.dataset session)) ]
 
 let session_to_json session =
-  let seed, standardize, jitter, method_ = Session.creation_args session in
-  Json.Obj
-    [ ("format", Json.String "sider-session");
-      ("version", Json.Number 1.0);
-      ("seed", Json.Number (float_of_int seed));
-      ("standardize", Json.Bool standardize);
-      ("jitter", Json.Number jitter);
-      ("method", method_to_json method_);
-      ("dataset", dataset_to_json (Session.dataset session));
-      ("history",
-       Json.List (List.map event_to_json (Session.history session))) ]
+  with_checksum
+    ([ ("format", Json.String "sider-session");
+       ("version", Json.Number (float_of_int format_version)) ]
+     @ creation_fields session
+     @ [ ("history",
+          Json.List (List.map event_to_json (Session.history session))) ])
+
+let check_format ~what ~expected j =
+  (match Json.member_opt "format" j with
+   | Some (Json.String f) when f = expected -> ()
+   | Some (Json.String f) ->
+     corrupt "%s: format is %S, expected %S" what f expected
+   | _ -> corrupt "%s: not a %s document" what expected);
+  let version =
+    match Json.member_opt "version" j with
+    | Some v -> parsing what (fun () -> Json.to_int v)
+    | None -> 1
+  in
+  if version < 1 || version > format_version then
+    corrupt "%s: unsupported format version %d (this build reads 1-%d)"
+      what version format_version;
+  (* Version 2 always writes a checksum, so its absence in a v2 file is
+     itself corruption (e.g. a flipped byte inside the field name) —
+     only genuine version-1 files may go checksum-less. *)
+  (match j with
+   | Json.Obj fields
+     when version >= 2 && not (List.mem_assoc "checksum" fields) ->
+     corrupt "%s: version %d document without its checksum field" what
+       version
+   | _ -> ());
+  verify_checksum ~what j
+
+let create_session_of_json ~what j =
+  parsing what @@ fun () ->
+  let ds = dataset_of_json (Json.member "dataset" j) in
+  Session.create
+    ~seed:(Json.to_int (Json.member "seed" j))
+    ~standardize:(Json.to_bool (Json.member "standardize" j))
+    ~jitter:(Json.to_float (Json.member "jitter" j))
+    ~method_:(method_of_json (Json.member "method" j))
+    ds
 
 let session_of_json j =
-  (match Json.member_opt "format" j with
-   | Some (Json.String "sider-session") -> ()
-   | _ -> failwith "Persist: not a sider-session document");
-  let ds = dataset_of_json (Json.member "dataset" j) in
-  let session =
-    Session.create
-      ~seed:(Json.to_int (Json.member "seed" j))
-      ~standardize:(Json.to_bool (Json.member "standardize" j))
-      ~jitter:(Json.to_float (Json.member "jitter" j))
-      ~method_:(method_of_json (Json.member "method" j))
-      ds
-  in
-  List.iter (replay_event session) (Json.to_list (Json.member "history" j));
+  check_format ~what:"snapshot" ~expected:"sider-session" j;
+  let session = create_session_of_json ~what:"snapshot" j in
+  List.iter
+    (replay_event session)
+    (parsing "snapshot" (fun () -> Json.to_list (Json.member "history" j)));
   session
 
+(* --- atomic file IO ---------------------------------------------------------- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done
+
+(* tmp + fsync + rename: a crash at any point leaves either the old
+   complete file or the new complete file, never a torn one.  The tmp
+   file lives in the destination directory so the rename cannot cross a
+   filesystem boundary. *)
+let save_atomic path data =
+  let tmp = path ^ ".tmp" in
+  (try
+     let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+       (fun () ->
+         write_all fd data;
+         Unix.fsync fd)
+   with Unix.Unix_error (err, _, _) ->
+     io_fail "Persist.save %s: %s" tmp (Unix.error_message err));
+  try Sys.rename tmp path with
+  | Sys_error msg -> io_fail "Persist.save %s: rename failed: %s" path msg
+
 let save path session =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (Json.to_string (session_to_json session)))
+  save_atomic path (Json.to_string (session_to_json session))
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        really_input_string ic len)
+  with Sys_error msg -> io_fail "Persist: cannot read %s: %s" path msg
 
 let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      let text = really_input_string ic len in
-      session_of_json (Json.of_string text))
+  let text = read_file path in
+  let j =
+    try Json.of_string text with
+    | Json.Parse_error msg -> corrupt "snapshot %s: %s" path msg
+  in
+  session_of_json j
+
+let load_result path = Sider_error.protect (fun () -> load path)
+
+(* --- write-ahead journal ------------------------------------------------------ *)
+
+(* One line per record, each a self-contained JSON document:
+
+     {"format":"sider-journal","version":2,"checksum":"…",…creation…}
+     {"event":"margin"}
+     {"event":"update","time_cutoff":10}
+     …
+
+   Appends write the full line (including the trailing newline) in one
+   [write] and fsync before the caller acknowledges anything, so a line
+   that ends in a newline on disk is a complete, acknowledged-able
+   record.  Recovery therefore drops an unterminated tail (the in-flight
+   append a crash interrupted) but treats an unparseable {e terminated}
+   line as real corruption. *)
+
+type journal = {
+  j_path : string;
+  mutable j_fd : Unix.file_descr option;
+  mutable j_events : int;
+}
+
+let journal_header session =
+  with_checksum
+    ([ ("format", Json.String "sider-journal");
+       ("version", Json.Number (float_of_int format_version)) ]
+     @ creation_fields session)
+
+let journal_write j line =
+  match j.j_fd with
+  | None -> io_fail "Persist.journal %s: already closed" j.j_path
+  | Some fd ->
+    if Fault.journal_append_should_fail ~path:j.j_path then
+      io_fail "Persist.journal %s: injected append failure" j.j_path;
+    (try
+       write_all fd (line ^ "\n");
+       Unix.fsync fd
+     with Unix.Unix_error (err, _, _) ->
+       io_fail "Persist.journal %s: append failed: %s" j.j_path
+         (Unix.error_message err))
+
+let journal_append j event =
+  journal_write j (Json.to_string (event_to_json event));
+  j.j_events <- j.j_events + 1
+
+let journal_start path session =
+  let fd =
+    try Unix.openfile path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 with
+    | Unix.Unix_error (err, _, _) ->
+      io_fail "Persist.journal %s: cannot create: %s" path
+        (Unix.error_message err)
+  in
+  let j = { j_path = path; j_fd = Some fd; j_events = 0 } in
+  journal_write j (Json.to_string (journal_header session));
+  List.iter (journal_append j) (Session.history session);
+  j
+
+let journal_close j =
+  match j.j_fd with
+  | None -> ()
+  | Some fd ->
+    j.j_fd <- None;
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let journal_path j = j.j_path
+
+let journal_events j = j.j_events
+
+(* Split journal text into (line, terminated) pairs. *)
+let journal_lines text =
+  let rec go acc start =
+    if start >= String.length text then List.rev acc
+    else
+      match String.index_from_opt text start '\n' with
+      | Some i ->
+        go ((String.sub text start (i - start), true) :: acc) (i + 1)
+      | None ->
+        List.rev
+          ((String.sub text start (String.length text - start), false) :: acc)
+  in
+  go [] 0
+
+(* Core recovery scan: returns the session, the number of events
+   applied, and the byte offset of the end of the last intact record
+   (so a reopen can truncate the dropped tail before appending). *)
+let journal_scan path =
+  let text = read_file path in
+  match journal_lines text with
+  | [] -> corrupt "journal %s: empty file" path
+  | (header_line, header_terminated) :: events ->
+    if not header_terminated then
+      corrupt "journal %s: truncated header" path;
+    let header =
+      try Json.of_string header_line with
+      | Json.Parse_error msg -> corrupt "journal %s: header: %s" path msg
+    in
+    check_format ~what:(Printf.sprintf "journal %s" path)
+      ~expected:"sider-journal" header;
+    let session =
+      create_session_of_json ~what:(Printf.sprintf "journal %s" path) header
+    in
+    let applied = ref 0 in
+    let good_len = ref (String.length header_line + 1) in
+    let rec replay = function
+      | [] -> ()
+      | (line, terminated) :: rest ->
+        let last = rest = [] in
+        if line = "" && last then ()
+        else begin
+          match
+            (* An unterminated tail is the append a crash interrupted:
+               the client was never acknowledged, dropping it is the
+               contract.  A terminated line must parse and replay. *)
+            if terminated then Some (Json.of_string line)
+            else (try Some (Json.of_string line) with _ -> None)
+          with
+          | None -> ()  (* unterminated, unparseable: dropped tail *)
+          | exception Json.Parse_error msg ->
+            corrupt "journal %s: event %d: %s" path (!applied + 1) msg
+          | Some j ->
+            if terminated then begin
+              replay_event session j;
+              incr applied;
+              good_len := !good_len + String.length line + 1;
+              replay rest
+            end
+            (* A parseable but unterminated final line still lacks the
+               newline the append writes before acknowledging: treat it
+               as in-flight and drop it. *)
+        end
+    in
+    replay events;
+    (session, !applied, !good_len)
+
+let journal_load path =
+  Sider_error.protect (fun () ->
+      let session, applied, _ = journal_scan path in
+      (session, applied))
+
+let journal_reopen path =
+  Sider_error.protect (fun () ->
+      let session, applied, good_len = journal_scan path in
+      let fd =
+        try Unix.openfile path [ O_WRONLY ] 0o644 with
+        | Unix.Unix_error (err, _, _) ->
+          io_fail "Persist.journal %s: cannot reopen: %s" path
+            (Unix.error_message err)
+      in
+      (try
+         Unix.ftruncate fd good_len;
+         ignore (Unix.lseek fd good_len Unix.SEEK_SET)
+       with Unix.Unix_error (err, _, _) ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         io_fail "Persist.journal %s: cannot truncate tail: %s" path
+           (Unix.error_message err));
+      (session, { j_path = path; j_fd = Some fd; j_events = applied }))

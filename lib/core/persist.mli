@@ -1,4 +1,5 @@
-(** Saving and replaying analysis sessions.
+(** Saving and replaying analysis sessions: atomic snapshots and a
+    crash-safe write-ahead journal.
 
     A session snapshot records the dataset and the complete interaction
     log (the events of {!Session.history}).  Because every part of the
@@ -8,23 +9,105 @@
     background distribution, same current view.
 
     The format is self-contained JSON (see {!Sider_data.Json}); floats
-    are serialized with full precision. *)
+    are serialized with full precision.  Documents carry a [format]
+    tag, a [version] number and (since version 2) an FNV-1a 64-bit
+    [checksum] of the rest of the document, verified on load.  Version 1
+    files (no checksum) still load.
+
+    {b Error discipline:} malformed input is reported as a structured
+    {!Sider_robust.Sider_error.t} — [Degenerate_data] for bad content
+    (parse errors, wrong format, checksum mismatch, unknown events),
+    [Io_failure] for filesystem-level faults — never a raw [Failure] or
+    [Json.Parse_error].
+
+    {2 Write-ahead journal}
+
+    The session service persists each tenant as an append-only journal:
+    a header line (creation arguments + dataset, checksummed) followed
+    by one JSON line per interaction event.  {!journal_append} writes
+    the whole line — terminating newline included — in a single [write]
+    and [fsync]s before returning, so the service only acknowledges a
+    mutation that is durable.  {!journal_load} replays the file on
+    boot; an {e unterminated} final line is the append a crash
+    interrupted and is dropped (that request was never acknowledged),
+    while an unparseable {e terminated} line is reported as corruption.
+    Together with engine determinism this gives the crash-recovery
+    invariant: after [kill -9] at any instant, restart restores every
+    acknowledged event bit-identically and loses at most the single
+    in-flight request. *)
 
 open Sider_data
+open Sider_robust
 
 val dataset_to_json : Dataset.t -> Json.t
 
 val dataset_of_json : Json.t -> Dataset.t
-(** Raises [Invalid_argument]/[Not_found] on malformed input. *)
+(** Raises [Sider_error.Error] on malformed input. *)
+
+val event_to_json : Session.event -> Json.t
+
+val replay_event : Session.t -> Json.t -> unit
+(** Apply one serialized event to a live session.  Raises
+    [Sider_error.Error] on an unknown or malformed event; a recorded
+    [update] whose re-solve fails is tolerated (the session rolls back,
+    replay continues). *)
 
 val session_to_json : Session.t -> Json.t
+(** Current format version, with checksum. *)
 
 val session_of_json : Json.t -> Session.t
-(** Rebuilds the session and replays its interaction log. *)
+(** Rebuilds the session and replays its interaction log.  Raises
+    [Sider_error.Error] on malformed input, unsupported version or
+    checksum mismatch. *)
 
 val save : string -> Session.t -> unit
-(** Write a session snapshot to a file. *)
+(** Write a session snapshot atomically: the document is written to
+    [path ^ ".tmp"], [fsync]ed and renamed over [path], so a crash
+    mid-save leaves either the previous snapshot or the new one intact,
+    never a torn file.  Raises [Sider_error.Error] ([Io_failure]) on
+    filesystem faults. *)
 
 val load : string -> Session.t
-(** Read and replay a snapshot.  Raises [Json.Parse_error] or
-    [Failure]. *)
+(** Read and replay a snapshot.  Raises [Sider_error.Error]. *)
+
+val load_result : string -> (Session.t, Sider_error.t) result
+(** {!load} as a [result]. *)
+
+(** {2 Journal} *)
+
+type journal
+(** An open append handle.  Single-writer: the session service guards
+    each journal with its session's lock. *)
+
+val journal_start : string -> Session.t -> journal
+(** Create (or truncate) a journal at [path]: header line plus one line
+    per event already in the session's history, fsynced.  Raises
+    [Sider_error.Error] on IO failure. *)
+
+val journal_append : journal -> Session.event -> unit
+(** Append one event line and [fsync].  Returns only once the record is
+    durable — callers acknowledge after this.  Raises
+    [Sider_error.Error] ([Io_failure]) on failure (including the
+    {!Sider_robust.Fault.Journal_fail_append} injection), in which case
+    nothing was written. *)
+
+val journal_close : journal -> unit
+(** Flush and close.  Idempotent. *)
+
+val journal_path : journal -> string
+
+val journal_events : journal -> int
+(** Events written through (or recovered behind) this handle. *)
+
+val journal_load : string -> (Session.t * int, Sider_error.t) result
+(** Replay a journal: rebuild the session from the header, apply every
+    intact event line; returns the session and the number of events
+    applied.  A truncated (unterminated) final line is dropped; any
+    other defect — missing or corrupt header, checksum mismatch,
+    unparseable interior line, unknown event — is a structured error.
+    Never raises. *)
+
+val journal_reopen : string -> (Session.t * journal, Sider_error.t) result
+(** {!journal_load}, then reopen the file for appending (truncating a
+    dropped in-flight tail first so the next append starts on a clean
+    record boundary).  The recovery path of the session service. *)

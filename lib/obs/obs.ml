@@ -17,6 +17,7 @@ type metric =
       sum : float;
       p50 : float;
       p95 : float;
+      p99 : float;
       max : float;
     }
 
@@ -519,6 +520,7 @@ let metrics_snapshot () =
               sum;
               p50 = quantile_sorted sorted h.len 0.5;
               p95 = quantile_sorted sorted h.len 0.95;
+              p99 = quantile_sorted sorted h.len 0.99;
               max = (if h.len = 0 then 0.0 else sorted.(h.len - 1));
             }
       in
@@ -603,14 +605,15 @@ let stderr_sink ?(channel = stderr) () =
             gauges
         end;
         if hists <> [] then begin
-          Printf.fprintf channel "[metrics] %-34s %8s %10s %10s %10s %10s\n"
-            "histogram" "count" "p50" "p95" "max" "sum";
+          Printf.fprintf channel
+            "[metrics] %-34s %8s %10s %10s %10s %10s %10s\n"
+            "histogram" "count" "p50" "p95" "p99" "max" "sum";
           List.iter
             (function
-              | Histogram { name; count; sum; p50; p95; max } ->
+              | Histogram { name; count; sum; p50; p95; p99; max } ->
                 Printf.fprintf channel
-                  "[metrics] %-34s %8d %10.4g %10.4g %10.4g %10.4g\n" name
-                  count p50 p95 max sum
+                  "[metrics] %-34s %8d %10.4g %10.4g %10.4g %10.4g %10.4g\n"
+                  name count p50 p95 p99 max sum
               | _ -> ())
             hists
         end;
@@ -667,12 +670,12 @@ let metric_to_json = function
   | Gauge { name; value } ->
     Printf.sprintf "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%s}"
       (json_escape name) (json_float value)
-  | Histogram { name; count; sum; p50; p95; max } ->
+  | Histogram { name; count; sum; p50; p95; p99; max } ->
     Printf.sprintf
       "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sum\":%s,\
-       \"p50\":%s,\"p95\":%s,\"max\":%s}"
+       \"p50\":%s,\"p95\":%s,\"p99\":%s,\"max\":%s}"
       (json_escape name) count (json_float sum) (json_float p50)
-      (json_float p95) (json_float max)
+      (json_float p95) (json_float p99) (json_float max)
 
 let series_point_to_json name row =
   Printf.sprintf "{\"type\":\"series\",\"name\":\"%s\",\"point\":%s}"

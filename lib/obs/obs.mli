@@ -53,6 +53,7 @@ type metric =
       sum : float;
       p50 : float;      (** Type-7 (linear interpolation) quantiles. *)
       p95 : float;
+      p99 : float;
       max : float;
     }
 

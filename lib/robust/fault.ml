@@ -3,8 +3,15 @@ open Sider_linalg
 type injection =
   | Nan_in_class of { sweep : int; cls : int }
   | Fail_sweep of { sweep : int }
+  | Journal_fail_append of { path_substr : string }
+  | Svc_drop_request of { path_substr : string }
+  | Svc_delay_request of { path_substr : string; ms : int }
+  | Svc_truncate_request of { path_substr : string }
+  | Svc_crash_after_journal of { path_substr : string }
 
 type fired = { injection : injection; at_sweep : int }
+
+exception Crash_injected
 
 let armed_ : injection list ref = ref []
 
@@ -47,6 +54,55 @@ let should_fail_sweep ~sweep =
     fired_ := { injection = i; at_sweep = sweep } :: !fired_;
     true
   | _ -> false
+
+(* --- service-level injection points --------------------------------------- *)
+
+(* Substring matching keeps arming ergonomic: [path_substr = ""] matches
+   every request/journal, a session id narrows the blast radius to one
+   tenant.  All service polls are one-shot, like the solver ones. *)
+let substr_matches ~needle haystack =
+  needle = ""
+  ||
+  let nl = String.length needle and hl = String.length haystack in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  at 0
+
+let consume_for_path ~path pred =
+  match
+    consume (fun i ->
+        match pred i with
+        | Some needle -> substr_matches ~needle path
+        | None -> false)
+  with
+  | Some i ->
+    fired_ := { injection = i; at_sweep = 0 } :: !fired_;
+    Some i
+  | None -> None
+
+let journal_append_should_fail ~path =
+  consume_for_path ~path (function
+    | Journal_fail_append j -> Some j.path_substr
+    | _ -> None)
+  <> None
+
+let request_fault ~path =
+  match
+    consume_for_path ~path (function
+      | Svc_drop_request r -> Some r.path_substr
+      | Svc_delay_request r -> Some r.path_substr
+      | Svc_truncate_request r -> Some r.path_substr
+      | _ -> None)
+  with
+  | Some (Svc_drop_request _) -> Some `Drop
+  | Some (Svc_delay_request r) -> Some (`Delay r.ms)
+  | Some (Svc_truncate_request _) -> Some `Truncate
+  | _ -> None
+
+let should_crash_after_journal ~path =
+  consume_for_path ~path (function
+    | Svc_crash_after_journal c -> Some c.path_substr
+    | _ -> None)
+  <> None
 
 (* A fixed full rotation built from Givens rotations with index-derived
    angles: dense enough to hide the eigenbasis, fully deterministic. *)

@@ -24,8 +24,38 @@ type injection =
       (** At the start of sweep [sweep], raise a structured
           solver-divergence error (exercises the session's
           checkpoint-rollback path). *)
+  | Journal_fail_append of { path_substr : string }
+      (** The next journal append whose file path contains [path_substr]
+          (["" ] matches any) fails with a structured {!Sider_error.t}
+          before writing a byte — the disk-full / pulled-volume case.
+          The mutation must not be acknowledged. *)
+  | Svc_drop_request of { path_substr : string }
+      (** The session service closes the matching connection without
+          writing a response (network partition mid-request). *)
+  | Svc_delay_request of { path_substr : string; ms : int }
+      (** The service stalls the matching request for [ms] milliseconds
+          before handling it (slow disk / scheduling hiccup; used to hold
+          workers busy in overload tests). *)
+  | Svc_truncate_request of { path_substr : string }
+      (** The service discards the second half of the matching request's
+          body before parsing it (truncated upload — must surface as a
+          400, never a crash). *)
+  | Svc_crash_after_journal of { path_substr : string }
+      (** On the matching mutation, raise {!Crash_injected} after the
+          journal append (and in-memory apply) but before the response is
+          written — the [kill -9] between journal and ack.  The client
+          never sees an acknowledgement; restart-from-journal must
+          restore the event. *)
 
 type fired = { injection : injection; at_sweep : int }
+(** [at_sweep] is 0 for service-level injections. *)
+
+exception Crash_injected
+(** Raised by the {!Svc_crash_after_journal} polling site.  The service
+    treats it as sudden process death for that connection: no response
+    is written and the connection is closed.  Tests that arm it must
+    discard the service instance and recover a fresh one from the data
+    directory. *)
 
 val reset : unit -> unit
 (** Disarm everything and clear the fired log. *)
@@ -44,6 +74,16 @@ val nan_class_for_sweep : sweep:int -> int option
 
 val should_fail_sweep : sweep:int -> bool
 (** Consume a [Fail_sweep] armed for this sweep. *)
+
+val journal_append_should_fail : path:string -> bool
+(** Consume a [Journal_fail_append] matching this journal path. *)
+
+val request_fault : path:string -> [ `Drop | `Delay of int | `Truncate ] option
+(** Consume at most one armed service request injection matching this
+    request path. *)
+
+val should_crash_after_journal : path:string -> bool
+(** Consume a [Svc_crash_after_journal] matching this request path. *)
 
 (** {2 Deterministic pathological inputs} *)
 

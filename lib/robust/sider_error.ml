@@ -11,6 +11,7 @@ type t =
   | Non_convergence of context
   | Degenerate_data of context
   | Nan_detected of context
+  | Io_failure of context
 
 exception Error of t
 
@@ -32,9 +33,12 @@ let degenerate_data ?class_index ?constraint_tag ?sweep detail =
 let nan_detected ?class_index ?constraint_tag ?sweep detail =
   Nan_detected (context ?class_index ?constraint_tag ?sweep detail)
 
+let io_failure ?class_index ?constraint_tag ?sweep detail =
+  Io_failure (context ?class_index ?constraint_tag ?sweep detail)
+
 let context_of = function
   | Singular_covariance c | Solver_divergence c | Non_convergence c
-  | Degenerate_data c | Nan_detected c -> c
+  | Degenerate_data c | Nan_detected c | Io_failure c -> c
 
 let label = function
   | Singular_covariance _ -> "singular-covariance"
@@ -42,6 +46,7 @@ let label = function
   | Non_convergence _ -> "non-convergence"
   | Degenerate_data _ -> "degenerate-data"
   | Nan_detected _ -> "nan-detected"
+  | Io_failure _ -> "io-failure"
 
 let to_string e =
   let c = context_of e in
@@ -71,6 +76,7 @@ let of_exn = function
   | Failure msg -> Some (degenerate_data msg)
   | Invalid_argument msg -> Some (degenerate_data msg)
   | Division_by_zero -> Some (degenerate_data "division by zero")
+  | Sys_error msg -> Some (io_failure msg)
   | _ -> None
 
 let protect f =

@@ -18,7 +18,10 @@
     - {!Degenerate_data}: the input itself is unusable — constant
       columns, duplicate headers, non-numeric cells, empty selections;
     - {!Nan_detected}: a non-finite value appeared in a state that must
-      stay finite (class parameters, whitening input). *)
+      stay finite (class parameters, whitening input);
+    - {!Io_failure}: a persistence operation (snapshot write, journal
+      append, recovery read) failed at the filesystem level — disk
+      full, permission denied, an injected journal fault. *)
 
 type context = {
   class_index : int option;    (** Row-equivalence class involved. *)
@@ -33,6 +36,7 @@ type t =
   | Non_convergence of context
   | Degenerate_data of context
   | Nan_detected of context
+  | Io_failure of context
 
 exception Error of t
 (** The exception form, for code that cannot return a [result]. *)
@@ -56,6 +60,9 @@ val degenerate_data :
 val nan_detected :
   ?class_index:int -> ?constraint_tag:string -> ?sweep:int -> string -> t
 
+val io_failure :
+  ?class_index:int -> ?constraint_tag:string -> ?sweep:int -> string -> t
+
 val context_of : t -> context
 
 val label : t -> string
@@ -72,8 +79,9 @@ val raise_ : t -> 'a
 val of_exn : exn -> t option
 (** Map a known numerical exception to a structured error: [Error e]
     unwraps to [e]; [Failure]/[Invalid_argument]/[Division_by_zero] become
-    {!Degenerate_data}.  [None] for exceptions that should propagate
-    (e.g. [Out_of_memory], [Stack_overflow], [Sys.Break]). *)
+    {!Degenerate_data}; [Sys_error] becomes {!Io_failure}.  [None] for
+    exceptions that should propagate (e.g. [Out_of_memory],
+    [Stack_overflow], [Sys.Break]). *)
 
 val protect : (unit -> 'a) -> ('a, t) result
 (** Run a thunk, converting known numerical exceptions (see {!of_exn})

@@ -1,0 +1,262 @@
+(* Minimal HTTP/1.1 message layer shared by the metrics endpoint, the
+   session service and the load generator: request parsing with hard
+   limits and receive-timeout awareness, response writing, and a tiny
+   one-connection-per-request client.  No external dependencies. *)
+
+let max_header_bytes = 16 * 1024
+
+type request = {
+  meth : string;
+  path : string;
+  query : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type read_error =
+  | Timeout
+  | Closed
+  | Too_large
+  | Malformed of string
+
+let reason = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
+  | 413 -> "Content Too Large"
+  | 422 -> "Unprocessable Content"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let write_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  (try
+     while !sent < n do
+       sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+     done
+   with Unix.Unix_error _ -> ())
+
+let respond ?(headers = []) ~status ?(content_type = "application/json")
+    fd body =
+  let b = Buffer.create (256 + String.length body) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason status));
+  Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "Connection: close\r\n\r\n";
+  Buffer.add_string b body;
+  write_all fd (Buffer.contents b)
+
+(* --- request parsing ------------------------------------------------------- *)
+
+let find_crlfcrlf s =
+  let n = String.length s in
+  let rec go i =
+    if i + 3 >= n then None
+    else if
+      s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse_headers lines =
+  List.fold_left
+    (fun acc line ->
+      match acc with
+      | Error _ -> acc
+      | Ok hs ->
+        (match String.index_opt line ':' with
+         | None -> Error (Malformed ("header without colon: " ^ line))
+         | Some i ->
+           let k = String.lowercase_ascii (String.sub line 0 i) in
+           let v =
+             String.trim (String.sub line (i + 1) (String.length line - i - 1))
+           in
+           Ok ((k, v) :: hs)))
+    (Ok []) lines
+  |> Result.map List.rev
+
+(* Read from [fd] until the header block is complete, then exactly the
+   declared body.  The caller is expected to have set [SO_RCVTIMEO]; a
+   timed-out [read] surfaces as [Timeout] (the 408 path), EOF before a
+   complete message as [Closed], and oversized headers/bodies as
+   [Too_large] — a slow or malicious client can cost at most one
+   worker's timeout, never unbounded memory. *)
+let read_request ?(max_body = 8 * 1024 * 1024) fd =
+  let chunk = Bytes.create 8192 in
+  let acc = Buffer.create 1024 in
+  let read_more () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> `Eof
+    | n -> Buffer.add_subbytes acc chunk 0 n; `More
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Timeout
+    | exception Unix.Unix_error _ -> `Eof
+  in
+  let rec read_head () =
+    match find_crlfcrlf (Buffer.contents acc) with
+    | Some i -> Ok i
+    | None ->
+      if Buffer.length acc > max_header_bytes then Error Too_large
+      else (
+        match read_more () with
+        | `More -> read_head ()
+        | `Timeout -> Error Timeout
+        | `Eof -> Error Closed)
+  in
+  match read_head () with
+  | Error e -> Error e
+  | Ok head_end ->
+    let head = Buffer.sub acc 0 head_end in
+    (match String.split_on_char '\n' head
+           |> List.map (fun l ->
+               match String.index_opt l '\r' with
+               | Some i -> String.sub l 0 i
+               | None -> l)
+     with
+     | [] -> Error (Malformed "empty request")
+     | request_line :: header_lines ->
+       (match String.split_on_char ' ' request_line with
+        | meth :: target :: _ ->
+          (match parse_headers (List.filter (fun l -> l <> "") header_lines)
+           with
+           | Error e -> Error e
+           | Ok headers ->
+             let path, query =
+               match String.index_opt target '?' with
+               | Some i ->
+                 ( String.sub target 0 i,
+                   String.sub target (i + 1) (String.length target - i - 1) )
+               | None -> (target, "")
+             in
+             let content_length =
+               match List.assoc_opt "content-length" headers with
+               | None -> Ok 0
+               | Some v ->
+                 (match int_of_string_opt (String.trim v) with
+                  | Some n when n >= 0 -> Ok n
+                  | _ -> Error (Malformed ("bad content-length: " ^ v)))
+             in
+             (match content_length with
+              | Error e -> Error e
+              | Ok len when len > max_body -> Error Too_large
+              | Ok len ->
+                let body_start = head_end + 4 in
+                let rec read_body () =
+                  if Buffer.length acc - body_start >= len then
+                    Ok
+                      (String.sub (Buffer.contents acc) body_start len)
+                  else (
+                    match read_more () with
+                    | `More -> read_body ()
+                    | `Timeout -> Error Timeout
+                    | `Eof -> Error Closed)
+                in
+                Result.map
+                  (fun body -> { meth; path; query; headers; body })
+                  (read_body ())))
+        | _ -> Error (Malformed ("bad request line: " ^ request_line))))
+
+(* --- client ---------------------------------------------------------------- *)
+
+type response = {
+  status : int;
+  r_headers : (string * string) list;
+  r_body : string;
+}
+
+let header resp k = List.assoc_opt (String.lowercase_ascii k) resp.r_headers
+
+(* One request per connection, mirroring the server's [Connection:
+   close] discipline.  [Error] covers transport-level failures only —
+   connect refused, timeout, a connection dropped before any status
+   line (the [Svc_drop_request] signature); an HTTP error status is a
+   normal [Ok] response. *)
+let request ?(headers = []) ?body ?(timeout_s = 30.0) ~meth ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  match
+    Unix.setsockopt_float sock Unix.SO_RCVTIMEO timeout_s;
+    Unix.setsockopt_float sock Unix.SO_SNDTIMEO timeout_s;
+    Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "connect: %s" (Unix.error_message err))
+  | () ->
+    let b = Buffer.create 512 in
+    Buffer.add_string b
+      (Printf.sprintf "%s %s HTTP/1.1\r\nHost: localhost\r\n" meth path);
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+      headers;
+    (match body with
+     | Some body ->
+       Buffer.add_string b
+         (Printf.sprintf "Content-Length: %d\r\n" (String.length body))
+     | None -> ());
+    Buffer.add_string b "Connection: close\r\n\r\n";
+    (match body with Some body -> Buffer.add_string b body | None -> ());
+    write_all sock (Buffer.contents b);
+    let resp = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let rec drain () =
+      match Unix.read sock chunk 0 (Bytes.length chunk) with
+      | 0 -> Ok ()
+      | n -> Buffer.add_subbytes resp chunk 0 n; drain ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        Ok ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Error "timeout waiting for response"
+      | exception Unix.Unix_error (err, _, _) ->
+        Error (Unix.error_message err)
+    in
+    (match drain () with
+     | Error _ as e -> e
+     | Ok () ->
+       let raw = Buffer.contents resp in
+       if raw = "" then Error "connection closed without a response"
+       else (
+         match find_crlfcrlf raw with
+         | None -> Error "truncated response"
+         | Some head_end ->
+           let head = String.sub raw 0 head_end in
+           let body =
+             String.sub raw (head_end + 4) (String.length raw - head_end - 4)
+           in
+           (match String.split_on_char '\n' head
+                  |> List.map (fun l ->
+                      match String.index_opt l '\r' with
+                      | Some i -> String.sub l 0 i
+                      | None -> l)
+            with
+            | status_line :: header_lines ->
+              let status =
+                match String.split_on_char ' ' status_line with
+                | _ :: code :: _ ->
+                  Option.value ~default:0 (int_of_string_opt code)
+                | _ -> 0
+              in
+              let r_headers =
+                match
+                  parse_headers (List.filter (fun l -> l <> "") header_lines)
+                with
+                | Ok hs -> hs
+                | Error _ -> []
+              in
+              Ok { status; r_headers; r_body = body }
+            | [] -> Error "empty response")))

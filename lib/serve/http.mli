@@ -1,0 +1,66 @@
+(** Minimal HTTP/1.1 message layer for the session service: request
+    parsing with hard limits, response writing, and a small blocking
+    client used by the tests and the load generator.
+
+    The protocol subset is deliberately narrow — one request per
+    connection ([Connection: close] both ways), [Content-Length]
+    bodies only, no chunked encoding, no keep-alive.  That is enough
+    for a loopback analysis service and keeps every read bounded. *)
+
+type request = {
+  meth : string;  (** verbatim, e.g. ["POST"] *)
+  path : string;  (** request target up to [?] *)
+  query : string;  (** raw query string, [""] if absent *)
+  headers : (string * string) list;  (** keys lowercased, values trimmed *)
+  body : string;
+}
+
+type read_error =
+  | Timeout  (** a socket read hit [SO_RCVTIMEO] — answer 408 *)
+  | Closed  (** EOF or connection error before a complete request *)
+  | Too_large  (** headers over 16 KiB or body over the configured cap *)
+  | Malformed of string  (** unparseable request line, header or length *)
+
+val reason : int -> string
+(** Reason phrase for a status code ("OK", "Too Many Requests", ...). *)
+
+val read_request :
+  ?max_body:int -> Unix.file_descr -> (request, read_error) result
+(** Read one full request from a connected socket.  Bounded: at most
+    16 KiB of headers and [max_body] (default 8 MiB) of body are ever
+    buffered.  The caller should set [SO_RCVTIMEO] on the socket so a
+    stalled client surfaces as [Timeout] rather than hanging a worker. *)
+
+val respond :
+  ?headers:(string * string) list ->
+  status:int ->
+  ?content_type:string ->
+  Unix.file_descr ->
+  string ->
+  unit
+(** Write a complete response ([Content-Length] + [Connection: close]).
+    Write errors are swallowed — the client is gone and the connection
+    is about to be closed anyway. *)
+
+(** {2 Client} *)
+
+type response = {
+  status : int;
+  r_headers : (string * string) list;
+  r_body : string;
+}
+
+val header : response -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val request :
+  ?headers:(string * string) list ->
+  ?body:string ->
+  ?timeout_s:float ->
+  meth:string ->
+  port:int ->
+  string ->
+  (response, string) result
+(** Perform one request against [127.0.0.1:port].  [Error] is
+    transport-level only (connect refused, timeout, connection dropped
+    before a status line); HTTP error statuses come back as [Ok]. *)

@@ -1,0 +1,146 @@
+(* Concurrent session registry for the multi-tenant service.  The
+   table itself is guarded by one mutex (operations on it are cheap:
+   lookup, insert, remove); each entry additionally carries its own
+   lock serializing all access to the mutable [Session.t] and its
+   journal, so two analysts never interleave inside one session while
+   different sessions proceed in parallel. *)
+
+open Sider_core
+open Sider_robust
+
+type entry = {
+  id : string;
+  session : Session.t;
+  lock : Mutex.t;
+  mutable journal : Persist.journal option;
+  mutable closed : bool;
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  reg_lock : Mutex.t;
+  data_dir : string option;
+  max_sessions : int;
+  mutable next_id : int;
+}
+
+let create ?data_dir ?(max_sessions = 4096) () =
+  (match data_dir with
+   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+   | _ -> ());
+  { table = Hashtbl.create 64;
+    reg_lock = Mutex.create ();
+    data_dir;
+    max_sessions;
+    next_id = 1 }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let journal_file dir id = Filename.concat dir (id ^ ".journal")
+
+let count t = with_lock t.reg_lock (fun () -> Hashtbl.length t.table)
+
+let ids t =
+  with_lock t.reg_lock (fun () ->
+      Hashtbl.fold (fun id _ acc -> id :: acc) t.table []
+      |> List.sort compare)
+
+let find t id = with_lock t.reg_lock (fun () -> Hashtbl.find_opt t.table id)
+
+let add t session =
+  with_lock t.reg_lock @@ fun () ->
+  if Hashtbl.length t.table >= t.max_sessions then Error `Full
+  else (
+    let id = Printf.sprintf "s-%d" t.next_id in
+    match
+      Option.map
+        (fun dir -> Persist.journal_start (journal_file dir id) session)
+        t.data_dir
+    with
+    | exception Sider_error.Error e -> Error (`Io e)
+    | journal ->
+      t.next_id <- t.next_id + 1;
+      let entry =
+        { id; session; lock = Mutex.create (); journal; closed = false }
+      in
+      Hashtbl.replace t.table id entry;
+      Ok entry)
+
+(* Removal closes the journal and deletes its file — a deleted session
+   must not resurrect at the next boot.  Runs under both the registry
+   lock (table mutation) and the entry lock (so an in-flight request on
+   the same session finishes first and later requests see [closed]). *)
+let remove t id =
+  match find t id with
+  | None -> None
+  | Some entry ->
+    with_lock entry.lock (fun () ->
+        if entry.closed then ()
+        else (
+          entry.closed <- true;
+          (match entry.journal with
+           | Some j ->
+             Persist.journal_close j;
+             (try Sys.remove (Persist.journal_path j)
+              with Sys_error _ -> ())
+           | None -> ());
+          entry.journal <- None));
+    with_lock t.reg_lock (fun () -> Hashtbl.remove t.table id);
+    Some entry
+
+(* Boot-time recovery: replay every [*.journal] in the data directory.
+   One corrupt tenant must not take the service down, so per-file
+   failures are collected and returned while the healthy sessions come
+   up; [next_id] is advanced past every recovered id so new sessions
+   never collide with restored ones. *)
+let recover t =
+  match t.data_dir with
+  | None -> []
+  | Some dir ->
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".journal")
+      |> List.sort compare
+    in
+    List.filter_map
+      (fun file ->
+        let path = Filename.concat dir file in
+        let id = Filename.chop_suffix file ".journal" in
+        match Persist.journal_reopen path with
+        | Error e -> Some (path, e)
+        | Ok (session, journal) ->
+          with_lock t.reg_lock (fun () ->
+              (match String.index_opt id '-' with
+               | Some i ->
+                 (match
+                    int_of_string_opt
+                      (String.sub id (i + 1) (String.length id - i - 1))
+                  with
+                  | Some n when n >= t.next_id -> t.next_id <- n + 1
+                  | _ -> ())
+               | None -> ());
+              Hashtbl.replace t.table id
+                { id;
+                  session;
+                  lock = Mutex.create ();
+                  journal = Some journal;
+                  closed = false });
+          None)
+      files
+
+let close t =
+  let entries =
+    with_lock t.reg_lock (fun () ->
+        Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
+  in
+  List.iter
+    (fun entry ->
+      with_lock entry.lock (fun () ->
+          (match entry.journal with
+           | Some j -> Persist.journal_close j
+           | None -> ());
+          entry.journal <- None;
+          entry.closed <- true))
+    entries

@@ -1,0 +1,66 @@
+(** Concurrent session registry: the multi-tenant state of the session
+    service.
+
+    Locking discipline (two levels):
+
+    - the registry's own mutex guards the id table — lookups, inserts
+      and removals are short critical sections;
+    - every {!entry} carries a per-session mutex.  All access to the
+      mutable {!Sider_core.Session.t} and its journal must happen with
+      that lock held (the service wraps each request in it), so
+      operations on one session are serialized while distinct sessions
+      run concurrently on different workers.
+
+    When the registry has a data directory, each session is backed by a
+    write-ahead journal ([<id>.journal], see {!Sider_core.Persist});
+    {!recover} replays them on boot. *)
+
+open Sider_core
+open Sider_robust
+
+type entry = {
+  id : string;  (** ["s-<n>"] *)
+  session : Session.t;
+  lock : Mutex.t;
+  mutable journal : Persist.journal option;
+      (** [None] when the registry is ephemeral (no data directory) or
+          after removal. *)
+  mutable closed : bool;
+      (** Set by {!remove}; a request that raced the removal checks it
+          under [lock] and answers 404. *)
+}
+
+type t
+
+val create : ?data_dir:string -> ?max_sessions:int -> unit -> t
+(** Empty registry.  [data_dir] (created if missing) enables
+    journaling; [max_sessions] (default 4096) caps {!add}. *)
+
+val recover : t -> (string * Sider_error.t) list
+(** Replay every [*.journal] under the data directory into live
+    sessions.  Returns the per-file failures — a corrupt journal is
+    reported and skipped, never fatal — and advances the id counter
+    past all recovered ids. *)
+
+val add : t -> Session.t -> (entry, [ `Full | `Io of Sider_error.t ]) result
+(** Register a fresh session (assigning the next id) and start its
+    journal.  [`Full] when [max_sessions] is reached — the service
+    answers 429. *)
+
+val find : t -> string -> entry option
+
+val remove : t -> string -> entry option
+(** Close the session: mark it closed, close and {e delete} its
+    journal file (a deleted session must not be resurrected by the next
+    boot), drop it from the table.  Waits for an in-flight request on
+    the same session to finish. *)
+
+val ids : t -> string list
+(** Sorted. *)
+
+val count : t -> int
+
+val close : t -> unit
+(** Close every journal (shutdown path; sessions stay queryable in
+    memory but the registry should not be used for mutations after
+    this). *)

@@ -39,11 +39,12 @@ let exposition metrics =
         let n = mangle name in
         line "# TYPE %s gauge" n;
         line "%s %s" n (float_str value)
-      | Obs.Histogram { name; count; sum; p50; p95; max } ->
+      | Obs.Histogram { name; count; sum; p50; p95; p99; max } ->
         let n = mangle name in
         line "# TYPE %s summary" n;
         line "%s{quantile=\"0.5\"} %s" n (float_str p50);
         line "%s{quantile=\"0.95\"} %s" n (float_str p95);
+        line "%s{quantile=\"0.99\"} %s" n (float_str p99);
         line "%s_sum %s" n (float_str sum);
         line "%s_count %d" n count;
         line "# TYPE %s_max gauge" n;
@@ -80,39 +81,55 @@ let respond fd ~status ~content_type body =
 
 (* Read until the request line is complete (first CRLF) or the client
    stops sending; we never need the headers, so the rest of the request
-   is simply discarded when the connection closes. *)
+   is simply discarded when the connection closes.  A client that
+   connects and then goes silent must not wedge the accept loop: the
+   receive timeout set by [handle] turns the blocked [read] into
+   [EAGAIN], which we surface as [`Timeout] so the caller can answer
+   408. *)
 let read_request_line fd =
   let buf = Bytes.create 1024 in
   let acc = Buffer.create 256 in
   let rec go () =
-    if Buffer.length acc > 8192 then None
+    if Buffer.length acc > 8192 then `None
     else
       match Unix.read fd buf 0 (Bytes.length buf) with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        -> `Timeout
       | 0 | (exception Unix.Unix_error _) ->
-        if Buffer.length acc = 0 then None else Some (Buffer.contents acc)
+        if Buffer.length acc = 0 then `None else `Line (Buffer.contents acc)
       | n ->
         Buffer.add_subbytes acc buf 0 n;
         let s = Buffer.contents acc in
         (match String.index_opt s '\n' with
-         | Some i -> Some (String.sub s 0 i)
+         | Some i -> `Line (String.sub s 0 i)
          | None -> go ())
   in
   match go () with
-  | None -> None
-  | Some line ->
+  | `None -> `None
+  | `Timeout -> `Timeout
+  | `Line line ->
     let line =
       match String.index_opt line '\r' with
       | Some i -> String.sub line 0 i
       | None -> line
     in
     (match String.split_on_char ' ' line with
-     | meth :: path :: _ -> Some (meth, path)
-     | _ -> None)
+     | meth :: path :: _ -> `Request (meth, path)
+     | _ -> `None)
 
 let handle fd =
+  (* Slow-client hardening: a connection that never sends a complete
+     request line is answered 408 after [read_timeout_s] instead of
+     blocking the (single) accept loop forever. *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+       Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
   (match read_request_line fd with
-   | None -> ()
-   | Some (meth, path) ->
+   | `None -> ()
+   | `Timeout ->
+     respond fd ~status:"408 Request Timeout"
+       ~content_type:"text/plain; charset=utf-8" "request timeout\n"
+   | `Request (meth, path) ->
      if meth <> "GET" then
        respond fd ~status:"405 Method Not Allowed"
          ~content_type:"text/plain; charset=utf-8" "method not allowed\n"

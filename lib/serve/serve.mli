@@ -28,11 +28,15 @@
 
     - [Counter {name; total}] → counter [sider_<name>_total].
     - [Gauge {name; value}] → gauge [sider_<name>].
-    - [Histogram {name; count; sum; p50; p95; max}] → summary
-      [sider_<name>] with [quantile="0.5"] and [quantile="0.95"] sample
-      lines plus [sider_<name>_sum] / [sider_<name>_count], and a
-      companion gauge [sider_<name>_max] (the exposition format has no
-      native max for summaries). *)
+    - [Histogram {name; count; sum; p50; p95; p99; max}] → summary
+      [sider_<name>] with [quantile="0.5"], [quantile="0.95"] and
+      [quantile="0.99"] sample lines plus [sider_<name>_sum] /
+      [sider_<name>_count], and a companion gauge [sider_<name>_max]
+      (the exposition format has no native max for summaries).
+
+    A client that connects and never completes a request line is
+    answered [408 Request Timeout] after a 5 s receive timeout instead
+    of wedging the accept loop. *)
 
 type t
 (** A running server (listening socket + accept-loop thread). *)

@@ -1,0 +1,484 @@
+(* The multi-tenant session service: a bounded-queue worker-pool HTTP
+   server exposing the full SIDER interaction loop (create session, add
+   constraint, update background, fetch projection) over JSON, with
+   write-ahead journaling, overload shedding and fault-injection hooks.
+
+   Request lifecycle:
+
+     accept thread --[bounded queue or 429]--> worker
+       worker: deadline check -> read (408/413/400) -> fault polls
+               -> route -> validate -> journal append (fsync)
+               -> apply to session -> crash poll -> acknowledge
+
+   The journal-before-apply order is the crash-recovery invariant: a
+   client that received 2xx is guaranteed the event is durable, and a
+   crash at any other instant loses at most the unacknowledged
+   in-flight request (see Persist). *)
+
+open Sider_linalg
+open Sider_data
+open Sider_core
+open Sider_robust
+open Sider_projection
+module Obs = Sider_obs.Obs
+
+type config = {
+  addr : string;
+  port : int;
+  data_dir : string option;
+  max_sessions : int;
+  queue_capacity : int;
+  workers : int;
+  read_timeout_s : float;
+  deadline_s : float;
+  max_body : int;
+}
+
+let default_config =
+  { addr = "127.0.0.1";
+    port = 0;
+    data_dir = None;
+    max_sessions = 256;
+    queue_capacity = 64;
+    workers = 4;
+    read_timeout_s = 5.0;
+    deadline_s = 30.0;
+    max_body = 8 * 1024 * 1024 }
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  recovery_failures : (string * Sider_error.t) list;
+  sock : Unix.file_descr;
+  bound_port : int;
+  queue : (Unix.file_descr * float) Queue.t;
+  q_lock : Mutex.t;
+  q_nonempty : Condition.t;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+  mutable worker_threads : Thread.t list;
+}
+
+let registry t = t.registry
+
+let port t = t.bound_port
+
+let recovery_failures t = t.recovery_failures
+
+(* --- responses ------------------------------------------------------------- *)
+
+exception Reply of int * string
+(* Early exit from a route handler with a finished (status, body). *)
+
+let err_body label detail =
+  Json.to_string
+    (Json.Obj
+       [ ("error", Json.String label); ("detail", Json.String detail) ])
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Reply (400, err_body "bad-request" m))) fmt
+
+let status_of_error e =
+  match e with
+  | Sider_error.Degenerate_data _ -> 400
+  | Sider_error.Io_failure _ -> 503
+  | Sider_error.Singular_covariance _ | Sider_error.Solver_divergence _
+  | Sider_error.Non_convergence _ | Sider_error.Nan_detected _ -> 422
+
+let body_of_error e =
+  err_body (Sider_error.label e) (Sider_error.context_of e).Sider_error.detail
+
+(* --- request-body helpers -------------------------------------------------- *)
+
+let body_json (req : Http.request) =
+  if String.trim req.body = "" then Json.Obj [] else Json.of_string req.body
+
+let opt_member j key conv default =
+  match Json.member_opt key j with Some v -> conv v | None -> default
+
+let method_of_name = function
+  | "pca" -> View.Pca
+  | "ica" -> View.Ica
+  | other -> bad "unknown projection method %S (expected \"pca\" or \"ica\")" other
+
+let rows_field j session =
+  let rows =
+    match Json.member_opt "rows" j with
+    | Some v -> Json.to_ints v
+    | None -> bad "missing required field \"rows\""
+  in
+  if Array.length rows = 0 then bad "empty row selection";
+  let n, _ = Mat.dims (Session.data session) in
+  Array.iter
+    (fun r -> if r < 0 || r >= n then bad "row %d out of range [0, %d)" r n)
+    rows;
+  rows
+
+(* --- session views --------------------------------------------------------- *)
+
+let session_summary (entry : Registry.entry) =
+  let s = entry.session in
+  let n, d = Mat.dims (Session.data s) in
+  Json.Obj
+    [ ("id", Json.String entry.id);
+      ("rows", Json.Number (float_of_int n));
+      ("columns", Json.Number (float_of_int d));
+      ("events", Json.Number (float_of_int (List.length (Session.history s))));
+      ("constraints", Json.Number (float_of_int (Session.n_constraints s)));
+      ("method", Json.String (View.method_name (Session.method_ s)));
+      ("degradations",
+       Json.Number (float_of_int (List.length (Session.degradations s)))) ]
+
+let report_json (r : Sider_maxent.Solver.report) =
+  Json.Obj
+    [ ("converged", Json.Bool r.converged);
+      ("sweeps", Json.Number (float_of_int r.sweeps));
+      ("updates", Json.Number (float_of_int r.updates));
+      ("max_dlambda", Json.Number r.max_dlambda);
+      ("max_dparam", Json.Number r.max_dparam);
+      ("elapsed_s", Json.Number r.elapsed);
+      ("degradations",
+       Json.List
+         (List.map
+            (fun e -> Json.String (Sider_error.to_string e))
+            r.degradations)) ]
+
+let projection_json session =
+  let xl, yl = Session.axis_labels session in
+  let sx, sy = Session.view_scores session in
+  let points =
+    Session.scatter session |> Array.to_list
+    |> List.map (fun (p : Session.point) ->
+        let bx, by = p.background in
+        Json.Obj
+          (("i", Json.Number (float_of_int p.index))
+           :: ("x", Json.Number p.x)
+           :: ("y", Json.Number p.y)
+           :: ("bx", Json.Number bx)
+           :: ("by", Json.Number by)
+           ::
+           (match p.label with
+            | Some l -> [ ("label", Json.String l) ]
+            | None -> [])))
+  in
+  Json.Obj
+    [ ("method", Json.String (View.method_name (Session.method_ session)));
+      ("axis_labels", Json.List [ Json.String xl; Json.String yl ]);
+      ("scores", Json.List [ Json.Number sx; Json.Number sy ]);
+      ("points", Json.List points) ]
+
+(* --- mutations ------------------------------------------------------------- *)
+
+let journal_event (entry : Registry.entry) event =
+  match entry.journal with
+  | None -> ()
+  | Some j -> Persist.journal_append j event
+
+(* Run [f] with the per-session lock held; 404 if the id is unknown or
+   the entry lost a race with DELETE. *)
+let with_entry t id f =
+  match Registry.find t.registry id with
+  | None -> raise (Reply (404, err_body "not-found" ("no session " ^ id)))
+  | Some entry ->
+    Mutex.lock entry.Registry.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock entry.Registry.lock)
+    @@ fun () ->
+    if entry.Registry.closed then
+      raise (Reply (404, err_body "not-found" ("no session " ^ id)))
+    else f entry
+
+let crash_poll path =
+  if Fault.should_crash_after_journal ~path then raise Fault.Crash_injected
+
+(* The default tags Session would assign — computed here so the
+   journaled event carries the exact tag the in-memory apply records. *)
+let default_tag session prefix =
+  Printf.sprintf "%s%d" prefix (List.length (Session.constraint_tags session) + 1)
+
+let handle_create t (req : Http.request) =
+  let j = body_json req in
+  let ds =
+    match Json.member_opt "dataset" j with
+    | Some d -> Persist.dataset_of_json d
+    | None -> bad "missing required field \"dataset\""
+  in
+  let seed = opt_member j "seed" Json.to_int 42 in
+  let standardize = opt_member j "standardize" Json.to_bool true in
+  let jitter = opt_member j "jitter" Json.to_float 1e-3 in
+  let method_ = method_of_name (opt_member j "method" Json.to_str "pca") in
+  let session = Session.create ~seed ~standardize ~jitter ~method_ ds in
+  match Registry.add t.registry session with
+  | Error `Full ->
+    Obs.count "serve.rejected_sessions_full";
+    raise (Reply (429, err_body "too-many-sessions" "session capacity reached"))
+  | Error (`Io e) -> raise (Reply (status_of_error e, body_of_error e))
+  | Ok entry ->
+    crash_poll req.path;
+    (201, Json.to_string (session_summary entry))
+
+let handle_constraint t (req : Http.request) id =
+  let j = body_json req in
+  let ctype = opt_member j "type" Json.to_str "cluster" in
+  with_entry t id @@ fun entry ->
+  let s = entry.Registry.session in
+  let event =
+    match ctype with
+    | "cluster" ->
+      let rows = rows_field j s in
+      let tag = opt_member j "tag" Json.to_str (default_tag s "cluster") in
+      Session.Added_cluster { rows; tag }
+    | "two_d" ->
+      let rows = rows_field j s in
+      let tag = opt_member j "tag" Json.to_str (default_tag s "2d") in
+      Session.Added_two_d { rows; tag }
+    | "margin" -> Session.Added_margin
+    | "one_cluster" -> Session.Added_one_cluster
+    | other -> bad "unknown constraint type %S" other
+  in
+  journal_event entry event;
+  (match event with
+   | Session.Added_cluster { rows; tag } ->
+     Session.add_cluster_constraint ~tag s rows
+   | Session.Added_two_d { rows; tag } ->
+     Session.add_two_d_constraint ~tag s rows
+   | Session.Added_margin -> Session.add_margin_constraint s
+   | Session.Added_one_cluster -> Session.add_one_cluster_constraint s
+   | Session.Updated _ | Session.Viewed _ -> assert false);
+  crash_poll req.path;
+  (200, Json.to_string (session_summary entry))
+
+let handle_update t (req : Http.request) id ~deadline_at =
+  let j = body_json req in
+  let remaining = deadline_at -. Unix.gettimeofday () in
+  if remaining <= 0.0 then (
+    Obs.count "serve.deadline_expired";
+    raise
+      (Reply (503, err_body "deadline-expired" "request deadline exhausted")));
+  let time_cutoff =
+    Float.min (opt_member j "time_cutoff" Json.to_float 10.0) remaining
+  in
+  let max_sweeps = Option.map Json.to_int (Json.member_opt "max_sweeps" j) in
+  with_entry t id @@ fun entry ->
+  let s = entry.Registry.session in
+  journal_event entry (Session.Updated { time_cutoff; max_sweeps });
+  let result = Session.update_background ~time_cutoff ?max_sweeps s in
+  crash_poll req.path;
+  match result with
+  | Ok report -> (200, Json.to_string (report_json report))
+  | Error e -> (status_of_error e, body_of_error e)
+
+let handle_view t (req : Http.request) id =
+  let j = body_json req in
+  let m = method_of_name (opt_member j "method" Json.to_str "pca") in
+  with_entry t id @@ fun entry ->
+  let s = entry.Registry.session in
+  journal_event entry (Session.Viewed m);
+  ignore (Session.recompute_view ~method_:m s);
+  crash_poll req.path;
+  (200, Json.to_string (projection_json s))
+
+(* --- routing --------------------------------------------------------------- *)
+
+let segments path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+
+let route t (req : Http.request) ~deadline_at =
+  match (req.meth, segments req.path) with
+  | "GET", [ "healthz" ] -> (200, "ok\n")
+  | "GET", [ "metrics" ] ->
+    (200, Serve.exposition (Obs.metrics_snapshot ()))
+  | "POST", [ "sessions" ] -> handle_create t req
+  | "GET", [ "sessions" ] ->
+    ( 200,
+      Json.to_string
+        (Json.Obj
+           [ ("count",
+              Json.Number (float_of_int (Registry.count t.registry)));
+             ("sessions",
+              Json.List
+                (List.map (fun id -> Json.String id) (Registry.ids t.registry)))
+           ]) )
+  | "GET", [ "sessions"; id ] ->
+    with_entry t id (fun entry ->
+        (200, Json.to_string (session_summary entry)))
+  | "DELETE", [ "sessions"; id ] ->
+    (match Registry.remove t.registry id with
+     | Some _ -> (204, "")
+     | None -> (404, err_body "not-found" ("no session " ^ id)))
+  | "POST", [ "sessions"; id; "constraints" ] -> handle_constraint t req id
+  | "POST", [ "sessions"; id; "update" ] -> handle_update t req id ~deadline_at
+  | "POST", [ "sessions"; id; "view" ] -> handle_view t req id
+  | "GET", [ "sessions"; id; "projection" ] ->
+    with_entry t id (fun entry ->
+        (200, Json.to_string (projection_json entry.Registry.session)))
+  | _, ("sessions" :: _ | [ "healthz" ] | [ "metrics" ]) ->
+    (405, err_body "method-not-allowed" (req.meth ^ " " ^ req.path))
+  | _ -> (404, err_body "not-found" req.path)
+
+let dispatch t (req : Http.request) ~deadline_at =
+  try route t req ~deadline_at with
+  | Reply (status, body) -> (status, body)
+  | Sider_error.Error e -> (status_of_error e, body_of_error e)
+  | Json.Parse_error m -> (400, err_body "malformed-json" m)
+  | Not_found -> (400, err_body "bad-request" "missing required field")
+  | Invalid_argument m -> (400, err_body "bad-request" m)
+  | Failure m -> (400, err_body "bad-request" m)
+
+(* --- connection handling --------------------------------------------------- *)
+
+let respond_status fd status body =
+  let headers = if status = 429 || status = 503 then [ ("Retry-After", "1") ] else [] in
+  let content_type =
+    if status = 200 && (body = "ok\n" || String.length body > 0 && body.[0] = '#')
+    then "text/plain; version=0.0.4"
+    else "application/json"
+  in
+  if status >= 500 then
+    Obs.flight_event ~name:"serve.error"
+      ~detail:(Printf.sprintf "%d %s" status body);
+  Http.respond ~headers ~status ~content_type fd body
+
+let serve_conn t fd enqueued_at =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.read_timeout_s;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.read_timeout_s;
+  Obs.count "serve.requests";
+  let t0 = Unix.gettimeofday () in
+  let deadline_at = enqueued_at +. t.config.deadline_s in
+  if t0 > deadline_at then (
+    Obs.count "serve.deadline_expired";
+    respond_status fd 503 (err_body "deadline-expired" "queued past deadline"))
+  else (
+    (match Http.read_request ~max_body:t.config.max_body fd with
+     | Error Http.Timeout ->
+       Obs.count "serve.read_timeouts";
+       respond_status fd 408 (err_body "request-timeout" "client too slow")
+     | Error Http.Closed -> ()
+     | Error Http.Too_large ->
+       respond_status fd 413 (err_body "too-large" "request exceeds limits")
+     | Error (Http.Malformed m) ->
+       respond_status fd 400 (err_body "malformed-request" m)
+     | Ok req ->
+       let req =
+         match Fault.request_fault ~path:req.path with
+         | Some `Drop -> None
+         | Some (`Delay ms) ->
+           Thread.delay (float_of_int ms /. 1000.0);
+           Some req
+         | Some `Truncate ->
+           Some
+             { req with
+               Http.body =
+                 String.sub req.Http.body 0 (String.length req.Http.body / 2)
+             }
+         | None -> Some req
+       in
+       (match req with
+        | None -> ()
+        | Some req ->
+          let status, body = dispatch t req ~deadline_at in
+          respond_status fd status body));
+    Obs.observe "serve.request_s" (Unix.gettimeofday () -. t0))
+
+(* --- threads --------------------------------------------------------------- *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec worker_loop t =
+  Mutex.lock t.q_lock;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.q_nonempty t.q_lock
+  done;
+  let item = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.q_lock;
+  match item with
+  | None -> () (* stopping and fully drained *)
+  | Some (fd, enqueued_at) ->
+    (try serve_conn t fd enqueued_at with
+     | Fault.Crash_injected ->
+       (* Simulated process death between journal and ack: the client
+          gets a closed connection, never a response. *)
+       Obs.count "serve.injected_crashes"
+     | e ->
+       (try
+          respond_status fd 500
+            (err_body "internal-error" (Printexc.to_string e))
+        with _ -> ()));
+    close_quietly fd;
+    worker_loop t
+
+let rec accept_loop t =
+  match Unix.accept t.sock with
+  | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+  | exception Unix.Unix_error _ -> if t.stopping then () else accept_loop t
+  | fd, _ ->
+    let enqueued_at = Unix.gettimeofday () in
+    let accepted =
+      Mutex.lock t.q_lock;
+      let ok =
+        (not t.stopping) && Queue.length t.queue < t.config.queue_capacity
+      in
+      if ok then (
+        Queue.push (fd, enqueued_at) t.queue;
+        Condition.signal t.q_nonempty);
+      Mutex.unlock t.q_lock;
+      ok
+    in
+    if not accepted then (
+      Obs.count "serve.rejected_queue_full";
+      respond_status fd 429 (err_body "overloaded" "request queue full");
+      close_quietly fd);
+    if t.stopping then () else accept_loop t
+
+let start ?(config = default_config) () =
+  let registry =
+    Registry.create ?data_dir:config.data_dir
+      ~max_sessions:config.max_sessions ()
+  in
+  let recovery_failures = Registry.recover registry in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try
+     Unix.bind sock
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.addr, config.port));
+     Unix.listen sock 128
+   with e -> close_quietly sock; raise e);
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let t =
+    { config;
+      registry;
+      recovery_failures;
+      sock;
+      bound_port;
+      queue = Queue.create ();
+      q_lock = Mutex.create ();
+      q_nonempty = Condition.create ();
+      stopping = false;
+      accept_thread = None;
+      worker_threads = [] }
+  in
+  t.worker_threads <-
+    List.init config.workers (fun _ -> Thread.create worker_loop t);
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let stop t =
+  if not t.stopping then (
+    Mutex.lock t.q_lock;
+    t.stopping <- true;
+    Condition.broadcast t.q_nonempty;
+    Mutex.unlock t.q_lock;
+    (* [shutdown] (not just [close]) wakes the thread blocked in
+       [accept]: on Linux a close alone leaves it blocked forever. *)
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    close_quietly t.sock;
+    t.accept_thread <- None;
+    (* Workers drain whatever was already queued, then exit: accepted
+       requests are finished, new connections are refused. *)
+    List.iter Thread.join t.worker_threads;
+    t.worker_threads <- [];
+    Registry.close t.registry)

@@ -1,0 +1,84 @@
+(** The multi-tenant session service: the paper's interactive loop as a
+    fault-tolerant JSON-over-HTTP API.
+
+    {2 Endpoints}
+
+    - [POST /sessions] — body [{"dataset": {...}, "seed"?, "standardize"?,
+      "jitter"?, "method"?}] (dataset in the {!Sider_core.Persist}
+      snapshot schema).  201 with a session summary.
+    - [GET /sessions] — id list; [GET /sessions/:id] — summary.
+    - [POST /sessions/:id/constraints] — body [{"type": "cluster" |
+      "two_d" | "margin" | "one_cluster", "rows"?, "tag"?}].  Rows are
+      validated against the dataset before anything is journaled.
+    - [POST /sessions/:id/update] — body [{"time_cutoff"?,
+      "max_sweeps"?}]; re-solves the background distribution and
+      returns the solver report.  The cutoff is clamped to the
+      request's remaining deadline.
+    - [POST /sessions/:id/view] — body [{"method": "pca" | "ica"}];
+      recomputes the most-informative projection.
+    - [GET /sessions/:id/projection] — current view: axis labels,
+      scores, every point with its paired background sample.
+    - [DELETE /sessions/:id] — 204; the journal file is deleted too.
+    - [GET /metrics], [GET /healthz] — as in {!Serve}.
+
+    {2 Failure model}
+
+    - Full request queue → immediate [429] + [Retry-After] from the
+      accept thread (load shedding, never unbounded queueing).
+    - Session capacity reached → [429].
+    - Request older than the deadline (queue wait included) → [503].
+    - Stalled client → [408] after [read_timeout_s]; oversized request
+      → [413]; malformed HTTP or JSON, bad rows, unknown types → [400]
+      with a structured body [{"error", "detail"}].
+    - Structured engine errors map by variant: [Degenerate_data] → 400,
+      [Io_failure] → 503, numerical failures ([Singular_covariance],
+      [Solver_divergence], [Non_convergence], [Nan_detected]) → 422.
+      A failed update rolls the session back (see
+      {!Sider_core.Session.update_background}) — the tenant survives.
+    - Unexpected exceptions → [500]; the worker thread survives.
+
+    {2 Durability}
+
+    With a [data_dir], every mutation is journaled {e before} it is
+    applied and the append is [fsync]ed before the 2xx is written
+    (write-ahead): an acknowledged event is always recovered by
+    {!start}'s boot-time replay; [kill -9] loses at most the in-flight
+    unacknowledged request.  The {!Sider_robust.Fault} service
+    injections ([Svc_drop_request], [Svc_delay_request],
+    [Svc_truncate_request], [Svc_crash_after_journal],
+    [Journal_fail_append]) exercise exactly these paths in tests. *)
+
+open Sider_robust
+
+type config = {
+  addr : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 for ephemeral (read back with {!port}) *)
+  data_dir : string option;  (** enables write-ahead journaling *)
+  max_sessions : int;
+  queue_capacity : int;  (** accepted-but-unserved connections *)
+  workers : int;  (** request worker threads *)
+  read_timeout_s : float;  (** socket receive/send timeout (408) *)
+  deadline_s : float;  (** per-request deadline incl. queue wait (503) *)
+  max_body : int;  (** request body cap in bytes (413) *)
+}
+
+val default_config : config
+
+type t
+
+val start : ?config:config -> unit -> t
+(** Bind, recover journaled sessions from [data_dir], spawn the worker
+    pool and the accept loop.  Raises [Unix.Unix_error] if the bind
+    fails. *)
+
+val port : t -> int
+
+val registry : t -> Registry.t
+
+val recovery_failures : t -> (string * Sider_error.t) list
+(** Journals that failed boot-time replay (path, error); the service
+    starts anyway with the healthy tenants. *)
+
+val stop : t -> unit
+(** Graceful drain: stop accepting, finish every queued request, join
+    all threads, close every journal.  Idempotent. *)

@@ -21,6 +21,7 @@ let () =
       ("properties", Test_props.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite);
+      ("service", Test_service.suite);
       ("par", Test_par.suite);
       ("golden", Test_golden.suite);
     ]

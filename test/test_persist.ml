@@ -141,11 +141,284 @@ let test_session_file_roundtrip () =
 
 let test_session_of_json_rejects_garbage () =
   (match Persist.session_of_json (Json.Obj [ ("format", Json.String "x") ]) with
-   | exception Failure _ -> ()
-   | _ -> Alcotest.fail "expected failure");
+   | exception Sider_robust.Sider_error.Error _ -> ()
+   | _ -> Alcotest.fail "expected a structured error");
   match Persist.session_of_json Json.Null with
-  | exception _ -> ()
-  | _ -> Alcotest.fail "expected failure"
+  | exception Sider_robust.Sider_error.Error _ -> ()
+  | _ -> Alcotest.fail "expected a structured error"
+
+(* --- snapshot integrity (format v2) -------------------------------------------- *)
+
+let index_of_sub text sub =
+  let n = String.length text and m = String.length sub in
+  let rec go i =
+    if i + m > n then raise Not_found
+    else if String.sub text i m = sub then i
+    else go (i + 1)
+  in
+  go 0
+
+let test_snapshot_checksum_detects_bitrot () =
+  let s = explored_session () in
+  let text = Json.to_string (Persist.session_to_json s) in
+  (* Flip one character inside the dataset payload (well past the header
+     keys) and expect a checksum mismatch, not a crash or silent load. *)
+  let i = index_of_sub text "\"data\"" + 20 in
+  let corrupted = Bytes.of_string text in
+  Bytes.set corrupted i (if Bytes.get corrupted i = '1' then '2' else '1');
+  match Persist.session_of_json (Json.of_string (Bytes.to_string corrupted)) with
+  | exception Sider_robust.Sider_error.Error
+      (Sider_robust.Sider_error.Degenerate_data _) -> ()
+  | exception e ->
+    Alcotest.failf "expected Degenerate_data, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "bit rot loaded silently"
+
+let test_snapshot_v2_requires_checksum () =
+  let s = explored_session () in
+  let stripped =
+    match Persist.session_to_json s with
+    | Json.Obj fields ->
+      Json.Obj (List.filter (fun (k, _) -> k <> "checksum") fields)
+    | _ -> Alcotest.fail "snapshot is not an object"
+  in
+  match Persist.session_of_json stripped with
+  | exception Sider_robust.Sider_error.Error _ -> ()
+  | _ -> Alcotest.fail "v2 snapshot without checksum loaded"
+
+let test_snapshot_v1_still_loads () =
+  let s = explored_session () in
+  (* A version-1 file has no checksum; replacing the version field and
+     dropping the checksum must still load (backwards compatibility). *)
+  let v1 =
+    match Persist.session_to_json s with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if k = "checksum" then None
+             else if k = "version" then Some (k, Json.Number 1.0)
+             else Some (k, v))
+           fields)
+    | _ -> Alcotest.fail "snapshot is not an object"
+  in
+  let replayed = Persist.session_of_json v1 in
+  check_true "v1 replay matches"
+    (Session.axis_labels replayed = Session.axis_labels s)
+
+let test_save_is_atomic () =
+  let s = explored_session () in
+  let path = Filename.temp_file "sider_atomic" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Persist.save path s;
+      check_true "no tmp file left behind"
+        (not (Sys.file_exists (path ^ ".tmp")));
+      check_true "reload ok" (Result.is_ok (Persist.load_result path)))
+
+let test_load_missing_file_is_structured () =
+  match Persist.load_result "/nonexistent/sider-nowhere.json" with
+  | Error (Sider_robust.Sider_error.Io_failure _) -> ()
+  | Error e ->
+    Alcotest.failf "expected Io_failure, got %s"
+      (Sider_robust.Sider_error.to_string e)
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+
+(* --- qcheck: session JSON round-trips over random histories --------------------- *)
+
+(* A random interaction history: a list of small ints decodes to a
+   deterministic sequence of session events (constraint declarations of
+   every kind, solver updates, view changes).  The property: snapshot →
+   JSON → replay reproduces the exact observable state. *)
+let apply_script s script =
+  let n = Sider_linalg.Mat.dims (Session.data s) |> fst in
+  List.iter
+    (fun (code : int) ->
+      match code mod 5 with
+      | 0 ->
+        let rows = Array.init (2 + (code mod 7)) (fun i -> (i * 3 + code) mod n) in
+        Session.add_cluster_constraint s rows
+      | 1 -> Session.add_margin_constraint s
+      | 2 -> Session.add_one_cluster_constraint s
+      | 3 ->
+        ignore (Session.update_background ~time_cutoff:1.0 ~max_sweeps:4 s)
+      | _ ->
+        ignore
+          (Session.recompute_view
+             ~method_:Sider_projection.View.Pca s))
+    script
+
+let prop_session_roundtrip_random_history =
+  let gen = QCheck.(list_of_size (QCheck.Gen.int_range 0 6) small_nat) in
+  qcheck ~count:12 "session json roundtrip over random histories" gen
+    (fun script ->
+      let ds = Synth.gaussian ~seed:11 ~n:18 ~d:3 () in
+      let s = Session.create ~seed:5 ds in
+      apply_script s script;
+      let replayed = Persist.session_of_json (Persist.session_to_json s) in
+      Session.n_constraints replayed = Session.n_constraints s
+      && Session.axis_labels replayed = Session.axis_labels s
+      && Session.view_scores replayed = Session.view_scores s
+      && List.length (Session.history replayed)
+         = List.length (Session.history s))
+
+(* --- write-ahead journal --------------------------------------------------------- *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "sider_journal" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_journal_roundtrip () =
+  let s = explored_session () in
+  with_temp_journal @@ fun path ->
+  let j = Persist.journal_start path s in
+  check_true "events written" (Persist.journal_events j > 0);
+  Persist.journal_close j;
+  Persist.journal_close j (* idempotent *);
+  match Persist.journal_load path with
+  | Error e -> Alcotest.failf "load: %s" (Sider_robust.Sider_error.to_string e)
+  | Ok (replayed, applied) ->
+    check_true "all events applied"
+      (applied = List.length (Session.history s));
+    check_true "same state" (Session.axis_labels replayed = Session.axis_labels s)
+
+let test_journal_append_then_load () =
+  let ds = Synth.gaussian ~seed:7 ~n:16 ~d:3 () in
+  let s = Session.create ~seed:3 ds in
+  with_temp_journal @@ fun path ->
+  let j = Persist.journal_start path s in
+  (* The service's write-ahead order: journal, then apply. *)
+  Persist.journal_append j Session.Added_margin;
+  Session.add_margin_constraint s;
+  Persist.journal_append j
+    (Session.Updated { time_cutoff = 1.0; max_sweeps = Some 4 });
+  ignore (Session.update_background ~time_cutoff:1.0 ~max_sweeps:4 s);
+  Persist.journal_close j;
+  match Persist.journal_load path with
+  | Error e -> Alcotest.failf "load: %s" (Sider_robust.Sider_error.to_string e)
+  | Ok (replayed, applied) ->
+    check_true "two events" (applied = 2);
+    check_true "constraints restored"
+      (Session.n_constraints replayed = Session.n_constraints s)
+
+(* The crash-recovery sweep: truncating the journal at EVERY byte offset
+   must yield either a recovered prefix or a structured error — never a
+   raw exception.  A truncation that keeps the final newline intact
+   must recover every line before it. *)
+let test_journal_truncation_sweep () =
+  let ds = Synth.gaussian ~seed:13 ~n:14 ~d:3 () in
+  let s = Session.create ~seed:4 ds in
+  with_temp_journal @@ fun path ->
+  let j = Persist.journal_start path s in
+  Persist.journal_append j Session.Added_margin;
+  Session.add_margin_constraint s;
+  Persist.journal_append j
+    (Session.Updated { time_cutoff = 1.0; max_sweeps = Some 3 });
+  ignore (Session.update_background ~time_cutoff:1.0 ~max_sweeps:3 s);
+  Persist.journal_close j;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let header_len = String.index full '\n' + 1 in
+  let total = String.length full in
+  with_temp_journal @@ fun cut_path ->
+  for len = 0 to total do
+    let prefix = String.sub full 0 len in
+    Out_channel.with_open_bin cut_path (fun oc ->
+        Out_channel.output_string oc prefix);
+    match Persist.journal_load cut_path with
+    | Ok (_, applied) ->
+      check_true
+        (Printf.sprintf "truncation at %d: complete prefix only" len)
+        (len >= header_len);
+      (* Count the intact (newline-terminated) event lines in the
+         prefix: recovery must apply exactly those. *)
+      let expected =
+        String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 prefix
+        - 1
+      in
+      check_true
+        (Printf.sprintf "truncation at %d: %d events (expected %d)" len
+           applied expected)
+        (applied = expected)
+    | Error _ -> check_true "structured error is acceptable" true
+    | exception e ->
+      Alcotest.failf "truncation at %d raised %s" len (Printexc.to_string e)
+  done;
+  (* The untruncated file must recover everything. *)
+  match Persist.journal_load path with
+  | Ok (_, applied) -> check_true "full file: 2 events" (applied = 2)
+  | Error e -> Alcotest.failf "full: %s" (Sider_robust.Sider_error.to_string e)
+
+(* A terminated-but-corrupt interior line is corruption (it was fsynced
+   and acknowledged), not a droppable tail. *)
+let test_journal_interior_corruption_is_error () =
+  let ds = Synth.gaussian ~seed:17 ~n:14 ~d:3 () in
+  let s = Session.create ~seed:6 ds in
+  with_temp_journal @@ fun path ->
+  let j = Persist.journal_start path s in
+  Persist.journal_append j Session.Added_margin;
+  Persist.journal_append j Session.Added_one_cluster;
+  Persist.journal_close j;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let first_nl = String.index full '\n' in
+  let second_nl = String.index_from full (first_nl + 1) '\n' in
+  let corrupted = Bytes.of_string full in
+  Bytes.set corrupted (second_nl - 3) '~';
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc corrupted);
+  match Persist.journal_load path with
+  | Error (Sider_robust.Sider_error.Degenerate_data _) -> ()
+  | Error e ->
+    Alcotest.failf "expected Degenerate_data, got %s"
+      (Sider_robust.Sider_error.to_string e)
+  | Ok _ -> Alcotest.fail "corrupt interior line replayed"
+
+let test_journal_reopen_appends_after_crash () =
+  let ds = Synth.gaussian ~seed:19 ~n:14 ~d:3 () in
+  let s = Session.create ~seed:8 ds in
+  with_temp_journal @@ fun path ->
+  let j = Persist.journal_start path s in
+  Persist.journal_append j Session.Added_margin;
+  Persist.journal_close j;
+  (* Simulate a crash mid-append: a torn, unterminated tail. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc {|{"event":"one_clu|};
+  close_out oc;
+  (match Persist.journal_reopen path with
+   | Error e ->
+     Alcotest.failf "reopen: %s" (Sider_robust.Sider_error.to_string e)
+   | Ok (recovered, j2) ->
+     check_true "tail dropped" (Persist.journal_events j2 = 1);
+     (* Appending after recovery lands on a clean record boundary. *)
+     Persist.journal_append j2 Session.Added_one_cluster;
+     Session.add_margin_constraint recovered;
+     Session.add_one_cluster_constraint recovered;
+     Persist.journal_close j2);
+  match Persist.journal_load path with
+  | Ok (_, applied) -> check_true "recovered + appended" (applied = 2)
+  | Error e -> Alcotest.failf "reload: %s" (Sider_robust.Sider_error.to_string e)
+
+let test_journal_fail_append_injection () =
+  let ds = Synth.gaussian ~seed:23 ~n:14 ~d:3 () in
+  let s = Session.create ~seed:9 ds in
+  Sider_robust.Fault.reset ();
+  with_temp_journal @@ fun path ->
+  let j = Persist.journal_start path s in
+  Sider_robust.Fault.(arm (Journal_fail_append { path_substr = "" }));
+  (match Persist.journal_append j Session.Added_margin with
+   | exception Sider_robust.Sider_error.Error
+       (Sider_robust.Sider_error.Io_failure _) -> ()
+   | () -> Alcotest.fail "injected append failure did not fire");
+  check_true "injection consumed"
+    (List.length (Sider_robust.Fault.fired ()) = 1);
+  (* The failed append wrote nothing: the journal still replays. *)
+  Persist.journal_append j Session.Added_one_cluster;
+  Persist.journal_close j;
+  Sider_robust.Fault.reset ();
+  match Persist.journal_load path with
+  | Ok (_, applied) -> check_true "only the durable event" (applied = 1)
+  | Error e -> Alcotest.failf "load: %s" (Sider_robust.Sider_error.to_string e)
 
 let suite =
   [
@@ -162,4 +435,16 @@ let suite =
     slow_case "session replay is exact" test_session_replay_exact;
     case "session file roundtrip" test_session_file_roundtrip;
     case "rejects malformed snapshots" test_session_of_json_rejects_garbage;
+    case "checksum detects bit rot" test_snapshot_checksum_detects_bitrot;
+    case "v2 requires checksum" test_snapshot_v2_requires_checksum;
+    case "v1 still loads" test_snapshot_v1_still_loads;
+    case "save is atomic" test_save_is_atomic;
+    case "missing file is structured" test_load_missing_file_is_structured;
+    prop_session_roundtrip_random_history;
+    case "journal roundtrip" test_journal_roundtrip;
+    case "journal append then load" test_journal_append_then_load;
+    slow_case "journal truncation sweep" test_journal_truncation_sweep;
+    case "journal interior corruption" test_journal_interior_corruption_is_error;
+    case "journal reopen after crash" test_journal_reopen_appends_after_crash;
+    case "journal append injection" test_journal_fail_append_injection;
   ]

@@ -14,7 +14,7 @@ let test_exposition_grammar () =
       Obs.Gauge { name = "par.domains"; value = 2.0 };
       Obs.Histogram
         { name = "session.update_s"; count = 3; sum = 0.6; p50 = 0.1;
-          p95 = 0.3; max = 0.31 } ]
+          p95 = 0.3; p99 = 0.305; max = 0.31 } ]
   in
   let lines =
     String.split_on_char '\n' (Serve.exposition metrics)
@@ -29,6 +29,7 @@ let test_exposition_grammar () =
       "# TYPE sider_session_update_s summary";
       "sider_session_update_s{quantile=\"0.5\"} 0.1";
       "sider_session_update_s{quantile=\"0.95\"} 0.3";
+      "sider_session_update_s{quantile=\"0.99\"} 0.305";
       "sider_session_update_s_sum 0.6";
       "sider_session_update_s_count 3";
       "# TYPE sider_session_update_s_max gauge";

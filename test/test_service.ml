@@ -1,0 +1,375 @@
+(* The multi-tenant session service: API round-trips, error mapping,
+   overload shedding, write-ahead durability and service-level fault
+   injection (lib/serve/service.ml, registry.ml, http.ml). *)
+
+open Sider_data
+open Sider_core
+open Sider_serve
+open Test_helpers
+module Fault = Sider_robust.Fault
+
+let tiny_dataset () = Synth.gaussian ~seed:3 ~n:12 ~d:3 ()
+
+let create_body ?(seed = 7) () =
+  Json.to_string
+    (Json.Obj
+       [ ("dataset", Persist.dataset_to_json (tiny_dataset ()));
+         ("seed", Json.Number (float_of_int seed)) ])
+
+let cluster_body =
+  {|{"type":"cluster","rows":[0,1,2,3,4]}|}
+
+let update_body = {|{"time_cutoff":1.0,"max_sweeps":4}|}
+
+let with_service ?data_dir ?(config = Service.default_config) f =
+  Fault.reset ();
+  let svc = Service.start ~config:{ config with port = 0; data_dir } () in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.stop svc;
+      Fault.reset ())
+    (fun () -> f svc)
+
+let temp_dir () =
+  let path = Filename.temp_file "sider_svc" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let req svc ?body meth path =
+  match Http.request ?body ~meth ~port:(Service.port svc) path with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%s %s: transport error: %s" meth path e
+
+let json_of (r : Http.response) = Json.of_string r.Http.r_body
+
+let status_is msg expected (r : Http.response) =
+  if r.Http.status <> expected then
+    Alcotest.failf "%s: expected %d, got %d (%s)" msg expected r.Http.status
+      r.Http.r_body
+
+let create_session svc =
+  let r = req svc ~body:(create_body ()) "POST" "/sessions" in
+  status_is "create" 201 r;
+  Json.to_str (Json.member "id" (json_of r))
+
+(* --- the full interaction loop over HTTP ---------------------------------------- *)
+
+let test_lifecycle () =
+  with_service @@ fun svc ->
+  status_is "healthz" 200 (req svc "GET" "/healthz");
+  status_is "metrics" 200 (req svc "GET" "/metrics");
+  let id = create_session svc in
+  let r = req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints") in
+  status_is "constraint" 200 r;
+  check_true "constraints queued"
+    (Json.to_int (Json.member "constraints" (json_of r)) > 0);
+  let r = req svc ~body:update_body "POST" ("/sessions/" ^ id ^ "/update") in
+  status_is "update" 200 r;
+  check_true "solver report has sweeps"
+    (Json.to_int (Json.member "sweeps" (json_of r)) >= 1);
+  let r = req svc ~body:{|{"method":"pca"}|} "POST" ("/sessions/" ^ id ^ "/view") in
+  status_is "view" 200 r;
+  let r = req svc "GET" ("/sessions/" ^ id ^ "/projection") in
+  status_is "projection" 200 r;
+  let proj = json_of r in
+  check_true "one point per row"
+    (List.length (Json.to_list (Json.member "points" proj)) = 12);
+  check_true "paired background sample"
+    (match Json.to_list (Json.member "points" proj) with
+     | p :: _ -> Json.member_opt "bx" p <> None && Json.member_opt "by" p <> None
+     | [] -> false);
+  let r = req svc "GET" "/sessions" in
+  status_is "list" 200 r;
+  check_true "listed" (Json.to_int (Json.member "count" (json_of r)) = 1);
+  status_is "summary" 200 (req svc "GET" ("/sessions/" ^ id));
+  status_is "delete" 204 (req svc "DELETE" ("/sessions/" ^ id));
+  status_is "gone" 404 (req svc "GET" ("/sessions/" ^ id))
+
+(* --- validation and error mapping ------------------------------------------------ *)
+
+let test_error_mapping () =
+  let config = { Service.default_config with max_body = 4096 } in
+  with_service ~config @@ fun svc ->
+  status_is "unknown path" 404 (req svc "GET" "/nope");
+  status_is "unknown session" 404 (req svc "GET" "/sessions/s-999");
+  status_is "wrong method" 405 (req svc "PUT" "/sessions");
+  status_is "malformed json" 400 (req svc ~body:"{not json" "POST" "/sessions");
+  status_is "missing dataset" 400 (req svc ~body:"{}" "POST" "/sessions");
+  let id = create_session svc in
+  status_is "unknown constraint type" 400
+    (req svc ~body:{|{"type":"sphere"}|} "POST"
+       ("/sessions/" ^ id ^ "/constraints"));
+  status_is "rows out of range" 400
+    (req svc ~body:{|{"type":"cluster","rows":[0,99]}|} "POST"
+       ("/sessions/" ^ id ^ "/constraints"));
+  status_is "empty rows" 400
+    (req svc ~body:{|{"type":"cluster","rows":[]}|} "POST"
+       ("/sessions/" ^ id ^ "/constraints"));
+  status_is "unknown method name" 400
+    (req svc ~body:{|{"method":"tsne"}|} "POST" ("/sessions/" ^ id ^ "/view"));
+  let big = String.make 8192 'x' in
+  status_is "body over cap" 413 (req svc ~body:big "POST" "/sessions");
+  (* The error body is structured. *)
+  let r = req svc ~body:"{not json" "POST" "/sessions" in
+  check_true "structured error body"
+    (Json.member_opt "error" (json_of r) <> None)
+
+let test_degenerate_dataset_maps_to_400 () =
+  with_service @@ fun svc ->
+  (* A dataset with a NaN cell: Session.create rejects it, and the
+     service must answer 400, not crash the worker. *)
+  let body =
+    {|{"dataset":{"name":"bad","columns":["a","b"],"data":[[1.0,2.0],[null,3.0]]}}|}
+  in
+  let r = req svc ~body "POST" "/sessions" in
+  check_true "client error for degenerate data"
+    (r.Http.status = 400 || r.Http.status = 422);
+  (* The worker survived. *)
+  status_is "still alive" 200 (req svc "GET" "/healthz")
+
+(* --- overload handling ----------------------------------------------------------- *)
+
+let test_queue_full_sheds_429 () =
+  let config =
+    { Service.default_config with workers = 1; queue_capacity = 1 }
+  in
+  with_service ~config @@ fun svc ->
+  (* Hold the single worker busy, fill the one queue slot, then expect
+     an immediate 429 with Retry-After from the accept thread. *)
+  Fault.arm (Fault.Svc_delay_request { path_substr = "/healthz"; ms = 1200 });
+  let results = Array.make 3 None in
+  let fire i =
+    Thread.create
+      (fun () ->
+        results.(i) <-
+          Some (Http.request ~meth:"GET" ~port:(Service.port svc) "/healthz"))
+      ()
+  in
+  let t1 = fire 0 in
+  Thread.delay 0.3;
+  let t2 = fire 1 in
+  Thread.delay 0.3;
+  let t3 = fire 2 in
+  List.iter Thread.join [ t1; t2; t3 ];
+  let statuses =
+    Array.to_list results
+    |> List.filter_map (function
+        | Some (Ok r) -> Some r
+        | _ -> None)
+  in
+  check_true "someone was shed with 429"
+    (List.exists (fun r -> r.Http.status = 429) statuses);
+  let shed = List.find (fun r -> r.Http.status = 429) statuses in
+  check_true "Retry-After present" (Http.header shed "retry-after" = Some "1");
+  check_true "someone was served"
+    (List.exists (fun r -> r.Http.status = 200) statuses);
+  (* The service recovers once the burst passes. *)
+  status_is "healthy after burst" 200 (req svc "GET" "/healthz")
+
+let test_deadline_expired_sheds_503 () =
+  let config = { Service.default_config with deadline_s = 0.0 } in
+  with_service ~config @@ fun svc ->
+  let r = req svc "GET" "/healthz" in
+  status_is "past deadline" 503 r;
+  check_true "Retry-After present" (Http.header r "retry-after" = Some "1")
+
+let test_max_sessions_sheds_429 () =
+  let config = { Service.default_config with max_sessions = 1 } in
+  with_service ~config @@ fun svc ->
+  ignore (create_session svc);
+  status_is "capacity reached" 429
+    (req svc ~body:(create_body ()) "POST" "/sessions")
+
+let test_slow_client_gets_408 () =
+  let config = { Service.default_config with read_timeout_s = 0.3 } in
+  with_service ~config @@ fun svc ->
+  (* Connect and go silent: the worker must answer 408 instead of
+     wedging on the dead read. *)
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, Service.port svc));
+      let buf = Bytes.create 1024 in
+      let n = Unix.read sock buf 0 1024 in
+      let head = Bytes.sub_string buf 0 n in
+      check_true "408 answered"
+        (String.length head >= 12 && String.sub head 9 3 = "408"))
+
+(* --- fault injection -------------------------------------------------------------- *)
+
+let test_drop_and_truncate_requests () =
+  with_service @@ fun svc ->
+  let id = create_session svc in
+  (* Drop: the connection dies without a response; the service lives. *)
+  Fault.arm (Fault.Svc_drop_request { path_substr = "/constraints" });
+  (match
+     Http.request ~body:cluster_body ~meth:"POST" ~port:(Service.port svc)
+       ("/sessions/" ^ id ^ "/constraints")
+   with
+   | Error _ -> ()
+   | Ok r -> Alcotest.failf "expected a dropped connection, got %d" r.Http.status);
+  (* Truncate: half the body is discarded -> malformed JSON -> 400,
+     and the mutation must not have been applied. *)
+  Fault.arm (Fault.Svc_truncate_request { path_substr = "/constraints" });
+  let r = req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints") in
+  status_is "truncated body is a 400" 400 r;
+  let summary = json_of (req svc "GET" ("/sessions/" ^ id)) in
+  check_true "no constraint applied"
+    (Json.to_int (Json.member "constraints" summary) = 0);
+  (* Without faults the same request succeeds. *)
+  status_is "clean retry works" 200
+    (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"))
+
+let test_journal_fail_append_maps_to_503 () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  with_service ~data_dir:dir @@ fun svc ->
+  let id = create_session svc in
+  Fault.arm (Fault.Journal_fail_append { path_substr = id });
+  let r = req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints") in
+  status_is "failed append is a 503" 503 r;
+  (* Write-ahead: journal refused => nothing applied, session intact. *)
+  let summary = json_of (req svc "GET" ("/sessions/" ^ id)) in
+  check_true "mutation not applied"
+    (Json.to_int (Json.member "constraints" summary) = 0);
+  status_is "retry after fault works" 200
+    (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"))
+
+(* --- durability ------------------------------------------------------------------- *)
+
+let test_restart_recovers_sessions () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  let id, events, constraints =
+    with_service ~data_dir:dir @@ fun svc ->
+    let id = create_session svc in
+    status_is "constraint" 200
+      (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"));
+    status_is "update" 200
+      (req svc ~body:update_body "POST" ("/sessions/" ^ id ^ "/update"));
+    let summary = json_of (req svc "GET" ("/sessions/" ^ id)) in
+    ( id,
+      Json.to_int (Json.member "events" summary),
+      Json.to_int (Json.member "constraints" summary) )
+  in
+  (* A fresh service over the same directory restores the tenant. *)
+  with_service ~data_dir:dir @@ fun svc2 ->
+  check_true "no recovery failures" (Service.recovery_failures svc2 = []);
+  let summary = json_of (req svc2 "GET" ("/sessions/" ^ id)) in
+  check_true "events restored"
+    (Json.to_int (Json.member "events" summary) = events);
+  check_true "constraints restored"
+    (Json.to_int (Json.member "constraints" summary) = constraints);
+  status_is "projection after recovery" 200
+    (req svc2 "GET" ("/sessions/" ^ id ^ "/projection"));
+  (* New ids never collide with recovered ones. *)
+  let id2 = create_session svc2 in
+  check_true "fresh id" (id2 <> id)
+
+let test_crash_between_journal_and_ack () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  let id =
+    with_service ~data_dir:dir @@ fun svc ->
+    let id = create_session svc in
+    Fault.arm (Fault.Svc_crash_after_journal { path_substr = "/constraints" });
+    (* The client never gets an acknowledgement... *)
+    (match
+       Http.request ~body:cluster_body ~meth:"POST" ~port:(Service.port svc)
+         ("/sessions/" ^ id ^ "/constraints")
+     with
+     | Error _ -> ()
+     | Ok r ->
+       Alcotest.failf "expected no response, got %d" r.Http.status);
+    id
+  in
+  (* ...but the journaled event survives the restart: journaled-then-
+     crashed is the one case where an unacknowledged mutation may
+     persist (at-least-once), and it must replay cleanly. *)
+  with_service ~data_dir:dir @@ fun svc2 ->
+  check_true "no recovery failures" (Service.recovery_failures svc2 = []);
+  let summary = json_of (req svc2 "GET" ("/sessions/" ^ id)) in
+  check_true "journaled constraint recovered"
+    (Json.to_int (Json.member "constraints" summary) > 0)
+
+let test_corrupt_journal_quarantined () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  let id =
+    with_service ~data_dir:dir @@ fun svc ->
+    let id = create_session svc in
+    status_is "constraint" 200
+      (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"));
+    id
+  in
+  (* Flip a byte inside the journal's first line. *)
+  let path = Filename.concat dir (id ^ ".journal") in
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string text in
+  Bytes.set b 100 (if Bytes.get b 100 = '1' then '2' else '1');
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+  (* Boot continues: the bad tenant is reported, not fatal. *)
+  with_service ~data_dir:dir @@ fun svc2 ->
+  check_true "corruption reported"
+    (List.length (Service.recovery_failures svc2) = 1);
+  status_is "service is up" 200 (req svc2 "GET" "/healthz");
+  status_is "bad tenant not resurrected" 404 (req svc2 "GET" ("/sessions/" ^ id))
+
+(* --- concurrency ------------------------------------------------------------------ *)
+
+let test_concurrent_tenants () =
+  let config = { Service.default_config with workers = 4; queue_capacity = 64 } in
+  with_service ~config @@ fun svc ->
+  (* Eight analysts in parallel, each driving a full loop on its own
+     session; per-session serialization must keep every tenant coherent. *)
+  let errors = Array.make 8 None in
+  let analyst i =
+    try
+      let id = create_session svc in
+      status_is "constraint" 200
+        (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"));
+      status_is "update" 200
+        (req svc ~body:update_body "POST" ("/sessions/" ^ id ^ "/update"));
+      status_is "projection" 200 (req svc "GET" ("/sessions/" ^ id ^ "/projection"))
+    with e -> errors.(i) <- Some (Printexc.to_string e)
+  in
+  let threads = List.init 8 (fun i -> Thread.create analyst i) in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i -> function
+      | Some e -> Alcotest.failf "analyst %d: %s" i e
+      | None -> ())
+    errors;
+  let r = req svc "GET" "/sessions" in
+  check_true "all eight tenants live"
+    (Json.to_int (Json.member "count" (json_of r)) = 8)
+
+let suite =
+  [
+    case "full interaction loop over http" test_lifecycle;
+    case "validation and error mapping" test_error_mapping;
+    case "degenerate dataset maps to client error" test_degenerate_dataset_maps_to_400;
+    slow_case "queue overflow sheds 429" test_queue_full_sheds_429;
+    case "deadline expiry sheds 503" test_deadline_expired_sheds_503;
+    case "session capacity sheds 429" test_max_sessions_sheds_429;
+    case "slow client gets 408" test_slow_client_gets_408;
+    case "drop and truncate injections" test_drop_and_truncate_requests;
+    case "journal append failure maps to 503" test_journal_fail_append_maps_to_503;
+    case "restart recovers journaled sessions" test_restart_recovers_sessions;
+    slow_case "crash between journal and ack" test_crash_between_journal_and_ack;
+    case "corrupt journal is quarantined" test_corrupt_journal_quarantined;
+    slow_case "concurrent tenants stay coherent" test_concurrent_tenants;
+  ]
