@@ -37,28 +37,44 @@ verify:
 	  && $(MAKE) service-smoke
 
 # End-to-end smoke of the session service: boot it in-process with
-# write-ahead journaling on, drive a small concurrent load through the
-# full HTTP loop (create → constrain → update → projection), then
-# doctor-verify one of the journals it wrote (exit 2 on corruption).
+# write-ahead journaling on, the compaction threshold forced low (so
+# the smoke exercises snapshot+journal recovery, not just journals), a
+# short TTL (so eviction/rehydration runs under real load), drive a
+# small concurrent mixed-persona load through the full HTTP loop
+# (create → constrain → update → projection), then doctor-verify one
+# of the journals it wrote (exit 2 on corruption) — the journal picked
+# has a sibling snapshot, so this also proves snapshot-aware replay.
 # stderr — including any crash-forensics flight-recorder dumps — lands
 # in _artifacts/flight/, which CI uploads as an artifact on failure.
 service-smoke:
 	mkdir -p _artifacts/flight
 	rm -rf _artifacts/service-smoke-wal
 	dune exec bin/sider_cli.exe -- load --sessions 24 --concurrency 8 \
-	  --rows 32 --data-dir _artifacts/service-smoke-wal \
+	  --rows 32 --persona mixed --compact-threshold 4 --ttl 0.2 \
+	  --data-dir _artifacts/service-smoke-wal \
+	  --baseline BENCH_pr6.json \
 	  --out _artifacts/BENCH_service_smoke.json \
 	  2> _artifacts/flight/service-smoke.stderr
-	dune exec bin/sider_cli.exe -- doctor \
-	  --snapshot "$$(ls _artifacts/service-smoke-wal/*.journal | head -n 1)" \
+	J="$$(ls _artifacts/service-smoke-wal/*.snapshot 2>/dev/null | head -n 1 \
+	      | sed 's/\.snapshot$$/.journal/')"; \
+	[ -n "$$J" ] || J="$$(ls _artifacts/service-smoke-wal/*.journal | head -n 1)"; \
+	dune exec bin/sider_cli.exe -- doctor --snapshot "$$J" \
 	  2>> _artifacts/flight/service-smoke.stderr
 
 # Full service load benchmark: 1000 analysts through the journaled
-# session service; rewrites the committed BENCH_pr6.json baseline.
+# session service over keep-alive connections, with TTL eviction and
+# journal compaction live; rewrites the committed BENCH_pr7.json and
+# embeds the delta against the committed keep-alive-less BENCH_pr6.json
+# baseline.  The TTL is shorter than the run's wall clock on purpose:
+# sessions that finish their request burst go idle and are evicted
+# while later analysts are still loading, so the committed result also
+# pins the resident-session bound under eviction.
 bench-service:
 	rm -rf _artifacts/service-bench-wal
 	dune exec bin/sider_cli.exe -- load --sessions 1000 --concurrency 32 \
-	  --data-dir _artifacts/service-bench-wal --out BENCH_pr6.json
+	  --ttl 0.8 --compact-threshold 64 \
+	  --data-dir _artifacts/service-bench-wal \
+	  --baseline BENCH_pr6.json --label pr7 --out BENCH_pr7.json
 
 # Full machine-readable benchmark run; rewrites the committed baseline.
 bench:

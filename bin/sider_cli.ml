@@ -565,12 +565,34 @@ let api_cmd =
            ~doc:"Per-request deadline including queue wait (503 beyond \
                  it).")
   in
-  let run () port data_dir workers queue max_sessions deadline =
+  let ttl_t =
+    Arg.(value & opt float 0.0 & info [ "ttl" ] ~docv:"SECONDS"
+           ~doc:"Evict sessions idle beyond $(docv) (journal kept; the \
+                 next request rehydrates).  0 disables eviction.")
+  in
+  let compact_t =
+    Arg.(value & opt int 1024 & info [ "compact-threshold" ] ~docv:"N"
+           ~doc:"Compact a session journal into a snapshot once it \
+                 exceeds $(docv) events; 0 disables compaction.")
+  in
+  let keepalive_t =
+    Arg.(value & opt int 1000 & info [ "keepalive-requests" ] ~docv:"N"
+           ~doc:"Requests served per connection before the server \
+                 closes it.")
+  in
+  let idle_timeout_t =
+    Arg.(value & opt float 5.0 & info [ "idle-timeout" ] ~docv:"SECONDS"
+           ~doc:"Close parked keep-alive connections idle beyond \
+                 $(docv).")
+  in
+  let run () port data_dir workers queue max_sessions deadline ttl compact
+      keepalive idle_timeout =
     if not (Obs.enabled ()) then Obs.set_sink (Some Obs.null_sink);
     let config =
       { Sider_serve.Service.default_config with
         port; data_dir; workers; queue_capacity = queue; max_sessions;
-        deadline_s = deadline }
+        deadline_s = deadline; session_ttl_s = ttl; compact_events = compact;
+        keepalive_requests = keepalive; idle_timeout_s = idle_timeout }
     in
     let svc = Sider_serve.Service.start ~config () in
     List.iter
@@ -600,18 +622,23 @@ let api_cmd =
        ~doc:"Run the multi-tenant session service: the full interactive \
              loop (create session, add constraint, update background, \
              fetch projection) as a JSON API with write-ahead \
-             journaling, bounded-queue overload shedding and /metrics.")
+             journaling, journal compaction, keep-alive connections, \
+             TTL session eviction, bounded-queue overload shedding and \
+             /metrics.")
     Term.(const run $ obs_setup_t $ port_t $ data_dir_t $ workers_t
-          $ queue_t $ max_sessions_t $ deadline_t)
+          $ queue_t $ max_sessions_t $ deadline_t $ ttl_t $ compact_t
+          $ keepalive_t $ idle_timeout_t)
 
 (* --- load ------------------------------------------------------------------------- *)
 
 (* Closed-loop load generator: [--concurrency] analyst threads drive
-   [--sessions] full interaction loops (create -> constrain -> update ->
-   projection) against the session API, retrying on 429/503 shed
+   [--sessions] persona-shaped interaction loops (create -> constrain ->
+   update -> projection) against the session API over persistent
+   keep-alive connections (one per thread), retrying on 429/503 shed
    responses with exponential backoff.  Sessions are left alive until
-   the end of the run, so a 1000-session run really does hold 1000
-   concurrent tenants in the registry. *)
+   the end of the run — unless [--ttl] lets the service's janitor evict
+   the idle ones, in which case the report shows how far the resident
+   population was bounded below the tenant count. *)
 let load_cmd =
   let sessions_t =
     Arg.(value & opt int 1000 & info [ "sessions" ] ~docv:"N"
@@ -642,7 +669,72 @@ let load_cmd =
     Arg.(value & opt int 48 & info [ "rows" ] ~docv:"N"
            ~doc:"Rows of the per-session synthetic dataset.")
   in
-  let run () sessions concurrency target data_dir out rows seed =
+  let persona_t =
+    Arg.(value
+         & opt (Arg.enum Sider_serve.Persona.all) Sider_serve.Persona.Basic
+         & info [ "persona" ] ~docv:"KIND"
+             ~doc:"Analyst behaviour: $(b,basic) (constrain, update, \
+                   fetch), $(b,outlier-hunter) (marks the view's \
+                   farthest points, switches to ICA), \
+                   $(b,cluster-splitter) (client-side k-means over the \
+                   view, marks each cluster), $(b,adversarial) \
+                   (pathological row sets, constraint spam, starved \
+                   cutoffs) or $(b,mixed).")
+  in
+  let ttl_t =
+    Arg.(value & opt float 0.0 & info [ "ttl" ] ~docv:"SECONDS"
+           ~doc:"Session TTL for the spawned service (idle sessions \
+                 evicted, journals kept).  0 disables.")
+  in
+  let compact_t =
+    Arg.(value & opt int 1024 & info [ "compact-threshold" ] ~docv:"N"
+           ~doc:"Journal compaction threshold for the spawned service; \
+                 0 disables.")
+  in
+  let keepalive_requests_t =
+    Arg.(value & opt int 1000 & info [ "keepalive-requests" ] ~docv:"N"
+           ~doc:"Server-side requests-per-connection cap for the \
+                 spawned service.")
+  in
+  let idle_timeout_t =
+    Arg.(value & opt float 5.0 & info [ "idle-timeout" ] ~docv:"SECONDS"
+           ~doc:"Server-side idle keep-alive timeout for the spawned \
+                 service.")
+  in
+  let baseline_t =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"A previous run's --out JSON; the report prints and \
+                   embeds the p99 delta against it.")
+  in
+  let label_t =
+    Arg.(value & opt string "pr7" & info [ "label" ] ~docv:"LABEL"
+           ~doc:"Label embedded in the result JSON.")
+  in
+  let no_keepalive_t =
+    Arg.(value & flag
+         & info [ "no-keepalive" ]
+             ~doc:"One connection per request (Connection: close), as \
+                   before keep-alive existed — useful as a latency \
+                   baseline.")
+  in
+  let read_baseline path =
+    try
+      let ic = open_in path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let lat = Json.member "latency_s" (Json.of_string s) in
+      Some
+        ( Json.to_float (Json.member "p50" lat),
+          Json.to_float (Json.member "p95" lat),
+          Json.to_float (Json.member "p99" lat) )
+    with _ -> None
+  in
+  let run () sessions concurrency target data_dir out rows seed persona ttl
+      compact keepalive_requests idle_timeout baseline label no_keepalive =
     if not (Obs.enabled ()) then Obs.set_sink (Some Obs.null_sink);
     let own, port =
       match target with
@@ -654,7 +746,11 @@ let load_cmd =
             max_sessions = sessions + 16;
             queue_capacity = 2 * concurrency;
             workers = 8;
-            deadline_s = 60.0 }
+            deadline_s = 60.0;
+            session_ttl_s = ttl;
+            compact_events = compact;
+            keepalive_requests;
+            idle_timeout_s = idle_timeout }
         in
         let svc = Sider_serve.Service.start ~config () in
         (Some svc, Sider_serve.Service.port svc)
@@ -670,12 +766,6 @@ let load_cmd =
            [ ("dataset", Persist.dataset_to_json ds);
              ("seed", Json.Number (float_of_int seed)) ])
     in
-    let constraint_body =
-      let rows_sel = Array.init (rows / 2) (fun i -> i) in
-      Json.to_string
-        (Json.Obj [ ("type", Json.String "cluster"); ("rows", Json.ints rows_sel) ])
-    in
-    let update_body = {|{"time_cutoff":0.5,"max_sweeps":20}|} in
     let lock = Mutex.create () in
     let next = ref 0 in
     let latencies = ref [] in
@@ -684,30 +774,52 @@ let load_cmd =
     let failures = ref 0 in
     let transport_retries = ref 0 in
     let record lat = Mutex.lock lock; latencies := lat :: !latencies; Mutex.unlock lock in
-    let bump r = Mutex.lock lock; incr r; Mutex.unlock lock in
-    (* One request with shed-aware retry; returns the successful
-       response, or None after exhausting the budget. *)
-    let rec call ?body ~meth path attempt =
-      if attempt > 8 then None
-      else begin
-        let t0 = Unix.gettimeofday () in
-        match Sider_serve.Http.request ?body ~meth ~port path with
-        | Error _ ->
-          bump transport_retries;
-          Thread.delay (0.01 *. float_of_int (1 lsl attempt));
-          call ?body ~meth path (attempt + 1)
-        | Ok resp when resp.Sider_serve.Http.status = 429
-                    || resp.Sider_serve.Http.status = 503 ->
-          bump (if resp.Sider_serve.Http.status = 429 then shed_429 else shed_503);
-          Thread.delay (0.01 *. float_of_int (1 lsl attempt));
-          call ?body ~meth path (attempt + 1)
-        | Ok resp ->
-          record (Unix.gettimeofday () -. t0);
-          Some resp
-      end
-    in
-    let call ?body ~meth path = call ?body ~meth path 0 in
-    let analyst () =
+    let bump ?(by = 1) r = Mutex.lock lock; r := !r + by; Mutex.unlock lock in
+    let analyst ti () =
+      let rng = Sider_rand.Rng.create (seed + (1000 * ti)) in
+      (* One persistent connection per analyst thread: latency is
+         measured in keep-alive steady state, not dominated by per-
+         request connect/teardown. *)
+      let client =
+        if no_keepalive then None
+        else Some (Sider_serve.Http.client ~port ())
+      in
+      let transport ?body ~meth path =
+        match client with
+        | Some c -> Sider_serve.Http.client_request ?body c ~meth path
+        | None -> Sider_serve.Http.request ?body ~meth ~port path
+      in
+      (* One request with shed-aware retry; returns the successful
+         response, or None after exhausting the budget. *)
+      let rec call ?body ~meth path attempt =
+        if attempt > 8 then None
+        else begin
+          let t0 = Unix.gettimeofday () in
+          match transport ?body ~meth path with
+          | Error _ ->
+            bump transport_retries;
+            Option.iter Sider_serve.Http.client_close client;
+            Thread.delay (0.01 *. float_of_int (1 lsl attempt));
+            call ?body ~meth path (attempt + 1)
+          | Ok resp when resp.Sider_serve.Http.status = 429
+                      || resp.Sider_serve.Http.status = 503 ->
+            bump (if resp.Sider_serve.Http.status = 429 then shed_429 else shed_503);
+            Thread.delay (0.01 *. float_of_int (1 lsl attempt));
+            call ?body ~meth path (attempt + 1)
+          | Ok resp ->
+            record (Unix.gettimeofday () -. t0);
+            Some resp
+        end
+      in
+      let call ?body ~meth path = call ?body ~meth path 0 in
+      let api =
+        { Sider_serve.Persona.call =
+            (fun ?body ~meth path ->
+              Option.map
+                (fun r ->
+                  (r.Sider_serve.Http.status, r.Sider_serve.Http.r_body))
+                (call ?body ~meth path)) }
+      in
       let rec next_session () =
         let i = (Mutex.lock lock;
                  let i = !next in next := i + 1; Mutex.unlock lock; i) in
@@ -719,25 +831,21 @@ let load_cmd =
                Json.to_str
                  (Json.member "id" (Json.of_string resp.Sider_serve.Http.r_body))
              in
-             let step ?body meth path expect =
-               match call ?body ~meth path with
-               | Some r when r.Sider_serve.Http.status = expect -> true
-               | _ -> bump failures; false
-             in
-             ignore
-               (step ~body:constraint_body "POST"
-                  ("/sessions/" ^ id ^ "/constraints") 200
-                && step ~body:update_body "POST"
-                     ("/sessions/" ^ id ^ "/update") 200
-                && step "GET" ("/sessions/" ^ id ^ "/projection") 200)
+             let o = Sider_serve.Persona.drive ~rng ~rows persona api ~id in
+             if o.Sider_serve.Persona.steps_failed > 0 then
+               bump ~by:o.Sider_serve.Persona.steps_failed failures
            | _ -> bump failures);
           next_session ()
         end
       in
-      next_session ()
+      Fun.protect
+        ~finally:(fun () -> Option.iter Sider_serve.Http.client_close client)
+        next_session
     in
     let t0 = Unix.gettimeofday () in
-    let threads = List.init concurrency (fun _ -> Thread.create analyst ()) in
+    let threads =
+      List.init concurrency (fun ti -> Thread.create (analyst ti) ())
+    in
     List.iter Thread.join threads;
     let wall = Unix.gettimeofday () -. t0 in
     let lats = Array.of_list !latencies in
@@ -745,32 +853,96 @@ let load_cmd =
     let p50 = q 0.5 and p95 = q 0.95 and p99 = q 0.99 in
     let mx = Array.fold_left Float.max 0.0 lats in
     let n_req = Array.length lats in
+    (* Lifecycle counters only make sense for the in-process service —
+       against a remote target they would read this process's (empty)
+       registry. *)
+    let lifecycle =
+      match own with
+      | None -> []
+      | Some svc ->
+        let reg = Sider_serve.Service.registry svc in
+        let c name = Json.Number (float_of_int (Obs.counter_value name)) in
+        [ ("lifecycle",
+           Json.Obj
+             [ ("evictions", c "serve.evictions");
+               ("compactions", c "serve.compactions");
+               ("rehydrations", c "serve.rehydrations");
+               ("idle_closed", c "serve.idle_closed");
+               ("resident_sessions",
+                Json.Number
+                  (float_of_int (Sider_serve.Registry.resident_count reg)));
+               ("total_sessions",
+                Json.Number
+                  (float_of_int (Sider_serve.Registry.count reg))) ]) ]
+    in
+    let baseline_fields, baseline_note =
+      match baseline with
+      | None -> ([], "")
+      | Some path ->
+        (match read_baseline path with
+         | None ->
+           ([], Printf.sprintf "baseline %s: missing or unreadable\n" path)
+         | Some (bp50, bp95, bp99) ->
+           let delta = (p99 -. bp99) /. bp99 *. 100.0 in
+           ([ ("baseline",
+               Json.Obj
+                 [ ("file", Json.String path);
+                   ("p50", Json.Number bp50);
+                   ("p95", Json.Number bp95);
+                   ("p99", Json.Number bp99);
+                   ("p99_delta_pct", Json.Number delta) ]) ],
+            Printf.sprintf "baseline %s: p99 %.4fs -> %.4fs (%+.1f%%)\n"
+              path bp99 p99 delta))
+    in
     let result =
       Json.Obj
-        [ ("schema", Json.String "sider-load/1");
-          ("label", Json.String "pr6");
-          ("sessions", Json.Number (float_of_int sessions));
-          ("concurrency", Json.Number (float_of_int concurrency));
-          ("journaled", Json.Bool (data_dir <> None || target <> None));
-          ("requests_ok", Json.Number (float_of_int n_req));
-          ("shed_429", Json.Number (float_of_int !shed_429));
-          ("shed_503", Json.Number (float_of_int !shed_503));
-          ("transport_retries", Json.Number (float_of_int !transport_retries));
-          ("failures", Json.Number (float_of_int !failures));
-          ("wall_s", Json.Number wall);
-          ("throughput_rps", Json.Number (float_of_int n_req /. wall));
-          ("latency_s",
-           Json.Obj
-             [ ("p50", Json.Number p50); ("p95", Json.Number p95);
-               ("p99", Json.Number p99); ("max", Json.Number mx) ]) ]
+        ([ ("schema", Json.String "sider-load/2");
+           ("label", Json.String label);
+           ("persona",
+            Json.String (Sider_serve.Persona.to_string persona));
+           ("keepalive", Json.Bool (not no_keepalive));
+           ("ttl_s", Json.Number ttl);
+           ("compact_events", Json.Number (float_of_int compact));
+           ("sessions", Json.Number (float_of_int sessions));
+           ("concurrency", Json.Number (float_of_int concurrency));
+           ("journaled", Json.Bool (data_dir <> None || target <> None));
+           ("requests_ok", Json.Number (float_of_int n_req));
+           ("shed_429", Json.Number (float_of_int !shed_429));
+           ("shed_503", Json.Number (float_of_int !shed_503));
+           ("transport_retries", Json.Number (float_of_int !transport_retries));
+           ("failures", Json.Number (float_of_int !failures));
+           ("wall_s", Json.Number wall);
+           ("throughput_rps", Json.Number (float_of_int n_req /. wall));
+           ("latency_s",
+            Json.Obj
+              [ ("p50", Json.Number p50); ("p95", Json.Number p95);
+                ("p99", Json.Number p99); ("max", Json.Number mx) ]) ]
+         @ lifecycle @ baseline_fields)
     in
     Printf.printf
       "%d sessions via %d threads in %.2fs: %d ok (%.0f rps), %d shed \
        (429), %d shed (503), %d failure(s)\n\
+       persona %s, keep-alive %s\n\
        latency p50 %.4fs  p95 %.4fs  p99 %.4fs  max %.4fs\n"
       sessions concurrency wall n_req
       (float_of_int n_req /. wall)
-      !shed_429 !shed_503 !failures p50 p95 p99 mx;
+      !shed_429 !shed_503 !failures
+      (Sider_serve.Persona.to_string persona)
+      (if no_keepalive then "off" else "on")
+      p50 p95 p99 mx;
+    (match own with
+     | Some svc ->
+       Printf.printf
+         "lifecycle: %d eviction(s), %d compaction(s), %d rehydration(s), \
+          %d/%d session(s) resident\n"
+         (Obs.counter_value "serve.evictions")
+         (Obs.counter_value "serve.compactions")
+         (Obs.counter_value "serve.rehydrations")
+         (Sider_serve.Registry.resident_count
+            (Sider_serve.Service.registry svc))
+         (Sider_serve.Registry.count (Sider_serve.Service.registry svc))
+     | None -> ());
+    print_string baseline_note;
     (match out with
      | Some path ->
        let oc = open_out path in
@@ -785,11 +957,15 @@ let load_cmd =
     (Cmd.info "load"
        ~doc:"Drive concurrent analyst sessions against the session API \
              (spawning one in-process unless $(b,--port) targets an \
-             existing service) and report throughput and latency \
-             quantiles.  Exits 1 if any analyst loop failed outright; \
-             shed 429/503 responses are retried, not failures.")
+             existing service) over keep-alive connections and report \
+             throughput, latency quantiles and lifecycle counters \
+             (evictions, compactions, resident sessions).  Exits 1 if \
+             any analyst loop failed outright; shed 429/503 responses \
+             are retried, not failures.")
     Term.(const run $ obs_setup_t $ sessions_t $ concurrency_t $ target_t
-          $ data_dir_t $ out_t $ rows_t $ seed_t)
+          $ data_dir_t $ out_t $ rows_t $ seed_t $ persona_t $ ttl_t
+          $ compact_t $ keepalive_requests_t $ idle_timeout_t $ baseline_t
+          $ label_t $ no_keepalive_t)
 
 let main =
   let doc = "SIDER: interactive visual data exploration with subjective feedback" in

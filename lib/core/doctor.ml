@@ -366,6 +366,22 @@ let check_store path =
              :: acc
            else acc
          in
+         (* A compacted journal carries a sibling snapshot; replay below
+            restores it first and skips the events it already holds. *)
+         let acc =
+           let snap = Persist.snapshot_path path in
+           if Sys.file_exists snap then
+             { check = "snapshot"; severity = Info;
+               message =
+                 Printf.sprintf
+                   "sibling snapshot %s (%d bytes): compacted journal"
+                   (Filename.basename snap)
+                   (match (Unix.stat snap).Unix.st_size with
+                    | n -> n
+                    | exception Unix.Unix_error _ -> 0) }
+             :: acc
+           else acc
+         in
          (match Persist.journal_load path with
           | Ok (session, applied) ->
             finalize

@@ -260,23 +260,30 @@ let write_all fd s =
     sent := !sent + Unix.write_substring fd s !sent (n - !sent)
   done
 
+(* Write [data] to [path] (truncating) and fsync before returning. *)
+let write_fsync path data =
+  try
+    let fd = Unix.openfile path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        write_all fd data;
+        Unix.fsync fd)
+  with Unix.Unix_error (err, _, _) ->
+    io_fail "Persist: write %s: %s" path (Unix.error_message err)
+
+let rename_into tmp path =
+  try Sys.rename tmp path with
+  | Sys_error msg -> io_fail "Persist: rename over %s failed: %s" path msg
+
 (* tmp + fsync + rename: a crash at any point leaves either the old
    complete file or the new complete file, never a torn one.  The tmp
    file lives in the destination directory so the rename cannot cross a
    filesystem boundary. *)
 let save_atomic path data =
   let tmp = path ^ ".tmp" in
-  (try
-     let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
-     Fun.protect
-       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-       (fun () ->
-         write_all fd data;
-         Unix.fsync fd)
-   with Unix.Unix_error (err, _, _) ->
-     io_fail "Persist.save %s: %s" tmp (Unix.error_message err));
-  try Sys.rename tmp path with
-  | Sys_error msg -> io_fail "Persist.save %s: rename failed: %s" path msg
+  write_fsync tmp data;
+  rename_into tmp path
 
 let save path session =
   save_atomic path (Json.to_string (session_to_json session))
@@ -315,18 +322,37 @@ let load_result path = Sider_error.protect (fun () -> load path)
    that ends in a newline on disk is a complete, acknowledged-able
    record.  Recovery therefore drops an unterminated tail (the in-flight
    append a crash interrupted) but treats an unparseable {e terminated}
-   line as real corruption. *)
+   line as real corruption.
+
+   Compaction folds a long journal into a sibling snapshot plus a fresh
+   (near-empty) journal whose header carries a ["base"] field: the
+   number of history events the header's creation state stands for.  For
+   an uncompacted journal the header's history is empty and [base] is
+   omitted (= 0).  Recovery prefers the sibling snapshot when one
+   exists; the first [snapshot_events - base] journal lines duplicate
+   events the snapshot already holds (a crash between the two compaction
+   renames leaves the old journal next to the new snapshot), so they are
+   validated but not replayed.  Both orderings of snapshot/journal
+   visibility are therefore deterministic — see [journal_compact]. *)
 
 type journal = {
   j_path : string;
   mutable j_fd : Unix.file_descr option;
   mutable j_events : int;
+  mutable j_base : int;
 }
 
-let journal_header session =
+let snapshot_path path =
+  if Filename.check_suffix path ".journal" then
+    Filename.chop_suffix path ".journal" ^ ".snapshot"
+  else path ^ ".snapshot"
+
+let journal_header ?(base = 0) session =
   with_checksum
     ([ ("format", Json.String "sider-journal");
        ("version", Json.Number (float_of_int format_version)) ]
+     @ (if base = 0 then []
+        else [ ("base", Json.Number (float_of_int base)) ])
      @ creation_fields session)
 
 let journal_write j line =
@@ -353,7 +379,7 @@ let journal_start path session =
       io_fail "Persist.journal %s: cannot create: %s" path
         (Unix.error_message err)
   in
-  let j = { j_path = path; j_fd = Some fd; j_events = 0 } in
+  let j = { j_path = path; j_fd = Some fd; j_events = 0; j_base = 0 } in
   journal_write j (Json.to_string (journal_header session));
   List.iter (journal_append j) (Session.history session);
   j
@@ -363,12 +389,17 @@ let journal_close j =
   | None -> ()
   | Some fd ->
     j.j_fd <- None;
-    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (* No fsync here: [journal_write] syncs before every acknowledgement,
+       so the file holds no unflushed acked data.  Eviction sweeps close
+       journals in bursts, and a redundant fsync per close contends with
+       request-path syncs. *)
     (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let journal_path j = j.j_path
 
 let journal_events j = j.j_events
+
+let journal_base j = j.j_base
 
 (* Split journal text into (line, terminated) pairs. *)
 let journal_lines text =
@@ -384,9 +415,11 @@ let journal_lines text =
   in
   go [] 0
 
-(* Core recovery scan: returns the session, the number of events
-   applied, and the byte offset of the end of the last intact record
-   (so a reopen can truncate the dropped tail before appending). *)
+(* Core recovery scan.  Returns the session, the total number of events
+   restored (snapshot + journal), the number of intact event lines in
+   the journal file, the byte offset of the end of the last intact
+   record (so a reopen can truncate the dropped tail before appending)
+   and the header's [base]. *)
 let journal_scan path =
   let text = read_file path in
   match journal_lines text with
@@ -400,10 +433,46 @@ let journal_scan path =
     in
     check_format ~what:(Printf.sprintf "journal %s" path)
       ~expected:"sider-journal" header;
-    let session =
-      create_session_of_json ~what:(Printf.sprintf "journal %s" path) header
+    let base =
+      match Json.member_opt "base" header with
+      | None -> 0
+      | Some b ->
+        parsing (Printf.sprintf "journal %s" path) (fun () -> Json.to_int b)
     in
-    let applied = ref 0 in
+    let snap = snapshot_path path in
+    let snapshot =
+      if Sys.file_exists snap then begin
+        let sj =
+          try Json.of_string (read_file snap) with
+          | Json.Parse_error msg -> corrupt "snapshot %s: %s" snap msg
+        in
+        Some (session_of_json sj)
+      end
+      else None
+    in
+    let session, skip =
+      match snapshot with
+      | None ->
+        if base > 0 then
+          corrupt
+            "journal %s: header base is %d but sibling snapshot %s is \
+             missing"
+            path base snap;
+        ( create_session_of_json ~what:(Printf.sprintf "journal %s" path)
+            header,
+          0 )
+      | Some s ->
+        let sn = List.length (Session.history s) in
+        if sn < base then
+          corrupt
+            "journal %s: sibling snapshot %s holds %d event(s) but the \
+             journal base is %d"
+            path snap sn base;
+        (s, sn - base)
+    in
+    let applied = ref (List.length (Session.history session)) in
+    let lines = ref 0 in
+    let to_skip = ref skip in
     let good_len = ref (String.length header_line + 1) in
     let rec replay = function
       | [] -> ()
@@ -420,11 +489,20 @@ let journal_scan path =
           with
           | None -> ()  (* unterminated, unparseable: dropped tail *)
           | exception Json.Parse_error msg ->
-            corrupt "journal %s: event %d: %s" path (!applied + 1) msg
+            corrupt "journal %s: event %d: %s" path (!lines + 1) msg
           | Some j ->
             if terminated then begin
-              replay_event session j;
-              incr applied;
+              (* Leading lines the sibling snapshot already captures are
+                 validated and kept on disk but not replayed — a crash
+                 between the compaction renames leaves the old journal
+                 next to the new snapshot, and replaying them would
+                 double-apply. *)
+              if !to_skip > 0 then decr to_skip
+              else begin
+                replay_event session j;
+                incr applied
+              end;
+              incr lines;
               good_len := !good_len + String.length line + 1;
               replay rest
             end
@@ -434,16 +512,21 @@ let journal_scan path =
         end
     in
     replay events;
-    (session, !applied, !good_len)
+    if !to_skip > 0 then
+      corrupt
+        "journal %s: sibling snapshot %s is %d event(s) ahead of the \
+         journal contents"
+        path snap !to_skip;
+    (session, !applied, !lines, !good_len, base)
 
 let journal_load path =
   Sider_error.protect (fun () ->
-      let session, applied, _ = journal_scan path in
+      let session, applied, _, _, _ = journal_scan path in
       (session, applied))
 
 let journal_reopen path =
   Sider_error.protect (fun () ->
-      let session, applied, good_len = journal_scan path in
+      let session, _, lines, good_len, base = journal_scan path in
       let fd =
         try Unix.openfile path [ O_WRONLY ] 0o644 with
         | Unix.Unix_error (err, _, _) ->
@@ -457,4 +540,54 @@ let journal_reopen path =
          (try Unix.close fd with Unix.Unix_error _ -> ());
          io_fail "Persist.journal %s: cannot truncate tail: %s" path
            (Unix.error_message err));
-      (session, { j_path = path; j_fd = Some fd; j_events = applied }))
+      (session, { j_path = path; j_fd = Some fd; j_events = lines; j_base = base }))
+
+(* Compaction rewrites journal state as snapshot-plus-empty-journal with
+   two atomic renames, snapshot first.  Every crash point leaves a
+   recoverable store:
+
+   - before the snapshot rename: old snapshot (if any) + old journal,
+     untouched;
+   - after the snapshot rename, before the journal rename: new snapshot
+     + old journal — recovery skips every journal line (all are covered
+     by the snapshot, see [journal_scan]);
+   - after the journal rename: new snapshot + fresh journal whose
+     [base] marks the snapshot's events as already applied.
+
+   The numbered [Fault.crash_compaction_at] polls pin exactly those
+   windows for the crash-injection property tests. *)
+let journal_compact j session =
+  (match j.j_fd with
+   | None -> io_fail "Persist.journal %s: already closed" j.j_path
+   | Some _ -> ());
+  let path = j.j_path in
+  let snap = snapshot_path path in
+  Fault.crash_compaction_at ~path ~point:0;
+  let snap_tmp = snap ^ ".tmp" in
+  write_fsync snap_tmp (Json.to_string (session_to_json session));
+  Fault.crash_compaction_at ~path ~point:1;
+  rename_into snap_tmp snap;
+  Fault.crash_compaction_at ~path ~point:2;
+  let base = List.length (Session.history session) in
+  let jrn_tmp = path ^ ".compact.tmp" in
+  write_fsync jrn_tmp (Json.to_string (journal_header ~base session) ^ "\n");
+  Fault.crash_compaction_at ~path ~point:3;
+  (* From here the old descriptor must receive no further appends: close
+     it before the rename publishes the fresh journal, and leave the
+     handle closed if anything below fails, so a stray append errors out
+     instead of landing in an unlinked file. *)
+  (match j.j_fd with
+   | Some fd ->
+     j.j_fd <- None;
+     (try Unix.close fd with Unix.Unix_error _ -> ())
+   | None -> ());
+  rename_into jrn_tmp path;
+  let fd =
+    try Unix.openfile path [ O_WRONLY; O_APPEND ] 0o644 with
+    | Unix.Unix_error (err, _, _) ->
+      io_fail "Persist.journal %s: cannot reopen after compaction: %s" path
+        (Unix.error_message err)
+  in
+  j.j_fd <- Some fd;
+  j.j_base <- base;
+  j.j_events <- 0

@@ -34,7 +34,19 @@
     Together with engine determinism this gives the crash-recovery
     invariant: after [kill -9] at any instant, restart restores every
     acknowledged event bit-identically and loses at most the single
-    in-flight request. *)
+    in-flight request.
+
+    {2 Compaction}
+
+    A journal grows one fsynced line per event forever;
+    {!journal_compact} bounds that by atomically folding the history
+    into a sibling v2 snapshot ({!snapshot_path}) plus a fresh journal
+    whose header records how many events the snapshot stands for (its
+    {!journal_base}).  Both files are replaced tmp → fsync → rename,
+    snapshot first, so a crash at any instant leaves a store
+    {!journal_reopen} recovers to the exact pre-crash acknowledged
+    state: recovery loads the sibling snapshot when present and skips
+    the leading journal lines the snapshot already covers. *)
 
 open Sider_data
 open Sider_robust
@@ -97,15 +109,40 @@ val journal_close : journal -> unit
 val journal_path : journal -> string
 
 val journal_events : journal -> int
-(** Events written through (or recovered behind) this handle. *)
+(** Intact event lines in the journal file behind this handle: appends
+    since the last {!journal_compact} plus any recovered lines.  The
+    compaction trigger's growth measure. *)
+
+val journal_base : journal -> int
+(** Events the sibling snapshot holds on this journal's behalf; [0] for
+    an uncompacted journal. *)
+
+val snapshot_path : string -> string
+(** The sibling snapshot for a journal path: [x.journal] ↦
+    [x.snapshot], otherwise the path with [".snapshot"] appended. *)
+
+val journal_compact : journal -> Session.t -> unit
+(** Atomically fold the journal into {!snapshot_path} + a fresh journal
+    whose header base marks the snapshot's events as already applied:
+    snapshot tmp → fsync → rename, then journal tmp → fsync → rename.
+    A crash (including an armed {!Sider_robust.Fault.Compact_crash})
+    at any point leaves a store {!journal_reopen} restores exactly;
+    after the snapshot rename the old journal's lines are all covered
+    by the snapshot and recovery skips them.  On failure after the
+    journal rename the handle is left closed (appends raise rather
+    than write to an unlinked file).  [session] must be the state the
+    journal reflects; callers hold the per-session lock.  Raises
+    [Sider_error.Error] ([Io_failure]) on filesystem faults. *)
 
 val journal_load : string -> (Session.t * int, Sider_error.t) result
-(** Replay a journal: rebuild the session from the header, apply every
-    intact event line; returns the session and the number of events
-    applied.  A truncated (unterminated) final line is dropped; any
-    other defect — missing or corrupt header, checksum mismatch,
-    unparseable interior line, unknown event — is a structured error.
-    Never raises. *)
+(** Replay a journal: rebuild the base state (from the sibling snapshot
+    when one exists, else the header), apply every intact event line
+    not already covered by the snapshot; returns the session and the
+    total number of events restored.  A truncated (unterminated) final
+    line is dropped; any other defect — missing or corrupt header,
+    checksum mismatch, unparseable interior line, unknown event, a
+    base with no sibling snapshot — is a structured error.  Never
+    raises. *)
 
 val journal_reopen : string -> (Session.t * journal, Sider_error.t) result
 (** {!journal_load}, then reopen the file for appending (truncating a

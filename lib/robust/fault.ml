@@ -8,12 +8,18 @@ type injection =
   | Svc_delay_request of { path_substr : string; ms : int }
   | Svc_truncate_request of { path_substr : string }
   | Svc_crash_after_journal of { path_substr : string }
+  | Compact_crash of { path_substr : string; point : int }
 
 type fired = { injection : injection; at_sweep : int }
 
 exception Crash_injected
 
-let armed_ : injection list ref = ref []
+(* Each armed entry carries its remaining shot count: positive counts
+   decrement to zero and disappear (arm = count 1), [persistent_shots]
+   never decrements — the multi-shot arm soak tests rely on. *)
+let persistent_shots = -1
+
+let armed_ : (injection * int ref) list ref = ref []
 
 let fired_ : fired list ref = ref []
 
@@ -21,21 +27,32 @@ let reset () =
   armed_ := [];
   fired_ := []
 
-let arm i = armed_ := !armed_ @ [ i ]
+let arm_counted n i =
+  if n <= 0 && n <> persistent_shots then
+    invalid_arg "Fault.arm_counted: count must be positive";
+  armed_ := !armed_ @ [ (i, ref n) ]
 
-let armed () = !armed_
+let arm i = arm_counted 1 i
+
+let arm_persistent i = arm_counted persistent_shots i
+
+let armed () = List.map fst !armed_
 
 let fired () = List.rev !fired_
 
 let consume pred =
   let rec go acc = function
     | [] -> None
-    | x :: rest ->
+    | ((x, shots) as entry) :: rest ->
       if pred x then begin
-        armed_ := List.rev_append acc rest;
+        (if !shots = persistent_shots then ()
+         else begin
+           decr shots;
+           if !shots <= 0 then armed_ := List.rev_append acc rest
+         end);
         Some x
       end
-      else go (x :: acc) rest
+      else go (entry :: acc) rest
   in
   go [] !armed_
 
@@ -103,6 +120,12 @@ let should_crash_after_journal ~path =
     | Svc_crash_after_journal c -> Some c.path_substr
     | _ -> None)
   <> None
+
+let crash_compaction_at ~path ~point =
+  consume_for_path ~path (function
+    | Compact_crash c when c.point = point -> Some c.path_substr
+    | _ -> None)
+  |> Option.iter (fun _ -> raise Crash_injected)
 
 (* A fixed full rotation built from Givens rotations with index-derived
    angles: dense enough to hide the eigenbasis, fully deterministic. *)

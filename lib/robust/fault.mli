@@ -5,8 +5,11 @@
     - a global registry of armed {e injections}.  Instrumented code (the
       MaxEnt solver) polls the registry at well-defined sites and applies
       the corruption itself, so this module stays free of upward
-      dependencies.  Injections are one-shot: firing consumes them and
-      records a {!fired} entry.
+      dependencies.  {!arm}ed injections are one-shot: firing consumes
+      them and records a {!fired} entry.  Soak-style tests that need the
+      same fault repeatedly use {!arm_counted} (fires exactly [n] times)
+      or {!arm_persistent} (fires until {!reset}) instead of re-arming
+      between iterations.
     - deterministic builders of pathological inputs — ill-conditioned
       covariances, NaN-poisoned matrices, adversarial row sets — with no
       hidden randomness, so test failures replay exactly.
@@ -46,6 +49,14 @@ type injection =
           written — the [kill -9] between journal and ack.  The client
           never sees an acknowledgement; restart-from-journal must
           restore the event. *)
+  | Compact_crash of { path_substr : string; point : int }
+      (** Raise {!Crash_injected} at fault point [point] of
+          {!Sider_core.Persist.journal_compact} on the matching journal
+          path: 0 = before anything is written, 1 = snapshot tmp written
+          but not renamed, 2 = snapshot renamed but journal not yet
+          rewritten, 3 = journal tmp written but not renamed.  Recovery
+          from the on-disk state must reproduce the session at every
+          point. *)
 
 type fired = { injection : injection; at_sweep : int }
 (** [at_sweep] is 0 for service-level injections. *)
@@ -61,8 +72,21 @@ val reset : unit -> unit
 (** Disarm everything and clear the fired log. *)
 
 val arm : injection -> unit
+(** Arm for exactly one firing. *)
+
+val arm_counted : int -> injection -> unit
+(** [arm_counted n i] arms [i] to fire [n] times before disarming
+    itself; each firing is recorded separately in {!fired}.  Raises
+    [Invalid_argument] when [n <= 0]. *)
+
+val arm_persistent : injection -> unit
+(** Arm [i] to fire every time its polling site matches, until
+    {!reset}. *)
 
 val armed : unit -> injection list
+(** Currently armed injections, one entry per {!arm}/{!arm_counted}/
+    {!arm_persistent} call still live (counted arms stay listed until
+    their last shot is spent). *)
 
 val fired : unit -> fired list
 (** Injections that have gone off, oldest first. *)
@@ -84,6 +108,10 @@ val request_fault : path:string -> [ `Drop | `Delay of int | `Truncate ] option
 
 val should_crash_after_journal : path:string -> bool
 (** Consume a [Svc_crash_after_journal] matching this request path. *)
+
+val crash_compaction_at : path:string -> point:int -> unit
+(** Consume a [Compact_crash] matching this journal path {e and} fault
+    point, raising {!Crash_injected}; no-op otherwise. *)
 
 (** {2 Deterministic pathological inputs} *)
 

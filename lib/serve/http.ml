@@ -1,7 +1,12 @@
 (* Minimal HTTP/1.1 message layer shared by the metrics endpoint, the
    session service and the load generator: request parsing with hard
-   limits and receive-timeout awareness, response writing, and a tiny
-   one-connection-per-request client.  No external dependencies. *)
+   limits and receive-timeout awareness, response writing, and a small
+   blocking client.  Connections are persistent (keep-alive) on both
+   sides: the server reads Content-Length-delimited requests in a loop
+   through a buffered [reader] (so pipelined bytes are never lost
+   between requests), and the [client] reuses one socket across
+   requests until either side sends [Connection: close].  No external
+   dependencies. *)
 
 let max_header_bytes = 16 * 1024
 
@@ -45,7 +50,7 @@ let write_all fd s =
    with Unix.Unix_error _ -> ())
 
 let respond ?(headers = []) ~status ?(content_type = "application/json")
-    fd body =
+    ?(keep_alive = false) fd body =
   let b = Buffer.create (256 + String.length body) in
   Buffer.add_string b
     (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason status));
@@ -55,7 +60,9 @@ let respond ?(headers = []) ~status ?(content_type = "application/json")
   List.iter
     (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
     headers;
-  Buffer.add_string b "Connection: close\r\n\r\n";
+  Buffer.add_string b
+    (if keep_alive then "Connection: keep-alive\r\n\r\n"
+     else "Connection: close\r\n\r\n");
   Buffer.add_string b body;
   write_all fd (Buffer.contents b)
 
@@ -89,15 +96,33 @@ let parse_headers lines =
     (Ok []) lines
   |> Result.map List.rev
 
-(* Read from [fd] until the header block is complete, then exactly the
-   declared body.  The caller is expected to have set [SO_RCVTIMEO]; a
-   timed-out [read] surfaces as [Timeout] (the 408 path), EOF before a
-   complete message as [Closed], and oversized headers/bodies as
-   [Too_large] — a slow or malicious client can cost at most one
-   worker's timeout, never unbounded memory. *)
-let read_request ?(max_body = 8 * 1024 * 1024) fd =
+let split_head_lines head =
+  String.split_on_char '\n' head
+  |> List.map (fun l ->
+      match String.index_opt l '\r' with
+      | Some i -> String.sub l 0 i
+      | None -> l)
+
+let connection_is_close headers =
+  match List.assoc_opt "connection" headers with
+  | Some v -> String.lowercase_ascii (String.trim v) = "close"
+  | None -> false
+
+let wants_close (req : request) = connection_is_close req.headers
+
+(* Read from [fd] (starting from [initial], bytes already read past the
+   previous message on this connection) until the header block is
+   complete, then exactly the declared body.  The caller is expected to
+   have set [SO_RCVTIMEO]; a timed-out [read] surfaces as [Timeout]
+   (the 408 path), EOF before a complete message as [Closed], and
+   oversized headers/bodies as [Too_large] — a slow or malicious client
+   can cost at most one worker's timeout, never unbounded memory.  On
+   success also returns the leftover bytes beyond the parsed request
+   (the start of a pipelined successor). *)
+let read_request_from ?(max_body = 8 * 1024 * 1024) ~initial fd =
   let chunk = Bytes.create 8192 in
   let acc = Buffer.create 1024 in
+  Buffer.add_string acc initial;
   let read_more () =
     match Unix.read fd chunk 0 (Bytes.length chunk) with
     | 0 -> `Eof
@@ -121,12 +146,7 @@ let read_request ?(max_body = 8 * 1024 * 1024) fd =
   | Error e -> Error e
   | Ok head_end ->
     let head = Buffer.sub acc 0 head_end in
-    (match String.split_on_char '\n' head
-           |> List.map (fun l ->
-               match String.index_opt l '\r' with
-               | Some i -> String.sub l 0 i
-               | None -> l)
-     with
+    (match split_head_lines head with
      | [] -> Error (Malformed "empty request")
      | request_line :: header_lines ->
        (match String.split_on_char ' ' request_line with
@@ -157,8 +177,7 @@ let read_request ?(max_body = 8 * 1024 * 1024) fd =
                 let body_start = head_end + 4 in
                 let rec read_body () =
                   if Buffer.length acc - body_start >= len then
-                    Ok
-                      (String.sub (Buffer.contents acc) body_start len)
+                    Ok (String.sub (Buffer.contents acc) body_start len)
                   else (
                     match read_more () with
                     | `More -> read_body ()
@@ -166,9 +185,40 @@ let read_request ?(max_body = 8 * 1024 * 1024) fd =
                     | `Eof -> Error Closed)
                 in
                 Result.map
-                  (fun body -> { meth; path; query; headers; body })
+                  (fun body ->
+                    let total = body_start + len in
+                    let leftover =
+                      String.sub (Buffer.contents acc) total
+                        (Buffer.length acc - total)
+                    in
+                    ({ meth; path; query; headers; body }, leftover))
                   (read_body ())))
         | _ -> Error (Malformed ("bad request line: " ^ request_line))))
+
+let read_request ?max_body fd =
+  Result.map fst (read_request_from ?max_body ~initial:"" fd)
+
+(* --- buffered per-connection reader ---------------------------------------- *)
+
+type reader = {
+  r_fd : Unix.file_descr;
+  mutable r_pending : string;
+}
+
+let reader fd = { r_fd = fd; r_pending = "" }
+
+let reader_fd r = r.r_fd
+
+let reader_has_pending r = r.r_pending <> ""
+
+let read_request_buffered ?max_body r =
+  match read_request_from ?max_body ~initial:r.r_pending r.r_fd with
+  | Ok (req, leftover) ->
+    r.r_pending <- leftover;
+    Ok req
+  | Error e ->
+    r.r_pending <- "";
+    Error e
 
 (* --- client ---------------------------------------------------------------- *)
 
@@ -180,83 +230,195 @@ type response = {
 
 let header resp k = List.assoc_opt (String.lowercase_ascii k) resp.r_headers
 
-(* One request per connection, mirroring the server's [Connection:
-   close] discipline.  [Error] covers transport-level failures only —
-   connect refused, timeout, a connection dropped before any status
-   line (the [Svc_drop_request] signature); an HTTP error status is a
-   normal [Ok] response. *)
+let no_response = "connection closed without a response"
+
+(* Read one response starting from [initial].  Returns the response,
+   whether the server announced [Connection: close], and the leftover
+   bytes beyond this response's body.  A response without a
+   [Content-Length] is drained to EOF (and the connection is done). *)
+let read_response_from ~initial fd =
+  let acc = Buffer.create 4096 in
+  Buffer.add_string acc initial;
+  let chunk = Bytes.create 4096 in
+  let read_more () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> `Eof
+    | n -> Buffer.add_subbytes acc chunk 0 n; `More
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      `Eof
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Timeout
+    | exception Unix.Unix_error (err, _, _) ->
+      `Err (Unix.error_message err)
+  in
+  let rec read_head () =
+    match find_crlfcrlf (Buffer.contents acc) with
+    | Some i -> Ok i
+    | None ->
+      (match read_more () with
+       | `More -> read_head ()
+       | `Timeout -> Error "timeout waiting for response"
+       | `Err m -> Error m
+       | `Eof ->
+         if Buffer.length acc = 0 then Error no_response
+         else Error "truncated response")
+  in
+  match read_head () with
+  | Error e -> Error e
+  | Ok head_end ->
+    let head = Buffer.sub acc 0 head_end in
+    (match split_head_lines head with
+     | [] -> Error "empty response"
+     | status_line :: header_lines ->
+       let status =
+         match String.split_on_char ' ' status_line with
+         | _ :: code :: _ -> Option.value ~default:0 (int_of_string_opt code)
+         | _ -> 0
+       in
+       let r_headers =
+         match
+           parse_headers (List.filter (fun l -> l <> "") header_lines)
+         with
+         | Ok hs -> hs
+         | Error _ -> []
+       in
+       let body_start = head_end + 4 in
+       (match List.assoc_opt "content-length" r_headers with
+        | None ->
+          let rec drain () =
+            match read_more () with
+            | `More -> drain ()
+            | `Eof -> Ok ()
+            | `Timeout -> Error "timeout waiting for response"
+            | `Err m -> Error m
+          in
+          (match drain () with
+           | Error e -> Error e
+           | Ok () ->
+             let raw = Buffer.contents acc in
+             Ok
+               ( { status;
+                   r_headers;
+                   r_body =
+                     String.sub raw body_start (String.length raw - body_start)
+                 },
+                 `Close,
+                 "" ))
+        | Some v ->
+          (match int_of_string_opt (String.trim v) with
+           | None -> Error ("bad content-length: " ^ v)
+           | Some len ->
+             let rec read_body () =
+               if Buffer.length acc - body_start >= len then Ok ()
+               else (
+                 match read_more () with
+                 | `More -> read_body ()
+                 | `Timeout -> Error "timeout waiting for response"
+                 | `Err m -> Error m
+                 | `Eof -> Error "truncated response")
+             in
+             (match read_body () with
+              | Error e -> Error e
+              | Ok () ->
+                let raw = Buffer.contents acc in
+                let r_body = String.sub raw body_start len in
+                let leftover =
+                  String.sub raw (body_start + len)
+                    (String.length raw - body_start - len)
+                in
+                let conn =
+                  if connection_is_close r_headers then `Close else `Keep
+                in
+                Ok ({ status; r_headers; r_body }, conn, leftover)))))
+
+type client = {
+  c_port : int;
+  c_timeout_s : float;
+  mutable c_sock : Unix.file_descr option;
+  mutable c_pending : string;
+}
+
+let client ?(timeout_s = 30.0) ~port () =
+  { c_port = port; c_timeout_s = timeout_s; c_sock = None; c_pending = "" }
+
+let client_close c =
+  (match c.c_sock with
+   | Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
+   | None -> ());
+  c.c_sock <- None;
+  c.c_pending <- ""
+
+(* Returns the live socket plus whether it was opened just now (a fresh
+   socket cannot be a stale keep-alive connection, so failures on it
+   are not retried). *)
+let client_sock c =
+  match c.c_sock with
+  | Some fd -> Ok (fd, false)
+  | None ->
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (match
+       Unix.setsockopt_float sock Unix.SO_RCVTIMEO c.c_timeout_s;
+       Unix.setsockopt_float sock Unix.SO_SNDTIMEO c.c_timeout_s;
+       Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, c.c_port))
+     with
+     | () ->
+       c.c_sock <- Some sock;
+       c.c_pending <- "";
+       Ok (sock, true)
+     | exception Unix.Unix_error (err, _, _) ->
+       (try Unix.close sock with Unix.Unix_error _ -> ());
+       Error (Printf.sprintf "connect: %s" (Unix.error_message err)))
+
+let send_request ~headers ?body ~meth fd path =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%s %s HTTP/1.1\r\nHost: localhost\r\n" meth path);
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  (match body with
+   | Some body ->
+     Buffer.add_string b
+       (Printf.sprintf "Content-Length: %d\r\n" (String.length body))
+   | None -> ());
+  Buffer.add_string b "\r\n";
+  (match body with Some body -> Buffer.add_string b body | None -> ());
+  write_all fd (Buffer.contents b)
+
+let client_request ?(headers = []) ?body c ~meth path =
+  let rec attempt ~can_retry =
+    match client_sock c with
+    | Error e -> Error e
+    | Ok (fd, fresh) ->
+      send_request ~headers ?body ~meth fd path;
+      (match read_response_from ~initial:c.c_pending fd with
+       | Error e when String.equal e no_response && (not fresh) && can_retry ->
+         (* The server idle-closed this keep-alive connection between
+            our send and its read — nothing was processed, so one
+            retry on a fresh socket is safe (a genuinely dead server
+            fails the retry's connect instead). *)
+         client_close c;
+         attempt ~can_retry:false
+       | Error e ->
+         client_close c;
+         Error e
+       | Ok (resp, conn, leftover) ->
+         (match conn with
+          | `Close -> client_close c
+          | `Keep -> c.c_pending <- leftover);
+         Ok resp)
+  in
+  attempt ~can_retry:true
+
+(* One request per connection: a keep-alive client round trip with
+   [Connection: close] requested, mirroring the pre-keep-alive
+   behaviour.  [Error] covers transport-level failures only — connect
+   refused, timeout, a connection dropped before any status line (the
+   [Svc_drop_request] signature); an HTTP error status is a normal
+   [Ok] response. *)
 let request ?(headers = []) ?body ?(timeout_s = 30.0) ~meth ~port path =
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
-  @@ fun () ->
-  match
-    Unix.setsockopt_float sock Unix.SO_RCVTIMEO timeout_s;
-    Unix.setsockopt_float sock Unix.SO_SNDTIMEO timeout_s;
-    Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
-  with
-  | exception Unix.Unix_error (err, _, _) ->
-    Error (Printf.sprintf "connect: %s" (Unix.error_message err))
-  | () ->
-    let b = Buffer.create 512 in
-    Buffer.add_string b
-      (Printf.sprintf "%s %s HTTP/1.1\r\nHost: localhost\r\n" meth path);
-    List.iter
-      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
-      headers;
-    (match body with
-     | Some body ->
-       Buffer.add_string b
-         (Printf.sprintf "Content-Length: %d\r\n" (String.length body))
-     | None -> ());
-    Buffer.add_string b "Connection: close\r\n\r\n";
-    (match body with Some body -> Buffer.add_string b body | None -> ());
-    write_all sock (Buffer.contents b);
-    let resp = Buffer.create 4096 in
-    let chunk = Bytes.create 4096 in
-    let rec drain () =
-      match Unix.read sock chunk 0 (Bytes.length chunk) with
-      | 0 -> Ok ()
-      | n -> Buffer.add_subbytes resp chunk 0 n; drain ()
-      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-        Ok ()
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        Error "timeout waiting for response"
-      | exception Unix.Unix_error (err, _, _) ->
-        Error (Unix.error_message err)
-    in
-    (match drain () with
-     | Error _ as e -> e
-     | Ok () ->
-       let raw = Buffer.contents resp in
-       if raw = "" then Error "connection closed without a response"
-       else (
-         match find_crlfcrlf raw with
-         | None -> Error "truncated response"
-         | Some head_end ->
-           let head = String.sub raw 0 head_end in
-           let body =
-             String.sub raw (head_end + 4) (String.length raw - head_end - 4)
-           in
-           (match String.split_on_char '\n' head
-                  |> List.map (fun l ->
-                      match String.index_opt l '\r' with
-                      | Some i -> String.sub l 0 i
-                      | None -> l)
-            with
-            | status_line :: header_lines ->
-              let status =
-                match String.split_on_char ' ' status_line with
-                | _ :: code :: _ ->
-                  Option.value ~default:0 (int_of_string_opt code)
-                | _ -> 0
-              in
-              let r_headers =
-                match
-                  parse_headers (List.filter (fun l -> l <> "") header_lines)
-                with
-                | Ok hs -> hs
-                | Error _ -> []
-              in
-              Ok { status; r_headers; r_body = body }
-            | [] -> Error "empty response")))
+  let c = client ~timeout_s ~port () in
+  Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+  client_request
+    ~headers:(("Connection", "close") :: headers)
+    ?body c ~meth path

@@ -2,10 +2,13 @@
     parsing with hard limits, response writing, and a small blocking
     client used by the tests and the load generator.
 
-    The protocol subset is deliberately narrow — one request per
-    connection ([Connection: close] both ways), [Content-Length]
-    bodies only, no chunked encoding, no keep-alive.  That is enough
-    for a loopback analysis service and keeps every read bounded. *)
+    The protocol subset is deliberately narrow — [Content-Length]
+    bodies only, no chunked encoding — but connections are persistent:
+    the server loops Content-Length-delimited requests through a
+    buffered {!reader} (pipelined bytes survive between requests) and
+    the {!client} reuses one socket until either side sends
+    [Connection: close].  That is enough for a loopback analysis
+    service and keeps every read bounded. *)
 
 type request = {
   meth : string;  (** verbatim, e.g. ["POST"] *)
@@ -24,23 +27,53 @@ type read_error =
 val reason : int -> string
 (** Reason phrase for a status code ("OK", "Too Many Requests", ...). *)
 
+val wants_close : request -> bool
+(** The client sent [Connection: close] — the server must not keep the
+    connection alive after responding. *)
+
 val read_request :
   ?max_body:int -> Unix.file_descr -> (request, read_error) result
-(** Read one full request from a connected socket.  Bounded: at most
-    16 KiB of headers and [max_body] (default 8 MiB) of body are ever
-    buffered.  The caller should set [SO_RCVTIMEO] on the socket so a
-    stalled client surfaces as [Timeout] rather than hanging a worker. *)
+(** Read one full request from a connected socket (no cross-request
+    buffering — single-request connections only; the keep-alive loop
+    uses {!read_request_buffered}).  Bounded: at most 16 KiB of headers
+    and [max_body] (default 8 MiB) of body are ever buffered.  The
+    caller should set [SO_RCVTIMEO] on the socket so a stalled client
+    surfaces as [Timeout] rather than hanging a worker. *)
 
 val respond :
   ?headers:(string * string) list ->
   status:int ->
   ?content_type:string ->
+  ?keep_alive:bool ->
   Unix.file_descr ->
   string ->
   unit
-(** Write a complete response ([Content-Length] + [Connection: close]).
-    Write errors are swallowed — the client is gone and the connection
-    is about to be closed anyway. *)
+(** Write a complete response ([Content-Length] always present;
+    [Connection: keep-alive] when [keep_alive] — default false —
+    else [Connection: close]).  Write errors are swallowed — the
+    client is gone and the connection is about to be closed anyway. *)
+
+(** {2 Buffered connection reader}
+
+    One {!reader} per live connection: bytes read beyond the current
+    request (a pipelined successor) are kept in the reader and consumed
+    by the next {!read_request_buffered} instead of being lost. *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+
+val reader_fd : reader -> Unix.file_descr
+
+val reader_has_pending : reader -> bool
+(** Buffered bytes are already waiting — the next request (or part of
+    it) arrived with the previous one, so the connection should be
+    served again immediately rather than parked as idle. *)
+
+val read_request_buffered :
+  ?max_body:int -> reader -> (request, read_error) result
+(** {!read_request} through the reader's buffer.  On error the buffer
+    is discarded (the connection is about to be closed). *)
 
 (** {2 Client} *)
 
@@ -53,6 +86,32 @@ type response = {
 val header : response -> string -> string option
 (** Case-insensitive header lookup. *)
 
+type client
+(** A persistent keep-alive connection to [127.0.0.1:port].  Connects
+    lazily on first use; reconnects transparently after the server
+    closes the connection (request cap, idle timeout, [Connection:
+    close]).  Not thread-safe — one client per driving thread. *)
+
+val client : ?timeout_s:float -> port:int -> unit -> client
+
+val client_request :
+  ?headers:(string * string) list ->
+  ?body:string ->
+  client ->
+  meth:string ->
+  string ->
+  (response, string) result
+(** Perform one request on the persistent connection.  If the server
+    idle-closed a reused connection before reading this request (EOF
+    with zero response bytes), retries once on a fresh socket — that
+    race is inherent to keep-alive and the request was provably never
+    processed.  [Error] is transport-level only; HTTP error statuses
+    come back as [Ok]. *)
+
+val client_close : client -> unit
+(** Close the underlying socket (idempotent); the next
+    {!client_request} reconnects. *)
+
 val request :
   ?headers:(string * string) list ->
   ?body:string ->
@@ -61,6 +120,7 @@ val request :
   port:int ->
   string ->
   (response, string) result
-(** Perform one request against [127.0.0.1:port].  [Error] is
+(** Perform one request against [127.0.0.1:port] on a dedicated
+    connection ([Connection: close] requested).  [Error] is
     transport-level only (connect refused, timeout, connection dropped
     before a status line); HTTP error statuses come back as [Ok]. *)

@@ -13,52 +13,103 @@
 
     When the registry has a data directory, each session is backed by a
     write-ahead journal ([<id>.journal], see {!Sider_core.Persist});
-    {!recover} replays them on boot. *)
+    {!recover} replays them on boot.
+
+    {2 Lifecycle}
+
+    A journaled entry is either {e resident} (live [Session.t] plus an
+    open journal handle) or {e evicted}: {!evict_idle} drops the
+    session and closes the handle while the journal file stays behind,
+    and the next {!session} call rehydrates by replaying it — all under
+    the entry lock, so no request can observe a partially rebuilt
+    session.  [max_sessions] bounds the {e resident} population;
+    {!add} evicts the least-recently-touched idle entry to admit a new
+    tenant before answering [`Full].  Once a journal outgrows the
+    registry's [compact_events] threshold, {!maybe_compact} folds it
+    into a sibling snapshot (see {!Sider_core.Persist.journal_compact}). *)
 
 open Sider_core
 open Sider_robust
 
 type entry = {
   id : string;  (** ["s-<n>"] *)
-  session : Session.t;
   lock : Mutex.t;
+  j_path : string option;
+      (** Journal file backing this tenant; [None] when the registry is
+          ephemeral (no data directory). *)
+  mutable resident : Session.t option;
+      (** [None] while evicted.  Use {!session} — direct reads race
+          with eviction unless [lock] is held. *)
   mutable journal : Persist.journal option;
-      (** [None] when the registry is ephemeral (no data directory) or
+      (** Open append handle; [None] while evicted, when ephemeral, or
           after removal. *)
   mutable closed : bool;
       (** Set by {!remove}; a request that raced the removal checks it
           under [lock] and answers 404. *)
+  mutable last_touch : float;
+      (** [Unix.gettimeofday] of the last {!touch}; drives TTL
+          eviction. *)
 }
 
 type t
 
-val create : ?data_dir:string -> ?max_sessions:int -> unit -> t
+val create :
+  ?data_dir:string -> ?max_sessions:int -> ?compact_events:int -> unit -> t
 (** Empty registry.  [data_dir] (created if missing) enables
-    journaling; [max_sessions] (default 4096) caps {!add}. *)
+    journaling; [max_sessions] (default 4096) caps the resident
+    population; [compact_events] (default 0 = never) is the journal
+    line count past which {!maybe_compact} folds a journal into a
+    snapshot. *)
 
 val recover : t -> (string * Sider_error.t) list
 (** Replay every [*.journal] under the data directory into live
-    sessions.  Returns the per-file failures — a corrupt journal is
-    reported and skipped, never fatal — and advances the id counter
-    past all recovered ids. *)
+    sessions (snapshot-aware).  Returns the per-file failures — a
+    corrupt journal is reported and skipped, never fatal — and
+    advances the id counter past all recovered ids. *)
 
 val add : t -> Session.t -> (entry, [ `Full | `Io of Sider_error.t ]) result
 (** Register a fresh session (assigning the next id) and start its
-    journal.  [`Full] when [max_sessions] is reached — the service
-    answers 429. *)
+    journal.  At resident capacity, first tries to evict the
+    least-recently-touched idle journaled session; [`Full] only when no
+    candidate exists — the service answers 429. *)
 
 val find : t -> string -> entry option
 
+val session : entry -> Session.t
+(** The entry's live session, rehydrating from its journal first if it
+    was evicted.  Must be called with [entry.lock] held.  Raises
+    [Sider_error.Error] when replay fails. *)
+
+val touch : entry -> unit
+(** Record a request on this entry (resets its idle clock). *)
+
+val maybe_compact : t -> entry -> unit
+(** Compact the entry's journal if it has outgrown the registry's
+    threshold.  Must be called with [entry.lock] held, after the
+    triggering event was acknowledged; an IO failure is swallowed
+    (counted as [serve.compaction_failures], the handle left closed so
+    the next append surfaces it) — only an injected
+    {!Sider_robust.Fault.Compact_crash} propagates. *)
+
+val evict_idle : t -> ttl_s:float -> int
+(** Evict every journaled session idle for at least [ttl_s] seconds
+    (skipping any with a request in flight); returns the number
+    evicted.  [ttl_s <= 0] is a no-op. *)
+
+val resident_count : t -> int
+(** Sessions currently holding live state (≤ {!count}). *)
+
 val remove : t -> string -> entry option
 (** Close the session: mark it closed, close and {e delete} its
-    journal file (a deleted session must not be resurrected by the next
-    boot), drop it from the table.  Waits for an in-flight request on
-    the same session to finish. *)
+    journal file and sibling snapshot (a deleted session must not be
+    resurrected by the next boot), drop it from the table.  Waits for
+    an in-flight request on the same session to finish. *)
 
 val ids : t -> string list
 (** Sorted. *)
 
 val count : t -> int
+(** All tenants, resident or evicted. *)
 
 val close : t -> unit
 (** Close every journal (shutdown path; sessions stay queryable in

@@ -1,7 +1,8 @@
 (* The multi-tenant session service: a bounded-queue worker-pool HTTP
    server exposing the full SIDER interaction loop (create session, add
    constraint, update background, fetch projection) over JSON, with
-   write-ahead journaling, overload shedding and fault-injection hooks.
+   write-ahead journaling, journal compaction, keep-alive connections,
+   TTL session eviction, overload shedding and fault-injection hooks.
 
    Request lifecycle:
 
@@ -9,6 +10,14 @@
        worker: deadline check -> read (408/413/400) -> fault polls
                -> route -> validate -> journal append (fsync)
                -> apply to session -> crash poll -> acknowledge
+               -> maybe compact journal
+       then: pipelined bytes pending -> serve next request in-worker
+             otherwise -> park connection with the idle watcher
+     watcher: select over parked connections + a self-pipe; a readable
+              connection re-enters the worker queue immediately, one
+              idle past [idle_timeout_s] is closed
+     janitor: sweeps the registry, evicting sessions idle past
+              [session_ttl_s] (journal kept; rehydrated on next touch)
 
    The journal-before-apply order is the crash-recovery invariant: a
    client that received 2xx is guaranteed the event is durable, and a
@@ -32,6 +41,10 @@ type config = {
   read_timeout_s : float;
   deadline_s : float;
   max_body : int;
+  keepalive_requests : int;
+  idle_timeout_s : float;
+  session_ttl_s : float;
+  compact_events : int;
 }
 
 let default_config =
@@ -43,7 +56,21 @@ let default_config =
     workers = 4;
     read_timeout_s = 5.0;
     deadline_s = 30.0;
-    max_body = 8 * 1024 * 1024 }
+    max_body = 8 * 1024 * 1024;
+    keepalive_requests = 1000;
+    idle_timeout_s = 5.0;
+    session_ttl_s = 0.0;
+    compact_events = 1024 }
+
+(* One live connection.  [c_enqueued_at] is reset every time the
+   connection (re-)enters the worker queue, so each request's deadline
+   covers its own queue wait, not the whole connection lifetime. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_reader : Http.reader;
+  mutable c_served : int;
+  mutable c_enqueued_at : float;
+}
 
 type t = {
   config : config;
@@ -51,12 +78,18 @@ type t = {
   recovery_failures : (string * Sider_error.t) list;
   sock : Unix.file_descr;
   bound_port : int;
-  queue : (Unix.file_descr * float) Queue.t;
+  queue : conn Queue.t;
   q_lock : Mutex.t;
   q_nonempty : Condition.t;
+  idle_lock : Mutex.t;
+  mutable idle : (conn * float) list;  (* parked with park time *)
+  wake_r : Unix.file_descr;  (* watcher self-pipe *)
+  wake_w : Unix.file_descr;
   mutable stopping : bool;
   mutable accept_thread : Thread.t option;
   mutable worker_threads : Thread.t list;
+  mutable watcher_thread : Thread.t option;
+  mutable janitor_thread : Thread.t option;
 }
 
 let registry t = t.registry
@@ -116,7 +149,7 @@ let rows_field j session =
 (* --- session views --------------------------------------------------------- *)
 
 let session_summary (entry : Registry.entry) =
-  let s = entry.session in
+  let s = Registry.session entry in
   let n, d = Mat.dims (Session.data s) in
   Json.Obj
     [ ("id", Json.String entry.id);
@@ -174,7 +207,9 @@ let journal_event (entry : Registry.entry) event =
   | Some j -> Persist.journal_append j event
 
 (* Run [f] with the per-session lock held; 404 if the id is unknown or
-   the entry lost a race with DELETE. *)
+   the entry lost a race with DELETE.  Touches the entry (resetting its
+   idle clock) — {!Registry.session} inside [f] rehydrates an evicted
+   entry under this same lock. *)
 let with_entry t id f =
   match Registry.find t.registry id with
   | None -> raise (Reply (404, err_body "not-found" ("no session " ^ id)))
@@ -184,7 +219,9 @@ let with_entry t id f =
     @@ fun () ->
     if entry.Registry.closed then
       raise (Reply (404, err_body "not-found" ("no session " ^ id)))
-    else f entry
+    else (
+      Registry.touch entry;
+      f entry)
 
 let crash_poll path =
   if Fault.should_crash_after_journal ~path then raise Fault.Crash_injected
@@ -219,7 +256,7 @@ let handle_constraint t (req : Http.request) id =
   let j = body_json req in
   let ctype = opt_member j "type" Json.to_str "cluster" in
   with_entry t id @@ fun entry ->
-  let s = entry.Registry.session in
+  let s = Registry.session entry in
   let event =
     match ctype with
     | "cluster" ->
@@ -244,6 +281,7 @@ let handle_constraint t (req : Http.request) id =
    | Session.Added_one_cluster -> Session.add_one_cluster_constraint s
    | Session.Updated _ | Session.Viewed _ -> assert false);
   crash_poll req.path;
+  Registry.maybe_compact t.registry entry;
   (200, Json.to_string (session_summary entry))
 
 let handle_update t (req : Http.request) id ~deadline_at =
@@ -258,10 +296,11 @@ let handle_update t (req : Http.request) id ~deadline_at =
   in
   let max_sweeps = Option.map Json.to_int (Json.member_opt "max_sweeps" j) in
   with_entry t id @@ fun entry ->
-  let s = entry.Registry.session in
+  let s = Registry.session entry in
   journal_event entry (Session.Updated { time_cutoff; max_sweeps });
   let result = Session.update_background ~time_cutoff ?max_sweeps s in
   crash_poll req.path;
+  Registry.maybe_compact t.registry entry;
   match result with
   | Ok report -> (200, Json.to_string (report_json report))
   | Error e -> (status_of_error e, body_of_error e)
@@ -270,10 +309,11 @@ let handle_view t (req : Http.request) id =
   let j = body_json req in
   let m = method_of_name (opt_member j "method" Json.to_str "pca") in
   with_entry t id @@ fun entry ->
-  let s = entry.Registry.session in
+  let s = Registry.session entry in
   journal_event entry (Session.Viewed m);
   ignore (Session.recompute_view ~method_:m s);
   crash_poll req.path;
+  Registry.maybe_compact t.registry entry;
   (200, Json.to_string (projection_json s))
 
 (* --- routing --------------------------------------------------------------- *)
@@ -293,6 +333,9 @@ let route t (req : Http.request) ~deadline_at =
         (Json.Obj
            [ ("count",
               Json.Number (float_of_int (Registry.count t.registry)));
+             ("resident",
+              Json.Number
+                (float_of_int (Registry.resident_count t.registry)));
              ("sessions",
               Json.List
                 (List.map (fun id -> Json.String id) (Registry.ids t.registry)))
@@ -309,7 +352,7 @@ let route t (req : Http.request) ~deadline_at =
   | "POST", [ "sessions"; id; "view" ] -> handle_view t req id
   | "GET", [ "sessions"; id; "projection" ] ->
     with_entry t id (fun entry ->
-        (200, Json.to_string (projection_json entry.Registry.session)))
+        (200, Json.to_string (projection_json (Registry.session entry))))
   | _, ("sessions" :: _ | [ "healthz" ] | [ "metrics" ]) ->
     (405, err_body "method-not-allowed" (req.meth ^ " " ^ req.path))
   | _ -> (404, err_body "not-found" req.path)
@@ -325,7 +368,7 @@ let dispatch t (req : Http.request) ~deadline_at =
 
 (* --- connection handling --------------------------------------------------- *)
 
-let respond_status fd status body =
+let respond_status ?(keep_alive = false) fd status body =
   let headers = if status = 429 || status = 503 then [ ("Retry-After", "1") ] else [] in
   let content_type =
     if status = 200 && (body = "ok\n" || String.length body > 0 && body.[0] = '#')
@@ -335,52 +378,86 @@ let respond_status fd status body =
   if status >= 500 then
     Obs.flight_event ~name:"serve.error"
       ~detail:(Printf.sprintf "%d %s" status body);
-  Http.respond ~headers ~status ~content_type fd body
+  Http.respond ~headers ~status ~content_type ~keep_alive fd body
 
-let serve_conn t fd enqueued_at =
-  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.read_timeout_s;
-  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.read_timeout_s;
+(* Serve one request from [conn]; [`Keep] means the connection stays
+   open for another request (the caller decides whether to serve it
+   now — pipelined bytes pending — or park it with the watcher). *)
+let serve_one t conn =
   Obs.count "serve.requests";
   let t0 = Unix.gettimeofday () in
-  let deadline_at = enqueued_at +. t.config.deadline_s in
+  let deadline_at = conn.c_enqueued_at +. t.config.deadline_s in
   if t0 > deadline_at then (
     Obs.count "serve.deadline_expired";
-    respond_status fd 503 (err_body "deadline-expired" "queued past deadline"))
+    respond_status conn.c_fd 503 (err_body "deadline-expired" "queued past deadline");
+    `Close)
   else (
-    (match Http.read_request ~max_body:t.config.max_body fd with
-     | Error Http.Timeout ->
-       Obs.count "serve.read_timeouts";
-       respond_status fd 408 (err_body "request-timeout" "client too slow")
-     | Error Http.Closed -> ()
-     | Error Http.Too_large ->
-       respond_status fd 413 (err_body "too-large" "request exceeds limits")
-     | Error (Http.Malformed m) ->
-       respond_status fd 400 (err_body "malformed-request" m)
-     | Ok req ->
-       let req =
-         match Fault.request_fault ~path:req.path with
-         | Some `Drop -> None
-         | Some (`Delay ms) ->
-           Thread.delay (float_of_int ms /. 1000.0);
-           Some req
-         | Some `Truncate ->
-           Some
-             { req with
-               Http.body =
-                 String.sub req.Http.body 0 (String.length req.Http.body / 2)
-             }
-         | None -> Some req
-       in
-       (match req with
-        | None -> ()
-        | Some req ->
-          let status, body = dispatch t req ~deadline_at in
-          respond_status fd status body));
-    Obs.observe "serve.request_s" (Unix.gettimeofday () -. t0))
+    let outcome =
+      match
+        Http.read_request_buffered ~max_body:t.config.max_body conn.c_reader
+      with
+      | Error Http.Timeout ->
+        Obs.count "serve.read_timeouts";
+        respond_status conn.c_fd 408 (err_body "request-timeout" "client too slow");
+        `Close
+      | Error Http.Closed -> `Close
+      | Error Http.Too_large ->
+        respond_status conn.c_fd 413 (err_body "too-large" "request exceeds limits");
+        `Close
+      | Error (Http.Malformed m) ->
+        respond_status conn.c_fd 400 (err_body "malformed-request" m);
+        `Close
+      | Ok req ->
+        let req =
+          match Fault.request_fault ~path:req.path with
+          | Some `Drop -> None
+          | Some (`Delay ms) ->
+            Thread.delay (float_of_int ms /. 1000.0);
+            Some req
+          | Some `Truncate ->
+            Some
+              { req with
+                Http.body =
+                  String.sub req.Http.body 0 (String.length req.Http.body / 2)
+              }
+          | None -> Some req
+        in
+        (match req with
+         | None -> `Close
+         | Some req ->
+           let status, body = dispatch t req ~deadline_at in
+           conn.c_served <- conn.c_served + 1;
+           let keep =
+             (not (Http.wants_close req))
+             && conn.c_served < t.config.keepalive_requests
+             && not t.stopping
+           in
+           respond_status ~keep_alive:keep conn.c_fd status body;
+           if keep then `Keep else `Close)
+    in
+    Obs.observe "serve.request_s" (Unix.gettimeofday () -. t0);
+    outcome)
 
 (* --- threads --------------------------------------------------------------- *)
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let wake_watcher t =
+  try ignore (Unix.write_substring t.wake_w "x" 0 1)
+  with Unix.Unix_error _ -> ()
+
+let park_idle t conn =
+  Mutex.lock t.idle_lock;
+  t.idle <- (conn, Unix.gettimeofday ()) :: t.idle;
+  Mutex.unlock t.idle_lock;
+  wake_watcher t
+
+let enqueue_conn t conn =
+  conn.c_enqueued_at <- Unix.gettimeofday ();
+  Mutex.lock t.q_lock;
+  Queue.push conn t.queue;
+  Condition.signal t.q_nonempty;
+  Mutex.unlock t.q_lock
 
 let rec worker_loop t =
   Mutex.lock t.q_lock;
@@ -391,33 +468,126 @@ let rec worker_loop t =
   Mutex.unlock t.q_lock;
   match item with
   | None -> () (* stopping and fully drained *)
-  | Some (fd, enqueued_at) ->
-    (try serve_conn t fd enqueued_at with
+  | Some conn ->
+    (* Keep-alive inner loop: requests already buffered (pipelined) are
+       served back-to-back on this worker; once the connection has no
+       bytes waiting it is parked with the watcher so the worker frees
+       up for other connections instead of blocking in [read]. *)
+    let rec serve () =
+      match serve_one t conn with
+      | `Close -> close_quietly conn.c_fd
+      | `Keep ->
+        if Http.reader_has_pending conn.c_reader then (
+          conn.c_enqueued_at <- Unix.gettimeofday ();
+          serve ())
+        else park_idle t conn
+    in
+    (try serve () with
      | Fault.Crash_injected ->
        (* Simulated process death between journal and ack: the client
           gets a closed connection, never a response. *)
-       Obs.count "serve.injected_crashes"
+       Obs.count "serve.injected_crashes";
+       close_quietly conn.c_fd
      | e ->
        (try
-          respond_status fd 500
+          respond_status conn.c_fd 500
             (err_body "internal-error" (Printexc.to_string e))
-        with _ -> ()));
-    close_quietly fd;
+        with _ -> ());
+       close_quietly conn.c_fd);
     worker_loop t
+
+(* The idle watcher multiplexes every parked keep-alive connection over
+   one [select]: a readable connection re-enters the worker queue at
+   once (the self-pipe keeps latency at wake-up, not poll-interval,
+   scale), one silent past [idle_timeout_s] is closed.  Workers
+   therefore only ever block reading a request that has started
+   arriving. *)
+let rec watcher_loop t =
+  let parked =
+    Mutex.lock t.idle_lock;
+    let l = t.idle in
+    Mutex.unlock t.idle_lock;
+    l
+  in
+  let timeout =
+    match parked with
+    | [] -> -1.0 (* nothing parked: sleep until woken *)
+    | _ ->
+      let next =
+        List.fold_left
+          (fun acc (_, since) ->
+            Float.min acc (since +. t.config.idle_timeout_s))
+          Float.infinity parked
+      in
+      Float.max 0.01 (next -. Unix.gettimeofday ())
+  in
+  let fds = t.wake_r :: List.map (fun (c, _) -> c.c_fd) parked in
+  let readable =
+    match Unix.select fds [] [] timeout with
+    | r, _, _ -> r
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> []
+  in
+  if List.mem t.wake_r readable then (
+    let buf = Bytes.create 64 in
+    try ignore (Unix.read t.wake_r buf 0 64) with Unix.Unix_error _ -> ());
+  if t.stopping then (
+    Mutex.lock t.idle_lock;
+    let rest = t.idle in
+    t.idle <- [];
+    Mutex.unlock t.idle_lock;
+    List.iter (fun (c, _) -> close_quietly c.c_fd) rest)
+  else (
+    let now = Unix.gettimeofday () in
+    let ready, expired =
+      Mutex.lock t.idle_lock;
+      let ready, keep =
+        List.partition (fun (c, _) -> List.mem c.c_fd readable) t.idle
+      in
+      let expired, keep =
+        List.partition
+          (fun (_, since) -> now -. since >= t.config.idle_timeout_s)
+          keep
+      in
+      t.idle <- keep;
+      Mutex.unlock t.idle_lock;
+      (ready, expired)
+    in
+    List.iter (fun (c, _) -> enqueue_conn t c) ready;
+    List.iter (fun (c, _) -> close_quietly c.c_fd) expired;
+    (match List.length expired with
+     | 0 -> ()
+     | n -> Obs.count ~by:n "serve.idle_closed");
+    watcher_loop t)
+
+(* Evict sessions idle past the TTL.  Sweep cadence is a fraction of
+   the TTL (bounded to stay responsive to [stop]). *)
+let rec janitor_loop t =
+  if t.stopping then ()
+  else (
+    let ttl = t.config.session_ttl_s in
+    Thread.delay (Float.max 0.02 (Float.min 0.5 (ttl /. 4.0)));
+    if not t.stopping then ignore (Registry.evict_idle t.registry ~ttl_s:ttl);
+    janitor_loop t)
 
 let rec accept_loop t =
   match Unix.accept t.sock with
   | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
   | exception Unix.Unix_error _ -> if t.stopping then () else accept_loop t
   | fd, _ ->
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.read_timeout_s;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.read_timeout_s;
     let enqueued_at = Unix.gettimeofday () in
+    let conn =
+      { c_fd = fd; c_reader = Http.reader fd; c_served = 0;
+        c_enqueued_at = enqueued_at }
+    in
     let accepted =
       Mutex.lock t.q_lock;
       let ok =
         (not t.stopping) && Queue.length t.queue < t.config.queue_capacity
       in
       if ok then (
-        Queue.push (fd, enqueued_at) t.queue;
+        Queue.push conn t.queue;
         Condition.signal t.q_nonempty);
       Mutex.unlock t.q_lock;
       ok
@@ -431,7 +601,8 @@ let rec accept_loop t =
 let start ?(config = default_config) () =
   let registry =
     Registry.create ?data_dir:config.data_dir
-      ~max_sessions:config.max_sessions ()
+      ~max_sessions:config.max_sessions
+      ~compact_events:config.compact_events ()
   in
   let recovery_failures = Registry.recover registry in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -446,6 +617,7 @@ let start ?(config = default_config) () =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> config.port
   in
+  let wake_r, wake_w = Unix.pipe () in
   let t =
     { config;
       registry;
@@ -455,12 +627,21 @@ let start ?(config = default_config) () =
       queue = Queue.create ();
       q_lock = Mutex.create ();
       q_nonempty = Condition.create ();
+      idle_lock = Mutex.create ();
+      idle = [];
+      wake_r;
+      wake_w;
       stopping = false;
       accept_thread = None;
-      worker_threads = [] }
+      worker_threads = [];
+      watcher_thread = None;
+      janitor_thread = None }
   in
   t.worker_threads <-
     List.init config.workers (fun _ -> Thread.create worker_loop t);
+  t.watcher_thread <- Some (Thread.create watcher_loop t);
+  if config.session_ttl_s > 0.0 then
+    t.janitor_thread <- Some (Thread.create janitor_loop t);
   t.accept_thread <- Some (Thread.create accept_loop t);
   t
 
@@ -478,7 +659,23 @@ let stop t =
     close_quietly t.sock;
     t.accept_thread <- None;
     (* Workers drain whatever was already queued, then exit: accepted
-       requests are finished, new connections are refused. *)
+       requests are finished, new connections are refused and every
+       response carries [Connection: close]. *)
     List.iter Thread.join t.worker_threads;
     t.worker_threads <- [];
+    (* The watcher wakes, closes every parked connection and exits. *)
+    wake_watcher t;
+    (match t.watcher_thread with Some th -> Thread.join th | None -> ());
+    t.watcher_thread <- None;
+    (* A worker may have parked a connection after the watcher's final
+       sweep, and the watcher may have re-enqueued one after the
+       workers drained — close both leftovers. *)
+    List.iter (fun (c, _) -> close_quietly c.c_fd) t.idle;
+    t.idle <- [];
+    Queue.iter (fun c -> close_quietly c.c_fd) t.queue;
+    Queue.clear t.queue;
+    close_quietly t.wake_r;
+    close_quietly t.wake_w;
+    (match t.janitor_thread with Some th -> Thread.join th | None -> ());
+    t.janitor_thread <- None;
     Registry.close t.registry)

@@ -37,16 +37,36 @@
       {!Sider_core.Session.update_background}) — the tenant survives.
     - Unexpected exceptions → [500]; the worker thread survives.
 
+    {2 Connections}
+
+    Connections are HTTP/1.1 keep-alive: a worker serves
+    [Content-Length]-delimited requests in a loop, honouring a client's
+    [Connection: close], capping requests per connection at
+    [keepalive_requests] (the final response says [Connection: close])
+    and parking quiet connections with an idle watcher that closes them
+    after [idle_timeout_s].  Pipelined requests already buffered are
+    served back-to-back; a parked connection re-enters the worker queue
+    the moment bytes arrive, so workers never block waiting for a
+    request that has not started.
+
     {2 Durability}
 
     With a [data_dir], every mutation is journaled {e before} it is
     applied and the append is [fsync]ed before the 2xx is written
     (write-ahead): an acknowledged event is always recovered by
     {!start}'s boot-time replay; [kill -9] loses at most the in-flight
-    unacknowledged request.  The {!Sider_robust.Fault} service
-    injections ([Svc_drop_request], [Svc_delay_request],
-    [Svc_truncate_request], [Svc_crash_after_journal],
-    [Journal_fail_append]) exercise exactly these paths in tests. *)
+    unacknowledged request.  A journal that outgrows [compact_events]
+    lines is folded into a sibling snapshot right after the
+    acknowledging append ({!Sider_core.Persist.journal_compact} —
+    crash-safe at every step).  With [session_ttl_s > 0] a janitor
+    thread evicts sessions idle past the TTL (resident state dropped,
+    journal kept) and the next request on the tenant rehydrates it
+    transparently; at [max_sessions] resident capacity, creation evicts
+    the least-recently-used idle tenant before answering 429.  The
+    {!Sider_robust.Fault} service injections ([Svc_drop_request],
+    [Svc_delay_request], [Svc_truncate_request],
+    [Svc_crash_after_journal], [Journal_fail_append], [Compact_crash])
+    exercise exactly these paths in tests. *)
 
 open Sider_robust
 
@@ -54,12 +74,20 @@ type config = {
   addr : string;  (** bind address, default ["127.0.0.1"] *)
   port : int;  (** 0 for ephemeral (read back with {!port}) *)
   data_dir : string option;  (** enables write-ahead journaling *)
-  max_sessions : int;
+  max_sessions : int;  (** resident-session cap (429 / evict-then-admit) *)
   queue_capacity : int;  (** accepted-but-unserved connections *)
   workers : int;  (** request worker threads *)
   read_timeout_s : float;  (** socket receive/send timeout (408) *)
   deadline_s : float;  (** per-request deadline incl. queue wait (503) *)
   max_body : int;  (** request body cap in bytes (413) *)
+  keepalive_requests : int;
+      (** max requests served per connection (default 1000) *)
+  idle_timeout_s : float;
+      (** parked keep-alive connections are closed after this (default 5) *)
+  session_ttl_s : float;
+      (** idle sessions evicted after this; 0 (default) disables *)
+  compact_events : int;
+      (** journal lines before compaction; 0 disables (default 1024) *)
 }
 
 val default_config : config

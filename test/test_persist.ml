@@ -420,6 +420,232 @@ let test_journal_fail_append_injection () =
   | Ok (_, applied) -> check_true "only the durable event" (applied = 1)
   | Error e -> Alcotest.failf "load: %s" (Sider_robust.Sider_error.to_string e)
 
+(* --- journal compaction ----------------------------------------------------------- *)
+
+(* Compaction leaves three kinds of files next to the journal: the
+   sibling snapshot, and the tmp files of either atomic rename.  Tests
+   must clean all of them or a crashed iteration pollutes the next. *)
+let with_temp_store f =
+  with_temp_journal @@ fun path ->
+  let siblings =
+    [ Persist.snapshot_path path;
+      Persist.snapshot_path path ^ ".tmp";
+      path ^ ".compact.tmp" ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) siblings)
+    (fun () -> f path)
+
+let session_bytes s = Json.to_string (Persist.session_to_json s)
+
+let test_journal_compact_roundtrip () =
+  let ds = Synth.gaussian ~seed:29 ~n:14 ~d:3 () in
+  let s = Session.create ~seed:10 ds in
+  with_temp_store @@ fun path ->
+  let j = Persist.journal_start path s in
+  Persist.journal_append j Session.Added_margin;
+  Session.add_margin_constraint s;
+  Persist.journal_append j
+    (Session.Updated { time_cutoff = 1.0; max_sweeps = Some 3 });
+  ignore (Session.update_background ~time_cutoff:1.0 ~max_sweeps:3 s);
+  check_true "events before compaction" (Persist.journal_events j = 2);
+  Persist.journal_compact j s;
+  check_true "snapshot exists" (Sys.file_exists (Persist.snapshot_path path));
+  check_true "journal reset" (Persist.journal_events j = 0);
+  check_true "base recorded"
+    (Persist.journal_base j = List.length (Session.history s));
+  check_true "no snapshot tmp left"
+    (not (Sys.file_exists (Persist.snapshot_path path ^ ".tmp")));
+  check_true "no journal tmp left"
+    (not (Sys.file_exists (path ^ ".compact.tmp")));
+  (* The handle keeps appending after compaction. *)
+  Persist.journal_append j Session.Added_one_cluster;
+  Session.add_one_cluster_constraint s;
+  Persist.journal_close j;
+  match Persist.journal_load path with
+  | Error e -> Alcotest.failf "load: %s" (Sider_robust.Sider_error.to_string e)
+  | Ok (replayed, applied) ->
+    check_true "all events restored"
+      (applied = List.length (Session.history s));
+    check_true "byte-identical state"
+      (session_bytes replayed = session_bytes s)
+
+let test_journal_compact_twice () =
+  let ds = Synth.gaussian ~seed:41 ~n:14 ~d:3 () in
+  let s = Session.create ~seed:15 ds in
+  with_temp_store @@ fun path ->
+  let j = Persist.journal_start path s in
+  Persist.journal_append j Session.Added_margin;
+  Session.add_margin_constraint s;
+  Persist.journal_compact j s;
+  Persist.journal_append j Session.Added_one_cluster;
+  Session.add_one_cluster_constraint s;
+  (* Second compaction folds the post-snapshot suffix into a newer
+     snapshot; the first one is simply overwritten. *)
+  Persist.journal_compact j s;
+  Persist.journal_append j
+    (Session.Updated { time_cutoff = 1.0; max_sweeps = Some 3 });
+  ignore (Session.update_background ~time_cutoff:1.0 ~max_sweeps:3 s);
+  Persist.journal_close j;
+  match Persist.journal_load path with
+  | Error e -> Alcotest.failf "load: %s" (Sider_robust.Sider_error.to_string e)
+  | Ok (replayed, applied) ->
+    check_true "all events restored"
+      (applied = List.length (Session.history s));
+    check_true "byte-identical state"
+      (session_bytes replayed = session_bytes s)
+
+(* Crash injected at every fault point of the compaction sequence: the
+   store must recover to the exact pre-crash session state from the
+   files alone, and stay appendable.  The four points cover: nothing
+   written yet (0), snapshot tmp written but not renamed (1), snapshot
+   renamed but journal not rewritten (2), journal tmp written but not
+   renamed (3). *)
+let test_journal_compact_crash_sweep () =
+  for point = 0 to 3 do
+    Sider_robust.Fault.reset ();
+    let ds = Synth.gaussian ~seed:31 ~n:14 ~d:3 () in
+    let s = Session.create ~seed:12 ds in
+    with_temp_store @@ fun path ->
+    let j = Persist.journal_start path s in
+    Persist.journal_append j Session.Added_margin;
+    Session.add_margin_constraint s;
+    Persist.journal_append j Session.Added_one_cluster;
+    Session.add_one_cluster_constraint s;
+    Sider_robust.Fault.(arm (Compact_crash { path_substr = ""; point }));
+    (match Persist.journal_compact j s with
+     | exception Sider_robust.Fault.Crash_injected -> ()
+     | () -> Alcotest.failf "point %d: injected crash did not fire" point);
+    Sider_robust.Fault.reset ();
+    (* The process is gone; recovery sees only the files. *)
+    Persist.journal_close j;
+    (match Persist.journal_reopen path with
+     | Error e ->
+       Alcotest.failf "point %d reopen: %s" point
+         (Sider_robust.Sider_error.to_string e)
+     | Ok (recovered, j2) ->
+       check_true
+         (Printf.sprintf "point %d: recovered state is byte-identical" point)
+         (session_bytes recovered = session_bytes s);
+       (* The store stays appendable after crash recovery. *)
+       Persist.journal_append j2 Session.Added_margin;
+       Session.add_margin_constraint s;
+       Persist.journal_close j2);
+    match Persist.journal_load path with
+    | Error e ->
+      Alcotest.failf "point %d reload: %s" point
+        (Sider_robust.Sider_error.to_string e)
+    | Ok (replayed, applied) ->
+      check_true
+        (Printf.sprintf "point %d: post-recovery append restored" point)
+        (applied = List.length (Session.history s));
+      check_true
+        (Printf.sprintf "point %d: final state is byte-identical" point)
+        (session_bytes replayed = session_bytes s)
+  done
+
+(* The pinning property: a random lifecycle history — constraint
+   declarations of every kind, solver updates, view changes — with
+   compaction forced at random points must recover byte-identically
+   from the files, exactly as an uncompacted journal would. *)
+let prop_journal_compaction_random_history =
+  let gen =
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 10) (pair small_nat bool))
+  in
+  qcheck ~count:10 "journal with random compactions replays byte-identically"
+    gen (fun script ->
+      let ds = Synth.gaussian ~seed:37 ~n:16 ~d:3 () in
+      let s = Session.create ~seed:13 ds in
+      with_temp_store @@ fun path ->
+      let j = Persist.journal_start path s in
+      let apply (code, compact_after) =
+        (match code mod 5 with
+         | 0 ->
+           let rows =
+             Array.init (2 + (code mod 5)) (fun i -> ((i * 3) + code) mod 16)
+           in
+           let tag = "c" ^ string_of_int code in
+           Persist.journal_append j (Session.Added_cluster { rows; tag });
+           Session.add_cluster_constraint ~tag s rows
+         | 1 ->
+           Persist.journal_append j Session.Added_margin;
+           Session.add_margin_constraint s
+         | 2 ->
+           Persist.journal_append j Session.Added_one_cluster;
+           Session.add_one_cluster_constraint s
+         | 3 ->
+           Persist.journal_append j
+             (Session.Updated { time_cutoff = 1.0; max_sweeps = Some 3 });
+           ignore (Session.update_background ~time_cutoff:1.0 ~max_sweeps:3 s)
+         | _ ->
+           Persist.journal_append j (Session.Viewed Sider_projection.View.Pca);
+           ignore
+             (Session.recompute_view ~method_:Sider_projection.View.Pca s));
+        if compact_after then Persist.journal_compact j s
+      in
+      List.iter apply script;
+      Persist.journal_close j;
+      match Persist.journal_load path with
+      | Error e ->
+        QCheck.Test.fail_reportf "load: %s"
+          (Sider_robust.Sider_error.to_string e)
+      | Ok (replayed, applied) ->
+        applied = List.length (Session.history s)
+        && session_bytes replayed = session_bytes s)
+
+(* Same property under a crash at a script-chosen fault point of a
+   script-chosen compaction: recovery from the files equals the live
+   pre-crash state. *)
+let prop_journal_compaction_crash_random_history =
+  let gen =
+    QCheck.(
+      triple
+        (list_of_size (QCheck.Gen.int_range 1 8) small_nat)
+        (int_bound 7) (int_bound 3))
+  in
+  qcheck ~count:10 "random crash mid-compaction recovers byte-identically"
+    gen (fun (script, crash_at, point) ->
+      Sider_robust.Fault.reset ();
+      let ds = Synth.gaussian ~seed:43 ~n:16 ~d:3 () in
+      let s = Session.create ~seed:17 ds in
+      with_temp_store @@ fun path ->
+      let j = Persist.journal_start path s in
+      let crashed = ref false in
+      List.iteri
+        (fun i code ->
+          if not !crashed then begin
+            (match code mod 3 with
+             | 0 ->
+               Persist.journal_append j Session.Added_margin;
+               Session.add_margin_constraint s
+             | 1 ->
+               Persist.journal_append j Session.Added_one_cluster;
+               Session.add_one_cluster_constraint s
+             | _ ->
+               let rows = Array.init (2 + (code mod 4)) (fun r -> r) in
+               let tag = "q" ^ string_of_int i in
+               Persist.journal_append j (Session.Added_cluster { rows; tag });
+               Session.add_cluster_constraint ~tag s rows);
+            if i = crash_at mod max 1 (List.length script) then begin
+              Sider_robust.Fault.(
+                arm (Compact_crash { path_substr = ""; point }));
+              match Persist.journal_compact j s with
+              | exception Sider_robust.Fault.Crash_injected -> crashed := true
+              | () -> ()
+            end
+          end)
+        script;
+      Sider_robust.Fault.reset ();
+      Persist.journal_close j;
+      match Persist.journal_reopen path with
+      | Error e ->
+        QCheck.Test.fail_reportf "reopen: %s"
+          (Sider_robust.Sider_error.to_string e)
+      | Ok (recovered, j2) ->
+        Persist.journal_close j2;
+        session_bytes recovered = session_bytes s)
+
 let suite =
   [
     case "json printing" test_json_print_basic;
@@ -447,4 +673,9 @@ let suite =
     case "journal interior corruption" test_journal_interior_corruption_is_error;
     case "journal reopen after crash" test_journal_reopen_appends_after_crash;
     case "journal append injection" test_journal_fail_append_injection;
+    case "journal compaction roundtrip" test_journal_compact_roundtrip;
+    case "journal compaction twice" test_journal_compact_twice;
+    slow_case "compaction crash sweep" test_journal_compact_crash_sweep;
+    prop_journal_compaction_random_history;
+    prop_journal_compaction_crash_random_history;
   ]

@@ -247,6 +247,37 @@ let test_doctor_diagnoses_nan () =
     (not
        (List.exists (fun f -> f.Doctor.check = "probe") report.Doctor.findings))
 
+(* --- Multi-shot fault arms ------------------------------------------------------ *)
+
+(* Regression: a counted arm must fire exactly [n] times and then
+   disarm; a persistent arm must never decrement.  (The armed list used
+   to hold plain injections, so soak tests had to re-arm between
+   iterations and a forgotten re-arm silently tested nothing.) *)
+let test_counted_and_persistent_arms () =
+  Fault.reset ();
+  let fires () =
+    (* should_crash_after_journal polls the armed list by path. *)
+    Fault.should_crash_after_journal ~path:"/anywhere"
+  in
+  Fault.arm_counted 3 (Fault.Svc_crash_after_journal { path_substr = "" });
+  for i = 1 to 3 do
+    check_true (Printf.sprintf "counted shot %d fires" i) (fires ())
+  done;
+  check_true "counted arm exhausted" (not (fires ()));
+  check_true "disarmed after n shots" (Fault.armed () = []);
+  check_true "three firings recorded" (List.length (Fault.fired ()) = 3);
+  (match Fault.arm_counted 0 (Fault.Fail_sweep { sweep = 1 }) with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "arm_counted 0 must be rejected");
+  Fault.reset ();
+  Fault.arm_persistent (Fault.Svc_crash_after_journal { path_substr = "" });
+  for i = 1 to 5 do
+    check_true (Printf.sprintf "persistent shot %d fires" i) (fires ())
+  done;
+  check_true "still armed" (List.length (Fault.armed ()) = 1);
+  Fault.reset ();
+  check_true "reset disarms" (not (fires ()))
+
 let suite =
   let case name f = Alcotest.test_case name `Quick f in
   [
@@ -264,4 +295,5 @@ let suite =
     case "csv duplicate headers rejected" test_csv_duplicate_headers;
     case "doctor: clean dataset healthy" test_doctor_healthy;
     case "doctor: NaN diagnosed, probe skipped" test_doctor_diagnoses_nan;
+    case "counted and persistent arms" test_counted_and_persistent_arms;
   ]

@@ -357,6 +357,408 @@ let test_concurrent_tenants () =
   check_true "all eight tenants live"
     (Json.to_int (Json.member "count" (json_of r)) = 8)
 
+(* --- keep-alive connections -------------------------------------------------------- *)
+
+(* A raw loopback socket with a receive timeout, for tests that need to
+   observe the wire (pipelining, idle closes, torn requests). *)
+let with_raw_socket svc f =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, Service.port svc));
+      Unix.setsockopt_float sock Unix.SO_RCVTIMEO 5.0;
+      f sock)
+
+let write_string sock s =
+  ignore (Unix.write_substring sock s 0 (String.length s))
+
+(* Read [n] complete Content-Length-delimited responses off the socket;
+   returns the list of (status, headers-and-body block). *)
+let read_responses sock n =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec index_of_sub text from sub =
+    let m = String.length sub in
+    if from + m > String.length text then None
+    else if String.sub text from m = sub then Some from
+    else index_of_sub text (from + 1) sub
+  in
+  let parse_one from =
+    let text = Buffer.contents buf in
+    match index_of_sub text from "\r\n\r\n" with
+    | None -> None
+    | Some hdr_end ->
+      let head = String.sub text from (hdr_end - from) in
+      let clen =
+        String.split_on_char '\n' head
+        |> List.find_map (fun line ->
+            match String.index_opt line ':' with
+            | Some i
+              when String.lowercase_ascii (String.sub line 0 i)
+                   = "content-length" ->
+              String.sub line (i + 1) (String.length line - i - 1)
+              |> String.trim |> int_of_string_opt
+            | _ -> None)
+        |> Option.value ~default:0
+      in
+      let body_end = hdr_end + 4 + clen in
+      if String.length text < body_end then None
+      else
+        let status = int_of_string (String.sub text (from + 9) 3) in
+        Some ((status, String.sub text from (body_end - from)), body_end)
+  in
+  let rec collect acc from remaining =
+    if remaining = 0 then List.rev acc
+    else
+      match parse_one from with
+      | Some (resp, next) -> collect (resp :: acc) next (remaining - 1)
+      | None ->
+        let n_read = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if n_read = 0 then
+          Alcotest.failf "connection closed with %d response(s) pending"
+            remaining
+        else begin
+          Buffer.add_subbytes buf chunk 0 n_read;
+          collect acc from remaining
+        end
+  in
+  collect [] 0 n
+
+let test_keepalive_sequential_requests () =
+  with_service @@ fun svc ->
+  (* One persistent client connection across the whole interaction
+     loop: every response advertises keep-alive, and the session flow
+     works exactly as over one-shot connections. *)
+  let client = Http.client ~port:(Service.port svc) () in
+  Fun.protect ~finally:(fun () -> Http.client_close client)
+  @@ fun () ->
+  let creq ?body meth path =
+    match Http.client_request ?body client ~meth path with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "%s %s: %s" meth path e
+  in
+  let r = creq "GET" "/healthz" in
+  status_is "healthz" 200 r;
+  check_true "connection kept alive"
+    (Http.header r "connection" = Some "keep-alive");
+  let r = creq ~body:(create_body ()) "POST" "/sessions" in
+  status_is "create over keep-alive" 201 r;
+  let id = Json.to_str (Json.member "id" (json_of r)) in
+  status_is "constraint over keep-alive" 200
+    (creq ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"));
+  status_is "update over keep-alive" 200
+    (creq ~body:update_body "POST" ("/sessions/" ^ id ^ "/update"));
+  status_is "projection over keep-alive" 200
+    (creq "GET" ("/sessions/" ^ id ^ "/projection"))
+
+let test_pipelined_requests_both_answered () =
+  with_service @@ fun svc ->
+  with_raw_socket svc @@ fun sock ->
+  (* Two requests in one write: both must be answered, in order, on the
+     same connection — the second's bytes arrived with the first and
+     must survive in the reader's buffer. *)
+  let one = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n" in
+  write_string sock (one ^ one);
+  match read_responses sock 2 with
+  | [ (s1, _); (s2, _) ] ->
+    check_true "first pipelined response" (s1 = 200);
+    check_true "second pipelined response" (s2 = 200)
+  | other -> Alcotest.failf "expected 2 responses, got %d" (List.length other)
+
+let test_idle_timeout_closes_connection () =
+  let config = { Service.default_config with idle_timeout_s = 0.2 } in
+  with_service ~config @@ fun svc ->
+  with_raw_socket svc @@ fun sock ->
+  write_string sock "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  (match read_responses sock 1 with
+   | [ (200, _) ] -> ()
+   | _ -> Alcotest.fail "healthz over keep-alive failed");
+  (* Parked past the idle timeout: the watcher must close the
+     connection (EOF on our side), not leak it. *)
+  let buf = Bytes.create 16 in
+  check_true "idle connection closed by server"
+    (Unix.read sock buf 0 16 = 0);
+  (* And the service still serves fresh connections. *)
+  status_is "still serving" 200 (req svc "GET" "/healthz")
+
+let test_connection_close_honoured () =
+  with_service @@ fun svc ->
+  with_raw_socket svc @@ fun sock ->
+  write_string sock
+    "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  (match read_responses sock 1 with
+   | [ (200, text) ] ->
+     check_true "response says close"
+       (let lower = String.lowercase_ascii text in
+        let rec has i =
+          i >= 0
+          && (String.length lower - i >= 17
+              && String.sub lower i 17 = "connection: close"
+              || has (i - 1))
+        in
+        has (String.length lower - 17))
+   | _ -> Alcotest.fail "healthz failed");
+  let buf = Bytes.create 16 in
+  check_true "server closed after Connection: close"
+    (Unix.read sock buf 0 16 = 0)
+
+let test_request_cap_rolls_connection () =
+  let config = { Service.default_config with keepalive_requests = 2 } in
+  with_service ~config @@ fun svc ->
+  let client = Http.client ~port:(Service.port svc) () in
+  Fun.protect ~finally:(fun () -> Http.client_close client)
+  @@ fun () ->
+  let creq () =
+    match Http.client_request client ~meth:"GET" "/healthz" with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "healthz: %s" e
+  in
+  let r1 = creq () in
+  status_is "first" 200 r1;
+  check_true "first kept alive" (Http.header r1 "connection" = Some "keep-alive");
+  let r2 = creq () in
+  status_is "second" 200 r2;
+  (* The cap is 2: the second response announces the close... *)
+  check_true "cap closes connection" (Http.header r2 "connection" = Some "close");
+  (* ...and the client transparently reconnects for the third. *)
+  let r3 = creq () in
+  status_is "third (fresh connection)" 200 r3
+
+let test_torn_request_leaves_service_healthy () =
+  with_service @@ fun svc ->
+  (* A keep-alive connection dies mid-request (half a body, then RST):
+     the worker must drop it silently and the next connection must see
+     a healthy service. *)
+  with_raw_socket svc @@ fun sock ->
+  write_string sock "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  (match read_responses sock 1 with
+   | [ (200, _) ] -> ()
+   | _ -> Alcotest.fail "first request failed");
+  write_string sock
+    "POST /sessions HTTP/1.1\r\nContent-Length: 400\r\n\r\n{\"tru";
+  Unix.close sock;
+  (* A fresh connection is unaffected. *)
+  status_is "healthy after torn request" 200 (req svc "GET" "/healthz");
+  let client = Http.client ~port:(Service.port svc) () in
+  Fun.protect ~finally:(fun () -> Http.client_close client)
+  @@ fun () ->
+  match Http.client_request client ~meth:"GET" "/healthz" with
+  | Ok r -> status_is "keep-alive after torn request" 200 r
+  | Error e -> Alcotest.failf "healthz: %s" e
+
+(* --- TTL eviction and rehydration -------------------------------------------------- *)
+
+let[@sider.allow "determinism"] wait_until ?(timeout_s = 5.0) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () -. t0 > timeout_s then false
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let test_ttl_evicts_and_rehydrates () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  let config = { Service.default_config with session_ttl_s = 0.15 } in
+  with_service ~data_dir:dir ~config @@ fun svc ->
+  let reg = Service.registry svc in
+  let ids = List.init 3 (fun _ -> create_session svc) in
+  List.iter
+    (fun id ->
+      status_is "constraint" 200
+        (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints")))
+    ids;
+  let constraints_of id =
+    Json.to_int (Json.member "constraints" (json_of (req svc "GET" ("/sessions/" ^ id))))
+  in
+  let live_count = constraints_of (List.hd ids) in
+  check_true "constraint applied" (live_count > 0);
+  check_true "all resident after activity" (Registry.resident_count reg = 3);
+  (* The janitor must evict all three once they idle past the TTL... *)
+  check_true "all evicted after TTL"
+    (wait_until (fun () -> Registry.resident_count reg = 0));
+  check_true "tenants still registered" (Registry.count reg = 3);
+  (* ...and the next touch rehydrates transparently, state intact. *)
+  let id = List.hd ids in
+  check_true "rehydrated with its constraint" (constraints_of id = live_count);
+  check_true "resident again" (Registry.resident_count reg >= 1);
+  (* Mutations keep working on a rehydrated session. *)
+  status_is "constraint after rehydration" 200
+    (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"))
+
+let[@sider.allow "determinism"] test_eviction_rehydration_race () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  (* Aggressive TTL with constant traffic: every request must see a
+     fully rebuilt session — never a partial one, never a 5xx. *)
+  let config =
+    { Service.default_config with session_ttl_s = 0.05; workers = 4 }
+  in
+  with_service ~data_dir:dir ~config @@ fun svc ->
+  let ids = Array.init 6 (fun _ -> create_session svc) in
+  let errors = Array.make 4 None in
+  let stop_at = Unix.gettimeofday () +. 1.2 in
+  let hammer t () =
+    try
+      let k = ref 0 in
+      while Unix.gettimeofday () < stop_at do
+        incr k;
+        let id = ids.((t + !k) mod Array.length ids) in
+        let r = req svc "GET" ("/sessions/" ^ id) in
+        status_is "summary during churn" 200 r;
+        (* No mutations in flight: a partially rebuilt session would
+           surface as a wrong event count (or a 5xx above). *)
+        let events = Json.to_int (Json.member "events" (json_of r)) in
+        if events <> 0 then
+          Alcotest.failf "partial session observed: %d event(s)" events;
+        if !k mod 7 = 0 then Thread.delay 0.08 (* let the janitor run *)
+      done
+    with e -> errors.(t) <- Some (Printexc.to_string e)
+  in
+  let threads = List.init 4 (fun t -> Thread.create (hammer t) ()) in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun t -> function
+      | Some e -> Alcotest.failf "hammer thread %d: %s" t e
+      | None -> ())
+    errors;
+  (* Every tenant's journaled state survived the churn. *)
+  Array.iter
+    (fun id ->
+      let summary = json_of (req svc "GET" ("/sessions/" ^ id)) in
+      check_true "tenant state coherent after churn"
+        (Json.to_int (Json.member "events" summary) = 0))
+    ids
+
+let test_acked_event_survives_evict_touch_crash () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  let config = { Service.default_config with session_ttl_s = 0.1 } in
+  let id, acked_count =
+    with_service ~data_dir:dir ~config @@ fun svc ->
+    let reg = Service.registry svc in
+    let id = create_session svc in
+    status_is "acked constraint" 200
+      (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"));
+    let acked_count =
+      Json.to_int
+        (Json.member "constraints" (json_of (req svc "GET" ("/sessions/" ^ id))))
+    in
+    (* Evict, then touch (rehydrate), then die mid-request. *)
+    check_true "evicted"
+      (wait_until (fun () -> Registry.resident_count reg = 0));
+    let summary = json_of (req svc "GET" ("/sessions/" ^ id)) in
+    check_true "rehydrated"
+      (Json.to_int (Json.member "constraints" summary) = acked_count);
+    Fault.arm (Fault.Svc_crash_after_journal { path_substr = "/constraints" });
+    (match
+       Http.request ~body:cluster_body ~meth:"POST" ~port:(Service.port svc)
+         ("/sessions/" ^ id ^ "/constraints")
+     with
+     | Error _ -> ()
+     | Ok r -> Alcotest.failf "expected no response, got %d" r.Http.status);
+    (id, acked_count)
+  in
+  (* kill -9 equivalent: a fresh boot replays the journal — the acked
+     constraint and the journaled-but-unacked one both survive (each
+     identical declaration expands to the same solver-constraint
+     count). *)
+  with_service ~data_dir:dir @@ fun svc2 ->
+  check_true "no recovery failures" (Service.recovery_failures svc2 = []);
+  let summary = json_of (req svc2 "GET" ("/sessions/" ^ id)) in
+  check_true "both journaled constraints recovered"
+    (Json.to_int (Json.member "constraints" summary) = 2 * acked_count)
+
+let test_capacity_evicts_idle_before_429 () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  let config = { Service.default_config with max_sessions = 2 } in
+  with_service ~data_dir:dir ~config @@ fun svc ->
+  let reg = Service.registry svc in
+  let id1 = create_session svc in
+  let _id2 = create_session svc in
+  (* Journaled and idle: the third tenant evicts the LRU instead of
+     being shed. *)
+  let r = req svc ~body:(create_body ()) "POST" "/sessions" in
+  status_is "evict-then-admit" 201 r;
+  check_true "resident population bounded" (Registry.resident_count reg <= 2);
+  check_true "all three tenants registered" (Registry.count reg = 3);
+  (* The evicted tenant is still reachable (rehydrates on demand). *)
+  status_is "evicted tenant rehydrates" 200 (req svc "GET" ("/sessions/" ^ id1))
+
+(* --- compaction through the service ------------------------------------------------ *)
+
+let test_compaction_through_service () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  let config = { Service.default_config with compact_events = 3 } in
+  let id, constraints =
+    with_service ~data_dir:dir ~config @@ fun svc ->
+    let id = create_session svc in
+    for _ = 1 to 4 do
+      status_is "constraint" 200
+        (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"))
+    done;
+    status_is "update" 200
+      (req svc ~body:update_body "POST" ("/sessions/" ^ id ^ "/update"));
+    (* The journal crossed the threshold: a sibling snapshot appeared
+       and the journal was reset. *)
+    let snap = Persist.snapshot_path (Filename.concat dir (id ^ ".journal")) in
+    check_true "snapshot written" (Sys.file_exists snap);
+    let summary = json_of (req svc "GET" ("/sessions/" ^ id)) in
+    (id, Json.to_int (Json.member "constraints" summary))
+  in
+  check_true "constraints applied before restart" (constraints > 0);
+  (* Boot-time recovery is snapshot-aware: the recovered tenant matches
+     the live pre-restart state exactly. *)
+  with_service ~data_dir:dir @@ fun svc2 ->
+  check_true "no recovery failures" (Service.recovery_failures svc2 = []);
+  let summary = json_of (req svc2 "GET" ("/sessions/" ^ id)) in
+  check_true "compacted tenant recovered in full"
+    (Json.to_int (Json.member "constraints" summary) = constraints);
+  status_is "projection after compacted recovery" 200
+    (req svc2 "GET" ("/sessions/" ^ id ^ "/projection"))
+
+(* --- multi-shot fault arms ---------------------------------------------------------- *)
+
+let test_counted_arm_fires_n_times () =
+  with_service @@ fun svc ->
+  let id = create_session svc in
+  (* arm_counted 2: exactly two truncated (400) requests, then clean. *)
+  Fault.arm_counted 2 (Fault.Svc_truncate_request { path_substr = "/constraints" });
+  status_is "first truncation" 400
+    (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"));
+  status_is "second truncation" 400
+    (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"));
+  status_is "third request is clean" 200
+    (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"));
+  check_true "exactly two firings" (List.length (Fault.fired ()) = 2)
+
+let test_persistent_arm_fires_until_reset () =
+  with_service @@ fun svc ->
+  let id = create_session svc in
+  Fault.arm_persistent (Fault.Svc_truncate_request { path_substr = "/constraints" });
+  for i = 1 to 4 do
+    status_is (Printf.sprintf "truncation %d" i) 400
+      (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"))
+  done;
+  check_true "still armed after four firings"
+    (List.length (Fault.armed ()) = 1);
+  Fault.reset ();
+  status_is "clean after reset" 200
+    (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"))
+
 let suite =
   [
     case "full interaction loop over http" test_lifecycle;
@@ -372,4 +774,21 @@ let suite =
     slow_case "crash between journal and ack" test_crash_between_journal_and_ack;
     case "corrupt journal is quarantined" test_corrupt_journal_quarantined;
     slow_case "concurrent tenants stay coherent" test_concurrent_tenants;
+    case "keep-alive serves sequential requests"
+      test_keepalive_sequential_requests;
+    case "pipelined requests both answered" test_pipelined_requests_both_answered;
+    case "idle timeout closes parked connection"
+      test_idle_timeout_closes_connection;
+    case "Connection: close honoured" test_connection_close_honoured;
+    case "request cap rolls the connection" test_request_cap_rolls_connection;
+    case "torn request leaves service healthy"
+      test_torn_request_leaves_service_healthy;
+    slow_case "ttl evicts and rehydrates" test_ttl_evicts_and_rehydrates;
+    slow_case "eviction/rehydration race" test_eviction_rehydration_race;
+    slow_case "acked events survive evict+crash"
+      test_acked_event_survives_evict_touch_crash;
+    case "capacity evicts idle before 429" test_capacity_evicts_idle_before_429;
+    case "compaction through the service" test_compaction_through_service;
+    case "counted arm fires n times" test_counted_arm_fires_n_times;
+    case "persistent arm fires until reset" test_persistent_arm_fires_until_reset;
   ]
