@@ -174,11 +174,12 @@ let replay_event session j =
   | "update" ->
     let time_cutoff = Json.to_float (Json.member "time_cutoff" j) in
     let max_sweeps = Option.map Json.to_int (Json.member_opt "max_sweeps" j) in
-    (* A recorded update succeeded when the session was live, so replay
-       normally succeeds too.  If it does not (e.g. the snapshot was
-       edited by hand), the session has already rolled back to its
-       checkpoint — keep replaying the remaining events on that state
-       rather than aborting the load. *)
+    (* An update is recorded whether or not its solve succeeded (the
+       history entry is what keeps journal lines and history 1:1), and
+       [update_background] records the attempt again here regardless of
+       outcome.  A replayed failure has already rolled the session back
+       to its checkpoint — keep replaying the remaining events on that
+       state rather than aborting the load. *)
     (match Session.update_background ~time_cutoff ?max_sweeps session with
      | Ok _ | Error _ -> ())
   | "view" ->

@@ -178,6 +178,13 @@ let update_background ?(time_cutoff = 10.0) ?max_sweeps ?lambda_tol
      queue) *is* the pre-update snapshot.  On any failure we roll back to
      it, leaving the session exactly as before the update. *)
   let checkpoint_solver = t.solver and checkpoint_pending = t.pending in
+  (* Recorded before the solve, success or failure: the service journals
+     the event ahead of applying it, and recovery's compaction
+     arithmetic (Persist.journal_scan) requires journal lines and
+     history events to stay 1:1.  A failed update therefore stays in
+     the history; replaying it re-runs the same failure and rolls back
+     again, so the state a replay reconstructs still matches. *)
+  record t (Updated { time_cutoff; max_sweeps });
   match
     Sider_error.protect (fun () ->
         validate_pending t.pending;
@@ -187,7 +194,6 @@ let update_background ?(time_cutoff = 10.0) ?max_sweeps ?lambda_tol
         Solver.solve ~time_cutoff ?max_sweeps ?lambda_tol ?param_tol solver)
   with
   | Ok report ->
-    record t (Updated { time_cutoff; max_sweeps });
     List.iter (degrade t) report.Solver.degradations;
     Obs.span_attr "outcome" (Obs.Str "ok");
     Obs.span_attr "classes"

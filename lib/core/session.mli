@@ -120,7 +120,13 @@ val update_background : ?time_cutoff:float -> ?max_sweeps:int ->
     the update could not be applied at all; the session is rolled back
     to its pre-update checkpoint — the previous background distribution
     and the still-queued constraints — so the analyst can drop a
-    constraint or retry rather than lose the session. *)
+    constraint or retry rather than lose the session.
+
+    The attempt is recorded in {!history} whether or not the solve
+    succeeds: persistence journals the event before applying it, and
+    recovery arithmetic depends on journal records and history events
+    staying 1:1 (a replayed failure rolls back identically, so the
+    reconstructed state is unaffected). *)
 
 val update_background_exn : ?time_cutoff:float -> ?max_sweeps:int ->
   ?lambda_tol:float -> ?param_tol:float -> t -> Solver.report

@@ -385,6 +385,16 @@ let send_request ~headers ?body ~meth fd path =
   (match body with Some body -> Buffer.add_string b body | None -> ());
   write_all fd (Buffer.contents b)
 
+(* Methods safe to re-send automatically.  A reused connection that
+   closes without a response usually means the server idle-closed it
+   between our send and its read — but it can also mean the server
+   died {e after} processing (journal-then-crash), so only requests
+   whose repeat is harmless get the transparent retry; non-idempotent
+   callers see the transport error and apply their own policy. *)
+let idempotent = function
+  | "GET" | "HEAD" | "PUT" | "DELETE" | "OPTIONS" -> true
+  | _ -> false
+
 let client_request ?(headers = []) ?body c ~meth path =
   let rec attempt ~can_retry =
     match client_sock c with
@@ -393,10 +403,11 @@ let client_request ?(headers = []) ?body c ~meth path =
       send_request ~headers ?body ~meth fd path;
       (match read_response_from ~initial:c.c_pending fd with
        | Error e when String.equal e no_response && (not fresh) && can_retry ->
-         (* The server idle-closed this keep-alive connection between
-            our send and its read — nothing was processed, so one
-            retry on a fresh socket is safe (a genuinely dead server
-            fails the retry's connect instead). *)
+         (* Stale keep-alive connection: retry once on a fresh socket
+            (a genuinely dead server fails the retry's connect
+            instead).  Only reached for idempotent methods — a POST
+            may have been journaled and applied just before the
+            connection died, and re-sending it would double-apply. *)
          client_close c;
          attempt ~can_retry:false
        | Error e ->
@@ -408,7 +419,7 @@ let client_request ?(headers = []) ?body c ~meth path =
           | `Keep -> c.c_pending <- leftover);
          Ok resp)
   in
-  attempt ~can_retry:true
+  attempt ~can_retry:(idempotent meth)
 
 (* One request per connection: a keep-alive client round trip with
    [Connection: close] requested, mirroring the pre-keep-alive

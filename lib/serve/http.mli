@@ -102,11 +102,14 @@ val client_request :
   string ->
   (response, string) result
 (** Perform one request on the persistent connection.  If the server
-    idle-closed a reused connection before reading this request (EOF
-    with zero response bytes), retries once on a fresh socket — that
-    race is inherent to keep-alive and the request was provably never
-    processed.  [Error] is transport-level only; HTTP error statuses
-    come back as [Ok]. *)
+    closed a reused connection before answering (EOF with zero
+    response bytes) and the method is idempotent (GET/HEAD/PUT/DELETE/
+    OPTIONS), retries once on a fresh socket — that race is inherent
+    to keep-alive.  Non-idempotent methods are never retried
+    automatically: the server may have durably applied the mutation
+    before dying, so the caller decides whether re-sending is safe.
+    [Error] is transport-level only; HTTP error statuses come back as
+    [Ok]. *)
 
 val client_close : client -> unit
 (** Close the underlying socket (idempotent); the next

@@ -255,8 +255,10 @@ let remove t id =
 (* Boot-time recovery: replay every [*.journal] in the data directory.
    One corrupt tenant must not take the service down, so per-file
    failures are collected and returned while the healthy sessions come
-   up; [next_id] is advanced past every recovered id so new sessions
-   never collide with restored ones. *)
+   up.  [next_id] is advanced past every journal {e filename} seen —
+   including ones that fail to replay — before anything else: a corrupt
+   journal stays on disk for repair, and handing its numeric id to a
+   new session would let [Persist.journal_start] truncate it away. *)
 let recover t =
   match t.data_dir with
   | None -> []
@@ -266,33 +268,55 @@ let recover t =
       |> List.filter (fun f -> Filename.check_suffix f ".journal")
       |> List.sort compare
     in
-    List.filter_map
-      (fun file ->
-        let path = Filename.concat dir file in
-        let id = Filename.chop_suffix file ".journal" in
-        match Persist.journal_reopen path with
-        | Error e -> Some (path, e)
-        | Ok (sess, journal) ->
-          with_lock t.reg_lock (fun () ->
-              (match String.index_opt id '-' with
-               | Some i ->
-                 (match
-                    int_of_string_opt
-                      (String.sub id (i + 1) (String.length id - i - 1))
-                  with
-                  | Some n when n >= t.next_id -> t.next_id <- n + 1
-                  | _ -> ())
-               | None -> ());
-              Hashtbl.replace t.table id
-                { id;
-                  lock = Mutex.create ();
-                  j_path = Some path;
-                  resident = Some sess;
-                  journal = Some journal;
-                  closed = false;
-                  last_touch = Unix.gettimeofday () });
-          None)
-      files
+    with_lock t.reg_lock (fun () ->
+        List.iter
+          (fun file ->
+            let id = Filename.chop_suffix file ".journal" in
+            match String.index_opt id '-' with
+            | Some i ->
+              (match
+                 int_of_string_opt
+                   (String.sub id (i + 1) (String.length id - i - 1))
+               with
+               | Some n when n >= t.next_id -> t.next_id <- n + 1
+               | _ -> ())
+            | None -> ())
+          files);
+    let failures =
+      List.filter_map
+        (fun file ->
+          let path = Filename.concat dir file in
+          let id = Filename.chop_suffix file ".journal" in
+          match Persist.journal_reopen path with
+          | Error e -> Some (path, e)
+          | Ok (sess, journal) ->
+            with_lock t.reg_lock (fun () ->
+                Hashtbl.replace t.table id
+                  { id;
+                    lock = Mutex.create ();
+                    j_path = Some path;
+                    resident = Some sess;
+                    journal = Some journal;
+                    closed = false;
+                    last_touch = Unix.gettimeofday () });
+            None)
+        files
+    in
+    (* The directory can hold more tenants than [max_sessions]; evict
+       back down so boot respects the configured resident bound even
+       when TTL eviction is off (journals are already on disk, so the
+       evicted tenants rehydrate on first touch). *)
+    with_lock t.reg_lock (fun () ->
+        let dropped = ref 0 in
+        while
+          resident_count_locked t > t.max_sessions && evict_one_locked t
+        do
+          incr dropped
+        done;
+        if !dropped > 0 then Obs.count ~by:!dropped "serve.evictions";
+        Obs.gauge "serve.resident_sessions"
+          (float_of_int (resident_count_locked t)));
+    failures
 
 let close t =
   let entries =

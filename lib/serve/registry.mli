@@ -64,8 +64,13 @@ val create :
 val recover : t -> (string * Sider_error.t) list
 (** Replay every [*.journal] under the data directory into live
     sessions (snapshot-aware).  Returns the per-file failures — a
-    corrupt journal is reported and skipped, never fatal — and
-    advances the id counter past all recovered ids. *)
+    corrupt journal is reported and skipped (left on disk for repair),
+    never fatal.  The id counter is advanced past {e every} journal
+    filename seen, failed ones included, so a new session can never
+    claim a quarantined tenant's id and truncate its journal.  When the
+    directory holds more tenants than [max_sessions], the excess is
+    evicted again immediately after replay, keeping the resident bound
+    even with TTL eviction disabled. *)
 
 val add : t -> Session.t -> (entry, [ `Full | `Io of Sider_error.t ]) result
 (** Register a fresh session (assigning the next id) and start its

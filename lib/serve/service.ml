@@ -22,7 +22,11 @@
    The journal-before-apply order is the crash-recovery invariant: a
    client that received 2xx is guaranteed the event is durable, and a
    crash at any other instant loses at most the unacknowledged
-   in-flight request (see Persist). *)
+   in-flight request (see Persist).  An update whose solve fails stays
+   in both the journal and the session history (Session records the
+   attempt either way): journal lines and history events remain 1:1,
+   which compaction's skip arithmetic depends on, and a replay of the
+   failed event rolls back exactly as the live one did. *)
 
 open Sider_linalg
 open Sider_data
@@ -446,10 +450,42 @@ let wake_watcher t =
   try ignore (Unix.write_substring t.wake_w "x" 0 1)
   with Unix.Unix_error _ -> ()
 
+(* The watcher multiplexes parked connections with [Unix.select], which
+   fails with EINVAL once any fd reaches FD_SETSIZE (1024).  Cap the
+   parked population well below that so parking itself can never push
+   the watcher over the edge; past the cap the oldest parked connection
+   is closed (it was idle anyway — the client reconnects). *)
+let max_parked = 512
+
 let park_idle t conn =
-  Mutex.lock t.idle_lock;
-  t.idle <- (conn, Unix.gettimeofday ()) :: t.idle;
-  Mutex.unlock t.idle_lock;
+  let victim =
+    Mutex.lock t.idle_lock;
+    let v =
+      if List.length t.idle < max_parked then None
+      else (
+        let oldest =
+          List.fold_left
+            (fun acc ((_, since) as p) ->
+              match acc with
+              | Some (_, s) when s <= since -> acc
+              | _ -> Some p)
+            None t.idle
+        in
+        match oldest with
+        | None -> None
+        | Some (c, _) ->
+          t.idle <- List.filter (fun (c', _) -> c' != c) t.idle;
+          Some c)
+    in
+    t.idle <- (conn, Unix.gettimeofday ()) :: t.idle;
+    Mutex.unlock t.idle_lock;
+    v
+  in
+  (match victim with
+   | Some c ->
+     close_quietly c.c_fd;
+     Obs.count "serve.parked_overflow_closed"
+   | None -> ());
   wake_watcher t
 
 let enqueue_conn t conn =
@@ -522,11 +558,28 @@ let rec watcher_loop t =
       Float.max 0.01 (next -. Unix.gettimeofday ())
   in
   let fds = t.wake_r :: List.map (fun (c, _) -> c.c_fd) parked in
-  let readable =
+  let readable, overflowed =
     match Unix.select fds [] [] timeout with
-    | r, _, _ -> r
-    | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> []
+    | r, _, _ -> (r, false)
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) ->
+      ([], false)
+    | exception Unix.Unix_error (Unix.EINVAL, _, _) ->
+      (* A parked fd's numeric value crossed FD_SETSIZE (possible even
+         under [max_parked] when the process holds many other
+         descriptors): [select] cannot watch this set at all.  Recycle
+         it — close every parked connection rather than silently
+         stranding them behind a dead watcher. *)
+      ([], true)
   in
+  if overflowed then (
+    Mutex.lock t.idle_lock;
+    let stranded = t.idle in
+    t.idle <- [];
+    Mutex.unlock t.idle_lock;
+    List.iter (fun (c, _) -> close_quietly c.c_fd) stranded;
+    (match List.length stranded with
+     | 0 -> ()
+     | n -> Obs.count ~by:n "serve.parked_overflow_closed"));
   if List.mem t.wake_r readable then (
     let buf = Bytes.create 64 in
     try ignore (Unix.read t.wake_r buf 0 64) with Unix.Unix_error _ -> ());

@@ -545,6 +545,50 @@ let test_journal_compact_crash_sweep () =
         (session_bytes replayed = session_bytes s)
   done
 
+(* Journal lines and history events must stay 1:1 even when an update
+   fails: the service journals before applying, and a failed solve
+   rolls back but still records its [Updated] event.  Without that,
+   the crash-between-compaction-renames recovery below would compute
+   skip = snapshot_history - base short by one and double-apply the
+   journal tail. *)
+let test_failed_update_keeps_journal_history_aligned () =
+  Sider_robust.Fault.reset ();
+  let ds = Synth.gaussian ~seed:47 ~n:14 ~d:3 () in
+  let s = Session.create ~seed:19 ds in
+  with_temp_store @@ fun path ->
+  let j = Persist.journal_start path s in
+  Persist.journal_append j Session.Added_margin;
+  Session.add_margin_constraint s;
+  (* Write-ahead order, as the service does it — then the solve fails. *)
+  Persist.journal_append j
+    (Session.Updated { time_cutoff = 1.0; max_sweeps = Some 3 });
+  Sider_robust.Fault.(arm (Fail_sweep { sweep = 1 }));
+  (match Session.update_background ~time_cutoff:1.0 ~max_sweeps:3 s with
+   | Ok _ -> Alcotest.fail "injected divergence must fail the update"
+   | Error _ -> ());
+  Sider_robust.Fault.reset ();
+  check_true "failed update recorded in history"
+    (List.length (Session.history s) = 2);
+  Persist.journal_append j Session.Added_one_cluster;
+  Session.add_one_cluster_constraint s;
+  (* Crash between the two compaction renames: the new snapshot now
+     coexists with the old journal, the exact window where the skip
+     arithmetic must hold. *)
+  Sider_robust.Fault.(arm (Compact_crash { path_substr = ""; point = 2 }));
+  (match Persist.journal_compact j s with
+   | exception Sider_robust.Fault.Crash_injected -> ()
+   | () -> Alcotest.fail "injected compaction crash did not fire");
+  Sider_robust.Fault.reset ();
+  Persist.journal_close j;
+  match Persist.journal_load path with
+  | Error e ->
+    Alcotest.failf "recovery: %s" (Sider_robust.Sider_error.to_string e)
+  | Ok (replayed, applied) ->
+    check_true "no journal tail double-applied"
+      (applied = List.length (Session.history s));
+    check_true "recovered state is byte-identical"
+      (session_bytes replayed = session_bytes s)
+
 (* The pinning property: a random lifecycle history — constraint
    declarations of every kind, solver updates, view changes — with
    compaction forced at random points must recover byte-identically
@@ -676,6 +720,8 @@ let suite =
     case "journal compaction roundtrip" test_journal_compact_roundtrip;
     case "journal compaction twice" test_journal_compact_twice;
     slow_case "compaction crash sweep" test_journal_compact_crash_sweep;
+    case "failed update keeps journal and history 1:1"
+      test_failed_update_keeps_journal_history_aligned;
     prop_journal_compaction_random_history;
     prop_journal_compaction_crash_random_history;
   ]

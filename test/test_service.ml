@@ -326,7 +326,14 @@ let test_corrupt_journal_quarantined () =
   check_true "corruption reported"
     (List.length (Service.recovery_failures svc2) = 1);
   status_is "service is up" 200 (req svc2 "GET" "/healthz");
-  status_is "bad tenant not resurrected" 404 (req svc2 "GET" ("/sessions/" ^ id))
+  status_is "bad tenant not resurrected" 404 (req svc2 "GET" ("/sessions/" ^ id));
+  (* The quarantined tenant's id stays reserved: a new session gets a
+     fresh id, and the corrupt-but-repairable journal survives on disk
+     untouched instead of being truncated by a colliding journal_start. *)
+  let id2 = create_session svc2 in
+  check_true "quarantined id not reused" (id2 <> id);
+  check_true "quarantined journal left intact for repair"
+    (In_channel.with_open_bin path In_channel.input_all = Bytes.to_string b)
 
 (* --- concurrency ------------------------------------------------------------------ *)
 
@@ -548,6 +555,38 @@ let test_torn_request_leaves_service_healthy () =
   | Ok r -> status_is "keep-alive after torn request" 200 r
   | Error e -> Alcotest.failf "healthz: %s" e
 
+let test_stale_connection_post_not_retried () =
+  let config = { Service.default_config with idle_timeout_s = 0.2 } in
+  with_service ~config @@ fun svc ->
+  let client = Http.client ~port:(Service.port svc) () in
+  Fun.protect ~finally:(fun () -> Http.client_close client)
+  @@ fun () ->
+  (match Http.client_request client ~meth:"GET" "/healthz" with
+   | Ok r -> status_is "warm-up" 200 r
+   | Error e -> Alcotest.failf "healthz: %s" e);
+  (* Let the server idle-close the parked connection, then send a
+     mutation on the stale socket: a POST must surface the transport
+     error, never be re-sent automatically — the server may have
+     journaled a mutation just before a connection died. *)
+  Thread.delay 0.5;
+  (match
+     Http.client_request ~body:(create_body ()) client ~meth:"POST" "/sessions"
+   with
+   | Error _ -> ()
+   | Ok r ->
+     Alcotest.failf "stale POST must not be auto-retried, got %d" r.Http.status);
+  check_true "failed POST created nothing"
+    (Json.to_int (Json.member "count" (json_of (req svc "GET" "/sessions"))) = 0);
+  (* An idempotent request in the same situation reconnects and retries
+     transparently. *)
+  (match Http.client_request client ~meth:"GET" "/healthz" with
+   | Ok r -> status_is "fresh GET after error" 200 r
+   | Error e -> Alcotest.failf "GET reconnect: %s" e);
+  Thread.delay 0.5;
+  match Http.client_request client ~meth:"GET" "/healthz" with
+  | Ok r -> status_is "stale GET retried transparently" 200 r
+  | Error e -> Alcotest.failf "stale GET: %s" e
+
 (* --- TTL eviction and rehydration -------------------------------------------------- *)
 
 let[@sider.allow "determinism"] wait_until ?(timeout_s = 5.0) pred =
@@ -696,6 +735,70 @@ let test_capacity_evicts_idle_before_429 () =
   (* The evicted tenant is still reachable (rehydrates on demand). *)
   status_is "evicted tenant rehydrates" 200 (req svc "GET" ("/sessions/" ^ id1))
 
+let test_recover_bounds_resident_sessions () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  let ids =
+    with_service ~data_dir:dir @@ fun svc ->
+    List.init 3 (fun _ -> create_session svc)
+  in
+  (* Restart with a smaller resident bound than the tenant count: boot
+     must evict back down instead of holding every journal resident
+     (TTL eviction is off by default, so recover itself must bound). *)
+  let config = { Service.default_config with max_sessions = 2 } in
+  with_service ~data_dir:dir ~config @@ fun svc2 ->
+  check_true "no recovery failures" (Service.recovery_failures svc2 = []);
+  let reg = Service.registry svc2 in
+  check_true "all tenants registered" (Registry.count reg = 3);
+  check_true "resident population bounded at boot"
+    (Registry.resident_count reg <= 2);
+  (* Evicted tenants are still reachable — they rehydrate on touch. *)
+  List.iter
+    (fun id -> status_is "tenant reachable" 200 (req svc2 "GET" ("/sessions/" ^ id)))
+    ids
+
+(* The watcher multiplexes parked keep-alive connections over [select],
+   which cannot watch fds at or above FD_SETSIZE (1024).  Open more
+   connections than the parked cap (512): the oldest parked connection
+   must be recycled (closed) rather than the overflow killing the
+   watcher and stranding every parked client. *)
+let test_parked_connections_bounded () =
+  with_service @@ fun svc ->
+  let n = 540 in
+  let socks = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun s -> try Unix.close s with Unix.Unix_error _ -> ())
+        !socks)
+  @@ fun () ->
+  let first = ref None in
+  for i = 0 to n - 1 do
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    socks := sock :: !socks;
+    if i = 0 then first := Some sock;
+    Unix.connect sock
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, Service.port svc));
+    Unix.setsockopt_float sock Unix.SO_RCVTIMEO 5.0;
+    write_string sock "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+    match read_responses sock 1 with
+    | [ (200, _) ] -> ()
+    | _ -> Alcotest.failf "healthz on connection %d failed" i
+  done;
+  (* The oldest parked connection was closed to bound the set. *)
+  let sock0 = Option.get !first in
+  let buf = Bytes.create 8 in
+  check_true "oldest parked connection recycled"
+    (match Unix.read sock0 buf 0 8 with
+     | 0 -> true
+     | _ -> false
+     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+       true);
+  (* The watcher survived: fresh connections are still served and
+     parked connections still get idle management. *)
+  status_is "service healthy past the cap" 200 (req svc "GET" "/healthz")
+
 (* --- compaction through the service ------------------------------------------------ *)
 
 let test_compaction_through_service () =
@@ -783,6 +886,12 @@ let suite =
     case "request cap rolls the connection" test_request_cap_rolls_connection;
     case "torn request leaves service healthy"
       test_torn_request_leaves_service_healthy;
+    slow_case "stale connection: POST not auto-retried"
+      test_stale_connection_post_not_retried;
+    slow_case "parked connections bounded below FD_SETSIZE"
+      test_parked_connections_bounded;
+    case "recover bounds resident sessions"
+      test_recover_bounds_resident_sessions;
     slow_case "ttl evicts and rehydrates" test_ttl_evicts_and_rehydrates;
     slow_case "eviction/rehydration race" test_eviction_rehydration_race;
     slow_case "acked events survive evict+crash"
