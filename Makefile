@@ -76,19 +76,27 @@ bench-service:
 	  --data-dir _artifacts/service-bench-wal \
 	  --baseline BENCH_pr6.json --label pr7 --out BENCH_pr7.json
 
-# Full machine-readable benchmark run; rewrites the committed baseline.
+# Full machine-readable benchmark run; rewrites the committed result,
+# including the domain-scaling table and the warm-update sweep gate, and
+# embeds the delta against the newest committed baseline that still has
+# a scenario table (BENCH_pr7.json is the service-load schema, so in
+# practice the diff lands on BENCH_pr4.json).
 bench:
-	dune exec bench/bench_regress.exe -- --out BENCH_pr4.json
+	dune exec bench/bench_regress.exe -- --out BENCH_pr8.json --label pr8 \
+	  --scaling --baseline BENCH_pr7.json --baseline BENCH_pr4.json
 
-# Fast sanity pass over every scenario (reduced sizes, 1 run each).
+# Fast sanity pass over every scenario (reduced sizes, 1 run each),
+# checked to still cover the PR 8 warm-path scenarios.
 bench-smoke:
 	dune exec bench/bench_regress.exe -- --smoke --out _artifacts/BENCH_smoke.json
+	grep -q session_update_warm_synthetic _artifacts/BENCH_smoke.json
+	grep -q ica_projection_warm _artifacts/BENCH_smoke.json
 
 # Re-measure and compare against the committed baseline; exits non-zero
 # when any scenario regresses by more than 25% wall time.
 bench-diff:
 	dune exec bench/bench_regress.exe -- --out _artifacts/BENCH_head.json \
-	  --baseline BENCH_pr4.json
+	  --baseline BENCH_pr8.json
 
 # Wall clock of the Sider_par-enabled scenarios at 1, 2 and 4 domains
 # (results are bit-identical at every size; only the time may change).

@@ -3,14 +3,15 @@
      dune exec bench/bench_regress.exe -- [options]
 
    Runs a fixed set of scenarios covering the pipeline's hot paths (micro
-   solver sweeps, Table-II-style session updates on synthetic and
-   segmentation data, whiten+PCA, ICA, the full pipeline) and writes one
-   JSON document per invocation:
+   solver sweeps, Table-II-style session updates — cold and warm-started
+   — on synthetic and segmentation data, whiten+PCA, ICA cold and warm,
+   the full pipeline) and writes one JSON document per invocation:
 
-     { "schema": "sider-bench/2", "label": "pr4", "smoke": false,
+     { "schema": "sider-bench/3", "label": "pr8", "smoke": false,
        "domains": 1, "ocaml_version": "...",
        "scenarios": [ { "name": ..., "wall_s": ..., "wall_min_s": ...,
-                        "sweeps": ..., "classes": ...,
+                        "sweeps": ..., "warm_sweeps": ...,
+                        "cold_sweeps": ..., "classes": ...,
                         "peak_heap_words": ..., "allocated_words": ...,
                         "runs": ... }, ... ],
        "scaling": [ { "name": ..., "domains": ..., "wall_s": ... } ] }
@@ -19,17 +20,28 @@
    --runs repetitions, sweeps-to-convergence and row-equivalence-class
    count where a solver is involved, peak heap words ([Gc.stat] after
    the runs) and the median words allocated by a single run.  [wall_s]
-   keeps its v1 meaning (the median), so a v1 file works as --baseline
-   and a v2 file works as a baseline for v1-era outputs.
+   keeps its v1 meaning (the median), so a v1/v2 file works as --baseline
+   and a v3 file works as a baseline for older-era outputs; v3 only adds
+   the warm/cold sweep split of the solver report.
+
+   A non-smoke run also enforces the warm-update gate: the
+   session_update_warm_synthetic scenario must converge in strictly
+   fewer sweeps than the cold session_update_synthetic measured in the
+   same invocation (exit 1 otherwise) — the deterministic check behind
+   PR 8's incremental-solve claim.
 
    Options:
-     --out PATH        output path (default BENCH_pr4.json)
+     --out PATH        output path (default BENCH_pr8.json)
      --baseline PATH   compare against a previous output; exit 1 when any
-                       scenario regresses by more than 25% wall-clock
+                       scenario regresses by more than 25% wall-clock.
+                       Repeatable: the first file that actually contains
+                       a scenario table is used, so a load-test JSON (or
+                       other schema) earlier in the list falls through
+                       to the next
      --smoke           tiny inputs, 1 run: exercises the harness in
                        seconds (wired into `make verify`)
      --runs N          repetitions per scenario (default 3; smoke 1)
-     --label STR       label recorded in the output (default pr3)
+     --label STR       label recorded in the output (default pr8)
      --scaling         also run the Sider_par-enabled scenarios at 1, 2
                        and 4 domains and record a "scaling" section *)
 
@@ -39,7 +51,12 @@ open Sider_projection
 open Sider_core
 module Par = Sider_par.Par
 
-type run_result = { wall : float; sweeps : int; classes : int }
+type run_result = {
+  wall : float;
+  sweeps : int;
+  warm_sweeps : int;   (* restricted warm-phase sweeps; 0 when cold *)
+  classes : int;
+}
 
 type scenario = {
   name : string;
@@ -71,7 +88,8 @@ let micro_solver ~smoke =
     time_of (fun () ->
         Solver.solve ~max_sweeps:25 ~lambda_tol:0.0 ~param_tol:0.0 solver)
   in
-  { wall; sweeps = report.Solver.sweeps; classes = Solver.n_classes solver }
+  { wall; sweeps = report.Solver.sweeps; warm_sweeps = 0;
+    classes = Solver.n_classes solver }
 
 (* Quadratic updates at moderate dimension: root finding + rank-1
    Woodbury, on overlapping row sets so classes refine. *)
@@ -92,7 +110,8 @@ let quadratic_updates ~smoke =
     time_of (fun () ->
         Solver.solve ~max_sweeps:10 ~lambda_tol:0.0 ~param_tol:0.0 solver)
   in
-  { wall; sweeps = report.Solver.sweeps; classes = Solver.n_classes solver }
+  { wall; sweeps = report.Solver.sweeps; warm_sweeps = 0;
+    classes = Solver.n_classes solver }
 
 (* Table-II-style end-to-end session update on synthetic clusters: the
    latency an analyst sees between marking a cluster and the next view. *)
@@ -107,10 +126,49 @@ let session_update_synthetic ~smoke =
     time_of (fun () ->
         Session.update_background ~time_cutoff:60.0 session)
   in
-  let sweeps =
-    match report with Ok r -> r.Solver.sweeps | Error _ -> 0
+  let sweeps, warm_sweeps =
+    match report with
+    | Ok r -> (r.Solver.sweeps, r.Solver.warm_sweeps)
+    | Error _ -> (0, 0)
   in
-  { wall; sweeps; classes = Solver.n_classes (Session.solver session) }
+  { wall; sweeps; warm_sweeps;
+    classes = Solver.n_classes (Session.solver session) }
+
+(* The warm counterpart of session_update_synthetic — and the scenario
+   behind PR 8's incremental-update claim.  Setup (untimed): the same
+   session, margin + first cluster, solved cold.  Timed: the paper's
+   canonical follow-up interaction — the analyst marks a cluster of
+   points in the current 2-D view — and the update behind it.  The
+   solve sees the old constraints already satisfied, runs restricted
+   warm sweeps over the new 2-D constraints, then a few full passes;
+   its total sweep count must sit strictly below the cold scenario's
+   (checked by the in-harness gate). *)
+let session_update_warm_synthetic ~smoke =
+  let n, d, k = if smoke then (256, 8, 2) else (2048, 16, 4) in
+  let ds = Sider_data.Synth.clustered ~seed:5 ~n ~d ~k () in
+  let session = Session.create ~seed:5 ds in
+  Session.add_margin_constraint session;
+  let classes = Dataset.classes ds in
+  (match classes with
+   | c1 :: _ ->
+     Session.add_cluster_constraint session (Dataset.class_indices ds c1)
+   | [] -> ());
+  ignore (Session.update_background ~time_cutoff:60.0 session);
+  (match classes with
+   | _ :: c2 :: _ ->
+     Session.add_two_d_constraint session (Dataset.class_indices ds c2)
+   | _ -> ());
+  let report, wall =
+    time_of (fun () ->
+        Session.update_background ~time_cutoff:60.0 session)
+  in
+  let sweeps, warm_sweeps =
+    match report with
+    | Ok r -> (r.Solver.sweeps, r.Solver.warm_sweeps)
+    | Error _ -> (0, 0)
+  in
+  { wall; sweeps; warm_sweeps;
+    classes = Solver.n_classes (Session.solver session) }
 
 (* The same update on the (synthetic stand-in for the) UCI Image
    Segmentation data of the paper's Sec. IV-C. *)
@@ -129,10 +187,13 @@ let session_update_segmentation ~smoke =
     time_of (fun () ->
         Session.update_background ~time_cutoff:60.0 session)
   in
-  let sweeps =
-    match report with Ok r -> r.Solver.sweeps | Error _ -> 0
+  let sweeps, warm_sweeps =
+    match report with
+    | Ok r -> (r.Solver.sweeps, r.Solver.warm_sweeps)
+    | Error _ -> (0, 0)
   in
-  { wall; sweeps; classes = Solver.n_classes (Session.solver session) }
+  { wall; sweeps; warm_sweeps;
+    classes = Solver.n_classes (Session.solver session) }
 
 (* Whiten + PCA over a solved background: the per-interaction view cost
    once the solver is warm. *)
@@ -147,7 +208,7 @@ let whiten_pca ~smoke =
         let fitted = Pca.fit y in
         ignore (Pca.top2 fitted))
   in
-  { wall; sweeps = 0; classes = Solver.n_classes solver }
+  { wall; sweeps = 0; warm_sweeps = 0; classes = Solver.n_classes solver }
 
 (* FastICA on whitened data: the paper's ICA column (O(n d²)). *)
 let ica_projection ~smoke =
@@ -161,7 +222,27 @@ let ica_projection ~smoke =
     time_of (fun () ->
         ignore (Fastica.fit (Sider_rand.Rng.create 17) y))
   in
-  { wall; sweeps = 0; classes = Solver.n_classes solver }
+  { wall; sweeps = 0; warm_sweeps = 0; classes = Solver.n_classes solver }
+
+(* FastICA warmed by a previous unmixing matrix: prepare once, fit cold
+   to get [unmixing], then time a fit seeded with it — the per-feedback
+   view cost once the session threads [?ica_w0] through. *)
+let ica_projection_warm ~smoke =
+  let n, d, k = if smoke then (256, 6, 2) else (1024, 8, 3) in
+  let ds = Sider_data.Synth.clustered ~seed:17 ~n ~d ~k () in
+  let data = Dataset.matrix ds in
+  let solver = Solver.create data (Constr.margin data) in
+  ignore (Solver.solve ~time_cutoff:30.0 solver);
+  let y = Whiten.whiten solver in
+  let prep = Fastica.prepare y in
+  let cold = Fastica.fit_prepared (Sider_rand.Rng.create 17) prep in
+  let _, wall =
+    time_of (fun () ->
+        ignore
+          (Fastica.fit_prepared ~w0:cold.Fastica.unmixing
+             (Sider_rand.Rng.create 18) prep))
+  in
+  { wall; sweeps = 0; warm_sweeps = 0; classes = Solver.n_classes solver }
 
 (* Full pipeline on the paper's introduction data: session creation,
    two feedback rounds, view recomputation and the scatter readout. *)
@@ -183,7 +264,7 @@ let full_pipeline ~smoke:_ =
          Solver.n_classes (Session.solver session)))
   in
   let sweeps, classes = result in
-  { wall; sweeps; classes }
+  { wall; sweeps; warm_sweeps = 0; classes }
 
 (* Observability overhead: the session_update_synthetic workload under
    the three telemetry states a deployment can be in.  The _off variant
@@ -214,6 +295,9 @@ let scenarios =
     { name = "session_update_synthetic";
       descr = "Table-II-style session update, synthetic clusters";
       run = session_update_synthetic };
+    { name = "session_update_warm_synthetic";
+      descr = "2-D view feedback on a solved session (warm start)";
+      run = session_update_warm_synthetic };
     { name = "session_update_segmentation";
       descr = "session update on the segmentation stand-in";
       run = session_update_segmentation };
@@ -223,6 +307,9 @@ let scenarios =
     { name = "ica_projection";
       descr = "FastICA on whitened data";
       run = ica_projection };
+    { name = "ica_projection_warm";
+      descr = "FastICA re-fit seeded with the previous unmixing";
+      run = ica_projection_warm };
     { name = "full_pipeline";
       descr = "two feedback rounds end-to-end on three_d";
       run = full_pipeline };
@@ -243,6 +330,7 @@ type measured = {
   m_wall : float;          (* median over runs *)
   m_wall_min : float;      (* fastest run — least scheduler/GC noise *)
   m_sweeps : int;
+  m_warm_sweeps : int;     (* warm-phase share of m_sweeps (0 = cold) *)
   m_classes : int;
   m_peak_heap : int;       (* Gc top_heap_words after the runs *)
   m_alloc_words : int;     (* median words allocated by a single run *)
@@ -284,6 +372,7 @@ let measure ~smoke ~runs sc =
     m_wall = median walls;
     m_wall_min = Array.fold_left Float.min walls.(0) walls;
     m_sweeps = last.sweeps;
+    m_warm_sweeps = last.warm_sweeps;
     m_classes = last.classes;
     m_peak_heap = peak;
     m_alloc_words = median_int allocs;
@@ -292,9 +381,10 @@ let measure ~smoke ~runs sc =
 
 (* --- JSON in / out --------------------------------------------------------- *)
 
-(* Schema v2 keeps [wall_s] as the median so v1 consumers (and
-   [baseline_walls] below, pointed at either version) read the same
-   statistic, and adds the minimum plus the execution environment. *)
+(* Schema v3 keeps [wall_s] as the median so v1/v2 consumers (and
+   [baseline_walls] below, pointed at any version) read the same
+   statistic, and adds the warm/cold split of the solver's sweep count
+   on top of v2's minimum-wall and execution environment. *)
 let to_json ~label ~smoke ~scaling measured =
   let scenario_json m =
     Json.Obj
@@ -302,13 +392,16 @@ let to_json ~label ~smoke ~scaling measured =
         ("wall_s", Json.Number m.m_wall);
         ("wall_min_s", Json.Number m.m_wall_min);
         ("sweeps", Json.Number (float_of_int m.m_sweeps));
+        ("warm_sweeps", Json.Number (float_of_int m.m_warm_sweeps));
+        ("cold_sweeps",
+         Json.Number (float_of_int (m.m_sweeps - m.m_warm_sweeps)));
         ("classes", Json.Number (float_of_int m.m_classes));
         ("peak_heap_words", Json.Number (float_of_int m.m_peak_heap));
         ("allocated_words", Json.Number (float_of_int m.m_alloc_words));
         ("runs", Json.Number (float_of_int m.m_runs)) ]
   in
   Json.Obj
-    ([ ("schema", Json.String "sider-bench/2");
+    ([ ("schema", Json.String "sider-bench/3");
        ("label", Json.String label);
        ("smoke", Json.Bool smoke);
        ("domains", Json.Number (float_of_int (Par.domain_count ())));
@@ -328,6 +421,10 @@ let to_json ~label ~smoke ~scaling measured =
                      ("wall_s", Json.Number wall) ])
                rows)) ])
 
+(* Tolerant reader: any schema version works (only name + wall_s are
+   read), and a JSON document without a scenario table — e.g. a
+   sider-load/* output committed under a BENCH_* name — yields [] so a
+   repeated --baseline list can fall through to the next file. *)
 let baseline_walls path =
   let ic = open_in path in
   let text =
@@ -336,11 +433,13 @@ let baseline_walls path =
       (fun () -> really_input_string ic (in_channel_length ic))
   in
   let doc = Json.of_string text in
-  Json.member "scenarios" doc
-  |> Json.to_list
-  |> List.map (fun s ->
-      (Json.to_str (Json.member "name" s),
-       Json.to_float (Json.member "wall_s" s)))
+  match Json.member_opt "scenarios" doc with
+  | None -> []
+  | Some scenarios ->
+    Json.to_list scenarios
+    |> List.map (fun s ->
+        (Json.to_str (Json.member "name" s),
+         Json.to_float (Json.member "wall_s" s)))
 
 (* A regression needs both a >25% relative slowdown and a 2ms absolute
    one: sub-millisecond scenarios jitter far more than 25% run to run. *)
@@ -402,16 +501,18 @@ let run_scaling ~smoke =
 
 let () =
   let smoke = ref false in
-  let out = ref "BENCH_pr4.json" in
-  let baseline = ref "" in
+  let out = ref "BENCH_pr8.json" in
+  let baselines = ref [] in
   let runs = ref 0 in
-  let label = ref "pr4" in
+  let label = ref "pr8" in
   let scaling = ref false in
   let specs =
     [ ("--smoke", Arg.Set smoke, "tiny inputs, 1 run (harness self-test)");
       ("--out", Arg.Set_string out, "PATH output JSON path");
-      ("--baseline", Arg.Set_string baseline,
-       "PATH previous output to diff against (exit 1 on >25% regression)");
+      ("--baseline",
+       Arg.String (fun p -> baselines := !baselines @ [ p ]),
+       "PATH previous output to diff against (exit 1 on >25% regression); \
+        repeatable — the first file with a scenario table wins");
       ("--runs", Arg.Set_int runs, "N repetitions per scenario");
       ("--label", Arg.Set_string label, "STR label recorded in the output");
       ("--scaling", Arg.Set scaling,
@@ -448,19 +549,63 @@ let () =
   in
   Bench_common.write_file !out (json ^ "\n");
   Printf.printf "  wrote %s\n%!" !out;
-  if !baseline <> "" then begin
-    match baseline_walls !baseline with
-    | exception Sys_error msg ->
-      Printf.eprintf "bench_regress: cannot read baseline: %s\n%!" msg;
-      exit 2
-    | exception Json.Parse_error msg ->
-      Printf.eprintf "bench_regress: bad baseline JSON: %s\n%!" msg;
-      exit 2
-    | baseline ->
-      (match diff_against ~baseline measured with
-       | [] -> Printf.printf "\n  no regressions > 25%%\n%!"
-       | names ->
-         Printf.printf "\n  %d regression(s): %s\n%!" (List.length names)
-           (String.concat ", " names);
-         exit 1)
+  (* The warm-update gate (full runs only: smoke sizes converge in too
+     few sweeps to separate the phases meaningfully).  Deterministic —
+     sweep counts don't jitter with the scheduler. *)
+  if not smoke then begin
+    let find n = List.find_opt (fun m -> m.m_name = n) measured in
+    match
+      (find "session_update_synthetic", find "session_update_warm_synthetic")
+    with
+    | Some cold, Some warm ->
+      if warm.m_sweeps >= cold.m_sweeps then begin
+        Printf.eprintf
+          "bench_regress: warm-update gate FAILED: \
+           session_update_warm_synthetic took %d sweeps, cold took %d \
+           (warm must be strictly below)\n%!"
+          warm.m_sweeps cold.m_sweeps;
+        exit 1
+      end
+      else
+        Printf.printf
+          "  warm-update gate: %d sweeps (%d warm + %d full) < %d cold ok\n%!"
+          warm.m_sweeps warm.m_warm_sweeps
+          (warm.m_sweeps - warm.m_warm_sweeps)
+          cold.m_sweeps
+    | _ -> ()
+  end;
+  if not (List.is_empty !baselines) then begin
+    (* First baseline with a scenario table wins; unreadable or
+       scenario-less files fall through with a note.  Exhausting the
+       list without finding one is still an error — a CI invocation
+       that silently skipped its diff would defeat the gate. *)
+    let rec pick = function
+      | [] ->
+        Printf.eprintf
+          "bench_regress: no usable baseline among: %s\n%!"
+          (String.concat ", " !baselines);
+        exit 2
+      | path :: rest ->
+        (match baseline_walls path with
+         | [] ->
+           Printf.printf "  baseline %s: no scenario table, skipping\n%!"
+             path;
+           pick rest
+         | exception Sys_error msg ->
+           Printf.printf "  baseline unreadable (%s), skipping\n%!" msg;
+           pick rest
+         | exception Json.Parse_error msg ->
+           Printf.printf "  baseline %s: bad JSON (%s), skipping\n%!" path
+             msg;
+           pick rest
+         | walls -> (path, walls))
+    in
+    let path, baseline = pick !baselines in
+    Printf.printf "  diffing against %s\n%!" path;
+    match diff_against ~baseline measured with
+    | [] -> Printf.printf "\n  no regressions > 25%%\n%!"
+    | names ->
+      Printf.printf "\n  %d regression(s): %s\n%!" (List.length names)
+        (String.concat ", " names);
+      exit 1
   end

@@ -12,6 +12,7 @@ let static_pca m =
     axis2 = { View.direction = w2;
               score = Scores.pca_gain fitted.Pca.variances.(1) };
     degraded = None;
+    unmixing = None;
   }
 
 let static_ica ?rng m =
@@ -23,6 +24,7 @@ let static_ica ?rng m =
     axis1 = { View.direction = w1; score = fitted.Fastica.scores.(0) };
     axis2 = { View.direction = w2; score = fitted.Fastica.scores.(1) };
     degraded = None;
+    unmixing = Some fitted.Fastica.unmixing;
   }
 
 type randomizer = {

@@ -35,6 +35,12 @@ type t = {
   mutable sample : Mat.t;               (* cached background sample *)
   mutable history : event list;         (* newest first *)
   mutable degradations : Sider_error.t list; (* newest first *)
+  (* Last ICA unmixing matrix, fed back as the next fit's [?ica_w0]: a
+     background update moves the whitened geometry only slightly, so the
+     previous rotation is a near-fixed-point initial guess.  Purely a
+     speed hint — replay determinism holds because the same history
+     rebuilds the same sequence of hints. *)
+  mutable ica_w : Mat.t option;
   creation_args : int * bool * float * View.method_;
 }
 
@@ -43,7 +49,11 @@ let push_tag t tag =
 
 let fresh_view t ?method_ () =
   let method_ = Option.value ~default:t.method_ method_ in
-  View.of_solver ~rng:(Rng.split t.rng) ~method_ t.solver
+  let view =
+    View.of_solver ~rng:(Rng.split t.rng) ?ica_w0:t.ica_w ~method_ t.solver
+  in
+  (match view.View.unmixing with Some w -> t.ica_w <- Some w | None -> ());
+  view
 
 let create ?(seed = 2018) ?(standardize = true) ?(jitter = 1e-3)
     ?(method_ = View.Pca) ds =
@@ -82,6 +92,7 @@ let create ?(seed = 2018) ?(standardize = true) ?(jitter = 1e-3)
   let sample = Solver.sample solver rng in
   { dataset = ds; std; rng; method_; solver; pending = []; tags = []; view;
     sample; history = []; degradations = [];
+    ica_w = view.View.unmixing;
     creation_args = (seed, standardize, jitter, method_) }
 
 let record t e = t.history <- e :: t.history
@@ -188,14 +199,23 @@ let update_background ?(time_cutoff = 10.0) ?max_sweeps ?lambda_tol
   match
     Sider_error.protect (fun () ->
         validate_pending t.pending;
+        (* Warm handle off the pre-update solver: its constraint prefix
+           and multipliers survive [add_constraints] verbatim, so the
+           solve below only has to sweep the freshly added constraints
+           before the (now cheap) full-convergence passes.  The solver
+           rejects the handle and runs cold if the state doesn't match;
+           a rolled-back update discards it along with the solver. *)
+        let warm = Solver.warm_start t.solver in
         let solver = Solver.add_constraints t.solver t.pending in
         t.solver <- solver;
         t.pending <- [];
-        Solver.solve ~time_cutoff ?max_sweeps ?lambda_tol ?param_tol solver)
+        Solver.solve ~time_cutoff ?max_sweeps ?lambda_tol ?param_tol ~warm
+          solver)
   with
   | Ok report ->
     List.iter (degrade t) report.Solver.degradations;
     Obs.span_attr "outcome" (Obs.Str "ok");
+    Obs.span_attr "warm_sweeps" (Obs.Int report.Solver.warm_sweeps);
     Obs.span_attr "classes"
       (Obs.Int (Sider_maxent.Solver.n_classes t.solver));
     Ok report

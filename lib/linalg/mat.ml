@@ -12,6 +12,7 @@
 [@@@sider.allow "error-discipline, float-equality"]
 
 module Par = Sider_par.Par
+module Obs = Sider_obs.Obs
 
 type t = { rows : int; cols : int; a : float array }
 
@@ -252,10 +253,16 @@ let matmul_into ~dst x y =
         kb := khi
       done)
 
+(* The allocating wrappers share one counter: the [alloc-in-hot-loop]
+   lint rule plus the restart-hoist regression test (test_projection) use
+   it to pin how many allocating products a code path performs. *)
+let count_alloc () = Obs.count "mat.matmul_alloc"
+
 let matmul x y =
   if x.cols <> y.rows then
     invalid_arg (Printf.sprintf "Mat.matmul: inner dims (%dx%d)*(%dx%d)"
                    x.rows x.cols y.rows y.cols);
+  count_alloc ();
   let z = create x.rows y.cols in
   matmul_into ~dst:z x y;
   z
@@ -275,19 +282,48 @@ let matmul_nt_into ~dst x y =
     invalid_arg "Mat.matmul_nt_into: dst aliases an input";
   let xa = x.a and ya = y.a and za = dst.a in
   let xc = x.cols and yr = y.rows in
+  (* Register blocking: four output entries per pass over the [x] row, so
+     the row is streamed once per four [y] rows instead of once per one.
+     Each accumulator still sums in increasing [k] with the per-[xik]
+     zero-skip, so every entry is bit-identical to the unblocked loop. *)
   par_rows ~label:"mat.matmul_nt" ~work:(x.rows * xc * yr) x.rows
     (fun lo hi ->
       for i = lo to hi - 1 do
         let xoff = i * xc and zoff = i * yr in
-        for j = 0 to yr - 1 do
-          let yoff = j * xc in
+        let j = ref 0 in
+        while !j + 3 < yr do
+          let j0 = !j in
+          let y0 = j0 * xc
+          and y1 = (j0 + 1) * xc
+          and y2 = (j0 + 2) * xc
+          and y3 = (j0 + 3) * xc in
+          let a0 = ref 0.0 and a1 = ref 0.0 in
+          let a2 = ref 0.0 and a3 = ref 0.0 in
+          for k = 0 to xc - 1 do
+            let xik = Array.unsafe_get xa (xoff + k) in
+            if xik <> 0.0 then begin
+              a0 := !a0 +. (xik *. Array.unsafe_get ya (y0 + k));
+              a1 := !a1 +. (xik *. Array.unsafe_get ya (y1 + k));
+              a2 := !a2 +. (xik *. Array.unsafe_get ya (y2 + k));
+              a3 := !a3 +. (xik *. Array.unsafe_get ya (y3 + k))
+            end
+          done;
+          Array.unsafe_set za (zoff + j0) !a0;
+          Array.unsafe_set za (zoff + j0 + 1) !a1;
+          Array.unsafe_set za (zoff + j0 + 2) !a2;
+          Array.unsafe_set za (zoff + j0 + 3) !a3;
+          j := j0 + 4
+        done;
+        while !j < yr do
+          let yoff = !j * xc in
           let acc = ref 0.0 in
           for k = 0 to xc - 1 do
             let xik = Array.unsafe_get xa (xoff + k) in
             if xik <> 0.0 then
               acc := !acc +. (xik *. Array.unsafe_get ya (yoff + k))
           done;
-          Array.unsafe_set za (zoff + j) !acc
+          Array.unsafe_set za (zoff + !j) !acc;
+          incr j
         done
       done)
 
@@ -295,6 +331,7 @@ let matmul_nt x y =
   if x.cols <> y.cols then
     invalid_arg (Printf.sprintf "Mat.matmul_nt: inner dims (%dx%d)*(%dx%d)ᵀ"
                    x.rows x.cols y.rows y.cols);
+  count_alloc ();
   let z = create x.rows y.rows in
   matmul_nt_into ~dst:z x y;
   z
@@ -317,14 +354,52 @@ let matmul_tn_into ~dst x y =
   (* i-outer within each chunk of output rows: every input row is read
      once, contiguously, while each output entry still accumulates in
      increasing row order — bit-identical to the j-outer formulation but
-     without the strided column walk over [x]. *)
+     without the strided column walk over [x].  Output rows are register-
+     blocked by four: when all four coefficients are non-zero (the dense
+     common case) one pass over the [y] row feeds four accumulator rows;
+     a zero in the block falls back to the per-row skipped axpy.  Each
+     destination slot still sees exactly one read-modify-write per input
+     row, in increasing [i], so the result is bit-identical either way. *)
   par_rows ~label:"mat.matmul_tn" ~work:(rows * xc * yc) xc (fun lo hi ->
       Array.fill za (lo * yc) ((hi - lo) * yc) 0.0;
       for i = 0 to rows - 1 do
         let xoff = i * xc and yoff = i * yc in
-        for j = lo to hi - 1 do
-          let xij = Array.unsafe_get xa (xoff + j) in
-          if xij <> 0.0 then axpy_range za (j * yc) xij ya yoff yc
+        let j = ref lo in
+        while !j + 3 < hi do
+          let j0 = !j in
+          let x0 = Array.unsafe_get xa (xoff + j0)
+          and x1 = Array.unsafe_get xa (xoff + j0 + 1)
+          and x2 = Array.unsafe_get xa (xoff + j0 + 2)
+          and x3 = Array.unsafe_get xa (xoff + j0 + 3) in
+          if x0 <> 0.0 && x1 <> 0.0 && x2 <> 0.0 && x3 <> 0.0 then begin
+            let d0 = j0 * yc
+            and d1 = (j0 + 1) * yc
+            and d2 = (j0 + 2) * yc
+            and d3 = (j0 + 3) * yc in
+            for c = 0 to yc - 1 do
+              let yv = Array.unsafe_get ya (yoff + c) in
+              Array.unsafe_set za (d0 + c)
+                (Array.unsafe_get za (d0 + c) +. (x0 *. yv));
+              Array.unsafe_set za (d1 + c)
+                (Array.unsafe_get za (d1 + c) +. (x1 *. yv));
+              Array.unsafe_set za (d2 + c)
+                (Array.unsafe_get za (d2 + c) +. (x2 *. yv));
+              Array.unsafe_set za (d3 + c)
+                (Array.unsafe_get za (d3 + c) +. (x3 *. yv))
+            done
+          end
+          else begin
+            if x0 <> 0.0 then axpy_range za (j0 * yc) x0 ya yoff yc;
+            if x1 <> 0.0 then axpy_range za ((j0 + 1) * yc) x1 ya yoff yc;
+            if x2 <> 0.0 then axpy_range za ((j0 + 2) * yc) x2 ya yoff yc;
+            if x3 <> 0.0 then axpy_range za ((j0 + 3) * yc) x3 ya yoff yc
+          end;
+          j := j0 + 4
+        done;
+        while !j < hi do
+          let xij = Array.unsafe_get xa (xoff + !j) in
+          if xij <> 0.0 then axpy_range za (!j * yc) xij ya yoff yc;
+          incr j
         done
       done)
 
@@ -332,6 +407,7 @@ let matmul_tn x y =
   if x.rows <> y.rows then
     invalid_arg (Printf.sprintf "Mat.matmul_tn: inner dims (%dx%d)ᵀ*(%dx%d)"
                    x.rows x.cols y.rows y.cols);
+  count_alloc ();
   let z = create x.cols y.cols in
   matmul_tn_into ~dst:z x y;
   z

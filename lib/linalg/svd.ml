@@ -7,10 +7,11 @@ let thin ?(rank_tol = 1e-12) a =
   let singular = Array.map (fun l -> sqrt (Float.max l 0.0)) values in
   let smax = if d > 0 then Float.max singular.(0) 0.0 else 0.0 in
   let u = Mat.create n d in
+  let uk = Array.make n 0.0 in
   for k = 0 to d - 1 do
     if singular.(k) > rank_tol *. Float.max smax 1e-300 then begin
       let vk = Mat.col vectors k in
-      let uk = Mat.mv a vk in
+      Mat.mv_into ~dst:uk a vk;
       let inv_s = 1.0 /. singular.(k) in
       for i = 0 to n - 1 do
         Mat.set u i k (uk.(i) *. inv_s)

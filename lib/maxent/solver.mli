@@ -32,7 +32,22 @@ type report = {
                               to a full recompute, sweeps rolled back
                               after a NaN scan, recovery-budget
                               exhaustion.  Empty on a clean solve. *)
+  warm_sweeps : int;      (** Restricted (new-constraints-only) sweeps of
+                              the warm phase; 0 on a cold solve. *)
+  cold_sweeps : int;      (** Full passes over the whole constraint set;
+                              [sweeps = warm_sweeps + cold_sweeps]. *)
 }
+
+type warm
+(** A warm-start handle: the constraint tags and accumulated multipliers
+    of a solved state.  Capture with {!warm_start}, extend the solver
+    with {!add_constraints}, then pass to {!solve} as [?warm]. *)
+
+val warm_start : t -> warm
+(** Capture the current solved state as a warm-start fingerprint.  Cheap
+    (two small array copies); typically taken right before
+    {!add_constraints} so the next {!solve} can treat the inherited
+    prefix as already converged. *)
 
 val create : Mat.t -> Constr.t list -> t
 (** A fresh solver whose background distribution is the prior [N(0, I)]
@@ -60,8 +75,23 @@ val row_params : t -> int -> Gauss_params.t
 
 val solve : ?max_sweeps:int -> ?lambda_tol:float -> ?param_tol:float ->
   ?time_cutoff:float -> ?lambda_cap:float -> ?recovery_budget:int ->
+  ?warm_max_sweeps:int -> ?warm:warm ->
   ?trace:(sweep:int -> updates:int -> t -> unit) -> t -> report
 (** Run iterative scaling until convergence.
+
+    With [?warm] (a handle captured by {!warm_start} before the solver
+    was extended), the solve runs in two phases.  Phase 1 sweeps only
+    the constraints added since the capture — the inherited class
+    parameters already satisfy the old ones — for at most
+    [warm_max_sweeps] (default 32) restricted sweeps.  Phase 2 then
+    runs ordinary full sweeps to the global criterion below, so the
+    result always meets the same contract as a cold solve.  Any
+    degradation during phase 1 aborts it immediately and falls back to
+    the full sweeps (counted as [solver.warm_fallback]); a handle that
+    does not match the solver's constraint prefix is rejected
+    ([solver.warm_rejected]) and the solve runs cold.  The report
+    splits [sweeps] into [warm_sweeps] and [cold_sweeps]; the
+    [solver.convergence] series tags each row with its [phase].
 
     Every sweep is guarded: class parameters are scanned for NaN/Inf
     before and after the sweep.  A poisoned pre-sweep state resets the
@@ -108,7 +138,10 @@ val relative_entropy : t -> float
 
 val sample : t -> Rng.t -> Mat.t
 (** One dataset drawn from the background distribution: row [i] is drawn
-    from [N(m_i, Σ_i)].  Cholesky factors are computed once per class. *)
+    from [N(m_i, Σ_i)].  Cholesky factors come from the per-class cache
+    ({!Gauss_params.chol}), so repeated draws between quadratic updates
+    — e.g. resampling after a purely linear warm update — reuse the
+    factorization instead of redoing the O(d³) decompose. *)
 
 val mean_matrix : t -> Mat.t
 (** The per-row means as an [n×d] matrix. *)

@@ -7,6 +7,18 @@ type t = {
   scores : Vec.t;
   iterations : int;
   converged : bool;
+  unmixing : Mat.t;
+}
+
+type prep = {
+  src : Mat.t;
+  n : int;
+  d : int;
+  m_comp : int;
+  dproj : Mat.t;                  (* d × m_comp whitening projection *)
+  kernel : Ica_kernel.t option;   (* None when m_comp = 0 *)
+  gz : Mat.t;                     (* m_comp × m_comp sweep scratch *)
+  eg : Vec.t;                     (* m_comp sweep scratch *)
 }
 
 (* Symmetric decorrelation: W ← (W Wᵀ)^{-1/2} W. *)
@@ -15,10 +27,9 @@ let sym_decorrelate w =
   let dec = Eigen.symmetric (Mat.symmetrize wwt) in
   Mat.matmul (Eigen.power dec (-0.5)) w
 
-let fit_impl ?n_components ?(max_iter = 200) ?(tol = 1e-4) ?(rank_tol = 1e-9)
-    rng m =
+let prepare_impl ?n_components ?(rank_tol = 1e-9) m =
   let n, d = Mat.dims m in
-  if n < 2 then invalid_arg "Fastica.fit: need at least two rows" [@sider.allow "error-discipline"];
+  if n < 2 then invalid_arg "Fastica.prepare: need at least two rows" [@sider.allow "error-discipline"];
   let centered, _ = Mat.center_cols m in
   let cov = Mat.covariance m in
   let { Eigen.values; vectors } = Eigen.symmetric cov in
@@ -35,45 +46,57 @@ let fit_impl ?n_components ?(max_iter = 200) ?(tol = 1e-4) ?(rank_tol = 1e-9)
     | Some k -> Stdlib.min k usable
   in
   if m_comp = 0 then
-    { directions = Mat.create d 0; scores = [||]; iterations = 0;
-      converged = true }
+    { src = m; n; d; m_comp; dproj = Mat.create d 0; kernel = None;
+      gz = Mat.create 0 0; eg = [||] }
   else begin
-    (* Internal whitening: z = D^{-1/2} Vᵀ (x − mean), per row. *)
+    (* Internal whitening: z = D^{-1/2} Vᵀ (x − mean), per row.  Everything
+       here depends only on the data, not the seed, so one [prep] serves
+       every seed-rotated restart. *)
     let dproj = Mat.init d m_comp (fun i j ->
         Mat.get vectors i j /. sqrt values.(j))
     in
     let z = Mat.matmul centered dproj in          (* n × m_comp *)
+    { src = m; n; d; m_comp; dproj; kernel = Some (Ica_kernel.create z);
+      gz = Mat.create m_comp m_comp; eg = Vec.create m_comp }
+  end
+
+let prepare ?n_components ?rank_tol m =
+  Obs.count "ica.prepare";
+  prepare_impl ?n_components ?rank_tol m
+
+let kernel_name prep =
+  match prep.kernel with
+  | Some k -> Ica_kernel.kernel_name k
+  | None -> Ica_kernel.default_name ()
+
+let fit_prepared_impl ?w0 ?(max_iter = 200) ?(tol = 1e-4) rng prep =
+  let { n; d; m_comp; _ } = prep in
+  match prep.kernel with
+  | None ->
+    (* [prepare] binds a kernel exactly when m_comp > 0. *)
+    { directions = Mat.create d 0; scores = [||]; iterations = 0;
+      converged = true; unmixing = Mat.create 0 0 }
+  | Some kernel ->
     let fn = float_of_int n in
     (* Fixed point iteration on the unmixing matrix w : m_comp × m_comp.
-       The n-sized intermediates are allocated once and reused across
-       iterations; every kernel below is bit-identical to its
-       transpose-then-multiply predecessor. *)
-    let w = ref (sym_decorrelate (Sampler.normal_mat rng m_comp m_comp)) in
-    let s = Mat.create n m_comp in
-    let g = Mat.create n m_comp in
-    let gz = Mat.create m_comp m_comp in
-    let eg' = Vec.create m_comp in
+       A caller-supplied w0 (matching shape) replaces the random draw —
+       the warm path for incremental session updates; it is re-decorrelated
+       so any roughly-orthonormal matrix is a valid start.  On shape
+       mismatch w0 is ignored (the component count changed under us). *)
+    let w =
+      ref
+        (match w0 with
+        | Some v when Mat.dims v = (m_comp, m_comp) -> sym_decorrelate v
+        | _ -> sym_decorrelate (Sampler.normal_mat rng m_comp m_comp))
+    in
+    let gz = prep.gz and eg' = prep.eg in
     let iterations = ref 0 and converged = ref false in
     while (not !converged) && !iterations < max_iter do
       incr iterations;
-      Mat.matmul_nt_into ~dst:s z !w;            (* s = z wᵀ, n × m_comp *)
-      (* g = tanh, g' = 1 − tanh²; the update is
-         W_new = (gᵀ z)/n − diag(E[g']) W.  The tanh map dominates the
-         iteration cost and fans out across rows; the E[g'] column sums
-         stay a sequential pass so their accumulation order (increasing
-         row index) never changes. *)
-      Mat.tanh_into ~dst:g s;
-      Mat.matmul_tn_into ~dst:gz g z;            (* gᵀ z, m_comp × m_comp *)
-      Vec.fill eg' 0.0;
-      let ga = g.Mat.a in
-      for i = 0 to n - 1 do
-        let off = i * m_comp in
-        for k = 0 to m_comp - 1 do
-          let t = Array.unsafe_get ga (off + k) in
-          Array.unsafe_set eg' k
-            (Array.unsafe_get eg' k +. (1.0 -. (t *. t)))
-        done
-      done;
+      (* One fused pass: s = z wᵀ, g = tanh s, gz = gᵀz and the E[g']
+         sums together (see Ica_kernel).  The update is
+         W_new = (gᵀ z)/n − diag(E[g']) W. *)
+      Ica_kernel.sweep kernel ~w:!w ~gz ~eg:eg';
       let w_new =
         Mat.init m_comp m_comp (fun k j ->
             (Mat.get gz k j /. fn) -. (eg'.(k) /. fn *. Mat.get !w k j))
@@ -99,7 +122,7 @@ let fit_impl ?n_components ?(max_iter = 200) ?(tol = 1e-4) ?(rank_tol = 1e-9)
     (* Map unmixing rows back to input-space directions:
        s_k = w_k · D^{-1/2}Vᵀ(x − mean) so the direction is V D^{-1/2} w_kᵀ,
        normalized to unit length (norms computed once per column). *)
-    let dirs = Mat.matmul_nt dproj !w in          (* d × m_comp *)
+    let dirs = Mat.matmul_nt prep.dproj !w in      (* d × m_comp *)
     let norms = Array.init m_comp (fun j -> Vec.norm2 (Mat.col dirs j)) in
     let dirs =
       Mat.init d m_comp (fun i j ->
@@ -107,9 +130,11 @@ let fit_impl ?n_components ?(max_iter = 200) ?(tol = 1e-4) ?(rank_tol = 1e-9)
           else Mat.get dirs i j /. norms.(j))
     in
     let scores =
-      Array.init m_comp (fun j -> Scores.direction_log_cosh m (Mat.col dirs j))
+      Array.init m_comp (fun j ->
+          Scores.direction_log_cosh prep.src (Mat.col dirs j))
     in
-    (* Order by decreasing |score| (Table I ordering). *)
+    (* Order by decreasing |score| (Table I ordering).  [unmixing] stays
+       in fit order: it is the warm-start state, not a display artifact. *)
     let perm = Array.init m_comp Fun.id in
     Array.sort
       (fun i j -> compare (Float.abs scores.(j)) (Float.abs scores.(i)))
@@ -119,22 +144,23 @@ let fit_impl ?n_components ?(max_iter = 200) ?(tol = 1e-4) ?(rank_tol = 1e-9)
       scores = Array.map (fun k -> scores.(k)) perm;
       iterations = !iterations;
       converged = !converged;
+      unmixing = !w;
     }
-  end
 
-let fit ?n_components ?max_iter ?tol ?rank_tol rng m =
-  let run () = fit_impl ?n_components ?max_iter ?tol ?rank_tol rng m in
+let fit_prepared ?w0 ?max_iter ?tol rng prep =
+  let run () = fit_prepared_impl ?w0 ?max_iter ?tol rng prep in
   if not (Obs.enabled ()) then run ()
-  else begin
-    let n, d = Mat.dims m in
+  else
     Obs.with_span "ica.fit"
-      ~attrs:[ ("rows", Obs.Int n); ("cols", Obs.Int d) ]
+      ~attrs:[ ("rows", Obs.Int prep.n); ("cols", Obs.Int prep.d) ]
       (fun () ->
         let fitted = run () in
         Obs.span_attr "iterations" (Obs.Int fitted.iterations);
         Obs.span_attr "converged" (Obs.Bool fitted.converged);
         fitted)
-  end
+
+let fit ?n_components ?max_iter ?tol ?rank_tol rng m =
+  fit_prepared ?max_iter ?tol rng (prepare ?n_components ?rank_tol m)
 
 let top2 t =
   let _, m = Mat.dims t.directions in

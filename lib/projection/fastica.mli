@@ -5,7 +5,12 @@
     Symmetric fixed-point iteration on internally PCA-whitened data;
     components are returned as unit directions in the *input* space
     ordered by decreasing absolute {!Scores.log_cosh_score}, exactly the
-    ordering of the paper's Table I. *)
+    ordering of the paper's Table I.
+
+    The fit is split in two: {!prepare} does the seed-independent work
+    (centering, covariance, whitening projection, the kernel-ready copy
+    of z) and {!fit_prepared} runs the seed-dependent fixed point — so
+    seed-rotated restarts and warm refits pay the data passes once. *)
 
 open Sider_linalg
 open Sider_rand
@@ -15,15 +20,41 @@ type t = {
   scores : Vec.t;       (** Signed log-cosh negentropy proxy per column. *)
   iterations : int;
   converged : bool;
+  unmixing : Mat.t;     (** Final m×m unmixing matrix in the internal
+                            whitened basis, in fit order (not re-sorted
+                            by score) — pass it back as [?w0] to warm a
+                            later fit. *)
 }
+
+type prep
+(** Seed-independent fit state for one data matrix. *)
+
+val prepare : ?n_components:int -> ?rank_tol:float -> Mat.t -> prep
+(** [prepare m] centers, whitens and binds the sweep kernel for the rows
+    of [m].  Components whose internal-whitening eigenvalue is below
+    [rank_tol] (default 1e-9) relative to the largest are dropped.
+    Bumps the [ica.prepare] counter — the restart-hoist regression test
+    pins that {!View.of_whitened} calls this once per view, not once per
+    restart.  Raises [Invalid_argument] on fewer than two rows. *)
+
+val kernel_name : prep -> string
+(** ["simd"] or ["reference"] — which sweep kernel this prep will run
+    (see {!Ica_kernel}). *)
+
+val fit_prepared : ?w0:Mat.t -> ?max_iter:int -> ?tol:float ->
+  Rng.t -> prep -> t
+(** [fit_prepared rng prep] runs the symmetric fixed point from a random
+    orthonormal start drawn from [rng] — or from [w0] (re-decorrelated;
+    ignored, falling back to the random draw, when its shape does not
+    match the prepared component count).  [max_iter] defaults to 200,
+    [tol] (fixed-point direction change) to 1e-4, matching the R
+    fastICA defaults the paper used. *)
 
 val fit : ?n_components:int -> ?max_iter:int -> ?tol:float ->
   ?rank_tol:float -> Rng.t -> Mat.t -> t
-(** [fit rng m] extracts up to [n_components] (default: all non-degenerate)
-    independent directions from the rows of [m].  Components whose
-    internal-whitening eigenvalue is below [rank_tol] (default 1e-9)
-    relative to the largest are dropped.  [max_iter] defaults to 200,
-    [tol] (fixed-point direction change) to 1e-4, matching the R fastICA defaults the paper used. *)
+(** [fit rng m] = {!prepare} then {!fit_prepared}: extracts up to
+    [n_components] (default: all non-degenerate) independent directions
+    from the rows of [m]. *)
 
 val top2 : t -> Vec.t * Vec.t
 (** The two most non-Gaussian directions.  Raises [Invalid_argument] if

@@ -1,0 +1,17 @@
+/* CPU feature probe for the fused FastICA kernel.  Kept in its own
+   translation unit compiled WITHOUT -mavx2 so that it is safe to run on
+   any x86-64 (and trivially answers "no" elsewhere): the AVX2 stubs in
+   ica_simd_stubs.c must never be reached unless this says yes.  */
+#include <caml/mlvalues.h>
+
+CAMLprim value sider_ica_simd_available(value unit)
+{
+  (void)unit;
+#if defined(__x86_64__) && defined(__GNUC__)
+  __builtin_cpu_init();
+  return Val_bool(__builtin_cpu_supports("avx2") &&
+                  __builtin_cpu_supports("fma"));
+#else
+  return Val_bool(0);
+#endif
+}

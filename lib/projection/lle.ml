@@ -26,7 +26,9 @@ let reconstruction_weights ?(neighbours = 10) ?(ridge = 1e-3) m =
       (* Ridge relative to the trace keeps the solve well-posed when the
          neighbourhood is low-dimensional. *)
       let reg = ridge *. Float.max (Mat.trace gram) 1e-12 in
-      let gram = Mat.add gram (Mat.scale reg (Mat.identity neighbours)) in
+      for a = 0 to neighbours - 1 do
+        Mat.set gram a a (Mat.get gram a a +. reg)
+      done;
       let ones = Array.make neighbours 1.0 in
       let w = Chol.solve (Chol.decompose_psd gram) ones in
       let total = Vec.sum w in

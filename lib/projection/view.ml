@@ -12,6 +12,7 @@ type t = {
   axis1 : axis;
   axis2 : axis;
   degraded : Sider_error.t option;
+  unmixing : Mat.t option;
 }
 
 let method_name = function Pca -> "PCA" | Ica -> "ICA"
@@ -24,9 +25,10 @@ let pca_view ?degraded y =
     axis1 = { direction = w1; score = fitted.Pca.gains.(0) };
     axis2 = { direction = w2; score = fitted.Pca.gains.(1) };
     degraded;
+    unmixing = None;
   }
 
-let of_whitened ?rng ?(ica_restarts = 2) ?ica_max_iter ~method_ y =
+let of_whitened ?rng ?(ica_restarts = 2) ?ica_max_iter ?ica_w0 ~method_ y =
   let rng = match rng with Some r -> r | None -> Rng.create 42 in
   Obs.with_span "view.of_whitened"
     ~attrs:[ ("method", Obs.Str (method_name method_)) ]
@@ -43,8 +45,15 @@ let of_whitened ?rng ?(ica_restarts = 2) ?ica_max_iter ~method_ y =
       let _, m = Mat.dims f.Fastica.directions in
       m >= 2 && Kernels.finite_mat f.Fastica.directions
     in
+    (* The seed-independent half of the fit (centering, covariance,
+       whitening projection, kernel buffers) is hoisted out of the
+       restart loop: every retry re-draws only the start matrix.  The
+       warm start [ica_w0] applies to the first attempt alone — if it
+       failed to converge, the retries should explore, not repeat it. *)
+    let prep = Fastica.prepare y in
     let rec attempt k =
-      let fitted = Fastica.fit ?max_iter:ica_max_iter rng y in
+      let w0 = if k = 0 then ica_w0 else None in
+      let fitted = Fastica.fit_prepared ?w0 ?max_iter:ica_max_iter rng prep in
       if (fitted.Fastica.converged && usable fitted) || k >= ica_restarts
       then (fitted, k)
       else begin
@@ -70,6 +79,7 @@ let of_whitened ?rng ?(ica_restarts = 2) ?ica_max_iter ~method_ y =
         axis1 = { direction = w1; score = fitted.Fastica.scores.(0) };
         axis2 = { direction = w2; score = fitted.Fastica.scores.(1) };
         degraded;
+        unmixing = Some fitted.Fastica.unmixing;
       }
     end
     else begin
@@ -84,8 +94,8 @@ let of_whitened ?rng ?(ica_restarts = 2) ?ica_max_iter ~method_ y =
         y
     end
 
-let of_solver ?rng ?ica_restarts ~method_ solver =
-  of_whitened ?rng ?ica_restarts ~method_ (Whiten.whiten solver)
+let of_solver ?rng ?ica_restarts ?ica_w0 ~method_ solver =
+  of_whitened ?rng ?ica_restarts ?ica_w0 ~method_ (Whiten.whiten solver)
 
 let project t m =
   let n, _ = Mat.dims m in

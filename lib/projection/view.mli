@@ -28,25 +28,30 @@ type t = {
   degraded : Sider_error.t option;
       (** [Some _] when the view is the product of graceful degradation:
           FastICA used non-converged directions, or fell back to PCA. *)
+  unmixing : Mat.t option;
+      (** The ICA unmixing matrix that produced the axes ([None] for
+          PCA): feed it back as [?ica_w0] to warm the next view after an
+          incremental background update. *)
 }
 
 val of_whitened : ?rng:Rng.t -> ?ica_restarts:int -> ?ica_max_iter:int ->
-  method_:method_ -> Mat.t -> t
+  ?ica_w0:Mat.t -> method_:method_ -> Mat.t -> t
 (** Compute the most informative view of a whitened matrix.  [rng] seeds
     the FastICA initialisation (default: fixed seed 42).
 
-    An ICA fit that does not converge is restarted with a fresh draw
+    The seed-independent half of the fit ({!Fastica.prepare}) runs once;
+    an ICA fit that does not converge is restarted with a fresh draw
     from [rng] up to [ica_restarts] (default 2) additional times.  If it
     still has not converged, the non-converged directions are used when
     usable (≥ 2 finite directions) and the view is flagged [degraded];
     when unusable, the view falls back to PCA with the degradation
-    recorded.  [ica_max_iter] is passed through to {!Fastica.fit}
-    (mainly for tests forcing non-convergence).  Raises
-    [Invalid_argument] when fewer than two usable directions exist even
-    for PCA (d < 2). *)
+    recorded.  [ica_max_iter] is passed through to {!Fastica.fit_prepared}
+    (mainly for tests forcing non-convergence); [ica_w0] warm-starts the
+    {e first} attempt only.  Raises [Invalid_argument] when fewer than
+    two usable directions exist even for PCA (d < 2). *)
 
-val of_solver : ?rng:Rng.t -> ?ica_restarts:int -> method_:method_ ->
-  Solver.t -> t
+val of_solver : ?rng:Rng.t -> ?ica_restarts:int -> ?ica_w0:Mat.t ->
+  method_:method_ -> Solver.t -> t
 (** Whiten the solver's data with respect to its background distribution,
     then find the view — one full step of the paper's pipeline. *)
 

@@ -169,6 +169,8 @@ let report_json (r : Sider_maxent.Solver.report) =
   Json.Obj
     [ ("converged", Json.Bool r.converged);
       ("sweeps", Json.Number (float_of_int r.sweeps));
+      ("warm_sweeps", Json.Number (float_of_int r.warm_sweeps));
+      ("cold_sweeps", Json.Number (float_of_int r.cold_sweeps));
       ("updates", Json.Number (float_of_int r.updates));
       ("max_dlambda", Json.Number r.max_dlambda);
       ("max_dparam", Json.Number r.max_dparam);

@@ -189,6 +189,17 @@ let test_pca_projection () =
       check_axes ~score_key:"gains" "PCA" expected actual)
 
 let test_ica_projection () =
+  (* Pinned to the reference kernel: its results are bit-identical on
+     every CPU and domain count, so the fixture never needs per-machine
+     variants.  (The SIMD kernel is deterministic too, but its tanh
+     differs from libm by ~1e-15, and this fixture's whitened data is
+     near-structureless — the fixed point is chaotic, so kernels diverge
+     to different, equally valid, trajectories.  SIMD correctness is
+     pinned by test_projection's closeness tests and test_par's
+     cross-domain bit-stability instead.) *)
+  Ica_kernel.set_mode Ica_kernel.Force_reference;
+  Fun.protect ~finally:(fun () -> Ica_kernel.set_mode Ica_kernel.Auto)
+  @@ fun () ->
   run_fixture ~file:"ica.json"
     ~compute:(fun () ->
       let y = Lazy.force fixture_whitened in
@@ -205,9 +216,50 @@ let test_ica_projection () =
     ~check:(fun expected actual ->
       check_axes ~score_key:"scores" "ICA" expected actual)
 
+(* The fused-sweep byte-identity contract, pinned down to the bit: the
+   reference kernel's gz/eg must match both the unfused three-pass
+   pipeline (live, every run) and the recorded fixture (cross-version).
+   The whole suite re-runs under SIDER_DOMAINS=2, which re-checks this
+   fixture at two domains. *)
+let test_ica_kernel_bits () =
+  run_fixture ~file:"ica_kernel_bits.json"
+    ~compute:(fun () ->
+      let y = Lazy.force fixture_whitened in
+      let _, m = Mat.dims y in
+      let w = Sider_rand.Sampler.normal_mat (Sider_rand.Rng.create 2) m m in
+      let gz_u, eg_u = Test_projection.unfused_sweep y w in
+      let gz_f, eg_f =
+        Test_projection.kernel_sweep (Ica_kernel.create_reference y) y w
+      in
+      let hex v = Printf.sprintf "%016Lx" (Int64.bits_of_float v) in
+      let bits_of_arr a =
+        Json.List (Array.to_list (Array.map (fun v -> Json.String (hex v)) a))
+      in
+      check_true "fused gz bit-identical to unfused"
+        (Array.for_all2 Int64.equal
+           (Array.map Int64.bits_of_float gz_u.Mat.a)
+           (Array.map Int64.bits_of_float gz_f.Mat.a));
+      check_true "fused eg bit-identical to unfused"
+        (Array.for_all2 Int64.equal
+           (Array.map Int64.bits_of_float eg_u)
+           (Array.map Int64.bits_of_float eg_f));
+      Json.Obj
+        [ ("kernel", Json.String "reference");
+          ("gz_bits", bits_of_arr gz_f.Mat.a);
+          ("eg_bits", bits_of_arr eg_f) ])
+    ~check:(fun expected actual ->
+      let strs key j = List.map Json.to_str (Json.to_list (Json.member key j)) in
+      List.iter
+        (fun key ->
+          if strs key expected <> strs key actual then
+            Alcotest.failf "ica kernel bits drifted in %s" key)
+        [ "gz_bits"; "eg_bits" ])
+
 let suite =
   [
     case "whitened Y matches the recorded fixture" test_whitened_y;
     case "PCA projection matches the recorded fixture" test_pca_projection;
     case "ICA projection matches the recorded fixture" test_ica_projection;
+    case "fused ICA sweep is byte-identical to the unfused pipeline"
+      test_ica_kernel_bits;
   ]

@@ -172,6 +172,29 @@ let test_pipeline_bits_stable () =
         p1.Sider_projection.Pca.variances p.Sider_projection.Pca.variances)
     [ 2; 4 ]
 
+(* The SIMD ICA sweep combines per-chunk partials over a grid that is a
+   pure function of n — so its output may differ from a serial sweep by
+   rounding, but never across pool sizes.  n chosen to span several
+   chunks plus a ragged tail. *)
+let test_ica_sweep_bits_stable () =
+  let r = Sider_rand.Rng.create 41 in
+  let z = Mat.init 1100 7 (fun _ _ -> Sider_rand.Sampler.normal r) in
+  let w = Sider_rand.Sampler.normal_mat r 7 7 in
+  let sweep_at d =
+    with_domains d (fun () ->
+        let k = Sider_projection.Ica_kernel.create z in
+        let gz = Mat.create 7 7 and eg = Array.make 7 0.0 in
+        Sider_projection.Ica_kernel.sweep k ~w ~gz ~eg;
+        (gz, eg))
+  in
+  let gz1, eg1 = sweep_at 1 in
+  List.iter
+    (fun d ->
+      let gz, eg = sweep_at d in
+      check_bits_mat (Printf.sprintf "ica sweep gz domains=%d" d) gz1 gz;
+      check_bits_vec (Printf.sprintf "ica sweep eg domains=%d" d) eg1 eg)
+    [ 2; 4 ]
+
 let suite =
   [
     case "parallel_for covers every index once at 1/2/4 domains"
@@ -187,4 +210,6 @@ let suite =
     case "set_domains clamps and resizes" test_set_domains_clamps;
     slow_case "solver/whiten/pca are bit-identical at 1/2/4 domains"
       test_pipeline_bits_stable;
+    case "ica sweep is bit-stable across domain counts"
+      test_ica_sweep_bits_stable;
   ]

@@ -226,6 +226,7 @@ let test_view_project () =
       axis1 = { View.direction = [| 1.0; 0.0 |]; score = 1.0 };
       axis2 = { View.direction = [| 0.0; 1.0 |]; score = 0.5 };
       degraded = None;
+      unmixing = None;
     }
   in
   let pts = View.project v (Mat.of_arrays [| [| 3.0; 4.0 |] |]) in
@@ -256,6 +257,163 @@ let test_axis_label_top () =
   in
   let count_paren = String.fold_left (fun acc c -> if c = '(' then acc + 1 else acc) 0 label in
   check_true "only top 2 terms" (count_paren = 2)
+
+(* --- Fused ICA sweep kernels ---------------------------------------------- *)
+
+let random_mat r n m scale =
+  Mat.init n m (fun _ _ -> scale *. Sider_rand.Sampler.normal r)
+
+(* The pre-PR-8 pipeline the fused kernels replace: three full passes. *)
+let unfused_sweep z w =
+  let n, m = Mat.dims z in
+  let s = Mat.create n m and g = Mat.create n m in
+  let gz = Mat.create m m and eg = Vec.create m in
+  Mat.matmul_nt_into ~dst:s z w;
+  Mat.tanh_into ~dst:g s;
+  Mat.matmul_tn_into ~dst:gz g z;
+  Vec.fill eg 0.0;
+  let ga = g.Mat.a in
+  for i = 0 to n - 1 do
+    let off = i * m in
+    for k = 0 to m - 1 do
+      let t = Array.unsafe_get ga (off + k) in
+      eg.(k) <- eg.(k) +. (1.0 -. (t *. t))
+    done
+  done;
+  (gz, eg)
+
+let kernel_sweep kernel z w =
+  let _, m = Mat.dims z in
+  let gz = Mat.create m m and eg = Vec.create m in
+  Ica_kernel.sweep kernel ~w ~gz ~eg;
+  (gz, eg)
+
+let kernel_shapes = [ (137, 5, 3); (256, 8, 4); (61, 3, 5); (700, 11, 6) ]
+
+let test_ica_kernel_reference_bit_identical () =
+  List.iter
+    (fun (n, m, seed) ->
+      let r = Sider_rand.Rng.create seed in
+      let z = random_mat r n m 1.5 in
+      (* Plant exact zeros so the GEMM skip paths are exercised. *)
+      Mat.set z 0 0 0.0;
+      Mat.set z (n - 1) (m - 1) 0.0;
+      let w = random_mat r m m 1.0 in
+      let gz_u, eg_u = unfused_sweep z w in
+      let gz_f, eg_f = kernel_sweep (Ica_kernel.create_reference z) z w in
+      for k = 0 to m - 1 do
+        if Int64.bits_of_float eg_u.(k) <> Int64.bits_of_float eg_f.(k) then
+          Alcotest.failf "eg (n=%d m=%d k=%d): %h vs %h" n m k eg_u.(k)
+            eg_f.(k);
+        for j = 0 to m - 1 do
+          if
+            Int64.bits_of_float (Mat.get gz_u k j)
+            <> Int64.bits_of_float (Mat.get gz_f k j)
+          then
+            Alcotest.failf "gz (n=%d m=%d %d,%d): %h vs %h" n m k j
+              (Mat.get gz_u k j) (Mat.get gz_f k j)
+        done
+      done)
+    kernel_shapes
+
+let test_ica_kernel_simd_close () =
+  if not (Ica_kernel.simd_available ()) then ()
+  else
+    List.iter
+      (fun (n, m, seed) ->
+        let r = Sider_rand.Rng.create seed in
+        let z = random_mat r n m 1.5 in
+        let w = random_mat r m m 1.0 in
+        let gz_r, eg_r = kernel_sweep (Ica_kernel.create_reference z) z w in
+        let kernel = Ica_kernel.create z in
+        let gz_s, eg_s = kernel_sweep kernel z w in
+        (* Polynomial tanh at ~1e-15 relative error plus chunked partial
+           sums: entries of an n-term sum agree to ~1e-12 of its scale. *)
+        let tol v = 1e-10 *. Float.max 1.0 (Float.abs v) in
+        for k = 0 to m - 1 do
+          if Float.abs (eg_s.(k) -. eg_r.(k)) > tol eg_r.(k) then
+            Alcotest.failf "eg (n=%d m=%d k=%d): %.17g vs %.17g" n m k
+              eg_r.(k) eg_s.(k);
+          for j = 0 to m - 1 do
+            let a = Mat.get gz_r k j and b = Mat.get gz_s k j in
+            if Float.abs (b -. a) > tol a then
+              Alcotest.failf "gz (n=%d m=%d %d,%d): %.17g vs %.17g" n m k j
+                a b
+          done
+        done)
+      kernel_shapes
+
+let with_obs_recording f =
+  let r = Sider_obs.Obs.recording_sink () in
+  Sider_obs.Obs.reset ();
+  Sider_obs.Obs.set_sink (Some r.Sider_obs.Obs.rec_sink);
+  Fun.protect
+    ~finally:(fun () ->
+      Sider_obs.Obs.set_sink None;
+      Sider_obs.Obs.reset ())
+    f
+
+let test_ica_restarts_share_prepare () =
+  (* ica_max_iter:1 cannot converge on noise, so every extra unit of
+     restart budget is spent.  The seed-independent work — in particular
+     the n-sized [z = centered · dproj] product inside [Fastica.prepare]
+     — must run once per view no matter how many restarts fire, and each
+     restart may only add a handful of m×m-sized allocating products
+     (decorrelation of the fresh start). *)
+  let r = Sider_rand.Rng.create 99 in
+  let y = random_mat r 300 4 1.0 in
+  let run restarts =
+    with_obs_recording (fun () ->
+        let v =
+          View.of_whitened ~rng:(Sider_rand.Rng.create 7)
+            ~ica_restarts:restarts ~ica_max_iter:1 ~method_:View.Ica y
+        in
+        ignore v;
+        ( Sider_obs.Obs.counter_value "ica.prepare",
+          Sider_obs.Obs.counter_value "view.ica_restart",
+          Sider_obs.Obs.counter_value "mat.matmul_alloc" ))
+  in
+  let prep0, restarts0, alloc0 = run 0 in
+  let prep2, restarts2, alloc2 = run 2 in
+  Alcotest.(check int) "prepare once without restarts" 1 prep0;
+  Alcotest.(check int) "prepare once with restarts" 1 prep2;
+  Alcotest.(check int) "restart budget spent" 2 (restarts2 - restarts0);
+  let per_restart = (alloc2 - alloc0) / 2 in
+  if per_restart > 8 then
+    Alcotest.failf
+      "restarts re-run data-sized products: %d allocating matmuls per \
+       restart (start: %d, with 2 restarts: %d)"
+      per_restart alloc0 alloc2
+
+let test_ica_warm_w0_roundtrip () =
+  (* A converged unmixing matrix passed back as w0 must converge again,
+     quickly, to the same subspace — the warm-view contract Session
+     relies on. *)
+  let r = Sider_rand.Rng.create 91 in
+  let n = 800 in
+  let m =
+    Mat.init n 3 (fun _ j ->
+        let u = Sider_rand.Rng.float r -. 0.5 in
+        let v = Sider_rand.Sampler.normal r in
+        if j = 0 then u else v)
+  in
+  let prep = Fastica.prepare m in
+  let cold = Fastica.fit_prepared (Sider_rand.Rng.create 3) prep in
+  check_true "cold fit converged" cold.Fastica.converged;
+  let warm =
+    Fastica.fit_prepared ~w0:cold.Fastica.unmixing
+      (Sider_rand.Rng.create 4) prep
+  in
+  check_true "warm fit converged" warm.Fastica.converged;
+  check_true "warm fit is cheaper"
+    (warm.Fastica.iterations <= cold.Fastica.iterations);
+  (* Same components up to sign/permutation: compare score magnitudes. *)
+  Array.iteri
+    (fun i s ->
+      approx ~eps:1e-3 "warm scores match cold"
+        (Float.abs cold.Fastica.scores.(i))
+        (Float.abs s))
+    warm.Fastica.scores
 
 let test_view_of_solver_picks_structure () =
   (* Clusters along X3 only: the most informative view must load on X3. *)
@@ -295,4 +453,9 @@ let suite =
     case "axis label format" test_axis_label_format;
     case "axis label top terms" test_axis_label_top;
     case "view finds planted structure" test_view_of_solver_picks_structure;
+    case "ica kernel: fused reference is bit-identical to unfused pipeline"
+      test_ica_kernel_reference_bit_identical;
+    case "ica kernel: simd agrees with reference" test_ica_kernel_simd_close;
+    case "ica restarts share one prepare" test_ica_restarts_share_prepare;
+    case "ica warm w0 roundtrip" test_ica_warm_w0_roundtrip;
   ]

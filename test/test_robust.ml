@@ -111,6 +111,51 @@ let test_injected_nan_recovered () =
        (Sider_error.to_string e));
   Fault.reset ()
 
+(* --- Acceptance: a fault during the warm phase falls back to cold ------------- *)
+
+let test_warm_phase_fault_falls_back () =
+  Fault.reset ();
+  let module Obs = Sider_obs.Obs in
+  let recording = Obs.recording_sink () in
+  Obs.reset ();
+  Obs.set_sink (Some recording.Obs.rec_sink);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink None;
+      Obs.reset ())
+  @@ fun () ->
+  let module Solver = Sider_maxent.Solver in
+  let session = Session.create ~seed:11 (small_dataset ()) in
+  Session.add_margin_constraint session;
+  (match Session.update_background session with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "setup solve: %s" (Sider_error.to_string e));
+  Session.add_cluster_constraint session (Array.init 12 Fun.id);
+  (* Sweep 1 of the next solve is the warm phase's first restricted
+     sweep; poisoning it must abort the phase and fall back to full
+     sweeps — recovered, recorded, and still converging. *)
+  Fault.arm (Fault.Nan_in_class { sweep = 1; cls = 0 });
+  let fallbacks_before =
+    Sider_obs.Obs.counter_value "solver.warm_fallback"
+  in
+  (match Session.update_background session with
+   | Ok report ->
+     check_true "injection fired" (List.length (Fault.fired ()) = 1);
+     check_true "fallback counted"
+       (Sider_obs.Obs.counter_value "solver.warm_fallback"
+        = fallbacks_before + 1);
+     check_true "degradation recorded"
+       (List.exists
+          (fun e -> Sider_error.label e = "nan-detected")
+          report.Solver.degradations);
+     check_true "full sweeps finished the job" (report.Solver.cold_sweeps > 0);
+     check_true "converged" report.Solver.converged;
+     check_true "params finite" (solver_params_finite (Session.solver session))
+   | Error e ->
+     Alcotest.failf "warm-phase fault must degrade, not fail: %s"
+       (Sider_error.to_string e));
+  Fault.reset ()
+
 (* --- Acceptance: unrecoverable failure rolls the session back ------------------ *)
 
 let test_sweep_failure_rolls_back () =
@@ -287,6 +332,7 @@ let suite =
     case "ill-conditioned builder deterministic"
       test_ill_conditioned_cov_deterministic;
     case "injected NaN recovered in-place" test_injected_nan_recovered;
+    case "warm-phase fault falls back to cold" test_warm_phase_fault_falls_back;
     case "sweep failure rolls session back" test_sweep_failure_rolls_back;
     case "ill-conditioned mvn stays finite" test_mvn_ill_conditioned;
     case "adversarial rowsets never crash" test_adversarial_rowsets;

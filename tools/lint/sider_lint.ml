@@ -24,6 +24,12 @@
      / Obs.counter_value lookups inside loops are flagged — hot paths
      must use preregistered handles (Obs.hist_handle / observe_into),
      per the PR 4 overhead budget.
+   - [alloc-in-hot-loop] (R5) in lib/linalg, lib/maxent and
+     lib/projection, allocating Mat operations (matmul / add / map /
+     ... — anything with an [_into] sibling) inside a loop are flagged:
+     each iteration allocates a fresh matrix the GC must then chase,
+     which is exactly the churn the PR 8 fused-kernel work removed from
+     the ICA hot path.  Write into a preallocated buffer instead.
 
    Escapes are explicit and auditable:
 
@@ -47,8 +53,9 @@ let r_dom = "domain-safety"
 let r_err = "error-discipline"
 let r_flt = "float-equality"
 let r_obs = "obs-hygiene"
+let r_alloc = "alloc-in-hot-loop"
 
-let all_rules = [ r_det; r_dom; r_err; r_flt; r_obs ]
+let all_rules = [ r_det; r_dom; r_err; r_flt; r_obs; r_alloc ]
 
 (* ------------------------------------------------------------------ *)
 (* Findings                                                            *)
@@ -66,7 +73,7 @@ let files_scanned = ref 0
 (* Which rule families apply to a source file.  [domain-safety] applies
    everywhere.  In [--fixture-mode] every rule applies to every file, so
    the fixture suite can exercise each rule from a single directory. *)
-type policy = { det : bool; err : bool; obs : bool }
+type policy = { det : bool; err : bool; obs : bool; alloc : bool }
 
 let starts_with_any prefixes s =
   List.exists (fun p -> String.starts_with ~prefix:p s) prefixes
@@ -79,14 +86,20 @@ let det_exempt = [ "lib/obs/"; "lib/serve/"; "bench/"; "bin/" ]
 (* The numerical kernels whose failures must be structured errors. *)
 let err_scoped = [ "lib/linalg/"; "lib/maxent/"; "lib/stats/"; "lib/projection/" ]
 
+(* The hot numerical paths where per-iteration Mat allocation is banned.
+   lib/stats is excluded: its loops are per-call one-shots, not the
+   per-sweep / per-restart kernels the PR 8 budget covers. *)
+let alloc_scoped = [ "lib/linalg/"; "lib/maxent/"; "lib/projection/" ]
+
 let policy_of_file file =
-  if !fixture_mode then { det = true; err = true; obs = true }
+  if !fixture_mode then { det = true; err = true; obs = true; alloc = true }
   else
     {
       det = not (starts_with_any det_exempt file);
       err = starts_with_any err_scoped file;
       (* lib/obs implements the metric registry itself. *)
       obs = not (String.starts_with ~prefix:"lib/obs/" file);
+      alloc = starts_with_any alloc_scoped file;
     }
 
 (* ------------------------------------------------------------------ *)
@@ -229,6 +242,13 @@ let mutex_idents = [ "Mutex.lock"; "Mutex.try_lock"; "Mutex.protect" ]
 let obs_by_name =
   [ "Obs.count"; "Obs.gauge"; "Obs.observe"; "Obs.counter_value" ]
 
+(* R5: Mat operations that allocate their result and have an in-place
+   [_into] sibling taking a preallocated [~dst].  The suffix match is
+   exact, so e.g. [Mat.matmul_into] itself never matches ["Mat.matmul"]. *)
+let alloc_mat_ops =
+  [ "Mat.matmul"; "Mat.matmul_nt"; "Mat.matmul_tn"; "Mat.mv"; "Mat.add";
+    "Mat.sub"; "Mat.scale"; "Mat.map"; "Mat.copy" ]
+
 (* R4: loop-running higher-order functions — a closure passed here runs
    once per element, so it counts as a loop body. *)
 let loop_hofs =
@@ -261,7 +281,7 @@ type par_ctx = {
   label : string; (* entry point name, for messages *)
 }
 
-let cur_policy = ref { det = false; err = false; obs = false }
+let cur_policy = ref { det = false; err = false; obs = false; alloc = false }
 let par_context : par_ctx option ref = ref None
 let loop_depth = ref 0
 
@@ -361,7 +381,13 @@ let check_ident ~loc nm =
     report ~loc ~rule:r_obs
       (Printf.sprintf
          "by-name metric lookup '%s' inside a loop; preregister a handle \
-          (Obs.hist_handle / Obs.observe_into) outside the loop" nm)
+          (Obs.hist_handle / Obs.observe_into) outside the loop" nm);
+  if !cur_policy.alloc && !loop_depth > 0 && ends_with_any alloc_mat_ops nm
+  then
+    report ~loc ~rule:r_alloc
+      (Printf.sprintf
+         "allocating '%s' inside a loop in a hot numerical module; write \
+          into a preallocated buffer with its '_into' sibling" nm)
 
 (* R2 write checks, active only inside a Par closure. *)
 let check_par_write ctx (e : Typedtree.expression) =
