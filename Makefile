@@ -44,6 +44,10 @@ verify:
 # (create → constrain → update → projection), then doctor-verify one
 # of the journals it wrote (exit 2 on corruption) — the journal picked
 # has a sibling snapshot, so this also proves snapshot-aware replay.
+# The run writes the structured JSON access log next to the flight
+# dumps; the final leg pulls a trace id back out of it and greps the
+# whole _artifacts/flight/ directory with `doctor --trace`, proving the
+# id round-trips from generator to log to the correlation tool.
 # stderr — including any crash-forensics flight-recorder dumps — lands
 # in _artifacts/flight/, which CI uploads as an artifact on failure.
 service-smoke:
@@ -52,6 +56,7 @@ service-smoke:
 	dune exec bin/sider_cli.exe -- load --sessions 24 --concurrency 8 \
 	  --rows 32 --persona mixed --compact-threshold 4 --ttl 0.2 \
 	  --data-dir _artifacts/service-smoke-wal \
+	  --access-log _artifacts/flight/service-smoke-access.jsonl \
 	  --baseline BENCH_pr6.json \
 	  --out _artifacts/BENCH_service_smoke.json \
 	  2> _artifacts/flight/service-smoke.stderr
@@ -60,6 +65,10 @@ service-smoke:
 	[ -n "$$J" ] || J="$$(ls _artifacts/service-smoke-wal/*.journal | head -n 1)"; \
 	dune exec bin/sider_cli.exe -- doctor --snapshot "$$J" \
 	  2>> _artifacts/flight/service-smoke.stderr
+	T="$$(sed -n 's/.*"trace":"\([^"]*\)".*/\1/p' \
+	      _artifacts/flight/service-smoke-access.jsonl | head -n 1)"; \
+	[ -n "$$T" ] || { echo "service-smoke: empty access log" >&2; exit 1; }; \
+	dune exec bin/sider_cli.exe -- doctor --trace "$$T" _artifacts/flight
 
 # Full service load benchmark: 1000 analysts through the journaled
 # session service over keep-alive connections, with TTL eviction and
@@ -77,26 +86,27 @@ bench-service:
 	  --baseline BENCH_pr6.json --label pr7 --out BENCH_pr7.json
 
 # Full machine-readable benchmark run; rewrites the committed result,
-# including the domain-scaling table and the warm-update sweep gate, and
-# embeds the delta against the newest committed baseline that still has
-# a scenario table (BENCH_pr7.json is the service-load schema, so in
-# practice the diff lands on BENCH_pr4.json).
+# including the domain-scaling table, the warm-update sweep gate and
+# the labeled-metrics overhead gate, and embeds the delta against the
+# newest committed baseline with a scenario table (BENCH_pr8.json).
 bench:
-	dune exec bench/bench_regress.exe -- --out BENCH_pr8.json --label pr8 \
-	  --scaling --baseline BENCH_pr7.json --baseline BENCH_pr4.json
+	dune exec bench/bench_regress.exe -- --out BENCH_pr9.json --label pr9 \
+	  --scaling --baseline BENCH_pr8.json --baseline BENCH_pr4.json
 
 # Fast sanity pass over every scenario (reduced sizes, 1 run each),
-# checked to still cover the PR 8 warm-path scenarios.
+# checked to still cover the PR 8 warm-path scenarios and the PR 9
+# labeled-metrics scenario.
 bench-smoke:
 	dune exec bench/bench_regress.exe -- --smoke --out _artifacts/BENCH_smoke.json
 	grep -q session_update_warm_synthetic _artifacts/BENCH_smoke.json
 	grep -q ica_projection_warm _artifacts/BENCH_smoke.json
+	grep -q obs_labels_overhead _artifacts/BENCH_smoke.json
 
 # Re-measure and compare against the committed baseline; exits non-zero
 # when any scenario regresses by more than 25% wall time.
 bench-diff:
 	dune exec bench/bench_regress.exe -- --out _artifacts/BENCH_head.json \
-	  --baseline BENCH_pr8.json
+	  --baseline BENCH_pr9.json
 
 # Wall clock of the Sider_par-enabled scenarios at 1, 2 and 4 domains
 # (results are bit-identical at every size; only the time may change).

@@ -7,7 +7,7 @@
    — on synthetic and segmentation data, whiten+PCA, ICA cold and warm,
    the full pipeline) and writes one JSON document per invocation:
 
-     { "schema": "sider-bench/3", "label": "pr8", "smoke": false,
+     { "schema": "sider-bench/3", "label": "pr9", "smoke": false,
        "domains": 1, "ocaml_version": "...",
        "scenarios": [ { "name": ..., "wall_s": ..., "wall_min_s": ...,
                         "sweeps": ..., "warm_sweeps": ...,
@@ -31,7 +31,7 @@
    PR 8's incremental-solve claim.
 
    Options:
-     --out PATH        output path (default BENCH_pr8.json)
+     --out PATH        output path (default BENCH_pr9.json)
      --baseline PATH   compare against a previous output; exit 1 when any
                        scenario regresses by more than 25% wall-clock.
                        Repeatable: the first file that actually contains
@@ -41,7 +41,7 @@
      --smoke           tiny inputs, 1 run: exercises the harness in
                        seconds (wired into `make verify`)
      --runs N          repetitions per scenario (default 3; smoke 1)
-     --label STR       label recorded in the output (default pr8)
+     --label STR       label recorded in the output (default pr9)
      --scaling         also run the Sider_par-enabled scenarios at 1, 2
                        and 4 domains and record a "scaling" section *)
 
@@ -285,6 +285,50 @@ let obs_overhead mode ~smoke =
       Obs.reset ())
     (fun () -> session_update_synthetic ~smoke)
 
+(* Labeled-metrics overhead: the session_update_synthetic workload with
+   the per-request labeled writes the service issues in [serve_one] —
+   the route/status latency histogram, the per-tenant counter and a
+   stage observation through a preregistered handle — inside the timed
+   section, under the null sink.  The comparison row is
+   obs_overhead_null_sink (same workload, unlabeled instrumentation
+   only); the in-harness gate below holds the delta within 5%. *)
+let obs_labels_overhead ~smoke =
+  let module Obs = Sider_obs.Obs in
+  Obs.set_sink (Some Obs.null_sink);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink None;
+      Obs.reset ())
+    (fun () ->
+      let n, d, k = if smoke then (256, 8, 2) else (2048, 16, 4) in
+      let ds = Sider_data.Synth.clustered ~seed:5 ~n ~d ~k () in
+      let session = Session.create ~seed:5 ds in
+      Session.add_margin_constraint session;
+      Session.add_cluster_constraint session
+        (Dataset.class_indices ds (List.hd (Dataset.classes ds)));
+      let stage_solve =
+        Obs.labeled_hist "serve.stage_s" [ ("stage", "solve") ]
+      in
+      let report, wall =
+        time_of (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let r = Session.update_background ~time_cutoff:60.0 session in
+            let dur = Unix.gettimeofday () -. t0 in
+            Obs.observe_into stage_solve dur;
+            Obs.observe_labeled "serve.request_s"
+              [ ("route", "update"); ("status", "200") ]
+              dur;
+            Obs.count_labeled "serve.tenant_requests" [ ("tenant", "bench") ];
+            r)
+      in
+      let sweeps, warm_sweeps =
+        match report with
+        | Ok r -> (r.Solver.sweeps, r.Solver.warm_sweeps)
+        | Error _ -> (0, 0)
+      in
+      { wall; sweeps; warm_sweeps;
+        classes = Solver.n_classes (Session.solver session) })
+
 let scenarios =
   [ { name = "micro_solver_sweeps";
       descr = "25 bounded sweeps, margin+cluster constraints";
@@ -321,7 +365,10 @@ let scenarios =
       run = obs_overhead `Null_sink };
     { name = "obs_overhead_recorder";
       descr = "session update, flight recorder on (ring writes only)";
-      run = obs_overhead `Recorder } ]
+      run = obs_overhead `Recorder };
+    { name = "obs_labels_overhead";
+      descr = "session update + per-request labeled writes, null sink";
+      run = obs_labels_overhead } ]
 
 (* --- measurement ----------------------------------------------------------- *)
 
@@ -501,10 +548,10 @@ let run_scaling ~smoke =
 
 let () =
   let smoke = ref false in
-  let out = ref "BENCH_pr8.json" in
+  let out = ref "BENCH_pr9.json" in
   let baselines = ref [] in
   let runs = ref 0 in
-  let label = ref "pr8" in
+  let label = ref "pr9" in
   let scaling = ref false in
   let specs =
     [ ("--smoke", Arg.Set smoke, "tiny inputs, 1 run (harness self-test)");
@@ -572,6 +619,30 @@ let () =
           warm.m_sweeps warm.m_warm_sweeps
           (warm.m_sweeps - warm.m_warm_sweeps)
           cold.m_sweeps
+    | _ -> ()
+  end;
+  (* The labeled-metrics gate (full runs only): the per-request labeled
+     writes must stay within 5% of the unlabeled null-sink row, with
+     the same 2ms absolute slack as [regressed] for jitter. *)
+  if not smoke then begin
+    let find n = List.find_opt (fun m -> m.m_name = n) measured in
+    match (find "obs_overhead_null_sink", find "obs_labels_overhead") with
+    | Some plain, Some labeled ->
+      if labeled.m_wall > (plain.m_wall *. 1.05) +. 0.002 then begin
+        Printf.eprintf
+          "bench_regress: labeled-metrics gate FAILED: \
+           obs_labels_overhead %.4fs vs obs_overhead_null_sink %.4fs \
+           (must be within 5%%)\n%!"
+          labeled.m_wall plain.m_wall;
+        exit 1
+      end
+      else
+        Printf.printf
+          "  labeled-metrics gate: %.4fs vs %.4fs null-sink (%+.1f%%) ok\n%!"
+          labeled.m_wall plain.m_wall
+          (if plain.m_wall > 0.0 then
+             100.0 *. ((labeled.m_wall /. plain.m_wall) -. 1.0)
+           else 0.0)
     | _ -> ()
   end;
   if not (List.is_empty !baselines) then begin

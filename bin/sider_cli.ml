@@ -13,6 +13,7 @@
      serve        run feedback rounds with a Prometheus /metrics endpoint
      api          run the multi-tenant session service (JSON API + WAL)
      load         drive concurrent analysts against the session API
+     top          poll a session API's /metrics and render a dashboard
 
    Datasets are built-in generators (three_d, x5, corpus, segmentation,
    gaussian) or any CSV file with a header row.
@@ -82,6 +83,25 @@ let trace_json_t =
        & info [ "trace-json" ] ~docv:"FILE" ~doc)
 
 let obs_setup_t = Term.(const setup_trace_json $ trace_json_t)
+
+(* [--access-log FILE] for the service-running subcommands (api, load):
+   one structured JSON line per request.  The channel is opened here and
+   closed by the subcommand after the service drains. *)
+let access_log_t =
+  let doc =
+    "Write a structured JSON access log to $(docv): one line per \
+     request with trace id, tenant, route, status, duration, queue \
+     wait, journal fsync time and the update's warm/cold sweep split."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "access-log" ] ~docv:"FILE" ~doc)
+
+let open_access_log = Option.map open_out
+
+let close_access_log oc =
+  match oc with
+  | Some oc -> (try close_out oc with Sys_error _ -> ())
+  | None -> ()
 
 let seed_t =
   let doc = "Random seed (controls generators, sampling and FastICA)." in
@@ -271,14 +291,82 @@ let doctor_cmd =
                    format version, checksum and full replayability \
                    exactly as boot-time recovery would.")
   in
+  let trace_id_t =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"ID"
+             ~doc:"Correlate a trace id with flight-recorder dumps: \
+                   search the positional argument (a dump file, or a \
+                   directory of dumps; default $(b,.)) for lines \
+                   containing $(docv) and print each with its location. \
+                   Exits 0 when at least one line matched, 2 otherwise.")
+  in
   let dataset_opt_t =
     let doc =
       "Dataset: a builtin name (see $(b,sider datasets)) or a CSV path. \
-       Optional when $(b,--snapshot) is given."
+       Optional when $(b,--snapshot) is given; with $(b,--trace), a \
+       flight-dump file or directory instead."
     in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"DATASET" ~doc)
   in
-  let run () dataset seed label_column shallow flight snapshot =
+  (* Naive scan — dump files are small (bounded ring).  The match is
+     token-exact, not substring: an occurrence only counts when the
+     surrounding characters fall outside the trace-id charset, so
+     grepping for [load-0-1] cannot also hit [load-0-10]. *)
+  let id_char = function
+    | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '_' | ':' | '-' -> true
+    | _ -> false
+  in
+  let contains_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let bounded i =
+      (i = 0 || not (id_char hay.[i - 1]))
+      && (i + nn = nh || not (id_char hay.[i + nn]))
+    in
+    let rec go i =
+      i + nn <= nh
+      && ((String.sub hay i nn = needle && bounded i) || go (i + 1))
+    in
+    nn = 0 || go 0
+  in
+  let grep_trace id path =
+    let files =
+      if Sys.file_exists path && Sys.is_directory path then
+        Sys.readdir path |> Array.to_list |> List.sort compare
+        |> List.map (Filename.concat path)
+        |> List.filter (fun f -> not (Sys.is_directory f))
+      else [ path ]
+    in
+    let hits = ref 0 in
+    List.iter
+      (fun file ->
+        match open_in file with
+        | exception Sys_error _ -> ()
+        | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let ln = ref 0 in
+              try
+                while true do
+                  let line = input_line ic in
+                  incr ln;
+                  if contains_sub line id then begin
+                    incr hits;
+                    Printf.printf "%s:%d: %s\n" file !ln line
+                  end
+                done
+              with End_of_file -> ()))
+      files;
+    !hits
+  in
+  let run () dataset seed label_column shallow flight snapshot trace_id =
+    match trace_id with
+    | Some id ->
+      let path = Option.value dataset ~default:"." in
+      let hits = grep_trace id path in
+      Printf.printf "%d line(s) matching trace %s under %s\n" hits id path;
+      if hits = 0 then Stdlib.exit 2
+    | None ->
     let report =
       match (snapshot, dataset) with
       | Some path, _ -> Doctor.check_store path
@@ -308,11 +396,12 @@ let doctor_cmd =
   Cmd.v
     (Cmd.info "doctor"
        ~doc:"Diagnose a dataset (static health checks, an end-to-end \
-             solver probe, a telemetry self-check) or, with \
-             $(b,--snapshot), a persistence artifact.  Exits 0 when \
-             healthy, 2 when a fault was diagnosed.")
+             solver probe, a telemetry self-check), a persistence \
+             artifact with $(b,--snapshot), or correlate a request \
+             trace id with flight-recorder dumps with $(b,--trace).  \
+             Exits 0 when healthy, 2 when a fault was diagnosed.")
     Term.(const run $ obs_setup_t $ dataset_opt_t $ seed_t $ label_column_t
-          $ shallow_t $ flight_t $ snapshot_t)
+          $ shallow_t $ flight_t $ snapshot_t $ trace_id_t)
 
 (* --- trace ------------------------------------------------------------------------ *)
 
@@ -586,13 +675,15 @@ let api_cmd =
                  $(docv).")
   in
   let run () port data_dir workers queue max_sessions deadline ttl compact
-      keepalive idle_timeout =
+      keepalive idle_timeout access_log =
     if not (Obs.enabled ()) then Obs.set_sink (Some Obs.null_sink);
+    let access_oc = open_access_log access_log in
     let config =
       { Sider_serve.Service.default_config with
         port; data_dir; workers; queue_capacity = queue; max_sessions;
         deadline_s = deadline; session_ttl_s = ttl; compact_events = compact;
-        keepalive_requests = keepalive; idle_timeout_s = idle_timeout }
+        keepalive_requests = keepalive; idle_timeout_s = idle_timeout;
+        access_log = access_oc }
     in
     let svc = Sider_serve.Service.start ~config () in
     List.iter
@@ -615,6 +706,7 @@ let api_cmd =
     done;
     Printf.printf "draining...\n%!";
     Sider_serve.Service.stop svc;
+    close_access_log access_oc;
     Printf.printf "stopped\n%!"
   in
   Cmd.v
@@ -627,7 +719,7 @@ let api_cmd =
              /metrics.")
     Term.(const run $ obs_setup_t $ port_t $ data_dir_t $ workers_t
           $ queue_t $ max_sessions_t $ deadline_t $ ttl_t $ compact_t
-          $ keepalive_t $ idle_timeout_t)
+          $ keepalive_t $ idle_timeout_t $ access_log_t)
 
 (* --- load ------------------------------------------------------------------------- *)
 
@@ -734,8 +826,10 @@ let load_cmd =
     with _ -> None
   in
   let run () sessions concurrency target data_dir out rows seed persona ttl
-      compact keepalive_requests idle_timeout baseline label no_keepalive =
+      compact keepalive_requests idle_timeout baseline label no_keepalive
+      access_log =
     if not (Obs.enabled ()) then Obs.set_sink (Some Obs.null_sink);
+    let access_oc = open_access_log access_log in
     let own, port =
       match target with
       | Some p -> (None, p)
@@ -750,14 +844,16 @@ let load_cmd =
             session_ttl_s = ttl;
             compact_events = compact;
             keepalive_requests;
-            idle_timeout_s = idle_timeout }
+            idle_timeout_s = idle_timeout;
+            access_log = access_oc }
         in
         let svc = Sider_serve.Service.start ~config () in
         (Some svc, Sider_serve.Service.port svc)
     in
     Fun.protect
       ~finally:(fun () ->
-        match own with Some svc -> Sider_serve.Service.stop svc | None -> ())
+        (match own with Some svc -> Sider_serve.Service.stop svc | None -> ());
+        close_access_log access_oc)
     @@ fun () ->
     let ds = Synth.gaussian ~seed ~n:rows ~d:4 () in
     let create_body =
@@ -768,15 +864,22 @@ let load_cmd =
     in
     let lock = Mutex.create () in
     let next = ref 0 in
-    let latencies = ref [] in
+    let latencies = ref [] in  (* (latency_s, trace id) per ok response *)
     let shed_429 = ref 0 in
     let shed_503 = ref 0 in
     let failures = ref 0 in
     let transport_retries = ref 0 in
-    let record lat = Mutex.lock lock; latencies := lat :: !latencies; Mutex.unlock lock in
+    let failed_traces = ref [] in
+    let record lat trace =
+      Mutex.lock lock; latencies := (lat, trace) :: !latencies; Mutex.unlock lock
+    in
+    let record_failed trace =
+      Mutex.lock lock; failed_traces := trace :: !failed_traces; Mutex.unlock lock
+    in
     let bump ?(by = 1) r = Mutex.lock lock; r := !r + by; Mutex.unlock lock in
     let analyst ti () =
       let rng = Sider_rand.Rng.create (seed + (1000 * ti)) in
+      let trace_seq = ref 0 in
       (* One persistent connection per analyst thread: latency is
          measured in keep-alive steady state, not dominated by per-
          request connect/teardown. *)
@@ -784,34 +887,46 @@ let load_cmd =
         if no_keepalive then None
         else Some (Sider_serve.Http.client ~port ())
       in
-      let transport ?body ~meth path =
+      let transport ?headers ?body ~meth path =
         match client with
-        | Some c -> Sider_serve.Http.client_request ?body c ~meth path
-        | None -> Sider_serve.Http.request ?body ~meth ~port path
+        | Some c -> Sider_serve.Http.client_request ?headers ?body c ~meth path
+        | None -> Sider_serve.Http.request ?headers ?body ~meth ~port path
       in
       (* One request with shed-aware retry; returns the successful
-         response, or None after exhausting the budget. *)
-      let rec call ?body ~meth path attempt =
-        if attempt > 8 then None
+         response, or None after exhausting the budget.  Every attempt
+         of one logical call shares a trace id, so the access log shows
+         the retries as one story. *)
+      let rec call ~trace ?body ~meth path attempt =
+        if attempt > 8 then (record_failed trace; None)
         else begin
+          let headers =
+            [ (Sider_serve.Http.trace_response_header, trace) ]
+          in
           let t0 = Unix.gettimeofday () in
-          match transport ?body ~meth path with
+          match transport ~headers ?body ~meth path with
           | Error _ ->
             bump transport_retries;
             Option.iter Sider_serve.Http.client_close client;
             Thread.delay (0.01 *. float_of_int (1 lsl attempt));
-            call ?body ~meth path (attempt + 1)
+            call ~trace ?body ~meth path (attempt + 1)
           | Ok resp when resp.Sider_serve.Http.status = 429
                       || resp.Sider_serve.Http.status = 503 ->
             bump (if resp.Sider_serve.Http.status = 429 then shed_429 else shed_503);
             Thread.delay (0.01 *. float_of_int (1 lsl attempt));
-            call ?body ~meth path (attempt + 1)
+            call ~trace ?body ~meth path (attempt + 1)
           | Ok resp ->
-            record (Unix.gettimeofday () -. t0);
+            record (Unix.gettimeofday () -. t0) trace;
+            if resp.Sider_serve.Http.status >= 500 then record_failed trace;
             Some resp
         end
       in
-      let call ?body ~meth path = call ?body ~meth path 0 in
+      let call ?body ~meth path =
+        let trace =
+          incr trace_seq;
+          Printf.sprintf "load-%d-%d" ti !trace_seq
+        in
+        call ~trace ?body ~meth path 0
+      in
       let api =
         { Sider_serve.Persona.call =
             (fun ?body ~meth path ->
@@ -848,11 +963,22 @@ let load_cmd =
     in
     List.iter Thread.join threads;
     let wall = Unix.gettimeofday () -. t0 in
-    let lats = Array.of_list !latencies in
+    let pairs = Array.of_list !latencies in
+    let lats = Array.map fst pairs in
     let q p = Obs.quantile_type7 lats p in
     let p50 = q 0.5 and p95 = q 0.95 and p99 = q 0.99 in
     let mx = Array.fold_left Float.max 0.0 lats in
     let n_req = Array.length lats in
+    (* Trace ids of the slowest requests (at or above p99, capped at 5):
+       the handle into the access log, span tree and flight dumps for
+       exactly the requests worth investigating. *)
+    let slowest =
+      let sorted = Array.copy pairs in
+      Array.sort (fun (a, _) (b, _) -> compare b a) sorted;
+      Array.to_list sorted
+      |> List.filteri (fun i _ -> i < 5)
+      |> List.filter (fun (l, _) -> n_req > 0 && l >= p99)
+    in
     (* Lifecycle counters only make sense for the in-process service —
        against a remote target they would read this process's (empty)
        registry. *)
@@ -894,6 +1020,18 @@ let load_cmd =
             Printf.sprintf "baseline %s: p99 %.4fs -> %.4fs (%+.1f%%)\n"
               path bp99 p99 delta))
     in
+    let trace_fields =
+      [ ("slowest",
+         Json.List
+           (List.map
+              (fun (l, tr) ->
+                Json.Obj
+                  [ ("trace", Json.String tr); ("latency_s", Json.Number l) ])
+              slowest));
+        ("failed_traces",
+         Json.List (List.rev_map (fun tr -> Json.String tr) !failed_traces))
+      ]
+    in
     let result =
       Json.Obj
         ([ ("schema", Json.String "sider-load/2");
@@ -917,7 +1055,7 @@ let load_cmd =
             Json.Obj
               [ ("p50", Json.Number p50); ("p95", Json.Number p95);
                 ("p99", Json.Number p99); ("max", Json.Number mx) ]) ]
-         @ lifecycle @ baseline_fields)
+         @ trace_fields @ lifecycle @ baseline_fields)
     in
     Printf.printf
       "%d sessions via %d threads in %.2fs: %d ok (%.0f rps), %d shed \
@@ -930,6 +1068,21 @@ let load_cmd =
       (Sider_serve.Persona.to_string persona)
       (if no_keepalive then "off" else "on")
       p50 p95 p99 mx;
+    (match slowest with
+     | [] -> ()
+     | l ->
+       Printf.printf "slowest (>= p99):%s\n"
+         (String.concat ""
+            (List.map
+               (fun (lat, tr) -> Printf.sprintf " %s=%.4fs" tr lat)
+               l)));
+    (match !failed_traces with
+     | [] -> ()
+     | l ->
+       let shown = List.filteri (fun i _ -> i < 10) (List.rev l) in
+       Printf.printf "failed request trace(s) (%d):%s%s\n" (List.length l)
+         (String.concat "" (List.map (fun tr -> " " ^ tr) shown))
+         (if List.length l > 10 then " ..." else ""));
     (match own with
      | Some svc ->
        Printf.printf
@@ -965,7 +1118,118 @@ let load_cmd =
     Term.(const run $ obs_setup_t $ sessions_t $ concurrency_t $ target_t
           $ data_dir_t $ out_t $ rows_t $ seed_t $ persona_t $ ttl_t
           $ compact_t $ keepalive_requests_t $ idle_timeout_t $ baseline_t
-          $ label_t $ no_keepalive_t)
+          $ label_t $ no_keepalive_t $ access_log_t)
+
+(* --- top -------------------------------------------------------------------------- *)
+
+(* Live service dashboard: poll /metrics and render the labeled request
+   families as a per-route/status latency table, plus session lifecycle
+   and SLO burn.  Everything is parsed back out of the exposition text
+   with [Serve.parse_sample] — the same contract a real scraper uses. *)
+type top_row = {
+  mutable tr_count : float;
+  mutable tr_p50 : float;
+  mutable tr_p95 : float;
+  mutable tr_p99 : float;
+}
+
+let top_cmd =
+  let port_t =
+    Arg.(value & opt int 9101 & info [ "port" ] ~docv:"PORT"
+           ~doc:"Port of the running session API to scrape.")
+  in
+  let interval_t =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Seconds between scrapes.")
+  in
+  let count_t =
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N"
+           ~doc:"Scrapes before exiting; 0 (default) polls until \
+                 interrupted.")
+  in
+  let run () port interval count =
+    let scrape () =
+      match Sider_serve.Http.request ~meth:"GET" ~port "/metrics" with
+      | Ok resp when resp.Sider_serve.Http.status = 200 ->
+        Some
+          (String.split_on_char '\n' resp.Sider_serve.Http.r_body
+           |> List.filter_map Sider_serve.Serve.parse_sample)
+      | Ok resp ->
+        Printf.eprintf "scrape: HTTP %d\n%!" resp.Sider_serve.Http.status;
+        None
+      | Error e ->
+        Printf.eprintf "scrape: %s\n%!" e;
+        None
+    in
+    let render i samples =
+      let rows : (string * string, top_row) Hashtbl.t = Hashtbl.create 16 in
+      let row route status =
+        match Hashtbl.find_opt rows (route, status) with
+        | Some r -> r
+        | None ->
+          let r =
+            { tr_count = 0.0; tr_p50 = Float.nan; tr_p95 = Float.nan;
+              tr_p99 = Float.nan }
+          in
+          Hashtbl.replace rows (route, status) r;
+          r
+      in
+      let scalar = Hashtbl.create 16 in
+      List.iter
+        (fun (name, labels, v) ->
+          let l k = List.assoc_opt k labels in
+          match name with
+          | "sider_serve_request_s" ->
+            (match (l "route", l "status", l "quantile") with
+             | Some r, Some s, Some q ->
+               let row = row r s in
+               (match q with
+                | "0.5" -> row.tr_p50 <- v
+                | "0.95" -> row.tr_p95 <- v
+                | "0.99" -> row.tr_p99 <- v
+                | _ -> ())
+             | _ -> ())
+          | "sider_serve_request_s_count" ->
+            (match (l "route", l "status") with
+             | Some r, Some s -> (row r s).tr_count <- v
+             | _ -> ())
+          | _ -> if labels = [] then Hashtbl.replace scalar name v)
+        samples;
+      let g name = Option.value ~default:0.0 (Hashtbl.find_opt scalar name) in
+      Printf.printf "-- scrape %d @ 127.0.0.1:%d --\n" i port;
+      Printf.printf "%-12s %-7s %9s %9s %9s %9s\n" "route" "status"
+        "count" "p50_ms" "p95_ms" "p99_ms";
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) rows []
+      |> List.sort compare
+      |> List.iter (fun ((route, status), r) ->
+          Printf.printf "%-12s %-7s %9.0f %9.2f %9.2f %9.2f\n" route status
+            r.tr_count (1000.0 *. r.tr_p50) (1000.0 *. r.tr_p95)
+            (1000.0 *. r.tr_p99));
+      Printf.printf
+        "sessions: %.0f resident, %.0f evicted, %.0f rehydrated; \
+         requests %.0f, shed %.0f\n"
+        (g "sider_serve_resident_sessions")
+        (g "sider_serve_evictions_total")
+        (g "sider_serve_rehydrations_total")
+        (g "sider_serve_requests_total")
+        (g "sider_serve_rejected_queue_full_total"
+         +. g "sider_serve_rejected_sessions_full_total");
+      Printf.printf "slo burn: 5m %.2f, 1h %.2f\n%!"
+        (g "sider_serve_slo_burn_5m") (g "sider_serve_slo_burn_1h")
+    in
+    let i = ref 0 in
+    while count = 0 || !i < count do
+      incr i;
+      (match scrape () with Some s -> render !i s | None -> ());
+      if count = 0 || !i < count then Unix.sleepf interval
+    done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Poll a running session API's /metrics endpoint and render \
+             per-route/status latency quantiles, session lifecycle \
+             counts and SLO burn rates.")
+    Term.(const run $ obs_setup_t $ port_t $ interval_t $ count_t)
 
 let main =
   let doc = "SIDER: interactive visual data exploration with subjective feedback" in
@@ -973,7 +1237,7 @@ let main =
     (Cmd.info "sider" ~version:"1.0.0" ~doc)
     [ datasets_cmd; view_cmd; explore_cmd; repl_cmd; replay_cmd;
       export_cmd; runtime_cmd; doctor_cmd; trace_cmd; convergence_cmd;
-      serve_cmd; api_cmd; load_cmd ]
+      serve_cmd; api_cmd; load_cmd; top_cmd ]
 
 (* Structured engine errors become one-line diagnostics with distinct
    exit codes instead of an OCaml backtrace: 2 for a diagnosed numerical

@@ -176,13 +176,21 @@ let validate_pending pending =
              "constraint has non-finite target, shift or direction"))
     pending
 
-let update_background ?(time_cutoff = 10.0) ?max_sweeps ?lambda_tol
+let update_background ?trace ?(time_cutoff = 10.0) ?max_sweeps ?lambda_tol
     ?param_tol t =
   (* The end-to-end latency of this span (constraint registration +
      repartition + MaxEnt solve) is the paper's Table II interactivity
-     metric, recorded into the [session.update_s] histogram. *)
-  Obs.timed ~hist:"session.update_s" "session.update_background"
-    ~attrs:[ ("pending", Obs.Int (List.length t.pending)) ]
+     metric, recorded into the [session.update_s] histogram.  [trace] is
+     the request's trace id when the service drives the update: carried
+     as a span attribute (and on any failure dump) so one id links the
+     access log, the span tree and the flight recorder. *)
+  let attrs = [ ("pending", Obs.Int (List.length t.pending)) ] in
+  let attrs =
+    match trace with
+    | Some id -> ("trace", Obs.Str id) :: attrs
+    | None -> attrs
+  in
+  Obs.timed ~hist:"session.update_s" "session.update_background" ~attrs
   @@ fun () ->
   (* Checkpoint: [add_constraints] copies the class parameters into the
      new solver, so holding on to the old solver (and the old pending
@@ -227,7 +235,7 @@ let update_background ?(time_cutoff = 10.0) ?max_sweeps ?lambda_tol
     let reason = Sider_robust.Sider_error.to_string e in
     Obs.flight_event ~name:"session.update_background"
       ~detail:("error: " ^ reason);
-    Obs.flight_auto_dump ~reason;
+    Obs.flight_auto_dump ?trace ~reason ();
     Error e
 
 let update_background_exn ?time_cutoff ?max_sweeps ?lambda_tol ?param_tol t =

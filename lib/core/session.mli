@@ -106,13 +106,18 @@ val add_margin_constraint : t -> unit
 val add_one_cluster_constraint : t -> unit
 (** Full-data cluster constraint — overall covariance (2d constraints). *)
 
-val update_background : ?time_cutoff:float -> ?max_sweeps:int ->
-  ?lambda_tol:float -> ?param_tol:float -> t ->
+val update_background : ?trace:string -> ?time_cutoff:float ->
+  ?max_sweeps:int -> ?lambda_tol:float -> ?param_tol:float -> t ->
   (Solver.report, Sider_error.t) result
 (** Re-solve the MaxEnt problem with all queued constraints.  The default
     [time_cutoff] is 10 s, the SIDER production default; the convergence
     tolerances are adjustable as in the SIDER UI's convergence-parameter
     panel.
+
+    [trace] (the driving request's trace id, when the session service
+    runs the update) is attached to the update span and to any
+    failure-triggered flight-recorder dump, so the access log, span tree
+    and dump for one request all carry the same id.
 
     Never raises on numerical failure.  [Ok report] may describe a
     degraded-but-valid solve (finite parameters;

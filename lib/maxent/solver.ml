@@ -377,7 +377,7 @@ let solve_body ~phase ~indices ~sweep_offset ~stop_on_degradation
   let degrade e =
     Obs.count "solver.degradation";
     Obs.flight_event ~name:"solver.degradation" ~detail:(Sider_error.to_string e);
-    Obs.flight_auto_dump ~reason:(Sider_error.to_string e);
+    Obs.flight_auto_dump ~reason:(Sider_error.to_string e) ();
     degradations := e :: !degradations;
     if stop_on_degradation then stop := true
   in

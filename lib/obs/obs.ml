@@ -106,6 +106,11 @@ let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 let series_tbl : (string, (string * value) list list ref) Hashtbl.t =
   Hashtbl.create 8
 
+(* Distinct label sets materialized per labeled-metric base name (the
+   per-family cardinality budget); guarded by [registry_m] like the
+   registry itself. *)
+let family_sets : (string, int) Hashtbl.t = Hashtbl.create 16
+
 (* The metrics and series registries are shared across domains: bodies
    fanned out by [Sider_par] bump counters (e.g. the Woodbury fast-path
    counters) from worker domains.  Every registry access is taken under
@@ -254,6 +259,7 @@ let reset () =
   locked (fun () ->
       Hashtbl.reset registry;
       Hashtbl.reset series_tbl;
+      Hashtbl.reset family_sets;
       incr registry_gen);
   (own_stack ()) := [];
   Mutex.lock pending_m;
@@ -293,26 +299,144 @@ let gauge name v =
         | Some _ -> invalid_arg (Printf.sprintf "Obs: %S is not a gauge" name)
         | None -> Hashtbl.add registry name (I_gauge (ref v)))
 
+(* Must hold [registry_m]. *)
+let hist_push_locked name v =
+  let h =
+    match Hashtbl.find_opt registry name with
+    | Some (I_hist h) -> h
+    | Some _ ->
+      invalid_arg (Printf.sprintf "Obs: %S is not a histogram" name)
+    | None ->
+      let h = { values = Array.make 16 0.0; len = 0 } in
+      Hashtbl.add registry name (I_hist h);
+      h
+  in
+  if h.len = Array.length h.values then begin
+    let bigger = Array.make (2 * h.len) 0.0 in
+    Array.blit h.values 0 bigger 0 h.len;
+    h.values <- bigger
+  end;
+  h.values.(h.len) <- v;
+  h.len <- h.len + 1
+
 let observe name v =
+  if !active then locked (fun () -> hist_push_locked name v)
+
+(* --- labeled metrics ------------------------------------------------------- *)
+
+(* Labels are encoded into the registry key itself as the canonical
+   suffix [base{k="v",...}] — keys sorted, values escaped exactly as the
+   Prometheus exposition format escapes label values (backslash, quote,
+   newline).  A labeled series is therefore just another named
+   instrument: the [metric] shape, snapshots, sinks and handles all work
+   unchanged, and [split_labeled] is the exact inverse the exposition
+   layer (and `sider top`) uses to recover the label set.
+
+   Cardinality is bounded per family: the first [max_label_sets]
+   distinct label sets observed for a base name get their own series;
+   every later one collapses into the overflow series whose label
+   values are all ["other"].  Under an unbounded tenant population the
+   registry therefore holds the first-seen top-K tenants plus one
+   [other] bucket, never a series per tenant. *)
+
+let label_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let labeled_name name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+    let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf name;
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (label_escape v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+let split_labeled composed =
+  match String.index_opt composed '{' with
+  | None -> (composed, [])
+  | Some b ->
+    let base = String.sub composed 0 b in
+    let n = String.length composed in
+    let labels = ref [] in
+    let i = ref (b + 1) in
+    (try
+       while !i < n && composed.[!i] <> '}' do
+         let eq = String.index_from composed !i '=' in
+         let k = String.sub composed !i (eq - !i) in
+         if eq + 1 >= n || composed.[eq + 1] <> '"' then raise Exit;
+         let vbuf = Buffer.create 16 in
+         let j = ref (eq + 2) in
+         while
+           !j < n && composed.[!j] <> '"'
+         do
+           if composed.[!j] = '\\' && !j + 1 < n then begin
+             (match composed.[!j + 1] with
+              | 'n' -> Buffer.add_char vbuf '\n'
+              | c -> Buffer.add_char vbuf c);
+             j := !j + 2
+           end
+           else begin
+             Buffer.add_char vbuf composed.[!j];
+             incr j
+           end
+         done;
+         if !j >= n then raise Exit;
+         labels := (k, Buffer.contents vbuf) :: !labels;
+         i := !j + 1;
+         if !i < n && composed.[!i] = ',' then incr i
+       done
+     with Exit | Not_found -> ());
+    (base, List.rev !labels)
+
+let default_max_label_sets = 32
+
+let max_label_sets = ref default_max_label_sets
+
+let set_max_label_sets n = max_label_sets := Stdlib.max 1 n
+
+(* Must hold [registry_m].  Returns the registry key the write should
+   land on: the composed key while the family is under its cardinality
+   budget, the all-[other] overflow key afterwards. *)
+let resolve_labeled name labels =
+  let key = labeled_name name labels in
+  if labels = [] || Hashtbl.mem registry key then key
+  else begin
+    let seen = Option.value ~default:0 (Hashtbl.find_opt family_sets name) in
+    if seen < !max_label_sets then begin
+      Hashtbl.replace family_sets name (seen + 1);
+      key
+    end
+    else labeled_name name (List.map (fun (k, _) -> (k, "other")) labels)
+  end
+
+let count_labeled ?(by = 1) name labels =
   if !active then
     locked (fun () ->
-        let h =
-          match Hashtbl.find_opt registry name with
-          | Some (I_hist h) -> h
-          | Some _ ->
-            invalid_arg (Printf.sprintf "Obs: %S is not a histogram" name)
-          | None ->
-            let h = { values = Array.make 16 0.0; len = 0 } in
-            Hashtbl.add registry name (I_hist h);
-            h
-        in
-        if h.len = Array.length h.values then begin
-          let bigger = Array.make (2 * h.len) 0.0 in
-          Array.blit h.values 0 bigger 0 h.len;
-          h.values <- bigger
-        end;
-        h.values.(h.len) <- v;
-        h.len <- h.len + 1)
+        let r = counter_ref (resolve_labeled name labels) in
+        r := !r + by)
+
+let observe_labeled name labels v =
+  if !active then
+    locked (fun () -> hist_push_locked (resolve_labeled name labels) v)
 
 (* --- preregistered histogram handles -------------------------------------- *)
 
@@ -335,6 +459,12 @@ type hist = {
 
 let hist_handle name = { h_name = name; h_acc = { values = [||]; len = 0 }; h_gen = -1 }
 
+(* A preregistered handle on one labeled series.  The label set is
+   fixed at handle creation, so a handle never consults the cardinality
+   budget on the hot path — but it is charged against it (below) so
+   later dynamic writes see an honest family count. *)
+let labeled_hist name labels = hist_handle (labeled_name name labels)
+
 let hist_rebind h =
   locked (fun () ->
       let acc =
@@ -343,6 +473,14 @@ let hist_rebind h =
         | Some _ ->
           invalid_arg (Printf.sprintf "Obs: %S is not a histogram" h.h_name)
         | None ->
+          (match String.index_opt h.h_name '{' with
+           | Some b ->
+             let base = String.sub h.h_name 0 b in
+             let seen =
+               Option.value ~default:0 (Hashtbl.find_opt family_sets base)
+             in
+             Hashtbl.replace family_sets base (seen + 1)
+           | None -> ());
           let a = { values = Array.make 16 0.0; len = 0 } in
           Hashtbl.add registry h.h_name (I_hist a);
           a
@@ -745,7 +883,7 @@ let dump_flight_recorder ?(out = stderr) ~reason () =
   Stdlib.flush out;
   List.length lines
 
-let flight_auto_dump ~reason =
+let flight_auto_dump ?trace ~reason () =
   if !fr_on then
     match !fr_auto_dest with
     | None -> ()
@@ -753,9 +891,14 @@ let flight_auto_dump ~reason =
       let lines, hi = flight_entries_since !fr_auto_cursor in
       fr_auto_cursor := hi;
       if lines <> [] then begin
+        let trace_field =
+          match trace with
+          | None -> ""
+          | Some id -> Printf.sprintf ",\"trace\":\"%s\"" (json_escape id)
+        in
         Printf.fprintf out
-          "{\"type\":\"flight_recorder\",\"reason\":\"%s\",\"entries\":%d}\n"
-          (json_escape reason) (List.length lines);
+          "{\"type\":\"flight_recorder\",\"reason\":\"%s\"%s,\"entries\":%d}\n"
+          (json_escape reason) trace_field (List.length lines);
         List.iter (fun l -> output_string out l; output_char out '\n') lines;
         Stdlib.flush out
       end

@@ -136,6 +136,55 @@ val gauge : string -> float -> unit
 val observe : string -> float -> unit
 (** Record one observation into a histogram. *)
 
+(** {2 Labeled metrics}
+
+    A labeled series is an ordinary registry instrument whose name
+    carries a canonical label suffix: [base{k="v",...}] with keys
+    sorted and values escaped exactly as the Prometheus exposition
+    format escapes label values (backslash, double quote, newline).
+    {!split_labeled} is the exact inverse of {!labeled_name}; the
+    exposition layer uses the pair to render proper labeled families,
+    and everything else (snapshots, sinks, handles) works unchanged.
+
+    Cardinality is bounded {e per family}: the first
+    [max_label_sets] (default 32) distinct label sets observed for a
+    base name each get their own series, and every later one collapses
+    into an overflow series whose label values are all ["other"] — so
+    a per-tenant counter under an unbounded tenant population holds the
+    first-seen top-K tenants plus one [other] bucket. *)
+
+val labeled_name : string -> (string * string) list -> string
+(** Canonical composed name ([labels = []] returns the base name
+    unchanged). *)
+
+val split_labeled : string -> string * (string * string) list
+(** Inverse of {!labeled_name}: base name and decoded labels (a name
+    without a label suffix yields an empty list). *)
+
+val label_escape : string -> string
+(** Prometheus label-value escaping: backslash, double quote and
+    newline each get a backslash escape; every other byte passes
+    through. *)
+
+val json_escape : string -> string
+(** JSON string-content escaping as used by the JSON sink and flight
+    dumps (backslash, double quote, control characters).  Exposed for
+    the service's structured access log. *)
+
+val set_max_label_sets : int -> unit
+(** Per-family cardinality budget (clamped to at least 1). *)
+
+val count_labeled : ?by:int -> string -> (string * string) list -> unit
+(** Increment the labeled series' counter, subject to the family's
+    cardinality budget. *)
+
+val observe_labeled : string -> (string * string) list -> float -> unit
+(** Record one observation into the labeled series' histogram, subject
+    to the family's cardinality budget.  Pays the registry mutex plus a
+    key allocation per call — fine per request, too heavy per row; loops
+    must preregister a {!labeled_hist} handle instead (the [obs-hygiene]
+    lint rule enforces this). *)
+
 type hist
 (** Preregistered histogram handle: the name is resolved (and the
     histogram created) lazily on first use, then cached so the hot path
@@ -147,6 +196,11 @@ type hist
 val hist_handle : string -> hist
 (** Make a handle for the named histogram.  Cheap; allocates nothing in
     the registry until the first {!observe_into} with the layer on. *)
+
+val labeled_hist : string -> (string * string) list -> hist
+(** Handle on one labeled series (label set fixed at creation, charged
+    against the family's cardinality budget on first bind).  The hot
+    path never re-encodes labels or consults the budget. *)
 
 val observe_into : hist -> float -> unit
 (** Record one observation through a handle (no-op while disabled). *)
@@ -234,10 +288,14 @@ val set_flight_auto_dump : out_channel option -> unit
 (** Destination for automatic dumps ([None], the default, disables
     them). *)
 
-val flight_auto_dump : reason:string -> unit
+val flight_auto_dump : ?trace:string -> reason:string -> unit -> unit
 (** Incremental dump to the configured destination: only entries
     recorded since the last automatic dump.  Called by the session layer
-    on degradations and failed updates. *)
+    on degradations and failed updates, and by the service on 5xx
+    responses.  [trace] (the request's trace id) is embedded in the
+    dump's JSON header so `sider doctor --trace` can correlate the dump
+    with the access-log line and span tree of the request that
+    triggered it. *)
 
 val flight_reset : unit -> unit
 (** Clear the ring (tests). *)

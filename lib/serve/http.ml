@@ -66,6 +66,41 @@ let respond ?(headers = []) ~status ?(content_type = "application/json")
   Buffer.add_string b body;
   write_all fd (Buffer.contents b)
 
+(* --- trace context --------------------------------------------------------- *)
+
+(* Every request through the session service carries a trace id: the
+   client's [X-Sider-Trace-Id] when it sent one (sanitized — the id is
+   echoed into response headers, JSON access-log lines and flight-dump
+   headers, so hostile bytes must not pass through), otherwise a fresh
+   id.  Generation is an atomic counter plus the [Obs] clock rather
+   than a PRNG: unique within a process lifetime, and free of ambient
+   randomness. *)
+
+let trace_header = "x-sider-trace-id"
+
+let trace_response_header = "X-Sider-Trace-Id"
+
+let trace_counter = Atomic.make 0
+
+let fresh_trace_id () =
+  Printf.sprintf "t-%Lx-%x"
+    (Sider_obs.Obs.now_ns ())
+    (Atomic.fetch_and_add trace_counter 1)
+
+let trace_char_ok = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ':' -> true
+  | _ -> false
+
+let trace_of_request (req : request) =
+  match List.assoc_opt trace_header req.headers with
+  | None -> None
+  | Some raw ->
+    let raw =
+      if String.length raw > 128 then String.sub raw 0 128 else raw
+    in
+    if raw = "" then None
+    else Some (String.map (fun c -> if trace_char_ok c then c else '_') raw)
+
 (* --- request parsing ------------------------------------------------------- *)
 
 let find_crlfcrlf s =

@@ -27,6 +27,27 @@ type read_error =
 val reason : int -> string
 (** Reason phrase for a status code ("OK", "Too Many Requests", ...). *)
 
+(** {2 Trace context}
+
+    Every request through the session service is identified by a trace
+    id, echoed on every response as [X-Sider-Trace-Id] (error responses
+    included) and threaded through the access log, the span tree and
+    any flight-recorder dump the request triggers. *)
+
+val trace_header : string
+(** ["x-sider-trace-id"] — the request header, lowercased as parsed. *)
+
+val trace_response_header : string
+(** ["X-Sider-Trace-Id"] — canonical casing for responses. *)
+
+val trace_of_request : request -> string option
+(** The client-supplied trace id, truncated to 128 bytes and sanitized
+    to [[A-Za-z0-9._:-]] (other bytes become [_] — the id is echoed
+    into headers and log lines).  [None] when absent or empty. *)
+
+val fresh_trace_id : unit -> string
+(** A process-unique server-generated id ([t-<ns>-<seq>]). *)
+
 val wants_close : request -> bool
 (** The client sent [Connection: close] — the server must not keep the
     connection alive after responding. *)

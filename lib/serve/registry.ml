@@ -76,7 +76,7 @@ let touch entry = entry.last_touch <- Unix.gettimeofday ()
    rehydrated by replaying its journal (snapshot-aware, see Persist)
    before anything else sees it — the lock makes rehydration atomic
    from every other thread's point of view. *)
-let session entry =
+let session ?trace entry =
   match entry.resident with
   | Some s -> s
   | None ->
@@ -86,6 +86,13 @@ let session entry =
          (Sider_error.io_failure
             (Printf.sprintf "session %s: evicted without a journal" entry.id))
      | Some path ->
+       let attrs =
+         ("id", Obs.Str entry.id)
+         :: (match trace with
+             | Some id -> [ ("trace", Obs.Str id) ]
+             | None -> [])
+       in
+       Obs.with_span ~attrs "registry.rehydrate" @@ fun () ->
        (match Persist.journal_reopen path with
         | Error e -> Sider_error.raise_ e
         | Ok (s, j) ->
@@ -181,11 +188,12 @@ let maybe_compact t entry =
   | Some j, Some s
     when t.compact_events > 0 && Persist.journal_events j >= t.compact_events
     -> (
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.now_ns () in
     try
       Persist.journal_compact j s;
       Obs.count "serve.compactions";
-      Obs.observe "serve.compaction_s" (Unix.gettimeofday () -. t0)
+      Obs.observe "serve.compaction_s"
+        (Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9)
     with
     | Fault.Crash_injected as e -> raise e
     | Sider_error.Error _ -> Obs.count "serve.compaction_failures")

@@ -80,10 +80,13 @@ val add : t -> Session.t -> (entry, [ `Full | `Io of Sider_error.t ]) result
 
 val find : t -> string -> entry option
 
-val session : entry -> Session.t
+val session : ?trace:string -> entry -> Session.t
 (** The entry's live session, rehydrating from its journal first if it
     was evicted.  Must be called with [entry.lock] held.  Raises
-    [Sider_error.Error] when replay fails. *)
+    [Sider_error.Error] when replay fails.  A rehydration runs inside a
+    [registry.rehydrate] span carrying the entry id and, when [trace]
+    is given, the request's trace id — linking the replay cost to the
+    request that paid it. *)
 
 val touch : entry -> unit
 (** Record a request on this entry (resets its idle clock). *)

@@ -41,10 +41,25 @@
 type t
 (** A running server (listening socket + accept-loop thread). *)
 
+val mangle : string -> string
+(** Instrument name → Prometheus metric name: [sider_] prefix, every
+    character outside [[A-Za-z0-9_]] replaced by [_]. *)
+
 val exposition : Sider_obs.Obs.metric list -> string
 (** Pure rendering of a metrics snapshot as Prometheus text exposition
-    format 0.0.4, one [# TYPE] comment per family, families in snapshot
-    order.  Ends with a newline; empty string for an empty snapshot. *)
+    format 0.0.4, one [# TYPE] comment per family, families in
+    first-appearance order with all their series grouped.  Instruments
+    whose names carry an {!Sider_obs.Obs.labeled_name} suffix render as
+    labeled series of one family: label keys sanitized to the
+    exposition charset, values escaped per the format.  Ends with a
+    newline; empty string for an empty snapshot. *)
+
+val parse_sample :
+  string -> (string * (string * string) list * float) option
+(** Inverse of one [exposition] sample line:
+    [(mangled_name, labels, value)] with label values unescaped.
+    Comments, blank lines and malformed input yield [None].  Used by
+    `sider top` and the scrape tests. *)
 
 val start : ?addr:string -> port:int -> unit -> t
 (** [start ~port ()] binds [addr] (default ["127.0.0.1"]) at [port] and

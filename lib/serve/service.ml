@@ -49,6 +49,9 @@ type config = {
   idle_timeout_s : float;
   session_ttl_s : float;
   compact_events : int;
+  access_log : out_channel option;
+  slo_latency_target_s : float;
+  slo_objective : float;
 }
 
 let default_config =
@@ -64,7 +67,15 @@ let default_config =
     keepalive_requests = 1000;
     idle_timeout_s = 5.0;
     session_ttl_s = 0.0;
-    compact_events = 1024 }
+    compact_events = 1024;
+    access_log = None;
+    slo_latency_target_s = 0.5;
+    slo_objective = 0.99 }
+
+(* Service time base: [Obs.now_ns] (wall-rebased, non-decreasing), so
+   durations and deadlines survive wall-clock steps.  One clock for
+   queue waits, deadlines, park times and request durations. *)
+let now_s () = Int64.to_float (Obs.now_ns ()) /. 1e9
 
 (* One live connection.  [c_enqueued_at] is reset every time the
    connection (re-)enters the worker queue, so each request's deadline
@@ -80,6 +91,8 @@ type t = {
   config : config;
   registry : Registry.t;
   recovery_failures : (string * Sider_error.t) list;
+  slo : Slo.t;
+  access_m : Mutex.t;
   sock : Unix.file_descr;
   bound_port : int;
   queue : conn Queue.t;
@@ -152,8 +165,8 @@ let rows_field j session =
 
 (* --- session views --------------------------------------------------------- *)
 
-let session_summary (entry : Registry.entry) =
-  let s = Registry.session entry in
+let session_summary ?trace (entry : Registry.entry) =
+  let s = Registry.session ?trace entry in
   let n, d = Mat.dims (Session.data s) in
   Json.Obj
     [ ("id", Json.String entry.id);
@@ -205,12 +218,43 @@ let projection_json session =
       ("scores", Json.List [ Json.Number sx; Json.Number sy ]);
       ("points", Json.List points) ]
 
+(* --- request context -------------------------------------------------------- *)
+
+(* Pipeline-stage histograms, labeled by stage.  Preregistered handles:
+   the per-request path must never do by-name labeled lookups in a loop
+   (obs-hygiene R6), and handles skip the registry probe entirely. *)
+let stage_queue = Obs.labeled_hist "serve.stage_s" [ ("stage", "queue") ]
+let stage_journal = Obs.labeled_hist "serve.stage_s" [ ("stage", "journal") ]
+let stage_solve = Obs.labeled_hist "serve.stage_s" [ ("stage", "solve") ]
+let stage_project = Obs.labeled_hist "serve.stage_s" [ ("stage", "project") ]
+
+(* Per-request observability state, threaded from [serve_one] through
+   the route handlers and back into the access-log line. *)
+type req_ctx = {
+  rc_trace : string;
+  mutable rc_tenant : string;  (* session id touched, "-" otherwise *)
+  mutable rc_journal_ns : int64;  (* journal append+fsync time *)
+  mutable rc_warm : int;  (* warm sweeps of an update's solve *)
+  mutable rc_cold : int;
+}
+
+let make_ctx trace =
+  { rc_trace = trace; rc_tenant = "-"; rc_journal_ns = 0L; rc_warm = 0;
+    rc_cold = 0 }
+
+let ns_span t0 = Int64.sub (Obs.now_ns ()) t0
+
 (* --- mutations ------------------------------------------------------------- *)
 
-let journal_event (entry : Registry.entry) event =
+let journal_event ctx (entry : Registry.entry) event =
   match entry.journal with
   | None -> ()
-  | Some j -> Persist.journal_append j event
+  | Some j ->
+    let t0 = Obs.now_ns () in
+    Persist.journal_append j event;
+    let dt = ns_span t0 in
+    ctx.rc_journal_ns <- Int64.add ctx.rc_journal_ns dt;
+    Obs.observe_into stage_journal (Int64.to_float dt /. 1e9)
 
 (* Run [f] with the per-session lock held; 404 if the id is unknown or
    the entry lost a race with DELETE.  Touches the entry (resetting its
@@ -237,7 +281,7 @@ let crash_poll path =
 let default_tag session prefix =
   Printf.sprintf "%s%d" prefix (List.length (Session.constraint_tags session) + 1)
 
-let handle_create t (req : Http.request) =
+let handle_create t ctx (req : Http.request) =
   let j = body_json req in
   let ds =
     match Json.member_opt "dataset" j with
@@ -255,14 +299,15 @@ let handle_create t (req : Http.request) =
     raise (Reply (429, err_body "too-many-sessions" "session capacity reached"))
   | Error (`Io e) -> raise (Reply (status_of_error e, body_of_error e))
   | Ok entry ->
+    ctx.rc_tenant <- entry.Registry.id;
     crash_poll req.path;
     (201, Json.to_string (session_summary entry))
 
-let handle_constraint t (req : Http.request) id =
+let handle_constraint t ctx (req : Http.request) id =
   let j = body_json req in
   let ctype = opt_member j "type" Json.to_str "cluster" in
   with_entry t id @@ fun entry ->
-  let s = Registry.session entry in
+  let s = Registry.session ~trace:ctx.rc_trace entry in
   let event =
     match ctype with
     | "cluster" ->
@@ -277,7 +322,7 @@ let handle_constraint t (req : Http.request) id =
     | "one_cluster" -> Session.Added_one_cluster
     | other -> bad "unknown constraint type %S" other
   in
-  journal_event entry event;
+  journal_event ctx entry event;
   (match event with
    | Session.Added_cluster { rows; tag } ->
      Session.add_cluster_constraint ~tag s rows
@@ -290,9 +335,9 @@ let handle_constraint t (req : Http.request) id =
   Registry.maybe_compact t.registry entry;
   (200, Json.to_string (session_summary entry))
 
-let handle_update t (req : Http.request) id ~deadline_at =
+let handle_update t ctx (req : Http.request) id ~deadline_at =
   let j = body_json req in
-  let remaining = deadline_at -. Unix.gettimeofday () in
+  let remaining = deadline_at -. now_s () in
   if remaining <= 0.0 then (
     Obs.count "serve.deadline_expired";
     raise
@@ -302,37 +347,87 @@ let handle_update t (req : Http.request) id ~deadline_at =
   in
   let max_sweeps = Option.map Json.to_int (Json.member_opt "max_sweeps" j) in
   with_entry t id @@ fun entry ->
-  let s = Registry.session entry in
-  journal_event entry (Session.Updated { time_cutoff; max_sweeps });
-  let result = Session.update_background ~time_cutoff ?max_sweeps s in
+  let s = Registry.session ~trace:ctx.rc_trace entry in
+  journal_event ctx entry (Session.Updated { time_cutoff; max_sweeps });
+  let t0 = Obs.now_ns () in
+  let result =
+    Session.update_background ~trace:ctx.rc_trace ~time_cutoff ?max_sweeps s
+  in
+  Obs.observe_into stage_solve (Int64.to_float (ns_span t0) /. 1e9);
+  (match result with
+   | Ok (r : Sider_maxent.Solver.report) ->
+     ctx.rc_warm <- r.warm_sweeps;
+     ctx.rc_cold <- r.cold_sweeps
+   | Error _ -> ());
   crash_poll req.path;
   Registry.maybe_compact t.registry entry;
   match result with
   | Ok report -> (200, Json.to_string (report_json report))
   | Error e -> (status_of_error e, body_of_error e)
 
-let handle_view t (req : Http.request) id =
+let handle_view t ctx (req : Http.request) id =
   let j = body_json req in
   let m = method_of_name (opt_member j "method" Json.to_str "pca") in
   with_entry t id @@ fun entry ->
-  let s = Registry.session entry in
-  journal_event entry (Session.Viewed m);
+  let s = Registry.session ~trace:ctx.rc_trace entry in
+  journal_event ctx entry (Session.Viewed m);
+  let t0 = Obs.now_ns () in
   ignore (Session.recompute_view ~method_:m s);
+  let body = Json.to_string (projection_json s) in
+  Obs.observe_into stage_project (Int64.to_float (ns_span t0) /. 1e9);
   crash_poll req.path;
   Registry.maybe_compact t.registry entry;
-  (200, Json.to_string (projection_json s))
+  (200, body)
 
 (* --- routing --------------------------------------------------------------- *)
 
 let segments path =
   String.split_on_char '/' path |> List.filter (fun s -> s <> "")
 
-let route t (req : Http.request) ~deadline_at =
+(* Route label for the metrics: a fixed, closed set of values so the
+   [serve.request_s{route,status}] family stays within the cardinality
+   budget no matter what paths clients probe. *)
+let route_label path =
+  match segments path with
+  | [ "healthz" ] -> "healthz"
+  | [ "metrics" ] -> "metrics"
+  | [ "slo" ] -> "slo"
+  | [ "sessions" ] -> "sessions"
+  | [ "sessions"; _ ] -> "session"
+  | [ "sessions"; _; "constraints" ] -> "constraints"
+  | [ "sessions"; _; "update" ] -> "update"
+  | [ "sessions"; _; "view" ] -> "view"
+  | [ "sessions"; _; "projection" ] -> "projection"
+  | _ -> "other"
+
+let observability_route = function
+  | "healthz" | "metrics" | "slo" -> true
+  | _ -> false
+
+let tenant_of_path path =
+  match segments path with "sessions" :: id :: _ -> id | _ -> "-"
+
+let slo_burn_gauges t =
+  let snap = Slo.snapshot t.slo in
+  (match snap.Slo.s_windows with
+   | [ w5; w1 ] ->
+     Obs.gauge "serve.slo_burn_5m" w5.Slo.w_burn;
+     Obs.gauge "serve.slo_burn_1h" w1.Slo.w_burn
+   | _ -> ());
+  snap
+
+let route t ctx (req : Http.request) ~deadline_at =
   match (req.meth, segments req.path) with
-  | "GET", [ "healthz" ] -> (200, "ok\n")
+  | "GET", [ "healthz" ] ->
+    if Slo.degraded t.slo then
+      (503, err_body "slo-degraded"
+         "error budget burning above threshold in both windows")
+    else (200, "ok\n")
+  | "GET", [ "slo" ] -> (200, Slo.snapshot_to_json (Slo.snapshot t.slo))
   | "GET", [ "metrics" ] ->
+    ignore (slo_burn_gauges t);
     (200, Serve.exposition (Obs.metrics_snapshot ()))
-  | "POST", [ "sessions" ] -> handle_create t req
+  | "POST", [ "sessions" ] -> handle_create t ctx req
   | "GET", [ "sessions" ] ->
     ( 200,
       Json.to_string
@@ -348,23 +443,29 @@ let route t (req : Http.request) ~deadline_at =
            ]) )
   | "GET", [ "sessions"; id ] ->
     with_entry t id (fun entry ->
-        (200, Json.to_string (session_summary entry)))
+        (200, Json.to_string (session_summary ~trace:ctx.rc_trace entry)))
   | "DELETE", [ "sessions"; id ] ->
     (match Registry.remove t.registry id with
      | Some _ -> (204, "")
      | None -> (404, err_body "not-found" ("no session " ^ id)))
-  | "POST", [ "sessions"; id; "constraints" ] -> handle_constraint t req id
-  | "POST", [ "sessions"; id; "update" ] -> handle_update t req id ~deadline_at
-  | "POST", [ "sessions"; id; "view" ] -> handle_view t req id
+  | "POST", [ "sessions"; id; "constraints" ] ->
+    handle_constraint t ctx req id
+  | "POST", [ "sessions"; id; "update" ] ->
+    handle_update t ctx req id ~deadline_at
+  | "POST", [ "sessions"; id; "view" ] -> handle_view t ctx req id
   | "GET", [ "sessions"; id; "projection" ] ->
     with_entry t id (fun entry ->
-        (200, Json.to_string (projection_json (Registry.session entry))))
-  | _, ("sessions" :: _ | [ "healthz" ] | [ "metrics" ]) ->
+        let s = Registry.session ~trace:ctx.rc_trace entry in
+        let t0 = Obs.now_ns () in
+        let body = Json.to_string (projection_json s) in
+        Obs.observe_into stage_project (Int64.to_float (ns_span t0) /. 1e9);
+        (200, body))
+  | _, ("sessions" :: _ | [ "healthz" ] | [ "metrics" ] | [ "slo" ]) ->
     (405, err_body "method-not-allowed" (req.meth ^ " " ^ req.path))
   | _ -> (404, err_body "not-found" req.path)
 
-let dispatch t (req : Http.request) ~deadline_at =
-  try route t req ~deadline_at with
+let dispatch t ctx (req : Http.request) ~deadline_at =
+  try route t ctx req ~deadline_at with
   | Reply (status, body) -> (status, body)
   | Sider_error.Error e -> (status_of_error e, body_of_error e)
   | Json.Parse_error m -> (400, err_body "malformed-json" m)
@@ -374,75 +475,158 @@ let dispatch t (req : Http.request) ~deadline_at =
 
 (* --- connection handling --------------------------------------------------- *)
 
-let respond_status ?(keep_alive = false) fd status body =
+let respond_status ?(keep_alive = false) ?trace ?(flight_on_5xx = true) fd
+    status body =
   let headers = if status = 429 || status = 503 then [ ("Retry-After", "1") ] else [] in
+  let headers =
+    match trace with
+    | Some id -> (Http.trace_response_header, id) :: headers
+    | None -> headers
+  in
   let content_type =
     if status = 200 && (body = "ok\n" || String.length body > 0 && body.[0] = '#')
     then "text/plain; version=0.0.4"
     else "application/json"
   in
-  if status >= 500 then
+  if status >= 500 then begin
+    let tag = match trace with Some id -> id ^ " " | None -> "" in
     Obs.flight_event ~name:"serve.error"
-      ~detail:(Printf.sprintf "%d %s" status body);
+      ~detail:(Printf.sprintf "%s%d %s" tag status body);
+    if flight_on_5xx then
+      Obs.flight_auto_dump ?trace
+        ~reason:(Printf.sprintf "serve.5xx %d" status) ()
+  end;
   Http.respond ~headers ~status ~content_type ~keep_alive fd body
+
+(* One structured JSON line per completed response: everything needed
+   to correlate a request with its span tree and any flight dump (the
+   trace id), plus the latency decomposition the stage histograms only
+   hold in aggregate.  Flushed per line so a crash loses nothing. *)
+let access_log_line t ctx ~route ~meth ~path ~status ~dur_s ~queue_s =
+  match t.config.access_log with
+  | None -> ()
+  | Some oc ->
+    let line =
+      Printf.sprintf
+        "{\"ts\":%.6f,\"trace\":\"%s\",\"tenant\":\"%s\",\"route\":\"%s\",\
+         \"method\":\"%s\",\"path\":\"%s\",\"status\":%d,\"dur_s\":%.6f,\
+         \"queue_s\":%.6f,\"journal_fsync_ns\":%Ld,\"warm_sweeps\":%d,\
+         \"cold_sweeps\":%d}\n"
+        (now_s ())
+        (Obs.json_escape ctx.rc_trace)
+        (Obs.json_escape ctx.rc_tenant)
+        (Obs.json_escape route) (Obs.json_escape meth) (Obs.json_escape path)
+        status dur_s queue_s ctx.rc_journal_ns ctx.rc_warm ctx.rc_cold
+    in
+    Mutex.lock t.access_m;
+    (try
+       output_string oc line;
+       flush oc
+     with Sys_error _ -> ());
+    Mutex.unlock t.access_m
+
+(* Per-response accounting: the labeled request histogram, the
+   per-tenant counter, the SLO windows (session-facing routes only —
+   observability probes must not burn the budget they report) and the
+   access log. *)
+let finish t ~t0 ~queue_s ~ctx ~route ~meth ~path ~status ~slo =
+  let dur_s = now_s () -. t0 in
+  Obs.observe_labeled "serve.request_s"
+    [ ("route", route); ("status", string_of_int status) ]
+    dur_s;
+  Obs.count_labeled "serve.tenant_requests" [ ("tenant", ctx.rc_tenant) ];
+  if slo then Slo.record t.slo ~status ~dur_s;
+  access_log_line t ctx ~route ~meth ~path ~status ~dur_s ~queue_s
 
 (* Serve one request from [conn]; [`Keep] means the connection stays
    open for another request (the caller decides whether to serve it
    now — pipelined bytes pending — or park it with the watcher). *)
 let serve_one t conn =
   Obs.count "serve.requests";
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
+  let queue_s = Float.max 0.0 (t0 -. conn.c_enqueued_at) in
+  Obs.observe_into stage_queue queue_s;
   let deadline_at = conn.c_enqueued_at +. t.config.deadline_s in
+  (* Responses emitted before a request parses still carry a (fresh)
+     trace id and still produce an access-log line; the read errors are
+     client-side failures and stay out of the SLO windows. *)
+  let early ~route ~status body =
+    let trace = Http.fresh_trace_id () in
+    respond_status ~trace conn.c_fd status body;
+    finish t ~t0 ~queue_s ~ctx:(make_ctx trace) ~route ~meth:"-" ~path:"-"
+      ~status ~slo:(status >= 500)
+  in
   if t0 > deadline_at then (
     Obs.count "serve.deadline_expired";
-    respond_status conn.c_fd 503 (err_body "deadline-expired" "queued past deadline");
+    early ~route:"queue" ~status:503
+      (err_body "deadline-expired" "queued past deadline");
     `Close)
   else (
-    let outcome =
-      match
-        Http.read_request_buffered ~max_body:t.config.max_body conn.c_reader
-      with
-      | Error Http.Timeout ->
-        Obs.count "serve.read_timeouts";
-        respond_status conn.c_fd 408 (err_body "request-timeout" "client too slow");
-        `Close
-      | Error Http.Closed -> `Close
-      | Error Http.Too_large ->
-        respond_status conn.c_fd 413 (err_body "too-large" "request exceeds limits");
-        `Close
-      | Error (Http.Malformed m) ->
-        respond_status conn.c_fd 400 (err_body "malformed-request" m);
-        `Close
-      | Ok req ->
-        let req =
-          match Fault.request_fault ~path:req.path with
-          | Some `Drop -> None
-          | Some (`Delay ms) ->
-            Thread.delay (float_of_int ms /. 1000.0);
-            Some req
-          | Some `Truncate ->
-            Some
-              { req with
-                Http.body =
-                  String.sub req.Http.body 0 (String.length req.Http.body / 2)
-              }
-          | None -> Some req
-        in
-        (match req with
-         | None -> `Close
-         | Some req ->
-           let status, body = dispatch t req ~deadline_at in
-           conn.c_served <- conn.c_served + 1;
-           let keep =
-             (not (Http.wants_close req))
-             && conn.c_served < t.config.keepalive_requests
-             && not t.stopping
-           in
-           respond_status ~keep_alive:keep conn.c_fd status body;
-           if keep then `Keep else `Close)
-    in
-    Obs.observe "serve.request_s" (Unix.gettimeofday () -. t0);
-    outcome)
+    match
+      Http.read_request_buffered ~max_body:t.config.max_body conn.c_reader
+    with
+    | Error Http.Timeout ->
+      Obs.count "serve.read_timeouts";
+      early ~route:"read" ~status:408
+        (err_body "request-timeout" "client too slow");
+      `Close
+    | Error Http.Closed -> `Close
+    | Error Http.Too_large ->
+      early ~route:"read" ~status:413
+        (err_body "too-large" "request exceeds limits");
+      `Close
+    | Error (Http.Malformed m) ->
+      early ~route:"read" ~status:400 (err_body "malformed-request" m);
+      `Close
+    | Ok req ->
+      let req =
+        match Fault.request_fault ~path:req.path with
+        | Some `Drop -> None
+        | Some (`Delay ms) ->
+          Thread.delay (float_of_int ms /. 1000.0);
+          Some req
+        | Some `Truncate ->
+          Some
+            { req with
+              Http.body =
+                String.sub req.Http.body 0 (String.length req.Http.body / 2)
+            }
+        | None -> Some req
+      in
+      (match req with
+       | None -> `Close
+       | Some req ->
+         let trace =
+           match Http.trace_of_request req with
+           | Some id -> id
+           | None -> Http.fresh_trace_id ()
+         in
+         let route = route_label req.Http.path in
+         let ctx = make_ctx trace in
+         ctx.rc_tenant <- tenant_of_path req.Http.path;
+         let status, body =
+           Obs.with_span "serve.request"
+             ~attrs:
+               [ ("trace", Obs.Str trace); ("route", Obs.Str route) ]
+           @@ fun () ->
+           let ((status, _) as r) = dispatch t ctx req ~deadline_at in
+           Obs.span_attr "status" (Obs.Int status);
+           r
+         in
+         conn.c_served <- conn.c_served + 1;
+         let keep =
+           (not (Http.wants_close req))
+           && conn.c_served < t.config.keepalive_requests
+           && not t.stopping
+         in
+         (* A degraded health check must not itself trigger a flight
+            dump — probes poll it every few seconds. *)
+         respond_status ~keep_alive:keep ~trace
+           ~flight_on_5xx:(route <> "healthz") conn.c_fd status body;
+         finish t ~t0 ~queue_s ~ctx ~route ~meth:req.Http.meth
+           ~path:req.Http.path ~status
+           ~slo:(not (observability_route route));
+         if keep then `Keep else `Close))
 
 (* --- threads --------------------------------------------------------------- *)
 
@@ -479,7 +663,7 @@ let park_idle t conn =
           t.idle <- List.filter (fun (c', _) -> c' != c) t.idle;
           Some c)
     in
-    t.idle <- (conn, Unix.gettimeofday ()) :: t.idle;
+    t.idle <- (conn, now_s ()) :: t.idle;
     Mutex.unlock t.idle_lock;
     v
   in
@@ -491,7 +675,7 @@ let park_idle t conn =
   wake_watcher t
 
 let enqueue_conn t conn =
-  conn.c_enqueued_at <- Unix.gettimeofday ();
+  conn.c_enqueued_at <- now_s ();
   Mutex.lock t.q_lock;
   Queue.push conn t.queue;
   Condition.signal t.q_nonempty;
@@ -516,7 +700,7 @@ let rec worker_loop t =
       | `Close -> close_quietly conn.c_fd
       | `Keep ->
         if Http.reader_has_pending conn.c_reader then (
-          conn.c_enqueued_at <- Unix.gettimeofday ();
+          conn.c_enqueued_at <- now_s ();
           serve ())
         else park_idle t conn
     in
@@ -528,7 +712,7 @@ let rec worker_loop t =
        close_quietly conn.c_fd
      | e ->
        (try
-          respond_status conn.c_fd 500
+          respond_status ~trace:(Http.fresh_trace_id ()) conn.c_fd 500
             (err_body "internal-error" (Printexc.to_string e))
         with _ -> ());
        close_quietly conn.c_fd);
@@ -557,7 +741,7 @@ let rec watcher_loop t =
             Float.min acc (since +. t.config.idle_timeout_s))
           Float.infinity parked
       in
-      Float.max 0.01 (next -. Unix.gettimeofday ())
+      Float.max 0.01 (next -. now_s ())
   in
   let fds = t.wake_r :: List.map (fun (c, _) -> c.c_fd) parked in
   let readable, overflowed =
@@ -592,7 +776,7 @@ let rec watcher_loop t =
     Mutex.unlock t.idle_lock;
     List.iter (fun (c, _) -> close_quietly c.c_fd) rest)
   else (
-    let now = Unix.gettimeofday () in
+    let now = now_s () in
     let ready, expired =
       Mutex.lock t.idle_lock;
       let ready, keep =
@@ -631,7 +815,7 @@ let rec accept_loop t =
   | fd, _ ->
     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.read_timeout_s;
     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.read_timeout_s;
-    let enqueued_at = Unix.gettimeofday () in
+    let enqueued_at = now_s () in
     let conn =
       { c_fd = fd; c_reader = Http.reader fd; c_served = 0;
         c_enqueued_at = enqueued_at }
@@ -649,7 +833,8 @@ let rec accept_loop t =
     in
     if not accepted then (
       Obs.count "serve.rejected_queue_full";
-      respond_status fd 429 (err_body "overloaded" "request queue full");
+      respond_status ~trace:(Http.fresh_trace_id ()) fd 429
+        (err_body "overloaded" "request queue full");
       close_quietly fd);
     if t.stopping then () else accept_loop t
 
@@ -677,6 +862,10 @@ let start ?(config = default_config) () =
     { config;
       registry;
       recovery_failures;
+      slo =
+        Slo.create ~latency_target_s:config.slo_latency_target_s
+          ~objective:config.slo_objective ();
+      access_m = Mutex.create ();
       sock;
       bound_port;
       queue = Queue.create ();
@@ -733,4 +922,7 @@ let stop t =
     close_quietly t.wake_w;
     (match t.janitor_thread with Some th -> Thread.join th | None -> ());
     t.janitor_thread <- None;
+    (match t.config.access_log with
+     | Some oc -> (try flush oc with Sys_error _ -> ())
+     | None -> ());
     Registry.close t.registry)

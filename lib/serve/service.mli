@@ -19,7 +19,27 @@
     - [GET /sessions/:id/projection] — current view: axis labels,
       scores, every point with its paired background sample.
     - [DELETE /sessions/:id] — 204; the journal file is deleted too.
-    - [GET /metrics], [GET /healthz] — as in {!Serve}.
+    - [GET /metrics] — as in {!Serve}, plus the labeled service
+      families ([serve.request_s{route,status}], [serve.stage_s{stage}]
+      for queue/journal/solve/project, [serve.tenant_requests{tenant}]
+      with {!Sider_obs.Obs}'s top-K + ["other"] cardinality bound) and
+      the [serve.slo_burn_5m] / [serve.slo_burn_1h] gauges.
+    - [GET /healthz] — ["ok\n"], or [503 {"error":"slo-degraded"}] when
+      the SLO is burning in both windows (see {!Slo}).
+    - [GET /slo] — the full {!Slo.snapshot} as JSON.
+
+    {2 Tracing}
+
+    Every response carries an [X-Sider-Trace-Id] header — the sanitized
+    client-supplied value when the request sent one, a fresh server id
+    otherwise (error responses included, down to 429 shed from the
+    accept thread).  The id is attached to the [serve.request] span,
+    the journal/solve spans beneath it, the access-log line and any
+    flight-recorder dump the request triggers, so one grep connects all
+    four views of a slow or failed request.  With [access_log] set, one
+    JSON line per completed response records trace id, tenant, route,
+    status, duration, queue wait, journal fsync time and the update's
+    warm/cold sweep split.
 
     {2 Failure model}
 
@@ -88,6 +108,16 @@ type config = {
       (** idle sessions evicted after this; 0 (default) disables *)
   compact_events : int;
       (** journal lines before compaction; 0 disables (default 1024) *)
+  access_log : out_channel option;
+      (** structured JSON access log, one line per response, flushed
+          per line; the channel stays owned by the caller (default
+          [None]) *)
+  slo_latency_target_s : float;
+      (** latency SLO: responses slower than this burn budget
+          (default 0.5) *)
+  slo_objective : float;
+      (** SLO objective for both availability and latency, e.g. 0.99
+          (default; clamped to [0.5, 0.9999]) *)
 }
 
 val default_config : config

@@ -206,6 +206,63 @@ let test_json_roundtrip () =
     (Json.to_int (Json.member "count" hist));
   approx "histogram max" 1.5 (Json.to_float (Json.member "max" hist))
 
+(* --- labeled metrics ------------------------------------------------------ *)
+
+(* Values range over raw bytes — quotes, backslashes, newlines, the
+   full unprintable range — because tenant ids come off the wire.  Keys
+   are generated pre-sorted so the round-trip is exact equality
+   ([labeled_name] canonicalises by sorting keys). *)
+let test_labeled_roundtrip =
+  qcheck ~count:300 "split_labeled inverts labeled_name over raw bytes"
+    QCheck.(list_of_size Gen.(0 -- 4) string)
+    (fun values ->
+      let labels = List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) values in
+      let base = "serve.request_s" in
+      let composed = Obs.labeled_name base labels in
+      let base', labels' = Obs.split_labeled composed in
+      base' = base && labels' = labels
+      && Obs.labeled_name base [] = base
+      && Obs.split_labeled base = (base, []))
+
+let test_label_escape () =
+  Alcotest.(check string) "backslash" "a\\\\b" (Obs.label_escape "a\\b");
+  Alcotest.(check string) "quote" "a\\\"b" (Obs.label_escape "a\"b");
+  Alcotest.(check string) "newline" "a\\nb" (Obs.label_escape "a\nb");
+  Alcotest.(check string) "plain bytes pass through" "p\x01\xffq"
+    (Obs.label_escape "p\x01\xffq")
+
+(* An unbounded tenant population must land in first-K own series plus
+   one all-[other] overflow bucket — never a series per tenant. *)
+let test_labeled_cardinality () =
+  with_recording (fun _ ->
+      Obs.set_max_label_sets 4;
+      Fun.protect ~finally:(fun () -> Obs.set_max_label_sets 32) @@ fun () ->
+      for i = 1 to 100 do
+        (Obs.count_labeled "fam.requests"
+           [ ("tenant", Printf.sprintf "t%02d" i) ]
+         [@sider.allow "obs-hygiene"])
+      done;
+      let series =
+        List.filter_map
+          (function
+            | Obs.Counter { name; total }
+              when fst (Obs.split_labeled name) = "fam.requests" ->
+              Some (snd (Obs.split_labeled name), total)
+            | _ -> None)
+          (Obs.metrics_snapshot ())
+      in
+      Alcotest.(check int) "first-K plus one overflow bucket" 5
+        (List.length series);
+      (match List.assoc_opt [ ("tenant", "other") ] series with
+       | Some total ->
+         Alcotest.(check int) "overflow absorbs the tail" 96 total
+       | None -> Alcotest.fail "overflow bucket missing");
+      (* First-seen tenants keep their own series and keep counting. *)
+      Obs.count_labeled "fam.requests" [ ("tenant", "t01") ];
+      Alcotest.(check int) "established series still addressable" 2
+        (Obs.counter_value
+           (Obs.labeled_name "fam.requests" [ ("tenant", "t01") ])))
+
 (* --- preregistered histogram handles -------------------------------------- *)
 
 let test_hist_handle () =
@@ -491,6 +548,11 @@ let suite =
     case "quantiles of 0- and 1-sample histograms" test_quantile_edges;
     test_quantile_props;
     case "counters accumulate, gauges keep last" test_counters_gauges;
+    test_labeled_roundtrip;
+    case "label-value escaping covers quote/backslash/newline"
+      test_label_escape;
+    case "labeled families keep first-K series plus an overflow bucket"
+      test_labeled_cardinality;
     case "histogram handles merge with named observes and survive reset"
       test_hist_handle;
     case "disabled layer is inert" test_disabled_is_inert;

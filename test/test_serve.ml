@@ -38,6 +38,88 @@ let test_exposition_grammar () =
   Alcotest.(check string) "empty snapshot renders empty" ""
     (Serve.exposition [])
 
+(* Labeled instruments render as one family with per-series label
+   suffixes, and [parse_sample] recovers exactly what went in. *)
+let test_labeled_exposition () =
+  let metrics =
+    [ Obs.Counter
+        { name = Obs.labeled_name "serve.tenant_requests"
+              [ ("tenant", "alice") ];
+          total = 3 };
+      Obs.Counter
+        { name = Obs.labeled_name "serve.tenant_requests"
+              [ ("tenant", "b\"ob\n") ];
+          total = 1 };
+      Obs.Histogram
+        { name = Obs.labeled_name "serve.request_s"
+              [ ("route", "update"); ("status", "200") ];
+          count = 2; sum = 0.4; p50 = 0.2; p95 = 0.3; p99 = 0.3;
+          max = 0.3 } ]
+  in
+  let lines =
+    String.split_on_char '\n' (Serve.exposition metrics)
+    |> List.filter (fun l -> l <> "")
+  in
+  let type_lines = List.filter (fun l -> l.[0] = '#') lines in
+  (* counter family, summary family, companion max-gauge family *)
+  Alcotest.(check int) "one TYPE line per family" 3 (List.length type_lines);
+  let parsed =
+    List.filter_map Serve.parse_sample lines
+  in
+  Alcotest.(check int) "every sample line parses"
+    (List.length lines - List.length type_lines)
+    (List.length parsed);
+  check_true "escaped tenant label value round-trips"
+    (List.exists
+       (fun (n, ls, v) ->
+         n = "sider_serve_tenant_requests_total"
+         && List.assoc_opt "tenant" ls = Some "b\"ob\n"
+         && v = 1.0)
+       parsed);
+  check_true "summary quantile lines keep the series labels"
+    (List.exists
+       (fun (n, ls, _) ->
+         n = "sider_serve_request_s"
+         && List.assoc_opt "route" ls = Some "update"
+         && List.assoc_opt "status" ls = Some "200"
+         && List.assoc_opt "quantile" ls = Some "0.5")
+       parsed)
+
+let test_mangle_sanitizes =
+  qcheck ~count:300 "mangle lands in the Prometheus charset for any bytes"
+    QCheck.string
+    (fun s ->
+      let m = Serve.mangle s in
+      String.length m >= 6
+      && String.sub m 0 6 = "sider_"
+      && String.for_all
+           (function
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+             | _ -> false)
+           m
+      && Serve.mangle s = m)
+
+(* Tenant ids come off the wire, so the render/parse pair must survive
+   the full byte range in a label value. *)
+let test_labeled_sample_roundtrip =
+  qcheck ~count:200 "exposition / parse_sample round-trip raw label values"
+    QCheck.string
+    (fun tenant ->
+      let metrics =
+        [ Obs.Counter
+            { name = Obs.labeled_name "serve.tenant_requests"
+                  [ ("tenant", tenant) ];
+              total = 7 } ]
+      in
+      let lines =
+        String.split_on_char '\n' (Serve.exposition metrics)
+        |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+      in
+      match List.filter_map Serve.parse_sample lines with
+      | [ (n, [ ("tenant", t) ], v) ] ->
+        n = "sider_serve_tenant_requests_total" && t = tenant && v = 7.0
+      | _ -> false)
+
 (* Every sample line must be [name{labels} value] with names restricted
    to the Prometheus charset and values parseable as floats. *)
 let sample_line_ok line =
@@ -139,6 +221,12 @@ let test_live_scrape () =
   let session = Sider_core.Session.create ~seed:11 ds in
   Sider_core.Session.add_margin_constraint session;
   run_update session;
+  (* Labeled families alongside the solver's plain instruments: the
+     scrape below must render and re-parse them. *)
+  Obs.count_labeled "serve.tenant_requests" [ ("tenant", "scrape-test") ];
+  Obs.observe_labeled "serve.request_s"
+    [ ("route", "update"); ("status", "200") ]
+    0.05;
   let server = Serve.start ~port:0 () in
   Fun.protect ~finally:(fun () -> Serve.stop server) @@ fun () ->
   let port = Serve.port server in
@@ -159,6 +247,27 @@ let test_live_scrape () =
   check_true "gc heap gauge exposed"
     (counter_value body "sider_gc_heap_words"
      |> Option.fold ~none:false ~some:(fun v -> v > 0));
+  (* Labeled families come back out of a live scrape and parse with the
+     same helper `sider top` uses. *)
+  let labeled =
+    String.split_on_char '\n' body
+    |> List.filter_map Serve.parse_sample
+    |> List.filter (fun (_, ls, _) -> ls <> [])
+  in
+  check_true "labeled tenant counter scrapes and parses"
+    (List.exists
+       (fun (n, ls, v) ->
+         n = "sider_serve_tenant_requests_total"
+         && ls = [ ("tenant", "scrape-test") ]
+         && v = 1.0)
+       labeled);
+  check_true "labeled route/status summary scrapes and parses"
+    (List.exists
+       (fun (n, ls, _) ->
+         n = "sider_serve_request_s"
+         && List.assoc_opt "route" ls = Some "update"
+         && List.assoc_opt "status" ls = Some "200")
+       labeled);
   (* More work between scrapes: the counter must strictly increase. *)
   Sider_core.Session.add_one_cluster_constraint session;
   run_update session;
@@ -186,6 +295,10 @@ let test_stop_idempotent () =
 let suite =
   [
     case "exposition grammar: counter, gauge, summary" test_exposition_grammar;
+    case "labeled families render grouped and re-parse exactly"
+      test_labeled_exposition;
+    test_mangle_sanitizes;
+    test_labeled_sample_roundtrip;
     case "live scrape: /metrics, /healthz, 404, 405, counter movement"
       test_live_scrape;
     case "stop is idempotent and releases the port" test_stop_idempotent;

@@ -862,6 +862,188 @@ let test_persistent_arm_fires_until_reset () =
   status_is "clean after reset" 200
     (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"))
 
+(* --- tracing, access log and SLO ---------------------------------------------------- *)
+
+module Obs = Sider_obs.Obs
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* One client-supplied trace id must link all four observability
+   surfaces: the response header echo, the structured access-log line,
+   the recorded span tree, and — for a request that dies on a 5xx — the
+   flight-recorder dump it triggers. *)
+let test_trace_links_all_surfaces () =
+  let log_path = Filename.temp_file "sider_access" ".jsonl" in
+  let dump_path = Filename.temp_file "sider_dump" ".jsonl" in
+  let log_oc = open_out log_path in
+  let dump_oc = open_out dump_path in
+  let rec_ = Obs.recording_sink () in
+  Obs.reset ();
+  Obs.set_sink (Some rec_.Obs.rec_sink);
+  Obs.set_flight_recorder ~capacity:256 true;
+  Obs.set_flight_auto_dump (Some dump_oc);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_flight_auto_dump None;
+      Obs.set_flight_recorder false;
+      Obs.flight_reset ();
+      Obs.set_sink None;
+      Obs.reset ();
+      close_out_noerr log_oc;
+      close_out_noerr dump_oc;
+      (try Sys.remove log_path with Sys_error _ -> ());
+      (try Sys.remove dump_path with Sys_error _ -> ()))
+  @@ fun () ->
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  let config = { Service.default_config with access_log = Some log_oc } in
+  let trace_ok = "e2e-trace-ok-1" and trace_bad = "e2e-trace-fail-1" in
+  let id =
+    with_service ~data_dir:dir ~config @@ fun svc ->
+    let id = create_session svc in
+    let traced ?body ~trace meth path =
+      match
+        Http.request
+          ~headers:[ (Http.trace_response_header, trace) ]
+          ?body ~meth ~port:(Service.port svc) path
+      with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "%s %s: %s" meth path e
+    in
+    let r =
+      traced ~body:update_body ~trace:trace_ok "POST"
+        ("/sessions/" ^ id ^ "/update")
+    in
+    status_is "traced update" 200 r;
+    Alcotest.(check (option string))
+      "trace id echoed on success" (Some trace_ok)
+      (Http.header r "x-sider-trace-id");
+    (* A 5xx under the same contract: the echo still happens, and the
+       failure dumps the flight ring tagged with the id. *)
+    Fault.arm (Fault.Journal_fail_append { path_substr = id });
+    let r =
+      traced ~body:cluster_body ~trace:trace_bad "POST"
+        ("/sessions/" ^ id ^ "/constraints")
+    in
+    status_is "traced failure" 503 r;
+    Alcotest.(check (option string))
+      "trace id echoed on error" (Some trace_bad)
+      (Http.header r "x-sider-trace-id");
+    id
+  in
+  (* Span tree: the request span carries the trace id and route. *)
+  let request_spans =
+    List.filter (fun s -> s.Obs.name = "serve.request") (rec_.Obs.spans ())
+  in
+  check_true "request span carries trace id, route and status"
+    (List.exists
+       (fun s ->
+         List.assoc_opt "trace" s.Obs.attrs = Some (Obs.Str trace_ok)
+         && List.assoc_opt "route" s.Obs.attrs = Some (Obs.Str "update")
+         && List.assoc_opt "status" s.Obs.attrs = Some (Obs.Int 200))
+       request_spans);
+  check_true "failed request span carries its trace id"
+    (List.exists
+       (fun s ->
+         List.assoc_opt "trace" s.Obs.attrs = Some (Obs.Str trace_bad)
+         && List.assoc_opt "status" s.Obs.attrs = Some (Obs.Int 503))
+       request_spans);
+  (* Access log: one JSON line per request with the full field set. *)
+  let log_lines =
+    String.split_on_char '\n' (read_file log_path)
+    |> List.filter (fun l -> l <> "")
+    |> List.map Json.of_string
+  in
+  let line_with trace =
+    match
+      List.find_opt
+        (fun j -> Json.to_str (Json.member "trace" j) = trace)
+        log_lines
+    with
+    | Some j -> j
+    | None -> Alcotest.failf "no access-log line for trace %s" trace
+  in
+  let ok_line = line_with trace_ok in
+  Alcotest.(check string) "access log tenant" id
+    (Json.to_str (Json.member "tenant" ok_line));
+  Alcotest.(check string) "access log route" "update"
+    (Json.to_str (Json.member "route" ok_line));
+  Alcotest.(check int) "access log status" 200
+    (Json.to_int (Json.member "status" ok_line));
+  check_true "access log timings non-negative"
+    (Json.to_float (Json.member "dur_s" ok_line) >= 0.0
+     && Json.to_float (Json.member "queue_s" ok_line) >= 0.0
+     && Json.to_int (Json.member "journal_fsync_ns" ok_line) >= 0);
+  check_true "access log records the sweep split"
+    (Json.to_int (Json.member "warm_sweeps" ok_line) >= 0
+     && Json.to_int (Json.member "cold_sweeps" ok_line) >= 0);
+  Alcotest.(check int) "failed request logged with its status" 503
+    (Json.to_int (Json.member "status" (line_with trace_bad)));
+  (* Flight dump: the 5xx dumped the ring with the trace id in its
+     header, so `sider doctor --trace` can find it. *)
+  flush dump_oc;
+  let dump = read_file dump_path in
+  check_true "flight dump written on the 5xx" (dump <> "");
+  check_true "flight dump header carries the trace id"
+    (contains dump trace_bad)
+
+let test_slo_route_and_degraded_healthz () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  with_service ~data_dir:dir @@ fun svc ->
+  let slo () = json_of (req svc "GET" "/slo") in
+  let j = slo () in
+  check_true "fresh service not degraded"
+    (not (Json.to_bool (Json.member "degraded" j)));
+  (match Json.to_list (Json.member "windows" j) with
+   | [ w5; w1 ] ->
+     Alcotest.(check string) "short window first" "5m"
+       (Json.to_str (Json.member "window" w5));
+     Alcotest.(check string) "long window second" "1h"
+       (Json.to_str (Json.member "window" w1))
+   | ws -> Alcotest.failf "expected 2 windows, got %d" (List.length ws));
+  let id = create_session svc in
+  (* Burn the error budget: persistent journal failures turn every
+     mutation into a 503, far above a 0.99 objective's budget in both
+     windows at once. *)
+  Fault.arm_persistent (Fault.Journal_fail_append { path_substr = id });
+  for _ = 1 to 8 do
+    status_is "burning" 503
+      (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"))
+  done;
+  Fault.reset ();
+  (* The response is written before the window is charged, so the last
+     503 can still be in flight when we scrape — poll briefly. *)
+  check_true "all eight errors land in both windows"
+    (wait_until (fun () ->
+         Json.to_list (Json.member "windows" (slo ()))
+         |> List.for_all (fun w ->
+             Json.to_int (Json.member "errors" w) >= 8)));
+  let j = slo () in
+  check_true "slo reports degraded" (Json.to_bool (Json.member "degraded" j));
+  (match Json.to_list (Json.member "windows" j) with
+   | w :: _ ->
+     check_true "burn above threshold"
+       (Json.to_float (Json.member "burn" w)
+        > Json.to_float (Json.member "burn_threshold" j))
+   | [] -> Alcotest.fail "windows missing");
+  (* Degraded state surfaces on the health probe... *)
+  let r = req svc "GET" "/healthz" in
+  status_is "healthz degrades" 503 r;
+  check_true "degraded body names the cause"
+    (contains r.Http.r_body "slo-degraded");
+  (* ...while the observability routes stay reachable (and exempt from
+     SLO accounting, so the probe can't keep the burn alive itself). *)
+  status_is "metrics still served" 200 (req svc "GET" "/metrics");
+  status_is "slo still served" 200 (req svc "GET" "/slo")
+
 let suite =
   [
     case "full interaction loop over http" test_lifecycle;
@@ -900,4 +1082,8 @@ let suite =
     case "compaction through the service" test_compaction_through_service;
     case "counted arm fires n times" test_counted_arm_fires_n_times;
     case "persistent arm fires until reset" test_persistent_arm_fires_until_reset;
+    case "trace id links header, access log, spans and flight dump"
+      test_trace_links_all_surfaces;
+    case "slo route reports burn and degrades healthz"
+      test_slo_route_and_degraded_healthz;
   ]

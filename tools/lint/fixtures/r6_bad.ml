@@ -1,0 +1,14 @@
+(* [obs-hygiene] R6 positive fixture: by-name *labeled* metric lookups
+   inside loops — each iteration sorts and escapes the label list to
+   rebuild the composed series key before the registry hash + mutex. *)
+
+let count_per_row (ids : string array) =
+  Array.iter
+    (fun id -> Sider_obs.Obs.count_labeled "fixture.rows" [ ("tenant", id) ])
+    ids
+
+let observe_per_step (xs : float array) =
+  for i = 0 to Array.length xs - 1 do
+    Sider_obs.Obs.observe_labeled "fixture.step_s" [ ("stage", "solve") ]
+      xs.(i)
+  done

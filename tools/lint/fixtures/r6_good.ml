@@ -1,0 +1,14 @@
+(* [obs-hygiene] R6 negative fixture: a preregistered labeled handle in
+   the loop, labeled by-name calls only outside loops — stays silent. *)
+
+let step_hist =
+  Sider_obs.Obs.labeled_hist "fixture.step_s" [ ("stage", "solve") ]
+
+let observe_per_step (xs : float array) =
+  for i = 0 to Array.length xs - 1 do
+    Sider_obs.Obs.observe_into step_hist xs.(i)
+  done
+
+let summarize id =
+  Sider_obs.Obs.count_labeled "fixture.batches" [ ("tenant", id) ];
+  Sider_obs.Obs.observe_labeled "fixture.batch_s" [ ("tenant", id) ] 0.1

@@ -23,7 +23,11 @@
    - [obs-hygiene]      (R4) by-name Obs.count / Obs.gauge / Obs.observe
      / Obs.counter_value lookups inside loops are flagged — hot paths
      must use preregistered handles (Obs.hist_handle / observe_into),
-     per the PR 4 overhead budget.
+     per the PR 4 overhead budget.  (R6) the labeled variants
+     Obs.count_labeled / Obs.observe_labeled are flagged the same way:
+     a labeled by-name call re-resolves the composed series key (label
+     sort + escape + hash + mutex) per iteration, so loops must
+     preregister an Obs.labeled_hist handle instead.
    - [alloc-in-hot-loop] (R5) in lib/linalg, lib/maxent and
      lib/projection, allocating Mat operations (matmul / add / map /
      ... — anything with an [_into] sibling) inside a loop are flagged:
@@ -242,6 +246,11 @@ let mutex_idents = [ "Mutex.lock"; "Mutex.try_lock"; "Mutex.protect" ]
 let obs_by_name =
   [ "Obs.count"; "Obs.gauge"; "Obs.observe"; "Obs.counter_value" ]
 
+(* R6: labeled by-name lookups are worse — each call sorts and escapes
+   the label list to rebuild the composed series key before the hash +
+   mutex.  [Obs.labeled_hist] resolves all of that once. *)
+let obs_labeled_by_name = [ "Obs.count_labeled"; "Obs.observe_labeled" ]
+
 (* R5: Mat operations that allocate their result and have an in-place
    [_into] sibling taking a preallocated [~dst].  The suffix match is
    exact, so e.g. [Mat.matmul_into] itself never matches ["Mat.matmul"]. *)
@@ -382,6 +391,15 @@ let check_ident ~loc nm =
       (Printf.sprintf
          "by-name metric lookup '%s' inside a loop; preregister a handle \
           (Obs.hist_handle / Obs.observe_into) outside the loop" nm);
+  if
+    !cur_policy.obs && !loop_depth > 0
+    && ends_with_any obs_labeled_by_name nm
+  then
+    report ~loc ~rule:r_obs
+      (Printf.sprintf
+         "by-name labeled metric lookup '%s' inside a loop; preregister \
+          a labeled handle (Obs.labeled_hist / Obs.observe_into) outside \
+          the loop" nm);
   if !cur_policy.alloc && !loop_depth > 0 && ends_with_any alloc_mat_ops nm
   then
     report ~loc ~rule:r_alloc
