@@ -7,8 +7,9 @@
 # (sub-10-seconds; proves the harness itself still works, not
 # performance).
 
-.PHONY: all build check test lint lint-fixtures verify clean bench \
-        bench-smoke bench-diff bench-scaling service-smoke bench-service
+.PHONY: all build check test lint lint-fixtures lint-sarif verify clean \
+        bench bench-smoke bench-diff bench-scaling service-smoke \
+        bench-service
 
 all: build
 
@@ -29,6 +30,21 @@ lint:
 # The linter's own expected-output suite (also part of `dune runtest`).
 lint-fixtures:
 	dune build @lint-fixtures
+
+# Same scan as `make lint`, plus a SARIF 2.1.0 report for code-scanning
+# UIs (CI uploads it via codeql-action/upload-sarif).  The SARIF file is
+# written and validated even when findings fail the scan, and the scan's
+# own exit status is preserved.
+lint-sarif:
+	dune build @check tools/lint/sider_lint.exe tools/lint/sarif_check.exe
+	mkdir -p _artifacts
+	cd _build/default && \
+	  ./tools/lint/sider_lint.exe \
+	    --sarif ../../_artifacts/sider-lint.sarif \
+	    lib bin bench test examples; \
+	  st=$$?; \
+	  ./tools/lint/sarif_check.exe ../../_artifacts/sider-lint.sarif \
+	    && exit $$st
 
 verify:
 	dune build @check && $(MAKE) lint && dune runtest \

@@ -1099,9 +1099,11 @@ let load_cmd =
     (match out with
      | Some path ->
        let oc = open_out path in
-       output_string oc (Json.to_string result);
-       output_char oc '\n';
-       close_out oc;
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           output_string oc (Json.to_string result);
+           output_char oc '\n');
        Printf.printf "wrote %s\n" path
      | None -> ());
     if !failures > 0 then Stdlib.exit 1

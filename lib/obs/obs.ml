@@ -119,7 +119,7 @@ let family_sets : (string, int) Hashtbl.t = Hashtbl.create 16
 let registry_m = Mutex.create ()
 
 let locked f =
-  Mutex.lock registry_m;
+  Mutex.lock registry_m [@sider.lock "obs_registry_m"];
   match f () with
   | v ->
     Mutex.unlock registry_m;
@@ -142,7 +142,7 @@ let pending_dropped = ref 0
 let pending_m = Mutex.create ()
 
 let push_pending sp =
-  Mutex.lock pending_m;
+  Mutex.lock pending_m [@sider.lock "obs_pending_m"];
   if !pending_len >= pending_max then incr pending_dropped
   else begin
     pending := sp :: !pending;
@@ -151,7 +151,7 @@ let push_pending sp =
   Mutex.unlock pending_m
 
 let take_pending () =
-  Mutex.lock pending_m;
+  Mutex.lock pending_m [@sider.lock "obs_pending_m"];
   let spans = List.rev !pending in
   pending := [];
   pending_len := 0;
@@ -238,7 +238,7 @@ let set_flight_auto_dump dest = fr_auto_dest := dest
 let set_sink s =
   (own_stack ()) := [];
   controller := (Domain.self () :> int);
-  Mutex.lock pending_m;
+  Mutex.lock pending_m [@sider.lock "obs_pending_m"];
   pending := [];
   pending_len := 0;
   Mutex.unlock pending_m;
@@ -262,7 +262,7 @@ let reset () =
       Hashtbl.reset family_sets;
       incr registry_gen);
   (own_stack ()) := [];
-  Mutex.lock pending_m;
+  Mutex.lock pending_m [@sider.lock "obs_pending_m"];
   pending := [];
   pending_len := 0;
   pending_dropped := 0;

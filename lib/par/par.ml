@@ -121,7 +121,7 @@ let drain_chunks j =
       in
       (try j.run_chunk c
        with e ->
-         Mutex.lock pool.m;
+         Mutex.lock pool.m [@sider.lock "pool_m"];
          if j.failed = None then j.failed <- Some e;
          Mutex.unlock pool.m);
       if j.obs then begin
@@ -140,7 +140,7 @@ let drain_chunks j =
          broadcast is taken under the pool mutex so it cannot be lost
          between the submitter's check and its wait. *)
       if Atomic.fetch_and_add j.remaining (-1) = 1 then begin
-        Mutex.lock pool.m;
+        Mutex.lock pool.m [@sider.lock "pool_m"];
         Condition.broadcast pool.done_;
         Mutex.unlock pool.m
       end
@@ -151,7 +151,7 @@ let worker () =
   let last_gen = ref 0 in
   let continue_ = ref true in
   while !continue_ do
-    Mutex.lock pool.m;
+    Mutex.lock pool.m [@sider.lock "pool_m"];
     while (not pool.quit) && pool.gen = !last_gen do
       Condition.wait pool.work pool.m
     done;
@@ -168,14 +168,14 @@ let worker () =
   done
 
 let shutdown () =
-  Mutex.lock pool.m;
+  Mutex.lock pool.m [@sider.lock "pool_m"];
   pool.quit <- true;
   Condition.broadcast pool.work;
   let workers = pool.workers in
   pool.workers <- [];
   Mutex.unlock pool.m;
   List.iter Domain.join workers;
-  Mutex.lock pool.m;
+  Mutex.lock pool.m [@sider.lock "pool_m"];
   pool.quit <- false;
   Mutex.unlock pool.m
 
@@ -190,7 +190,7 @@ let resize size =
   let have = List.length pool.workers + 1 in
   if size > have then begin
     let extra = List.init (size - have) (fun _ -> Domain.spawn worker) in
-    Mutex.lock pool.m;
+    Mutex.lock pool.m [@sider.lock "pool_m"];
     pool.workers <- extra @ pool.workers;
     Mutex.unlock pool.m
   end
@@ -221,7 +221,7 @@ let can_engage () =
 
 let run_job ~chunks run_chunk =
   let obs = Obs.enabled () in
-  Mutex.lock pool.m;
+  Mutex.lock pool.m [@sider.lock "pool_m"];
   let gen = pool.gen + 1 in
   Mutex.unlock pool.m;
   let j = {
@@ -242,14 +242,14 @@ let run_job ~chunks run_chunk =
        current open span, tagged with the executing domain's id. *)
     Obs.enter_fanout ~depth:(Obs.current_depth ())
   end;
-  Mutex.lock pool.m;
+  Mutex.lock pool.m [@sider.lock "pool_m"];
   pool.busy <- true;
   pool.job <- Some j;
   pool.gen <- gen;
   Condition.broadcast pool.work;
   Mutex.unlock pool.m;
   drain_chunks j;
-  Mutex.lock pool.m;
+  Mutex.lock pool.m [@sider.lock "pool_m"];
   while Atomic.get j.remaining > 0 do
     Condition.wait pool.done_ pool.m
   done;

@@ -54,21 +54,21 @@ let with_lock m f =
 
 let journal_file dir id = Filename.concat dir (id ^ ".journal")
 
-let count t = with_lock t.reg_lock (fun () -> Hashtbl.length t.table)
+let count t = with_lock (t.reg_lock [@sider.lock "reg_lock"]) (fun () -> Hashtbl.length t.table)
 
 let ids t =
-  with_lock t.reg_lock (fun () ->
+  with_lock (t.reg_lock [@sider.lock "reg_lock"]) (fun () ->
       Hashtbl.fold (fun id _ acc -> id :: acc) t.table []
       |> List.sort compare)
 
-let find t id = with_lock t.reg_lock (fun () -> Hashtbl.find_opt t.table id)
+let find t id = with_lock (t.reg_lock [@sider.lock "reg_lock"]) (fun () -> Hashtbl.find_opt t.table id)
 
 let resident_count_locked t =
   Hashtbl.fold
     (fun _ e acc -> match e.resident with Some _ -> acc + 1 | None -> acc)
     t.table 0
 
-let resident_count t = with_lock t.reg_lock (fun () -> resident_count_locked t)
+let resident_count t = with_lock (t.reg_lock [@sider.lock "reg_lock"]) (fun () -> resident_count_locked t)
 
 let touch entry = entry.last_touch <- Unix.gettimeofday ()
 
@@ -131,7 +131,7 @@ let evict_one_locked t =
   let rec go = function
     | [] -> false
     | e :: rest ->
-      if Mutex.try_lock e.lock then (
+      if Mutex.try_lock e.lock [@sider.lock "entry"] then (
         let evicted =
           Fun.protect
             ~finally:(fun () -> Mutex.unlock e.lock)
@@ -147,7 +147,7 @@ let evict_idle t ~ttl_s =
   else begin
     let now = Unix.gettimeofday () in
     let stale =
-      with_lock t.reg_lock (fun () ->
+      with_lock (t.reg_lock [@sider.lock "reg_lock"]) (fun () ->
           Hashtbl.fold
             (fun _ e acc ->
               match (e.resident, e.j_path) with
@@ -162,7 +162,7 @@ let evict_idle t ~ttl_s =
       (fun e ->
         (* Re-check idleness under the entry lock: the entry may have
            been touched or removed since the snapshot above. *)
-        if Mutex.try_lock e.lock then
+        if Mutex.try_lock e.lock [@sider.lock "entry"] then
           Fun.protect
             ~finally:(fun () -> Mutex.unlock e.lock)
             (fun () ->
@@ -200,7 +200,7 @@ let maybe_compact t entry =
   | _ -> ()
 
 let add t sess =
-  with_lock t.reg_lock @@ fun () ->
+  with_lock (t.reg_lock [@sider.lock "reg_lock"]) @@ fun () ->
   let admitted =
     if resident_count_locked t < t.max_sessions then true
     else if evict_one_locked t then (
@@ -212,8 +212,16 @@ let add t sess =
   else (
     let id = Printf.sprintf "s-%d" t.next_id in
     match
+      (* The journal create+fsync runs under reg_lock deliberately: the
+         capacity check, id reservation and journal truncation must be
+         atomic, or a concurrent [add]/[recover] could reuse the id and
+         [journal_start] would truncate a live session's journal.  The
+         cost is bounded (empty journal + one header line); steady-state
+         appends happen under the entry lock only. *)
       Option.map
-        (fun dir -> Persist.journal_start (journal_file dir id) sess)
+        (fun dir ->
+          (Persist.journal_start (journal_file dir id) sess
+           [@sider.allow "blocking-under-lock"]))
         t.data_dir
     with
     | exception Sider_error.Error e -> Error (`Io e)
@@ -242,7 +250,7 @@ let remove t id =
   match find t id with
   | None -> None
   | Some entry ->
-    with_lock entry.lock (fun () ->
+    with_lock (entry.lock [@sider.lock "entry"]) (fun () ->
         if entry.closed then ()
         else (
           entry.closed <- true;
@@ -257,7 +265,7 @@ let remove t id =
             (try Sys.remove (Persist.snapshot_path path)
              with Sys_error _ -> ())
           | None -> ()));
-    with_lock t.reg_lock (fun () -> Hashtbl.remove t.table id);
+    with_lock (t.reg_lock [@sider.lock "reg_lock"]) (fun () -> Hashtbl.remove t.table id);
     Some entry
 
 (* Boot-time recovery: replay every [*.journal] in the data directory.
@@ -276,7 +284,7 @@ let recover t =
       |> List.filter (fun f -> Filename.check_suffix f ".journal")
       |> List.sort compare
     in
-    with_lock t.reg_lock (fun () ->
+    with_lock (t.reg_lock [@sider.lock "reg_lock"]) (fun () ->
         List.iter
           (fun file ->
             let id = Filename.chop_suffix file ".journal" in
@@ -298,7 +306,7 @@ let recover t =
           match Persist.journal_reopen path with
           | Error e -> Some (path, e)
           | Ok (sess, journal) ->
-            with_lock t.reg_lock (fun () ->
+            with_lock (t.reg_lock [@sider.lock "reg_lock"]) (fun () ->
                 Hashtbl.replace t.table id
                   { id;
                     lock = Mutex.create ();
@@ -314,7 +322,7 @@ let recover t =
        back down so boot respects the configured resident bound even
        when TTL eviction is off (journals are already on disk, so the
        evicted tenants rehydrate on first touch). *)
-    with_lock t.reg_lock (fun () ->
+    with_lock (t.reg_lock [@sider.lock "reg_lock"]) (fun () ->
         let dropped = ref 0 in
         while
           resident_count_locked t > t.max_sessions && evict_one_locked t
@@ -328,12 +336,12 @@ let recover t =
 
 let close t =
   let entries =
-    with_lock t.reg_lock (fun () ->
+    with_lock (t.reg_lock [@sider.lock "reg_lock"]) (fun () ->
         Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
   in
   List.iter
     (fun entry ->
-      with_lock entry.lock (fun () ->
+      with_lock (entry.lock [@sider.lock "entry"]) (fun () ->
           (match entry.journal with
            | Some j -> Persist.journal_close j
            | None -> ());

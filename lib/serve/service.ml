@@ -264,7 +264,7 @@ let with_entry t id f =
   match Registry.find t.registry id with
   | None -> raise (Reply (404, err_body "not-found" ("no session " ^ id)))
   | Some entry ->
-    Mutex.lock entry.Registry.lock;
+    Mutex.lock entry.Registry.lock [@sider.lock "entry"];
     Fun.protect ~finally:(fun () -> Mutex.unlock entry.Registry.lock)
     @@ fun () ->
     if entry.Registry.closed then
@@ -518,12 +518,18 @@ let access_log_line t ctx ~route ~meth ~path ~status ~dur_s ~queue_s =
         (Obs.json_escape route) (Obs.json_escape meth) (Obs.json_escape path)
         status dur_s queue_s ctx.rc_journal_ns ctx.rc_warm ctx.rc_cold
     in
-    Mutex.lock t.access_m;
-    (try
-       output_string oc line;
-       flush oc
-     with Sys_error _ -> ());
-    Mutex.unlock t.access_m
+    (* Fun.protect, not a bare unlock: the Sys_error handler below only
+       covers channel faults — anything else (Out_of_memory, a signal
+       exception) would strand access_m and wedge every later request
+       that tries to log. *)
+    Mutex.lock t.access_m [@sider.lock "access_m"];
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.access_m)
+      (fun () ->
+        try
+          output_string oc line;
+          flush oc
+        with Sys_error _ -> ())
 
 (* Per-response accounting: the labeled request histogram, the
    per-tenant counter, the SLO windows (session-facing routes only —
@@ -645,7 +651,7 @@ let max_parked = 512
 
 let park_idle t conn =
   let victim =
-    Mutex.lock t.idle_lock;
+    Mutex.lock t.idle_lock [@sider.lock "idle_lock"];
     let v =
       if List.length t.idle < max_parked then None
       else (
@@ -676,18 +682,25 @@ let park_idle t conn =
 
 let enqueue_conn t conn =
   conn.c_enqueued_at <- now_s ();
-  Mutex.lock t.q_lock;
+  Mutex.lock t.q_lock [@sider.lock "q_lock"];
   Queue.push conn t.queue;
   Condition.signal t.q_nonempty;
   Mutex.unlock t.q_lock
 
 let rec worker_loop t =
-  Mutex.lock t.q_lock;
-  while Queue.is_empty t.queue && not t.stopping do
-    Condition.wait t.q_nonempty t.q_lock
-  done;
-  let item = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
-  Mutex.unlock t.q_lock;
+  (* Fun.protect: Queue.pop raises Empty if the queue is drained behind
+     our back — impossible today (pops happen under q_lock) but a bare
+     unlock would turn that logic bug into a stuck service. *)
+  Mutex.lock t.q_lock [@sider.lock "q_lock"];
+  let item =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.q_lock)
+      (fun () ->
+        while Queue.is_empty t.queue && not t.stopping do
+          Condition.wait t.q_nonempty t.q_lock
+        done;
+        if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+  in
   match item with
   | None -> () (* stopping and fully drained *)
   | Some conn ->
@@ -726,7 +739,7 @@ let rec worker_loop t =
    arriving. *)
 let rec watcher_loop t =
   let parked =
-    Mutex.lock t.idle_lock;
+    Mutex.lock t.idle_lock [@sider.lock "idle_lock"];
     let l = t.idle in
     Mutex.unlock t.idle_lock;
     l
@@ -758,7 +771,7 @@ let rec watcher_loop t =
       ([], true)
   in
   if overflowed then (
-    Mutex.lock t.idle_lock;
+    Mutex.lock t.idle_lock [@sider.lock "idle_lock"];
     let stranded = t.idle in
     t.idle <- [];
     Mutex.unlock t.idle_lock;
@@ -770,7 +783,7 @@ let rec watcher_loop t =
     let buf = Bytes.create 64 in
     try ignore (Unix.read t.wake_r buf 0 64) with Unix.Unix_error _ -> ());
   if t.stopping then (
-    Mutex.lock t.idle_lock;
+    Mutex.lock t.idle_lock [@sider.lock "idle_lock"];
     let rest = t.idle in
     t.idle <- [];
     Mutex.unlock t.idle_lock;
@@ -778,7 +791,7 @@ let rec watcher_loop t =
   else (
     let now = now_s () in
     let ready, expired =
-      Mutex.lock t.idle_lock;
+      Mutex.lock t.idle_lock [@sider.lock "idle_lock"];
       let ready, keep =
         List.partition (fun (c, _) -> List.mem c.c_fd readable) t.idle
       in
@@ -821,7 +834,7 @@ let rec accept_loop t =
         c_enqueued_at = enqueued_at }
     in
     let accepted =
-      Mutex.lock t.q_lock;
+      Mutex.lock t.q_lock [@sider.lock "q_lock"];
       let ok =
         (not t.stopping) && Queue.length t.queue < t.config.queue_capacity
       in
@@ -891,7 +904,7 @@ let start ?(config = default_config) () =
 
 let stop t =
   if not t.stopping then (
-    Mutex.lock t.q_lock;
+    Mutex.lock t.q_lock [@sider.lock "q_lock"];
     t.stopping <- true;
     Condition.broadcast t.q_nonempty;
     Mutex.unlock t.q_lock;

@@ -94,7 +94,7 @@ let record t ~status ~dur_s =
   let now_s = now_s () in
   let is_err = status >= 500 in
   let is_slow = dur_s > t.latency_target_s in
-  Mutex.lock t.m;
+  Mutex.lock t.m [@sider.lock "slo_m"];
   List.iter
     (fun w ->
       let b = advance w ~now_s in
@@ -141,7 +141,7 @@ type snapshot = {
 
 let snapshot t =
   let now_s = now_s () in
-  Mutex.lock t.m;
+  Mutex.lock t.m [@sider.lock "slo_m"];
   let w5 = window_stats t "5m" t.w5m ~now_s in
   let w1 = window_stats t "1h" t.w1h ~now_s in
   Mutex.unlock t.m;

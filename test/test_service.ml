@@ -1044,6 +1044,48 @@ let test_slo_route_and_degraded_healthz () =
   status_is "metrics still served" 200 (req svc "GET" "/metrics");
   status_is "slo still served" 200 (req svc "GET" "/slo")
 
+(* A poisoned access-log channel must not wedge the service.
+   [access_log_line] writes under [t.access_m]; if an exception on the
+   write path could skip the unlock, the first failed write would
+   strand the mutex and every later request would hang inside its own
+   logging call.  Closing the channel out from under a live service
+   makes every subsequent write raise, so a few successful follow-up
+   requests prove the unlock is exception-safe (sider-lint R8). *)
+let test_access_log_poisoned_channel () =
+  let log_path = Filename.temp_file "sider_access" ".jsonl" in
+  let log_oc = open_out log_path in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr log_oc;
+      (try Sys.remove log_path with Sys_error _ -> ()))
+  @@ fun () ->
+  let config = { Service.default_config with access_log = Some log_oc } in
+  with_service ~config @@ fun svc ->
+  status_is "healthz before poison" 200 (req svc "GET" "/healthz");
+  (* The log line is flushed after the response is handed to the
+     client, so poll briefly (up to ~2s) rather than assert
+     immediately. *)
+  let rec wait_for_line tries =
+    if (Unix.stat log_path).Unix.st_size > 0 then ()
+    else if tries = 0 then
+      Alcotest.fail "no access-log line before poisoning"
+    else begin
+      Thread.delay 0.01;
+      wait_for_line (tries - 1)
+    end
+  in
+  wait_for_line 200;
+  (* Poison: every write in access_log_line now raises. *)
+  close_out log_oc;
+  (* Each of these logs on completion; a stranded access_m would hang
+     the second one inside Mutex.lock. *)
+  let id = create_session svc in
+  status_is "constraint after poison" 200
+    (req svc ~body:cluster_body "POST" ("/sessions/" ^ id ^ "/constraints"));
+  status_is "update after poison" 200
+    (req svc ~body:update_body "POST" ("/sessions/" ^ id ^ "/update"));
+  status_is "healthz after poison" 200 (req svc "GET" "/healthz")
+
 let suite =
   [
     case "full interaction loop over http" test_lifecycle;
@@ -1086,4 +1128,6 @@ let suite =
       test_trace_links_all_surfaces;
     case "slo route reports burn and degrades healthz"
       test_slo_route_and_degraded_healthz;
+    case "poisoned access log does not wedge requests"
+      test_access_log_poisoned_channel;
   ]

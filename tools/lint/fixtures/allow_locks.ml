@@ -1,0 +1,34 @@
+(* [@sider.allow] escapes for the interprocedural rules, at all three
+   granularities — plus one unannotated violation at the bottom proving
+   the escapes do not bleed past their scope. *)
+
+(* File-level: this file may skip [@sider.lock] annotations. *)
+[@@@sider.allow "lock-order"]
+
+let m = Mutex.create ()
+let q : int Queue.t = Queue.create ()
+
+(* Covered by the file-level lock-order allow: no annotation needed. *)
+let unannotated () =
+  Mutex.lock m;
+  Mutex.unlock m
+
+(* Binding-level: this function may hold the lock across a raiser. *)
+let[@sider.allow "lock-safety"] risky_pop () =
+  Mutex.lock m;
+  let v = Queue.pop q in
+  Mutex.unlock m;
+  v
+
+(* Binding-level fd-leak escape: the channel is handed to the caller
+   out-of-band in real code shaped like this. *)
+let[@sider.allow "fd-leak"] loose_open path = open_out path
+
+(* Expression-level: only this acquisition may leak. *)
+let expr_allowed () = (Mutex.lock m [@sider.allow "lock-safety"])
+
+(* NOT allowed: fd-leak is only excused on [loose_open] above, so this
+   one must still be reported. *)
+let still_caught path =
+  let oc = open_out path in
+  output_string oc "x"

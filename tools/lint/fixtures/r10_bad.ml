@@ -1,0 +1,17 @@
+(* R10 blocking-under-lock positives: a blocking primitive reached
+   while a mutex named reg_lock is held — directly and through a
+   helper (the interprocedural case). *)
+
+let reg_lock = Mutex.create ()
+
+let with_m m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let fsync_direct fd =
+  with_m (reg_lock [@sider.lock "reg_lock"]) (fun () -> Unix.fsync fd)
+
+let helper fd = Unix.fsync fd
+
+let fsync_via fd =
+  with_m (reg_lock [@sider.lock "reg_lock"]) (fun () -> helper fd)

@@ -1,0 +1,19 @@
+(* R10 negatives: the sync happens after the lock is released, or the
+   site carries a reviewed [@sider.allow] with a justification. *)
+
+let reg_lock = Mutex.create ()
+
+let with_m m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Blocking work moved outside the critical section. *)
+let fsync_after fd =
+  with_m (reg_lock [@sider.lock "reg_lock"]) (fun () -> ());
+  Unix.fsync fd
+
+(* Deliberate, documented sync under the lock. *)
+let fsync_allowed fd =
+  with_m
+    (reg_lock [@sider.lock "reg_lock"])
+    (fun () -> (Unix.fsync fd [@sider.allow "blocking-under-lock"]))

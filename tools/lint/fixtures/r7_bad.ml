@@ -1,0 +1,20 @@
+(* R7 lock-order: two wrapper-mediated acquisition paths that take the
+   same pair of mutexes in opposite orders.  The cycle is only visible
+   interprocedurally: each function's nesting goes through [with_m]. *)
+
+let fix7a = Mutex.create ()
+let fix7b = Mutex.create ()
+
+let with_m m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let a_then_b () =
+  with_m
+    (fix7a [@sider.lock "fix7_a"])
+    (fun () -> with_m (fix7b [@sider.lock "fix7_b"]) (fun () -> 0))
+
+let b_then_a () =
+  with_m
+    (fix7b [@sider.lock "fix7_b"])
+    (fun () -> with_m (fix7a [@sider.lock "fix7_a"]) (fun () -> 1))

@@ -1,0 +1,25 @@
+(* R7 negative: every path honors the hierarchy fix7g_a -> fix7g_b, and
+   the one reverse-order probe uses try_lock, whose edge is non-blocking
+   and therefore cannot complete a deadlock cycle. *)
+
+let fix7g_a = Mutex.create ()
+let fix7g_b = Mutex.create ()
+
+let with_m m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let nested () =
+  with_m
+    (fix7g_a [@sider.lock "fix7g_a"])
+    (fun () -> with_m (fix7g_b [@sider.lock "fix7g_b"]) (fun () -> 0))
+
+(* Reverse order, but non-blocking: bails out instead of waiting. *)
+let probe () =
+  with_m
+    (fix7g_b [@sider.lock "fix7g_b"])
+    (fun () ->
+      if Mutex.try_lock fix7g_a [@sider.lock "fix7g_a"] then (
+        Mutex.unlock fix7g_a;
+        true)
+      else false)

@@ -1,0 +1,22 @@
+(* R8 lock-safety positives: an exception-skippable unlock, a lock with
+   no unlock at all, and a same-mutex re-acquisition. *)
+
+let fix8_m = Mutex.create ()
+let fix8_q : int Queue.t = Queue.create ()
+
+(* Queue.pop raises Empty: the unlock below it is skippable. *)
+let pop_unsafe () =
+  Mutex.lock fix8_m [@sider.lock "fix8_m"];
+  let v = Queue.pop fix8_q in
+  Mutex.unlock fix8_m;
+  v
+
+(* No unlock on any path. *)
+let never_unlocks () = Mutex.lock fix8_m [@sider.lock "fix8_m"]
+
+(* Second lock of the same mutex while it is already held. *)
+let relock () =
+  Mutex.lock fix8_m [@sider.lock "fix8_m"];
+  Mutex.lock fix8_m [@sider.lock "fix8_m"];
+  Mutex.unlock fix8_m;
+  Mutex.unlock fix8_m

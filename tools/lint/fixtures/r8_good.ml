@@ -1,0 +1,29 @@
+(* R8 negatives: the three exception-safe critical-section shapes. *)
+
+let fix8g_m = Mutex.create ()
+let fix8g_q : int Queue.t = Queue.create ()
+
+(* Fun.protect: the unlock runs on every exit path. *)
+let pop_protected () =
+  Mutex.lock fix8g_m [@sider.lock "fix8g_m"];
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock fix8g_m)
+    (fun () -> Queue.pop fix8g_q)
+
+(* Catch-all match-with-exception: no exception escapes the section. *)
+let pop_catch_all () =
+  Mutex.lock fix8g_m [@sider.lock "fix8g_m"];
+  match Queue.pop fix8g_q with
+  | v ->
+    Mutex.unlock fix8g_m;
+    Some v
+  | exception _ ->
+    Mutex.unlock fix8g_m;
+    None
+
+(* Nothing inside the section can raise. *)
+let benign_section x =
+  Mutex.lock fix8g_m [@sider.lock "fix8g_m"];
+  let r = (x + 1) * 2 in
+  Mutex.unlock fix8g_m;
+  r

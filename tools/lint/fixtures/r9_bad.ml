@@ -1,0 +1,19 @@
+(* R9 fd-leak positives: a plain leak, a close skippable by an
+   exception path, and a leaked socket (borrowing calls like Unix.bind
+   do not count as ownership transfer). *)
+
+(* Never closed, never escapes. *)
+let leak path =
+  let oc = open_out path in
+  output_string oc "x"
+
+(* [render ()] may raise, skipping the close. *)
+let skippable path (render : unit -> string) =
+  let oc = open_out path in
+  output_string oc (render ());
+  close_out oc
+
+(* Unix.bind borrows the fd; nobody ever closes it. *)
+let sock_leak () =
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))

@@ -1,0 +1,20 @@
+(* R9 negatives: Fun.protect-guarded close, ownership transfer to a
+   callee, and escape into a longer-lived structure. *)
+
+(* Close on every path. *)
+let protected path (render : unit -> string) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render ()))
+
+(* Passing the channel to an unknown callee transfers ownership: the
+   callee (or its caller) is responsible for the close. *)
+let transfer path (consume : out_channel -> unit) =
+  let oc = open_out path in
+  consume oc
+
+(* Escaping into a ref hands ownership to the structure's owner. *)
+let stash (slot : out_channel option ref) path =
+  let oc = open_out path in
+  slot := Some oc

@@ -1,0 +1,270 @@
+(* sarif_check: schema-lite validator for SARIF 2.1.0 logs.
+   CI cannot assume network access to fetch the real JSON schema, so this
+   checks the structural subset GitHub code scanning requires of the
+   output sider-lint emits: well-formed JSON, version "2.1.0", a tool
+   driver with named rules, and results whose ruleId / message / location
+   shapes are complete.  Exits 0 when the log validates, 1 otherwise. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* ---- mini JSON parser ---- *)
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let next () =
+    if !pos >= n then bad "unexpected end of input";
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    let g = next () in
+    if g <> c then bad "expected '%c' at offset %d, got '%c'" c (!pos - 1) g
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' -> (
+        (match next () with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'n' -> Buffer.add_char b '\n'
+         | 'r' -> Buffer.add_char b '\r'
+         | 't' -> Buffer.add_char b '\t'
+         | 'u' ->
+           let hex = String.init 4 (fun _ -> next ()) in
+           let code =
+             try int_of_string ("0x" ^ hex)
+             with _ -> bad "bad \\u escape %S" hex
+           in
+           (* keep it simple: store BMP code points as UTF-8 *)
+           if code < 0x80 then Buffer.add_char b (Char.chr code)
+           else if code < 0x800 then begin
+             Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+           end
+         | c -> bad "bad escape '\\%c'" c);
+        go ())
+      | c ->
+        Buffer.add_char b c;
+        go ()
+    in
+    go ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then (incr pos; Obj [])
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match next () with
+          | ',' -> fields ((k, v) :: acc)
+          | '}' -> Obj (List.rev ((k, v) :: acc))
+          | c -> bad "expected ',' or '}' in object, got '%c'" c
+        in
+        fields []
+      end
+    | Some '[' ->
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then (incr pos; Arr [])
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match next () with
+          | ',' -> items (v :: acc)
+          | ']' -> Arr (List.rev (v :: acc))
+          | c -> bad "expected ',' or ']' in array, got '%c'" c
+        in
+        items []
+      end
+    | Some 't' ->
+      pos := !pos + 4;
+      Bool true
+    | Some 'f' ->
+      pos := !pos + 5;
+      Bool false
+    | Some 'n' ->
+      pos := !pos + 4;
+      Null
+    | Some _ ->
+      let start = !pos in
+      let rec num () =
+        match peek () with
+        | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+          incr pos;
+          num ()
+        | _ -> ()
+      in
+      num ();
+      if !pos = start then bad "unexpected character at offset %d" start;
+      let lit = String.sub s start (!pos - start) in
+      (try Num (float_of_string lit) with _ -> bad "bad number %S" lit)
+    | None -> bad "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then bad "trailing garbage at offset %d" !pos;
+  v
+
+(* ---- SARIF structural checks ---- *)
+
+let field obj name =
+  match obj with
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let need_str what = function
+  | Some (Str s) -> s
+  | Some _ -> bad "%s must be a string" what
+  | None -> bad "%s is missing" what
+
+let need_arr what = function
+  | Some (Arr xs) -> xs
+  | Some _ -> bad "%s must be an array" what
+  | None -> bad "%s is missing" what
+
+let need_obj what = function
+  | Some (Obj _ as o) -> o
+  | Some _ -> bad "%s must be an object" what
+  | None -> bad "%s is missing" what
+
+let check (doc : json) =
+  (match doc with Obj _ -> () | _ -> bad "top level must be an object");
+  let version = need_str "version" (field doc "version") in
+  if version <> "2.1.0" then bad "version is %S, want \"2.1.0\"" version;
+  let schema = need_str "$schema" (field doc "$schema") in
+  let has_sub hay sub =
+    let nh = String.length hay and ns = String.length sub in
+    let rec go i = i + ns <= nh && (String.sub hay i ns = sub || go (i + 1)) in
+    go 0
+  in
+  if not (has_sub schema "sarif-2.1.0") then
+    bad "$schema %S does not reference sarif-2.1.0" schema;
+  let runs = need_arr "runs" (field doc "runs") in
+  if runs = [] then bad "runs must be non-empty";
+  let n_results = ref 0 in
+  List.iteri
+    (fun ri run ->
+      let what = Printf.sprintf "runs[%d]" ri in
+      let tool = need_obj (what ^ ".tool") (field run "tool") in
+      let driver = need_obj (what ^ ".tool.driver") (field tool "driver") in
+      let _name = need_str (what ^ ".tool.driver.name") (field driver "name") in
+      let rules =
+        match field driver "rules" with
+        | None -> []
+        | Some (Arr rs) ->
+          List.mapi
+            (fun i r ->
+              need_str
+                (Printf.sprintf "%s.tool.driver.rules[%d].id" what i)
+                (field r "id"))
+            rs
+        | Some _ -> bad "%s.tool.driver.rules must be an array" what
+      in
+      let results = need_arr (what ^ ".results") (field run "results") in
+      List.iteri
+        (fun i res ->
+          let rwhat = Printf.sprintf "%s.results[%d]" what i in
+          incr n_results;
+          let rule_id = need_str (rwhat ^ ".ruleId") (field res "ruleId") in
+          if rules <> [] && not (List.mem rule_id rules) then
+            bad "%s.ruleId %S not declared in tool.driver.rules" rwhat rule_id;
+          (match field res "level" with
+           | Some (Str ("none" | "note" | "warning" | "error")) | None -> ()
+           | Some _ -> bad "%s.level must be none|note|warning|error" rwhat);
+          let msg = need_obj (rwhat ^ ".message") (field res "message") in
+          let _ = need_str (rwhat ^ ".message.text") (field msg "text") in
+          let locs = need_arr (rwhat ^ ".locations") (field res "locations") in
+          List.iteri
+            (fun j loc ->
+              let lwhat = Printf.sprintf "%s.locations[%d]" rwhat j in
+              let phys =
+                need_obj
+                  (lwhat ^ ".physicalLocation")
+                  (field loc "physicalLocation")
+              in
+              let art =
+                need_obj
+                  (lwhat ^ ".physicalLocation.artifactLocation")
+                  (field phys "artifactLocation")
+              in
+              let _ =
+                need_str
+                  (lwhat ^ ".physicalLocation.artifactLocation.uri")
+                  (field art "uri")
+              in
+              match field phys "region" with
+              | None -> ()
+              | Some region -> (
+                match field region "startLine" with
+                | Some (Num f) when Float.is_integer f && f >= 1.0 -> ()
+                | Some _ ->
+                  bad "%s.physicalLocation.region.startLine must be a \
+                       positive integer" lwhat
+                | None -> ()))
+            locs)
+        results)
+    runs;
+  !n_results
+
+let () =
+  if Array.length Sys.argv <> 2 then begin
+    prerr_endline "usage: sarif_check FILE.sarif";
+    exit 2
+  end;
+  let path = Sys.argv.(1) in
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match check (parse content) with
+  | n ->
+    Printf.printf "sarif-check: %s OK (%d result(s))\n" path n;
+    exit 0
+  | exception Bad msg ->
+    Printf.eprintf "sarif-check: %s: %s\n" path msg;
+    exit 1
